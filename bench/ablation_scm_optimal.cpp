@@ -1,0 +1,68 @@
+// Ablation (context for every adder count in this repository): how far is
+// CSD digit-tree constant synthesis — the multiplier model the paper's
+// cost metric assumes — from provably optimal single-constant adder
+// chains? The exact table enumerates all ≤3-adder chains; the gap bounds
+// how much any scheme's SEED multipliers could still improve.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mrpf/arch/scm_exact.hpp"
+#include "mrpf/core/mrp.hpp"
+#include "mrpf/number/csd.hpp"
+
+int main() {
+  using namespace mrpf;
+  bench::print_header(
+      "Ablation — exact SCM chains vs CSD digit trees (per odd constant)");
+
+  std::printf("%6s %10s %10s %10s %12s\n", "bits", "avg exact", "avg CSD",
+              "CSD optimal", "cost>3 share");
+  for (const int bits : {6, 8, 10, 12}) {
+    const arch::ScmTable table(bits);
+    double exact_sum = 0.0;
+    double csd_sum = 0.0;
+    int csd_optimal = 0;
+    int over3 = 0;
+    int count = 0;
+    for (i64 v = 3; v < (i64{1} << bits); v += 2) {
+      const int exact = table.cost(v);
+      const int csd = number::multiplier_adders(v, number::NumberRep::kCsd);
+      exact_sum += std::min(exact, csd);  // exact==4 means ">3": csd bounds
+      csd_sum += csd;
+      csd_optimal += (csd == exact || (exact == 4 && csd == 4));
+      over3 += (exact == 4);
+      ++count;
+    }
+    std::printf("%6d %10.2f %10.2f %9.1f%% %11.1f%%\n", bits,
+                exact_sum / count, csd_sum / count,
+                100.0 * csd_optimal / count, 100.0 * over3 / count);
+  }
+
+  // How optimal are the SEED multipliers MRPF actually instantiates?
+  const arch::ScmTable table(14);
+  int seed_csd = 0;
+  int seed_exact = 0;
+  for (int i = 0; i < filter::catalog_size(); ++i) {
+    const std::vector<i64> bank = bench::folded_bank(i, 12, false);
+    core::MrpOptions opts;
+    opts.rep = number::NumberRep::kSpt;
+    const core::MrpResult r = core::mrp_optimize(bank, opts);
+    for (const i64 s : r.seed_values) {
+      const int csd = number::multiplier_adders(s, number::NumberRep::kCsd);
+      seed_csd += csd;
+      const int exact = table.cost(s);
+      seed_exact += exact == 4 ? csd : std::min(exact, csd);
+    }
+  }
+
+  bench::print_paper_note(
+      "not in the paper — bounds the remaining headroom of every adder "
+      "count reported by the reproduction.");
+  std::printf(
+      "MEASURED: catalog SEED multipliers (W=12): %d adders as CSD trees, "
+      ">= %d with provably optimal chains (%.1f%% headroom).\n",
+      seed_csd, seed_exact,
+      100.0 * (1.0 - static_cast<double>(seed_exact) /
+                         std::max(seed_csd, 1)));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared helpers for the reproduction benches: catalog access, folded
+// quantized banks, and consistent table formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+#include "mrpf/core/flow.hpp"
+#include "mrpf/filter/catalog.hpp"
+#include "mrpf/number/quantize.hpp"
+
+namespace mrpf::bench {
+
+inline const std::vector<int> kWordlengths = {8, 12, 16, 20};
+
+/// Folded (unique-half) integer bank of catalog filter `i`.
+inline std::vector<i64> folded_bank(int i, int wordlength, bool maximal) {
+  const auto& h = filter::catalog_coefficients(i);
+  const number::QuantizedCoefficients q =
+      maximal ? number::quantize_maximal(h, wordlength)
+              : number::quantize_uniform(h, wordlength);
+  return core::optimization_bank(q.values());
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void print_paper_note(const char* note) {
+  std::printf("PAPER:    %s\n", note);
+}
+
+inline void print_measured(const char* fmt, double value) {
+  std::printf("MEASURED: ");
+  std::printf(fmt, value);
+  std::printf("\n");
+}
+
+}  // namespace mrpf::bench

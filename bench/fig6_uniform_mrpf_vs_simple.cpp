@@ -1,0 +1,64 @@
+// Figure 6 reproduction: MRPF vs simple implementation, uniformly scaled
+// SPT coefficients. For every catalog example and wordlength W ∈
+// {8,12,16,20}, print the MRPF multiplier-block adder count normalized by
+// the simple implementation's. The paper reports ≈60 % average reduction
+// and ≈0.3 adders per multiplication per tap at W=16 for filters with
+// more than 20 taps.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "mrpf/baseline/simple.hpp"
+#include "mrpf/core/mrp.hpp"
+
+int main() {
+  using namespace mrpf;
+  bench::print_header(
+      "Figure 6 — MRPF vs simple (SPT), uniformly scaled coefficients");
+
+  std::printf("%-5s", "name");
+  for (const int w : bench::kWordlengths) std::printf("     W=%-3d", w);
+  std::printf("\n");
+
+  double ratio_sum = 0.0;
+  int ratio_count = 0;
+  double adders_per_tap_w16 = 0.0;
+  int large_filters = 0;
+
+  for (int i = 0; i < filter::catalog_size(); ++i) {
+    std::printf("%-5s", filter::catalog_spec(i).name.c_str());
+    for (const int w : bench::kWordlengths) {
+      const std::vector<i64> bank =
+          bench::folded_bank(i, w, /*maximal=*/false);
+      core::MrpOptions opts;
+      opts.rep = number::NumberRep::kSpt;
+      const core::MrpResult mrp = core::mrp_optimize(bank, opts);
+      const int simple = baseline::simple_adder_cost(bank, opts.rep);
+      const double ratio = simple > 0
+                               ? static_cast<double>(mrp.total_adders()) /
+                                     static_cast<double>(simple)
+                               : 1.0;
+      std::printf("   %7.3f", ratio);
+      ratio_sum += ratio;
+      ++ratio_count;
+      if (w == 16 && filter::catalog_spec(i).num_taps > 20) {
+        // "Adders per multiplication per tap": SEED multiplier adders
+        // spread over the filter's taps (the paper counts the full,
+        // unfolded tap count of the symmetric filter).
+        adders_per_tap_w16 +=
+            static_cast<double>(mrp.seed_adders) /
+            static_cast<double>(filter::catalog_spec(i).num_taps);
+        ++large_filters;
+      }
+    }
+    std::printf("\n");
+  }
+
+  const double avg_reduction = 1.0 - ratio_sum / ratio_count;
+  bench::print_paper_note(
+      "~60% average complexity reduction vs simple; ~0.3 multiplier adders "
+      "per tap at W=16 for filters with >20 taps.");
+  std::printf("MEASURED: %.1f%% average reduction; %.2f SEED adders per "
+              "folded tap at W=16 (filters >20 taps).\n",
+              100.0 * avg_reduction, adders_per_tap_w16 / large_filters);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Google-benchmark microbenchmarks: optimizer runtime scaling (taps ×
+// wordlength), CSE, CSD conversion, Remez design, and exact filter
+// simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "mrpf/common/rng.hpp"
+#include "mrpf/core/build.hpp"
+#include "mrpf/core/mrp.hpp"
+#include "mrpf/cse/hartley.hpp"
+#include "mrpf/filter/remez.hpp"
+#include "mrpf/filter/spec.hpp"
+#include "mrpf/number/csd.hpp"
+#include "mrpf/sim/workload.hpp"
+
+namespace {
+
+using namespace mrpf;
+
+std::vector<i64> random_bank(int taps, int wordlength, std::uint64_t seed) {
+  Rng rng(seed);
+  const i64 limit = (i64{1} << (wordlength - 1)) - 1;
+  std::vector<i64> bank;
+  bank.reserve(static_cast<std::size_t>(taps));
+  for (int t = 0; t < taps; ++t) bank.push_back(rng.next_int(-limit, limit));
+  return bank;
+}
+
+void BM_MrpOptimize(benchmark::State& state) {
+  const std::vector<i64> bank = random_bank(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)), 7);
+  core::MrpOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mrp_optimize(bank, opts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MrpOptimize)
+    ->Args({8, 12})
+    ->Args({16, 12})
+    ->Args({32, 12})
+    ->Args({16, 8})
+    ->Args({16, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MrpBuildBlock(benchmark::State& state) {
+  const std::vector<i64> bank =
+      random_bank(static_cast<int>(state.range(0)), 12, 9);
+  core::MrpOptions opts;
+  const core::MrpResult r = core::mrp_optimize(bank, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_mrp_block(bank, r, opts));
+  }
+}
+BENCHMARK(BM_MrpBuildBlock)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_HartleyCse(benchmark::State& state) {
+  const std::vector<i64> bank =
+      random_bank(static_cast<int>(state.range(0)), 14, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cse::hartley_cse(bank));
+  }
+}
+BENCHMARK(BM_HartleyCse)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CsdConversion(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<i64> values;
+  for (int i = 0; i < 1024; ++i) values.push_back(rng.next_int(-100000, 100000));
+  for (auto _ : state) {
+    int total = 0;
+    for (const i64 v : values) total += number::csd_weight(v);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CsdConversion);
+
+void BM_RemezDesign(benchmark::State& state) {
+  filter::FilterSpec s;
+  s.method = filter::DesignMethod::kParksMcClellan;
+  s.band = filter::BandType::kLowPass;
+  s.edges = {0.2, 0.3};
+  s.passband_ripple_db = 1.0;
+  s.stopband_atten_db = 50.0;
+  s.num_taps = static_cast<int>(state.range(0));
+  const auto bands = s.bands();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter::design_remez(bands, s.num_taps));
+  }
+}
+BENCHMARK(BM_RemezDesign)->Arg(21)->Arg(41)->Arg(81)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TdfSimulation(benchmark::State& state) {
+  const std::vector<i64> bank = random_bank(16, 12, 17);
+  core::MrpOptions opts;
+  const core::MrpResult r = core::mrp_optimize(bank, opts);
+  arch::MultiplierBlock block = core::build_mrp_block(bank, r, opts);
+  const arch::TdfFilter filter(bank, {}, std::move(block));
+  Rng rng(19);
+  const std::vector<i64> x = sim::uniform_stream(rng, 1024, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.run(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_TdfSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Interconnect-aware design-space exploration with the benefit function's
+// β knob (paper §3.3): in deep sub-micron it can be "cheaper to compute
+// more than to share more". This example sweeps β, models interconnect as
+// a per-fanout wire cost added to the CLA adder area, and reports where
+// the total-cost optimum moves as wires get more expensive.
+//
+//   $ ./beta_explorer
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "mrpf/arch/cost_model.hpp"
+#include "mrpf/core/build.hpp"
+#include "mrpf/core/flow.hpp"
+#include "mrpf/filter/catalog.hpp"
+#include "mrpf/number/quantize.hpp"
+
+int main() {
+  using namespace mrpf;
+
+  const int catalog_index = 7;  // Ex8: 61-tap PM low-pass
+  const int wordlength = 16;
+  const int input_bits = 16;
+  const auto& h = filter::catalog_coefficients(catalog_index);
+  const auto q = number::quantize_uniform(h, wordlength);
+  const std::vector<i64> bank = core::optimization_bank(q.values());
+
+  std::printf("Exploring beta on %s (W=%d)\n",
+              filter::catalog_spec(catalog_index).name.c_str(), wordlength);
+  std::printf("%6s %8s %10s %12s | total cost at wire cost/fanout:\n",
+              "beta", "adders", "max fan", "CLA area");
+  std::printf("%40s %10s %10s %10s\n", "", "w=0", "w=10", "w=40");
+
+  struct Point {
+    double beta;
+    double area;
+    int max_fanout;
+    int fanout_total;
+  };
+  std::vector<Point> frontier;
+
+  for (const double beta : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8,
+                            0.9, 1.0}) {
+    core::MrpOptions opts;
+    opts.beta = beta;
+    opts.rep = number::NumberRep::kSpt;
+    const core::MrpResult r = core::mrp_optimize(bank, opts);
+    const arch::MultiplierBlock block = core::build_mrp_block(bank, r, opts);
+    const double area =
+        arch::multiplier_block_area(block.graph, input_bits);
+
+    std::map<i64, int> fanout;
+    for (const core::TreeEdge& te : r.tree_edges) ++fanout[te.edge.color];
+    int max_fanout = 0;
+    int fanout_total = 0;
+    for (const auto& [color, f] : fanout) {
+      max_fanout = std::max(max_fanout, f);
+      fanout_total += f;
+    }
+    frontier.push_back({beta, area, max_fanout, fanout_total});
+
+    std::printf("%6.2f %8d %10d %12.1f |", beta, r.total_adders(),
+                max_fanout, area);
+    for (const double wire : {0.0, 10.0, 40.0}) {
+      std::printf(" %10.1f", area + wire * fanout_total);
+    }
+    std::printf("\n");
+  }
+
+  // Which beta wins as wires get expensive?
+  for (const double wire : {0.0, 10.0, 40.0}) {
+    const Point* best = &frontier.front();
+    for (const Point& p : frontier) {
+      if (p.area + wire * p.fanout_total <
+          best->area + wire * best->fanout_total) {
+        best = &p;
+      }
+    }
+    std::printf("wire cost %5.1f per fanout: best beta = %.2f\n", wire,
+                best->beta);
+  }
+  return 0;
+}

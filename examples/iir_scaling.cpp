@@ -1,0 +1,59 @@
+// MRP beyond FIR (paper §1): a transposed-direct-form IIR filter's two
+// coefficient banks are vector×scalar products, so MRP optimizes them
+// directly. This example designs an 8th-order Butterworth low-pass IIR,
+// quantizes it, optimizes the feed-forward and feedback banks with every
+// scheme, and verifies the block-based fixed-point filter bit-for-bit.
+//
+//   $ ./iir_scaling
+#include <cmath>
+#include <cstdio>
+
+#include "mrpf/core/flow.hpp"
+#include "mrpf/filter/iir.hpp"
+#include "mrpf/sim/iir_fixed.hpp"
+#include "mrpf/sim/workload.hpp"
+
+int main() {
+  using namespace mrpf;
+
+  const filter::IirDesign design =
+      filter::design_butterworth_iir(filter::BandType::kLowPass, 0.25, 8);
+  const auto df = design.direct_form();
+  const sim::QuantizedIir q = sim::quantize_iir(df, 14);
+
+  std::printf("8th-order Butterworth LP, fc=0.25, W=14 (q=%d)\n", q.q);
+  std::printf("  b bank:");
+  for (const i64 v : q.b) std::printf(" %lld", static_cast<long long>(v));
+  std::printf("\n  a bank:");
+  for (const i64 v : q.a) std::printf(" %lld", static_cast<long long>(v));
+  std::printf("\n\n%-9s %10s %10s\n", "scheme", "b adders", "a adders");
+
+  const std::vector<i64> a_bank(q.a.begin() + 1, q.a.end());
+  for (const auto scheme :
+       {core::Scheme::kSimple, core::Scheme::kCse, core::Scheme::kRagn,
+        core::Scheme::kMrp, core::Scheme::kMrpCse}) {
+    const core::SchemeResult b_opt = core::optimize_bank(q.b, scheme);
+    const core::SchemeResult a_opt = core::optimize_bank(a_bank, scheme);
+    std::printf("%-9s %10d %10d\n", core::to_string(scheme).c_str(),
+                b_opt.multiplier_adders, a_opt.multiplier_adders);
+  }
+
+  // Bit-exact check of the MRPF-based fixed-point filter.
+  const core::SchemeResult b_mrp = core::optimize_bank(q.b, core::Scheme::kMrp);
+  const core::SchemeResult a_mrp =
+      core::optimize_bank(a_bank, core::Scheme::kMrp);
+  Rng rng(7);
+  const std::vector<i64> x = sim::uniform_stream(rng, 4000, 10);
+  const std::vector<i64> want = sim::iir_fixed_reference(q, x);
+  const std::vector<i64> got =
+      sim::iir_fixed_blocks(q, b_mrp.block, a_mrp.block, x);
+  std::printf("\nfixed-point MRPF IIR vs reference over %zu samples: %s\n",
+              x.size(), want == got ? "bit-exact" : "MISMATCH");
+
+  // Sanity: frequency response of the realized (quantized) filter.
+  for (const double f : {0.05, 0.25, 0.6}) {
+    std::printf("  |H(%.2f)| designed %.4f\n", f,
+                std::abs(design.response_at(f)));
+  }
+  return want == got ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Multirate scenario: a decimate-by-4 anti-alias front-end (the other
+// fixed-coefficient workhorse of communication receivers). Designs a
+// 59-tap low-pass, builds the polyphase decimator with each scheme, and
+// verifies the whole structure bit-exactly against the reference.
+//
+//   $ ./polyphase_decimator
+#include <cstdio>
+
+#include "mrpf/common/rng.hpp"
+#include "mrpf/core/polyphase_decimator.hpp"
+#include "mrpf/filter/design.hpp"
+#include "mrpf/filter/polyphase.hpp"
+#include "mrpf/number/quantize.hpp"
+#include "mrpf/sim/workload.hpp"
+
+int main() {
+  using namespace mrpf;
+
+  const int factor = 4;
+  filter::FilterSpec spec;
+  spec.name = "antialias";
+  spec.method = filter::DesignMethod::kParksMcClellan;
+  spec.band = filter::BandType::kLowPass;
+  spec.edges = {0.8 / factor, 1.2 / factor};
+  spec.passband_ripple_db = 0.3;
+  spec.stopband_atten_db = 60.0;
+  spec.num_taps = 59;
+
+  const std::vector<double> h = filter::design(spec);
+  const auto q = number::quantize_uniform(h, 14);
+  const std::vector<i64> c = q.values();
+
+  std::printf("decimate-by-%d anti-alias filter, %d taps, W=14\n\n", factor,
+              spec.num_taps);
+  std::printf("%-9s %8s   per-branch adders\n", "scheme", "total");
+  for (const auto scheme :
+       {core::Scheme::kSimple, core::Scheme::kCse, core::Scheme::kRagn,
+        core::Scheme::kMrp, core::Scheme::kMrpCse}) {
+    const core::PolyphaseDecimator dec(c, factor, scheme);
+    std::printf("%-9s %8d  ", core::to_string(scheme).c_str(),
+                dec.multiplier_adders());
+    for (const int a : dec.branch_adders()) std::printf(" %3d", a);
+    std::printf("\n");
+  }
+
+  const core::PolyphaseDecimator dec(c, factor, core::Scheme::kMrpCse);
+  Rng rng(99);
+  const std::vector<i64> x = sim::uniform_stream(rng, 4096, 12);
+  const bool exact = dec.run(x) == filter::decimate_exact(c, factor, x);
+  std::printf("\nbit-exact against reference decimator over %zu samples: %s\n",
+              x.size(), exact ? "yes" : "NO");
+  std::printf(
+      "note: sharing happens within each branch only — each phase has its "
+      "own multiplicand stream.\n");
+  return exact ? 0 : 1;
+}

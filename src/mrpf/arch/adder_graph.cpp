@@ -1,0 +1,108 @@
+#include "mrpf/arch/adder_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::arch {
+
+AdderGraph::AdderGraph() {
+  fundamentals_.push_back(1);  // node 0: the input x
+  ops_.push_back({});
+  depths_.push_back(0);
+  by_odd_.emplace(1, kInputNode);
+}
+
+void AdderGraph::check_node(int node) const {
+  MRPF_CHECK(node >= 0 && node < num_nodes(),
+             "AdderGraph: node id out of range");
+}
+
+int AdderGraph::add_op(int a, int sa, int b, int sb, bool subtract) {
+  check_node(a);
+  check_node(b);
+  MRPF_CHECK(sa >= 0 && sa < 62 && sb >= 0 && sb < 62,
+             "AdderGraph: wiring shift out of range");
+  const i128 raw = (static_cast<i128>(fundamentals_[static_cast<std::size_t>(a)])
+                    << sa) +
+                   (subtract ? -1 : 1) *
+                       (static_cast<i128>(
+                            fundamentals_[static_cast<std::size_t>(b)])
+                        << sb);
+  MRPF_CHECK(raw != 0, "AdderGraph: operation computes the constant 0");
+  MRPF_CHECK(raw < (static_cast<i128>(1) << 62) &&
+                 raw > -(static_cast<i128>(1) << 62),
+             "AdderGraph: fundamental overflows 62 bits");
+  const i64 f = static_cast<i64>(raw);
+
+  const int node = num_nodes();
+  fundamentals_.push_back(f);
+  ops_.push_back({a, b, sa, sb, subtract});
+  depths_.push_back(1 + std::max(depths_[static_cast<std::size_t>(a)],
+                                 depths_[static_cast<std::size_t>(b)]));
+  by_odd_.emplace(odd_part(f), node);  // keeps the first (cheapest) node
+  return node;
+}
+
+i64 AdderGraph::fundamental(int node) const {
+  check_node(node);
+  return fundamentals_[static_cast<std::size_t>(node)];
+}
+
+const AdderOp& AdderGraph::op(int node) const {
+  check_node(node);
+  MRPF_CHECK(node != kInputNode, "AdderGraph: the input node has no op");
+  return ops_[static_cast<std::size_t>(node)];
+}
+
+int AdderGraph::depth(int node) const {
+  check_node(node);
+  return depths_[static_cast<std::size_t>(node)];
+}
+
+int AdderGraph::max_depth() const {
+  return *std::max_element(depths_.begin(), depths_.end());
+}
+
+std::optional<Tap> AdderGraph::resolve(i64 c) const {
+  if (c == 0) return Tap{-1, 0, false, 0};
+  const auto it = by_odd_.find(odd_part(c));
+  if (it == by_odd_.end()) return std::nullopt;
+  const int node = it->second;
+  const i64 f = fundamentals_[static_cast<std::size_t>(node)];
+  Tap tap;
+  tap.node = node;
+  tap.constant = c;
+  tap.shift = trailing_zeros(c) - trailing_zeros(f);
+  tap.negate = (c < 0) != (f < 0);
+  return tap;
+}
+
+std::vector<i64> AdderGraph::evaluate(i64 x) const {
+  std::vector<i64> values(static_cast<std::size_t>(num_nodes()), 0);
+  values[0] = x;
+  for (int node = 1; node < num_nodes(); ++node) {
+    const AdderOp& o = ops_[static_cast<std::size_t>(node)];
+    const i128 v =
+        (static_cast<i128>(values[static_cast<std::size_t>(o.a)])
+         << o.shift_a) +
+        (o.subtract ? -1 : 1) *
+            (static_cast<i128>(values[static_cast<std::size_t>(o.b)])
+             << o.shift_b);
+    MRPF_CHECK(v <= std::numeric_limits<i64>::max() &&
+                   v >= std::numeric_limits<i64>::min(),
+               "AdderGraph::evaluate: node value overflows int64");
+    values[static_cast<std::size_t>(node)] = static_cast<i64>(v);
+  }
+  return values;
+}
+
+int AdderGraph::node_width(int node, int input_bits) const {
+  check_node(node);
+  MRPF_CHECK(input_bits >= 1, "AdderGraph: input width must be positive");
+  return bit_width_abs(fundamentals_[static_cast<std::size_t>(node)]) +
+         input_bits;
+}
+
+}  // namespace mrpf::arch

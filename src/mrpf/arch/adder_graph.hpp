@@ -1,0 +1,86 @@
+// Shift-add adder graph: the architectural IR of every multiplier block.
+//
+// Node 0 is the filter input x (fundamental 1). Every other node is one
+// physical adder/subtractor computing
+//     value = (value(a) << shift_a)  ±  (value(b) << shift_b)
+// so `num_adders()` — the paper's complexity metric — is simply the node
+// count minus one. Each node's *fundamental* (the exact integer multiple
+// of x it carries) is tracked, and a lookup by odd part lets builders reuse
+// any constant that is already available up to free power-of-two wiring
+// shifts and output negation.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::arch {
+
+struct AdderOp {
+  int a = 0;           // left operand node
+  int b = 0;           // right operand node
+  int shift_a = 0;     // left wiring shift (>= 0)
+  int shift_b = 0;     // right wiring shift (>= 0)
+  bool subtract = false;  // value = (a<<sa) - (b<<sb) when true
+};
+
+/// How one constant product is tapped off the graph: c·x equals
+/// (negate ? - : +) value(node) shifted by `shift` (negative shift means
+/// dropping always-zero LSBs — both directions are free wiring).
+struct Tap {
+  int node = -1;       // -1 encodes the constant 0 (no hardware)
+  int shift = 0;
+  bool negate = false;
+  i64 constant = 0;    // the constant this tap realizes (for bookkeeping)
+};
+
+class AdderGraph {
+ public:
+  AdderGraph();
+
+  static constexpr int kInputNode = 0;
+
+  /// Appends an adder computing (node a << sa) ± (node b << sb).
+  /// The resulting fundamental must be non-zero and fit in 62 bits.
+  /// Returns the new node id.
+  int add_op(int a, int sa, int b, int sb, bool subtract);
+
+  int num_nodes() const { return static_cast<int>(fundamentals_.size()); }
+  /// The paper's complexity metric: one per AddSub node.
+  int num_adders() const { return num_nodes() - 1; }
+
+  /// Exact integer multiple of x computed by `node`.
+  i64 fundamental(int node) const;
+  /// Defining operation of `node` (node must not be the input).
+  const AdderOp& op(int node) const;
+
+  /// Adder-stage depth of `node` (input = 0).
+  int depth(int node) const;
+  /// Max depth over all nodes.
+  int max_depth() const;
+
+  /// First node whose fundamental equals c up to sign and power-of-two
+  /// shift, as a ready-made Tap; nullopt when absent. resolve(0) yields the
+  /// zero Tap.
+  std::optional<Tap> resolve(i64 c) const;
+
+  /// Values of every node for the given input (exact; throws on overflow
+  /// beyond 63 bits).
+  std::vector<i64> evaluate(i64 x) const;
+
+  /// Signed output width of `node` for a signed input of `input_bits` bits:
+  /// bits(|fundamental|) + input_bits (one growth bit per magnitude bit).
+  int node_width(int node, int input_bits) const;
+
+ private:
+  void check_node(int node) const;
+
+  std::vector<i64> fundamentals_;          // per node
+  std::vector<AdderOp> ops_;               // per node; ops_[0] unused
+  std::vector<int> depths_;                // per node
+  std::unordered_map<i64, int> by_odd_;    // odd(|fundamental|) -> node
+};
+
+}  // namespace mrpf::arch

@@ -1,0 +1,46 @@
+#include "mrpf/arch/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::arch {
+
+double ClaCostModel::adder_area(int width_bits) const {
+  MRPF_CHECK(width_bits >= 1, "adder_area: width must be positive");
+  return area_fixed + area_per_bit * static_cast<double>(width_bits);
+}
+
+double ClaCostModel::adder_delay(int width_bits) const {
+  MRPF_CHECK(width_bits >= 1, "adder_delay: width must be positive");
+  return delay_fixed +
+         delay_per_log2_bit * std::log2(static_cast<double>(width_bits));
+}
+
+double multiplier_block_area(const AdderGraph& graph, int input_bits,
+                             const ClaCostModel& model) {
+  double area = 0.0;
+  for (int node = 1; node < graph.num_nodes(); ++node) {
+    area += model.adder_area(graph.node_width(node, input_bits));
+  }
+  return area;
+}
+
+double critical_path_delay(const AdderGraph& graph, int input_bits,
+                           const ClaCostModel& model) {
+  std::vector<double> arrival(static_cast<std::size_t>(graph.num_nodes()),
+                              0.0);
+  double worst = 0.0;
+  for (int node = 1; node < graph.num_nodes(); ++node) {
+    const AdderOp& op = graph.op(node);
+    const double in = std::max(arrival[static_cast<std::size_t>(op.a)],
+                               arrival[static_cast<std::size_t>(op.b)]);
+    arrival[static_cast<std::size_t>(node)] =
+        in + model.adder_delay(graph.node_width(node, input_bits));
+    worst = std::max(worst, arrival[static_cast<std::size_t>(node)]);
+  }
+  return worst;
+}
+
+}  // namespace mrpf::arch

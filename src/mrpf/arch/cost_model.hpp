@@ -1,0 +1,35 @@
+// Technology cost model.
+//
+// The paper reports its headline numbers with carry-lookahead adders
+// synthesized from the Synopsys DesignWare library in 0.25 µm. Without the
+// PDK we substitute an analytic CLA model whose *ratios* follow published
+// DesignWare-style scaling: area grows affinely with adder width, delay
+// logarithmically. Costs are in normalized units (1.0 = one full-adder
+// cell equivalent); only relative comparisons are meaningful.
+#pragma once
+
+#include "mrpf/arch/adder_graph.hpp"
+
+namespace mrpf::arch {
+
+struct ClaCostModel {
+  double area_per_bit = 1.35;  // CLA carry logic overhead vs ripple ~1.0
+  double area_fixed = 2.0;     // per-adder fixed overhead
+  double delay_fixed = 0.8;    // ns-like units at 0.25 µm scale
+  double delay_per_log2_bit = 0.45;
+
+  double adder_area(int width_bits) const;
+  double adder_delay(int width_bits) const;
+};
+
+/// Σ over adders of adder_area(width of that adder's output). Comparing
+/// this across schemes (each scheme builds its own graph) reproduces the
+/// paper's CLA-weighted complexity comparison.
+double multiplier_block_area(const AdderGraph& graph, int input_bits,
+                             const ClaCostModel& model = {});
+
+/// Longest register-free path from x to any node, in model delay units.
+double critical_path_delay(const AdderGraph& graph, int input_bits,
+                           const ClaCostModel& model = {});
+
+}  // namespace mrpf::arch

@@ -1,0 +1,36 @@
+#include "mrpf/arch/dot.hpp"
+
+#include "mrpf/common/format.hpp"
+
+namespace mrpf::arch {
+
+std::string emit_dot(const MultiplierBlock& block, const std::string& name) {
+  const AdderGraph& g = block.graph;
+  std::string out;
+  out += str_format("digraph %s {\n  rankdir=TB;\n", name.c_str());
+  out += "  n0 [shape=invtriangle, label=\"x\"];\n";
+  for (int node = 1; node < g.num_nodes(); ++node) {
+    out += str_format(
+        "  n%d [shape=ellipse, label=\"%lld\\nd=%d\"];\n", node,
+        static_cast<long long>(g.fundamental(node)), g.depth(node));
+    const AdderOp& op = g.op(node);
+    out += str_format("  n%d -> n%d [label=\"<<%d\"];\n", op.a, node,
+                      op.shift_a);
+    out += str_format("  n%d -> n%d [label=\"%s<<%d\"];\n", op.b, node,
+                      op.subtract ? "-" : "", op.shift_b);
+  }
+  for (std::size_t i = 0; i < block.taps.size(); ++i) {
+    const Tap& tap = block.taps[i];
+    out += str_format(
+        "  p%zu [shape=box, label=\"p%zu = %lld*x\"];\n", i, i,
+        static_cast<long long>(block.constants[i]));
+    if (tap.node >= 0) {
+      out += str_format("  n%d -> p%zu [style=dashed, label=\"%s<<%d\"];\n",
+                        tap.node, i, tap.negate ? "-" : "", tap.shift);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mrpf::arch

@@ -1,0 +1,18 @@
+// Graphviz DOT export of adder graphs — the standard way to eyeball and
+// document MCM architectures (SEED network vs overhead adds show up as
+// distinct layers).
+#pragma once
+
+#include <string>
+
+#include "mrpf/arch/tdf.hpp"
+
+namespace mrpf::arch {
+
+/// DOT digraph of the block: one node per adder (labelled with its
+/// fundamental and depth), edges labelled with wiring shifts, taps drawn
+/// as output ports.
+std::string emit_dot(const MultiplierBlock& block,
+                     const std::string& name = "mrpf_block");
+
+}  // namespace mrpf::arch

@@ -1,0 +1,114 @@
+#include "mrpf/arch/folded.hpp"
+
+#include <limits>
+
+#include "mrpf/common/error.hpp"
+
+// The unshared multiplier bank comes from the baseline module; arch must
+// not depend on it, so the digit-tree is rebuilt locally via synth.
+#include "mrpf/arch/synth.hpp"
+
+namespace mrpf::arch {
+
+namespace {
+
+/// One private multiplier per constant: each tap gets a fresh digit tree
+/// (no resolve() reuse), matching the direct form's no-sharing reality.
+MultiplierBlock build_unshared_block(const std::vector<i64>& constants,
+                                     number::NumberRep rep) {
+  MultiplierBlock block;
+  block.constants = constants;
+  for (const i64 c : constants) {
+    if (c == 0) {
+      block.taps.push_back({-1, 0, false, 0});
+      continue;
+    }
+    const i64 magnitude = odd_part(c);
+    if (magnitude == 1) {
+      block.taps.push_back(
+          {AdderGraph::kInputNode, trailing_zeros(c), c < 0, c});
+      continue;
+    }
+    const number::SignedDigitVector digits =
+        number::to_digits(magnitude, rep);
+    std::vector<TermRef> terms;
+    for (std::size_t k = 0; k < digits.size(); ++k) {
+      if (digits[k] != 0) {
+        terms.push_back(
+            {AdderGraph::kInputNode, static_cast<int>(k), digits[k] < 0});
+      }
+    }
+    const TermRef root = combine_balanced(block.graph, std::move(terms));
+    block.taps.push_back({root.node, trailing_zeros(c), c < 0, c});
+  }
+  block.verify({1, -2, 77, -1000});
+  return block;
+}
+
+}  // namespace
+
+FoldedDirectFilter::FoldedDirectFilter(std::vector<i64> coefficients,
+                                       number::NumberRep rep)
+    : coefficients_(std::move(coefficients)) {
+  MRPF_CHECK(!coefficients_.empty(), "FoldedDirectFilter: no coefficients");
+  const std::size_t n = coefficients_.size();
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    MRPF_CHECK(coefficients_[k] == coefficients_[n - 1 - k],
+               "FoldedDirectFilter: coefficients must be symmetric");
+  }
+  const std::vector<i64> folded(
+      coefficients_.begin(),
+      coefficients_.begin() + static_cast<std::ptrdiff_t>((n + 1) / 2));
+  block_ = build_unshared_block(folded, rep);
+}
+
+std::vector<i64> FoldedDirectFilter::run(const std::vector<i64>& x) const {
+  const std::size_t n = coefficients_.size();
+  const std::size_t half = (n + 1) / 2;
+  const bool odd = (n % 2) == 1;
+  std::vector<i64> delay(n, 0);  // delay[k] = x(n−k)
+  std::vector<i64> y;
+  y.reserve(x.size());
+
+  for (const i64 sample : x) {
+    for (std::size_t k = n; k-- > 1;) delay[k] = delay[k - 1];
+    delay[0] = sample;
+
+    i128 acc = 0;
+    for (std::size_t k = 0; k < half; ++k) {
+      const bool is_center = odd && k == half - 1;
+      // Folding pre-adder (the centre tap of odd lengths has no mirror).
+      const i64 u = is_center ? delay[k] : delay[k] + delay[n - 1 - k];
+      // Each multiplier has its own input in the direct form; evaluating
+      // the graph per tap models exactly that.
+      const std::vector<i64> values = block_.graph.evaluate(u);
+      acc += static_cast<i128>(block_.product(k, values));
+    }
+    MRPF_CHECK(acc <= std::numeric_limits<i64>::max() &&
+                   acc >= std::numeric_limits<i64>::min(),
+               "FoldedDirectFilter: accumulator overflow");
+    y.push_back(static_cast<i64>(acc));
+  }
+  return y;
+}
+
+int FoldedDirectFilter::folding_adders() const {
+  return static_cast<int>(coefficients_.size() / 2);
+}
+
+TdfMetrics FoldedDirectFilter::metrics() const {
+  TdfMetrics m;
+  m.multiplier_adders = block_.graph.num_adders();
+  m.structural_adders =
+      folding_adders() + static_cast<int>(block_.taps.size()) - 1;
+  for (const Tap& tap : block_.taps) {
+    if (tap.node >= 0) {
+      m.multiplier_depth =
+          std::max(m.multiplier_depth, block_.graph.depth(tap.node));
+    }
+  }
+  m.registers = static_cast<int>(coefficients_.size());
+  return m;
+}
+
+}  // namespace mrpf::arch

@@ -1,0 +1,39 @@
+// Folded direct-form FIR for symmetric (linear-phase) filters.
+//
+// In the *direct* form each unique coefficient multiplies its own folding
+// pre-adder output u_k(n) = x(n−k) + x(n−(N−1−k)) — the multiplicands
+// differ per tap, so no cross-tap product sharing is possible and each
+// coefficient needs its own shift-add multiplier. This is precisely why
+// the paper (§2) recasts the filter in *transposed* direct form, where one
+// scalar (the input) multiplies the whole coefficient vector and sharing
+// (CSE, MRP) becomes available. The class exists to make that contrast
+// measurable: it is bit-exact against TdfFilter, with the simple
+// implementation's multiplier cost by construction.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/number/repr.hpp"
+
+namespace mrpf::arch {
+
+class FoldedDirectFilter {
+ public:
+  /// `coefficients` is the full symmetric vector. One unshared multiplier
+  /// per unique (folded) coefficient is synthesized internally in `rep`.
+  FoldedDirectFilter(std::vector<i64> coefficients, number::NumberRep rep);
+
+  /// Exact streaming filter: y[n] = Σ c_k·x[n−k] (zero initial state).
+  std::vector<i64> run(const std::vector<i64>& x) const;
+
+  /// Pre-adders due to folding: floor(N/2), identical across schemes.
+  int folding_adders() const;
+  TdfMetrics metrics() const;
+
+ private:
+  std::vector<i64> coefficients_;
+  MultiplierBlock block_;  // one unshared multiplier per unique coefficient
+};
+
+}  // namespace mrpf::arch

@@ -1,0 +1,114 @@
+#include "mrpf/arch/pipeline.hpp"
+
+#include <algorithm>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::arch {
+
+int registers_for_cut(const AdderGraph& graph, const std::vector<Tap>& taps,
+                      int cut) {
+  MRPF_CHECK(cut >= 0, "registers_for_cut: negative cut");
+  std::vector<bool> crosses(static_cast<std::size_t>(graph.num_nodes()),
+                            false);
+  for (int node = 1; node < graph.num_nodes(); ++node) {
+    if (graph.depth(node) <= cut) continue;
+    const AdderOp& op = graph.op(node);
+    for (const int operand : {op.a, op.b}) {
+      if (graph.depth(operand) <= cut) {
+        crosses[static_cast<std::size_t>(operand)] = true;
+      }
+    }
+  }
+  // Block outputs computed at or before the cut must also be registered to
+  // stay aligned with the pipelined later levels.
+  for (const Tap& tap : taps) {
+    if (tap.node >= 0 && graph.depth(tap.node) <= cut) {
+      crosses[static_cast<std::size_t>(tap.node)] = true;
+    }
+  }
+  int count = 0;
+  for (const bool c : crosses) count += c;
+  return count;
+}
+
+PipelineReport analyze_pipeline(const AdderGraph& graph,
+                                const std::vector<Tap>& taps) {
+  PipelineReport r;
+  r.max_depth = graph.max_depth();
+  r.adders_per_level.assign(static_cast<std::size_t>(r.max_depth) + 1, 0);
+  for (int node = 1; node < graph.num_nodes(); ++node) {
+    ++r.adders_per_level[static_cast<std::size_t>(graph.depth(node))];
+  }
+  r.registers_at_cut.reserve(static_cast<std::size_t>(r.max_depth) + 1);
+  for (int cut = 0; cut <= r.max_depth; ++cut) {
+    r.registers_at_cut.push_back(registers_for_cut(graph, taps, cut));
+  }
+  return r;
+}
+
+}  // namespace mrpf::arch
+
+namespace mrpf::arch {
+
+std::vector<i64> run_pipelined(const TdfFilter& filter,
+                               const std::vector<i64>& x, int cut) {
+  const MultiplierBlock& block = filter.block();
+  const AdderGraph& graph = block.graph;
+  MRPF_CHECK(cut >= 0 && cut <= graph.max_depth(),
+             "run_pipelined: cut outside the graph depth range");
+  const std::size_t n_nodes = static_cast<std::size_t>(graph.num_nodes());
+  const std::size_t n_taps = filter.coefficients().size();
+
+  // Registered (previous-cycle) values of every node at depth <= cut.
+  std::vector<i64> registered(n_nodes, 0);
+  std::vector<i64> chain(n_taps, 0);
+  std::vector<i64> y;
+  y.reserve(x.size());
+
+  std::vector<i64> current(n_nodes, 0);
+  for (const i64 sample : x) {
+    // Stage 1: shallow nodes compute from the current sample.
+    current[0] = sample;
+    for (int node = 1; node < graph.num_nodes(); ++node) {
+      if (graph.depth(node) > cut) continue;
+      const AdderOp& op = graph.op(node);
+      current[static_cast<std::size_t>(node)] =
+          (current[static_cast<std::size_t>(op.a)] << op.shift_a) +
+          (op.subtract ? -1 : 1) *
+              (current[static_cast<std::size_t>(op.b)] << op.shift_b);
+    }
+    // Stage 2: deep nodes compute from the *registered* shallow values —
+    // they therefore carry last cycle's sample.
+    std::vector<i64> deep(n_nodes, 0);
+    for (int node = 0; node < graph.num_nodes(); ++node) {
+      if (graph.depth(node) <= cut) {
+        deep[static_cast<std::size_t>(node)] =
+            registered[static_cast<std::size_t>(node)];
+      }
+    }
+    for (int node = 1; node < graph.num_nodes(); ++node) {
+      if (graph.depth(node) <= cut) continue;
+      const AdderOp& op = graph.op(node);
+      deep[static_cast<std::size_t>(node)] =
+          (deep[static_cast<std::size_t>(op.a)] << op.shift_a) +
+          (op.subtract ? -1 : 1) *
+              (deep[static_cast<std::size_t>(op.b)] << op.shift_b);
+    }
+
+    // Products (all aligned to last cycle's sample) feed the TDF chain.
+    std::vector<i64> next(n_taps, 0);
+    for (std::size_t k = 0; k < n_taps; ++k) {
+      i64 p = block.product(k, deep);
+      if (!filter.alignment().empty()) p <<= filter.alignment()[k];
+      next[k] = p + (k + 1 < n_taps ? chain[k + 1] : 0);
+    }
+    chain = std::move(next);
+    y.push_back(chain[0]);
+
+    registered = current;
+  }
+  return y;
+}
+
+}  // namespace mrpf::arch

@@ -1,0 +1,42 @@
+// Pipelining analysis of a multiplier block.
+//
+// One of the paper's arguments for MRPI over brute-force CSE (§4) is that
+// the SEED-network / overhead-network split gives a natural pipeline cut.
+// This module measures that: registers needed for a cut at a given adder
+// depth, and a per-level profile of the graph.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/arch/adder_graph.hpp"
+#include "mrpf/arch/tdf.hpp"
+
+namespace mrpf::arch {
+
+struct PipelineReport {
+  std::vector<int> adders_per_level;  // index = depth (level 0 omitted: x)
+  int max_depth = 0;
+  /// registers_at_cut[d] = pipeline registers needed to cut between adder
+  /// levels d and d+1 (distinct values crossing the cut, taps included).
+  std::vector<int> registers_at_cut;
+};
+
+/// Registers needed to place a pipeline boundary after depth `cut`:
+/// one per distinct node of depth ≤ cut consumed at depth > cut or tapped
+/// as a block output.
+int registers_for_cut(const AdderGraph& graph, const std::vector<Tap>& taps,
+                      int cut);
+
+PipelineReport analyze_pipeline(const AdderGraph& graph,
+                                const std::vector<Tap>& taps);
+
+/// Cycle-accurate simulation of `filter` with one pipeline register bank
+/// inserted after adder depth `cut` in the multiplier block: nodes at
+/// depth ≤ cut compute from the current sample, deeper nodes and all tap
+/// products read last cycle's registered values. Output equals the
+/// unpipelined filter delayed by exactly one sample — the property tests
+/// verify, which in turn validates registers_for_cut's cut legality.
+std::vector<i64> run_pipelined(const TdfFilter& filter,
+                               const std::vector<i64>& x, int cut);
+
+}  // namespace mrpf::arch

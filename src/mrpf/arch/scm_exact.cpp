@@ -1,0 +1,101 @@
+#include "mrpf/arch/scm_exact.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::arch {
+
+namespace {
+
+/// Odd parts of every |a ± (b << k)|, k = 0..max_shift, into `out`
+/// (bounded by `limit`). a and b are odd-normalized chain values.
+void combine_into(i64 a, i64 b, int max_shift, i64 limit,
+                  std::vector<i64>& out) {
+  for (int k = 0; k <= max_shift; ++k) {
+    const i128 shifted = static_cast<i128>(b) << k;
+    if (shifted > 2 * static_cast<i128>(limit)) break;
+    for (const i128 raw : {static_cast<i128>(a) + shifted,
+                           static_cast<i128>(a) - shifted}) {
+      if (raw == 0) continue;
+      const i64 v = static_cast<i64>(raw < 0 ? -raw : raw);
+      const i64 p = odd_part(v);
+      if (p <= limit) out.push_back(p);
+    }
+  }
+}
+
+/// All odd-normalized values one adder away from the value set `avail`.
+std::vector<i64> one_adder_closure(const std::vector<i64>& avail,
+                                   int max_shift, i64 limit) {
+  std::vector<i64> out;
+  for (std::size_t i = 0; i < avail.size(); ++i) {
+    for (std::size_t j = i; j < avail.size(); ++j) {
+      combine_into(avail[i], avail[j], max_shift, limit, out);
+      combine_into(avail[j], avail[i], max_shift, limit, out);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+void ScmTable::mark(i64 odd_value, int cost) {
+  if (odd_value >= bound_) return;
+  auto& slot = table_[static_cast<std::size_t>((odd_value - 1) / 2)];
+  slot = std::min(slot, static_cast<std::int8_t>(cost));
+}
+
+ScmTable::ScmTable(int max_bits) : max_bits_(max_bits) {
+  MRPF_CHECK(max_bits >= 2 && max_bits <= 14,
+             "ScmTable: max_bits out of supported range [2,14]");
+  bound_ = i64{1} << max_bits;
+  const i64 inter_limit = i64{1} << (max_bits + 2);
+  const int max_shift = max_bits + 2;
+  table_.assign(static_cast<std::size_t>(bound_ / 2), 9);
+
+  mark(1, 0);
+
+  // Cost 1: one adder over {1}.
+  const std::vector<i64> c1 = one_adder_closure({1}, max_shift, inter_limit);
+  for (const i64 v : c1) mark(v, 1);
+
+  // Cost 2 and 3: enumerate chains by their available value sets.
+  std::set<std::pair<i64, i64>> seen_pairs;
+  for (const i64 u1 : c1) {
+    const std::vector<i64> c2 =
+        one_adder_closure({1, u1}, max_shift, inter_limit);
+    for (const i64 u2 : c2) {
+      mark(u2, 2);
+      const auto key = std::minmax(u1, u2);
+      if (!seen_pairs.emplace(key.first, key.second).second) continue;
+      // Third adder over {1, u1, u2}; only targets below bound matter.
+      for (const i64 u3 :
+           one_adder_closure({1, u1, u2}, max_shift, bound_ - 1)) {
+        mark(u3, 3);
+      }
+    }
+  }
+}
+
+int ScmTable::cost(i64 c) const {
+  if (c == 0) return 0;
+  const i64 p = odd_part(c);
+  if (p == 1) return 0;
+  MRPF_CHECK(p < bound_, "ScmTable: constant outside the enumerated range");
+  const std::int8_t v = table_[static_cast<std::size_t>((p - 1) / 2)];
+  return v == 9 ? 4 : v;
+}
+
+std::vector<std::size_t> ScmTable::histogram() const {
+  std::vector<std::size_t> h(5, 0);
+  for (const std::int8_t v : table_) {
+    h[static_cast<std::size_t>(v == 9 ? 4 : v)] += 1;
+  }
+  return h;
+}
+
+}  // namespace mrpf::arch

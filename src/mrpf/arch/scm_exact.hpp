@@ -1,0 +1,43 @@
+// Exact minimal single-constant-multiplication (SCM) adder costs.
+//
+// Exhaustive adder-chain enumeration (Dempster–Macleod style) for chains
+// of up to three adders: cost-k values are those reachable by a k-adder
+// chain where every adder combines shifted/negated copies of previously
+// computed values. Because shifts and sign are free, values are odd-
+// normalized throughout, which collapses the search to ~10^6 combinations
+// for 12-bit constants. Used as a provable lower bound in tests (CSD
+// digit-trees are often one adder above optimal) and in the SCM ablation.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::arch {
+
+class ScmTable {
+ public:
+  /// Enumerates all constants of cost ≤ 3 with odd part < 2^max_bits.
+  /// Intermediate values are allowed up to 2^(max_bits+2) and wiring
+  /// shifts up to max_bits+2 (the standard bounds under which 3-adder
+  /// chains for constants this size are known to be found).
+  explicit ScmTable(int max_bits);
+
+  /// Minimal adders to realize c·x: 0 for 0/±2^k, up to 3 for enumerated
+  /// chains, and 4 meaning "more than three" (not enumerated further).
+  int cost(i64 c) const;
+
+  /// Number of odd values below the bound with each cost 0..3.
+  std::vector<std::size_t> histogram() const;
+
+  int max_bits() const { return max_bits_; }
+
+ private:
+  void mark(i64 odd_value, int cost);
+
+  int max_bits_;
+  i64 bound_;          // odd targets < bound_
+  std::vector<std::int8_t> table_;  // index (odd-1)/2 → cost, 9 = unknown
+};
+
+}  // namespace mrpf::arch

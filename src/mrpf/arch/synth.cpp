@@ -1,0 +1,105 @@
+#include "mrpf/arch/synth.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::arch {
+
+TermRef combine_balanced(AdderGraph& graph, std::vector<TermRef> terms) {
+  MRPF_CHECK(!terms.empty(), "combine_balanced: no terms");
+  while (terms.size() > 1) {
+    std::vector<TermRef> next;
+    next.reserve(terms.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      TermRef lhs = terms[i];
+      TermRef rhs = terms[i + 1];
+      if (lhs.negate && rhs.negate) {
+        // -(a + b): build a + b, propagate the negation upward.
+        const int node = graph.add_op(lhs.node, lhs.shift, rhs.node,
+                                      rhs.shift, /*subtract=*/false);
+        next.push_back({node, 0, true});
+        continue;
+      }
+      if (lhs.negate) std::swap(lhs, rhs);
+      const int node = graph.add_op(lhs.node, lhs.shift, rhs.node, rhs.shift,
+                                    rhs.negate);
+      next.push_back({node, 0, false});
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms.front();
+}
+
+Tap synthesize_constant(AdderGraph& graph, i64 c, number::NumberRep rep) {
+  if (auto tap = graph.resolve(c)) return *tap;  // covers c == 0 and x itself
+
+  // Work on the positive odd part; sign and shift are free at the tap.
+  const i64 magnitude = odd_part(c);
+  const number::SignedDigitVector digits = number::to_digits(magnitude, rep);
+  MRPF_CHECK(digits.nonzero_count() >= 2,
+             "synthesize_constant: trivial constant should have resolved");
+
+  std::vector<TermRef> terms;
+  for (std::size_t k = 0; k < digits.size(); ++k) {
+    if (digits[k] != 0) {
+      terms.push_back({AdderGraph::kInputNode, static_cast<int>(k),
+                       digits[k] < 0});
+    }
+  }
+  const TermRef root = combine_balanced(graph, std::move(terms));
+  MRPF_CHECK(!root.negate && root.shift == 0,
+             "synthesize_constant: unexpected residual shift/sign");
+  MRPF_CHECK(odd_part(graph.fundamental(root.node)) == magnitude,
+             "synthesize_constant: built value mismatch");
+  auto tap = graph.resolve(c);
+  MRPF_CHECK(tap.has_value(), "synthesize_constant: resolve failed post-build");
+  return *tap;
+}
+
+Tap add_taps(AdderGraph& graph, const Tap& a, int extra_shift_a,
+             bool negate_a, const Tap& b, int extra_shift_b, bool negate_b) {
+  MRPF_CHECK(a.node >= 0 && b.node >= 0, "add_taps: zero-tap operand");
+  TermRef lhs{a.node, a.shift + extra_shift_a, a.negate != negate_a};
+  TermRef rhs{b.node, b.shift + extra_shift_b, b.negate != negate_b};
+
+  // Factor out a common power of two so both wiring shifts are legal.
+  const int base = std::min({lhs.shift, rhs.shift, 0});
+  lhs.shift -= base;
+  rhs.shift -= base;
+
+  bool negate_out = false;
+  if (lhs.negate && rhs.negate) {
+    lhs.negate = rhs.negate = false;
+    negate_out = true;
+  }
+  if (lhs.negate) std::swap(lhs, rhs);
+  const int node = graph.add_op(lhs.node, lhs.shift, rhs.node, rhs.shift,
+                                rhs.negate);
+
+  Tap out;
+  out.node = node;
+  out.shift = base;
+  out.negate = negate_out;
+  const i128 value = (negate_out ? -1 : 1) *
+                     (base >= 0
+                          ? static_cast<i128>(graph.fundamental(node)) << base
+                          : static_cast<i128>(graph.fundamental(node)) >>
+                                -base);
+  MRPF_CHECK(value <= std::numeric_limits<i64>::max() &&
+                 value >= std::numeric_limits<i64>::min(),
+             "add_taps: combined constant overflows int64");
+  out.constant = static_cast<i64>(value);
+  if (base < 0) {
+    MRPF_CHECK((static_cast<i128>(out.constant) << -base) ==
+                   (negate_out ? -static_cast<i128>(graph.fundamental(node))
+                               : static_cast<i128>(graph.fundamental(node))),
+               "add_taps: inexact renormalization");
+  }
+  return out;
+}
+
+}  // namespace mrpf::arch

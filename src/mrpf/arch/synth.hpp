@@ -1,0 +1,42 @@
+// Direct constant-multiplier synthesis: turn one constant's signed-digit
+// expansion into a balanced shift-add tree inside an AdderGraph. This is
+// the "simple implementation" building block (one independent multiplier
+// per constant) and also realizes SEED-element multipliers inside MRPF.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/arch/adder_graph.hpp"
+#include "mrpf/number/repr.hpp"
+
+namespace mrpf::arch {
+
+/// One addend in a sum being lowered into the graph: ±(node << shift).
+struct TermRef {
+  int node = AdderGraph::kInputNode;
+  int shift = 0;      // >= 0
+  bool negate = false;
+};
+
+/// Reduces `terms` (non-empty) to a single term with a balanced adder tree
+/// (size terms-1, depth ceil(log2(terms)) above the deepest operand).
+/// Two negated operands are combined positively with the negation carried
+/// upward, so every emitted op is a plain add or subtract.
+TermRef combine_balanced(AdderGraph& graph, std::vector<TermRef> terms);
+
+/// Returns a Tap realizing c·x, reusing any equivalent node already in the
+/// graph (free shift/negate) and otherwise appending a balanced tree with
+/// nonzero_digits(c) − 1 adders.
+Tap synthesize_constant(AdderGraph& graph, i64 c, number::NumberRep rep);
+
+/// One physical adder combining two existing products:
+///   result = (negate_a ? − : +) (a·x << extra_shift_a)
+///          + (negate_b ? − : +) (b·x << extra_shift_b)
+/// Net tap shifts may be negative (dropping always-zero LSBs); the helper
+/// renormalizes so the emitted op uses legal non-negative wiring shifts.
+/// extra shifts may also be negative as long as the combined shift stays
+/// exact. Throws if the result would be the constant 0.
+Tap add_taps(AdderGraph& graph, const Tap& a, int extra_shift_a,
+             bool negate_a, const Tap& b, int extra_shift_b, bool negate_b);
+
+}  // namespace mrpf::arch

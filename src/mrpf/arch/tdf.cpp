@@ -1,0 +1,112 @@
+#include "mrpf/arch/tdf.hpp"
+
+#include <limits>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::arch {
+
+namespace {
+
+i64 apply_tap(const Tap& tap, const std::vector<i64>& node_values) {
+  if (tap.node < 0) return 0;  // the constant 0
+  MRPF_CHECK(static_cast<std::size_t>(tap.node) < node_values.size(),
+             "Tap: node id out of range");
+  i64 v = node_values[static_cast<std::size_t>(tap.node)];
+  if (tap.shift >= 0) {
+    const i128 shifted = static_cast<i128>(v) << tap.shift;
+    MRPF_CHECK(shifted <= std::numeric_limits<i64>::max() &&
+                   shifted >= std::numeric_limits<i64>::min(),
+               "Tap: shifted product overflows int64");
+    v = static_cast<i64>(shifted);
+  } else {
+    // Negative tap shifts only drop always-zero LSBs (exact division).
+    MRPF_CHECK(v % (i64{1} << -tap.shift) == 0,
+               "Tap: inexact right shift — graph invariant broken");
+    v >>= -tap.shift;
+  }
+  return tap.negate ? -v : v;
+}
+
+}  // namespace
+
+i64 MultiplierBlock::product(std::size_t i,
+                             const std::vector<i64>& node_values) const {
+  MRPF_CHECK(i < taps.size(), "MultiplierBlock: tap index out of range");
+  return apply_tap(taps[i], node_values);
+}
+
+void MultiplierBlock::verify(const std::vector<i64>& sample_inputs) const {
+  MRPF_CHECK(taps.size() == constants.size(),
+             "MultiplierBlock: taps/constants size mismatch");
+  for (const i64 x : sample_inputs) {
+    const std::vector<i64> values = graph.evaluate(x);
+    for (std::size_t i = 0; i < taps.size(); ++i) {
+      const i64 got = apply_tap(taps[i], values);
+      const i128 want = static_cast<i128>(constants[i]) * x;
+      MRPF_CHECK(static_cast<i128>(got) == want,
+                 "MultiplierBlock: tap product mismatch");
+    }
+  }
+}
+
+TdfFilter::TdfFilter(std::vector<i64> coefficients, std::vector<int> align,
+                     MultiplierBlock block)
+    : coefficients_(std::move(coefficients)), align_(std::move(align)),
+      block_(std::move(block)) {
+  MRPF_CHECK(!coefficients_.empty(), "TdfFilter: no coefficients");
+  MRPF_CHECK(align_.empty() || align_.size() == coefficients_.size(),
+             "TdfFilter: alignment size mismatch");
+  MRPF_CHECK(block_.taps.size() == coefficients_.size(),
+             "TdfFilter: need one tap per coefficient");
+  for (std::size_t i = 0; i < coefficients_.size(); ++i) {
+    MRPF_CHECK(block_.constants[i] == coefficients_[i],
+               "TdfFilter: tap constant does not match coefficient");
+  }
+  for (const int a : align_) {
+    MRPF_CHECK(a >= 0 && a < 62, "TdfFilter: bad alignment shift");
+  }
+}
+
+std::vector<i64> TdfFilter::run(const std::vector<i64>& x) const {
+  const std::size_t n_taps = coefficients_.size();
+  std::vector<i64> chain(n_taps, 0);  // chain[k] = r_k registers
+  std::vector<i64> y;
+  y.reserve(x.size());
+
+  for (const i64 sample : x) {
+    const std::vector<i64> values = block_.graph.evaluate(sample);
+    // r_k(n) = p_k(n) + r_{k+1}(n-1); evaluate from tap 0 upward using the
+    // previous cycle's chain values (classic TDF timing).
+    std::vector<i64> next(n_taps, 0);
+    for (std::size_t k = 0; k < n_taps; ++k) {
+      i128 p = static_cast<i128>(block_.product(k, values));
+      if (!align_.empty()) p <<= align_[k];
+      const i128 r =
+          p + (k + 1 < n_taps ? static_cast<i128>(chain[k + 1]) : 0);
+      MRPF_CHECK(r <= std::numeric_limits<i64>::max() &&
+                     r >= std::numeric_limits<i64>::min(),
+                 "TdfFilter: chain value overflows int64");
+      next[k] = static_cast<i64>(r);
+    }
+    chain = std::move(next);
+    y.push_back(chain[0]);
+  }
+  return y;
+}
+
+TdfMetrics TdfFilter::metrics() const {
+  TdfMetrics m;
+  m.multiplier_adders = block_.graph.num_adders();
+  m.structural_adders = static_cast<int>(coefficients_.size()) - 1;
+  for (const Tap& tap : block_.taps) {
+    if (tap.node >= 0) {
+      m.multiplier_depth =
+          std::max(m.multiplier_depth, block_.graph.depth(tap.node));
+    }
+  }
+  m.registers = static_cast<int>(coefficients_.size());
+  return m;
+}
+
+}  // namespace mrpf::arch

@@ -1,0 +1,60 @@
+// Transposed-direct-form (TDF) FIR filter built around a multiplier block.
+//
+// TDF broadcasts the input sample to every tap multiplier — a vector×scalar
+// product — which is exactly the resource-sharing opportunity MRP, CSE and
+// the simple baseline all exploit in different ways. The filter here is a
+// bit-exact integer model: products from the AdderGraph taps feed the
+// register/adder chain, and `run` must match dsp::fir_filter_exact sample
+// for sample.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/arch/adder_graph.hpp"
+
+namespace mrpf::arch {
+
+/// A multiplier block: one shift-add graph plus the taps that read each
+/// realized constant product off it.
+struct MultiplierBlock {
+  AdderGraph graph;
+  std::vector<Tap> taps;  // taps[i] realizes constants[i]·x
+  std::vector<i64> constants;
+
+  /// Checks every tap against its constant for the given input values.
+  /// Throws mrpf::Error on mismatch (used by tests and builders).
+  void verify(const std::vector<i64>& sample_inputs) const;
+
+  /// Product constants[i]·x given the node values for one input sample.
+  i64 product(std::size_t i, const std::vector<i64>& node_values) const;
+};
+
+struct TdfMetrics {
+  int multiplier_adders = 0;   // physical adders in the block graph
+  int structural_adders = 0;   // tap-chain adders (identical across schemes)
+  int multiplier_depth = 0;    // adder stages from x to the deepest tap
+  int registers = 0;           // TDF chain registers
+};
+
+class TdfFilter {
+ public:
+  /// `align` holds per-tap extra left shifts (maximal scaling); empty means
+  /// all zero. block.taps must cover every coefficient.
+  TdfFilter(std::vector<i64> coefficients, std::vector<int> align,
+            MultiplierBlock block);
+
+  /// Exact streaming filter: y[n] = Σ (c[k] << align[k]) · x[n-k].
+  std::vector<i64> run(const std::vector<i64>& x) const;
+
+  TdfMetrics metrics() const;
+  const MultiplierBlock& block() const { return block_; }
+  const std::vector<i64>& coefficients() const { return coefficients_; }
+  const std::vector<int>& alignment() const { return align_; }
+
+ private:
+  std::vector<i64> coefficients_;
+  std::vector<int> align_;
+  MultiplierBlock block_;
+};
+
+}  // namespace mrpf::arch

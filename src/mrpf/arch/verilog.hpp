@@ -1,0 +1,35 @@
+// Synthesizable-Verilog emission of multiplier blocks and complete TDF
+// filters, so the architectures this library produces can be handed to a
+// real synthesis flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+
+namespace mrpf::arch {
+
+/// Combinational module `name` with input x and one product output per tap
+/// (p0, p1, ...). Widths follow AdderGraph::node_width.
+std::string emit_multiplier_block(const MultiplierBlock& block,
+                                  int input_bits, const std::string& name);
+
+/// Complete clocked TDF filter module `name` (x in, y out) including the
+/// register/adder chain and per-tap alignment shifts.
+std::string emit_tdf_filter(const TdfFilter& filter, int input_bits,
+                            const std::string& name);
+
+/// Output width (bits) of the module emit_tdf_filter produces for this
+/// filter — exposed so testbenches and integrations can size their nets.
+int tdf_output_width(const TdfFilter& filter, int input_bits);
+
+/// Self-checking testbench for the module emitted by emit_tdf_filter:
+/// drives `stimulus`, compares y against the C++ model's output every
+/// cycle, reports PASS/FAIL via $display and finishes. Hand the pair
+/// (module, testbench) to any commercial/OSS Verilog simulator.
+std::string emit_tdf_testbench(const TdfFilter& filter, int input_bits,
+                               const std::string& module_name,
+                               const std::vector<i64>& stimulus);
+
+}  // namespace mrpf::arch

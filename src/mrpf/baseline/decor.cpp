@@ -1,0 +1,89 @@
+#include "mrpf/baseline/decor.hpp"
+
+#include <limits>
+
+#include "mrpf/baseline/simple.hpp"
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::baseline {
+
+namespace {
+
+constexpr int kMaxDecorOrder = 6;
+
+void check_order(int order) {
+  MRPF_CHECK(order >= 0 && order <= kMaxDecorOrder,
+             "decor: difference order out of range");
+}
+
+}  // namespace
+
+std::vector<i64> decor_coefficients(const std::vector<i64>& constants,
+                                    int order) {
+  check_order(order);
+  std::vector<i64> c = constants;
+  for (int round = 0; round < order; ++round) {
+    // Multiply by (1 − z^-1): out_k = c_k − c_{k−1}.
+    std::vector<i64> next(c.size() + 1, 0);
+    for (std::size_t k = 0; k < c.size(); ++k) {
+      next[k] += c[k];
+      next[k + 1] -= c[k];
+    }
+    c = std::move(next);
+  }
+  return c;
+}
+
+int decor_adder_cost(const std::vector<i64>& constants, int order,
+                     number::NumberRep rep) {
+  check_order(order);
+  // Differenced multipliers + one integrator adder per difference round.
+  return simple_adder_cost(decor_coefficients(constants, order), rep) +
+         order;
+}
+
+int decor_best_order(const std::vector<i64>& constants, int max_order,
+                     number::NumberRep rep) {
+  check_order(max_order);
+  int best = 0;
+  int best_cost = std::numeric_limits<int>::max();
+  for (int order = 0; order <= max_order; ++order) {
+    const int cost = decor_adder_cost(constants, order, rep);
+    if (cost < best_cost) {
+      best = order;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+DecorFilter::DecorFilter(std::vector<i64> constants, int order,
+                         number::NumberRep rep)
+    : constants_(std::move(constants)),
+      diff_coeffs_(decor_coefficients(constants_, order)),
+      order_(order),
+      tdf_(diff_coeffs_, {}, build_simple_block(diff_coeffs_, rep)) {
+  MRPF_CHECK(!constants_.empty(), "DecorFilter: empty coefficient vector");
+}
+
+std::vector<i64> DecorFilter::run(const std::vector<i64>& x) const {
+  std::vector<i64> y = tdf_.run(x);
+  for (int round = 0; round < order_; ++round) {
+    i64 acc = 0;
+    for (i64& v : y) {
+      const i128 sum = static_cast<i128>(acc) + v;
+      MRPF_CHECK(sum <= std::numeric_limits<i64>::max() &&
+                     sum >= std::numeric_limits<i64>::min(),
+                 "DecorFilter: integrator overflow");
+      acc = static_cast<i64>(sum);
+      v = acc;
+    }
+  }
+  return y;
+}
+
+int DecorFilter::multiplier_adders() const {
+  return tdf_.metrics().multiplier_adders + order_;
+}
+
+}  // namespace mrpf::baseline

@@ -1,0 +1,54 @@
+// DECOR — decorrelating transform (Ramprasad, Shanbhag & Hajj, TCAS-II'99;
+// the paper's reference [10]). Instead of sharing computation, DECOR
+// shrinks the coefficients themselves: the filter is rewritten as a
+// first-order difference of the coefficient sequence followed by an output
+// integrator,
+//     y(n) = u(n) + y(n-1),   u(n) = Σ Δc_k · x(n-k),
+//     Δc_k = c_k − c_{k−1}  (Δc_0 = c_0, plus a trailing −c_{M−1} tap),
+// which helps when neighbouring coefficients are strongly correlated and —
+// as the paper notes (§1) — "is not effective when there is weak
+// correlation between coefficients". Differencing can be applied d times.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/number/repr.hpp"
+
+namespace mrpf::baseline {
+
+/// Difference coefficients after `order` rounds: length constants.size() +
+/// order (the polynomial product with (1 − z^-1)^order).
+std::vector<i64> decor_coefficients(const std::vector<i64>& constants,
+                                    int order);
+
+/// Multiplier-block adders of the DECOR form: simple multipliers on the
+/// differenced coefficients plus `order` integrator adders at the output.
+int decor_adder_cost(const std::vector<i64>& constants, int order,
+                     number::NumberRep rep);
+
+/// Best differencing order in [0, max_order] by adder cost.
+int decor_best_order(const std::vector<i64>& constants, int max_order,
+                     number::NumberRep rep);
+
+/// Exact integer DECOR filter: differenced-coefficient TDF plus `order`
+/// output integrators. Output equals plain convolution with `constants`.
+class DecorFilter {
+ public:
+  DecorFilter(std::vector<i64> constants, int order, number::NumberRep rep);
+
+  std::vector<i64> run(const std::vector<i64>& x) const;
+  int order() const { return order_; }
+  const std::vector<i64>& difference_coefficients() const {
+    return diff_coeffs_;
+  }
+  int multiplier_adders() const;
+
+ private:
+  std::vector<i64> constants_;
+  std::vector<i64> diff_coeffs_;
+  int order_;
+  arch::TdfFilter tdf_;
+};
+
+}  // namespace mrpf::baseline

@@ -1,0 +1,118 @@
+#include "mrpf/baseline/ragn.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "mrpf/arch/synth.hpp"
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::baseline {
+
+namespace {
+
+/// One-adder reachability: is `target` (odd, positive) realizable as one
+/// add/subtract of two already-available fundamentals (free shifts)?
+/// Returns the Tap if so. Targets are odd, so at least one operand enters
+/// unshifted; we scan w = t ∓ (u << k) and w = (u << k) − t for every
+/// available u and look w's odd part up in the graph.
+std::optional<arch::Tap> try_one_adder(arch::AdderGraph& graph,
+                                       const std::vector<i64>& available,
+                                       i64 target, int max_shift) {
+  for (const i64 u : available) {
+    for (int k = 0; k <= max_shift; ++k) {
+      const i64 shifted = u << k;
+      if (shifted <= 0 || shifted > (i64{1} << 40)) break;
+      for (const i64 w : {target - shifted, target + shifted,
+                          shifted - target}) {
+        if (w == 0) continue;
+        const auto wt = graph.resolve(w);
+        if (!wt.has_value() || wt->node < 0) continue;
+        const auto ut = graph.resolve(shifted);
+        MRPF_CHECK(ut.has_value(), "ragn: available value not in graph");
+        // target = shifted + w  |  target = shifted − (shifted − target)
+        arch::Tap tap;
+        if (w == target - shifted) {
+          tap = arch::add_taps(graph, *ut, 0, false, *wt, 0, false);
+        } else if (w == target + shifted) {
+          tap = arch::add_taps(graph, *wt, 0, false, *ut, 0, true);
+        } else {  // w == shifted − target
+          tap = arch::add_taps(graph, *ut, 0, false, *wt, 0, true);
+        }
+        MRPF_CHECK(tap.constant == target, "ragn: one-adder step mismatch");
+        return tap;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+RagnResult ragn_optimize(const std::vector<i64>& constants,
+                         number::NumberRep rep, int max_shift) {
+  RagnResult result;
+  result.block.constants = constants;
+  arch::AdderGraph& graph = result.block.graph;
+
+  // Odd-positive targets, cheapest (fewest digits) first for determinism.
+  std::set<i64> target_set;
+  int width = 8;
+  for (const i64 c : constants) {
+    width = std::max(width, bit_width_abs(c));
+    const i64 p = odd_part(c);
+    if (p > 1) target_set.insert(p);
+  }
+  if (max_shift < 0) max_shift = std::min(width + 1, 24);
+  std::vector<i64> targets(target_set.begin(), target_set.end());
+  std::stable_sort(targets.begin(), targets.end(), [rep](i64 a, i64 b) {
+    return number::nonzero_digits(a, rep) < number::nonzero_digits(b, rep);
+  });
+
+  std::vector<i64> available{1};
+  while (!targets.empty()) {
+    // Phase 1: pull in every target reachable with one adder, repeatedly.
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (auto it = targets.begin(); it != targets.end();) {
+        if (try_one_adder(graph, available, *it, max_shift).has_value()) {
+          ++result.optimal_steps;
+          available.push_back(*it);
+          it = targets.erase(it);
+          progressed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (targets.empty()) break;
+    // Phase 2: CSD fallback on the cheapest remaining target; its partial
+    // sums enter the graph (and therefore the available set).
+    const i64 t = targets.front();
+    targets.erase(targets.begin());
+    arch::synthesize_constant(graph, t, rep);
+    ++result.heuristic_steps;
+    available.push_back(t);
+    // Newly created partial sums become fundamentals too.
+    for (int node = 1; node < graph.num_nodes(); ++node) {
+      const i64 f = odd_part(graph.fundamental(node));
+      if (std::find(available.begin(), available.end(), f) ==
+          available.end()) {
+        available.push_back(f);
+      }
+    }
+  }
+
+  for (const i64 c : constants) {
+    const auto tap = graph.resolve(c);
+    MRPF_CHECK(tap.has_value(), "ragn: constant left unrealized");
+    arch::Tap fixed = *tap;
+    fixed.constant = c;
+    result.block.taps.push_back(fixed);
+  }
+  result.adders = graph.num_adders();
+  result.block.verify({1, -1, 5, 301, -999});
+  return result;
+}
+
+}  // namespace mrpf::baseline

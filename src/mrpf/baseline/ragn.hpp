@@ -1,0 +1,34 @@
+// RAG-n-style multiple-constant-multiplication heuristic (after Dempster &
+// Macleod): an aggressive graph-based MCM baseline beyond plain CSE.
+//
+// Phase 1 (optimal steps): while any remaining target is reachable from
+// the current fundamental set with a single adder (t = ±(u<<i) ± (v<<j)),
+// realize it. Phase 2 (heuristic step): when no target is one adder away,
+// synthesize the cheapest remaining target through its CSD digits on top
+// of the shared graph, adding its partial sums to the fundamental set,
+// then return to phase 1. MRP differs by *reordering* computations through
+// SIDC colors instead of growing a fundamental set.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/number/repr.hpp"
+
+namespace mrpf::baseline {
+
+struct RagnResult {
+  arch::MultiplierBlock block;  // verified; graph adders == the cost
+  int adders = 0;
+  int optimal_steps = 0;   // targets realized with exactly one adder
+  int heuristic_steps = 0; // targets that needed a CSD fallback
+};
+
+/// Runs the heuristic over the constant bank. `max_shift` bounds the
+/// wiring shifts explored in the one-adder test (default: derived from
+/// the widest constant).
+RagnResult ragn_optimize(const std::vector<i64>& constants,
+                         number::NumberRep rep = number::NumberRep::kCsd,
+                         int max_shift = -1);
+
+}  // namespace mrpf::baseline

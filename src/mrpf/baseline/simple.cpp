@@ -1,0 +1,62 @@
+#include "mrpf/baseline/simple.hpp"
+
+#include "mrpf/arch/synth.hpp"
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::baseline {
+
+int simple_adder_cost(const std::vector<i64>& constants,
+                      number::NumberRep rep) {
+  int adders = 0;
+  for (const i64 c : constants) {
+    adders += number::multiplier_adders(c, rep);
+  }
+  return adders;
+}
+
+namespace {
+
+/// Builds c's multiplier without consulting the reuse index (every call
+/// replicates hardware, matching the analytic simple cost).
+arch::Tap synthesize_fresh(arch::AdderGraph& graph, i64 c,
+                           number::NumberRep rep) {
+  if (c == 0) return {-1, 0, false, 0};
+  const i64 magnitude = odd_part(c);
+  if (magnitude == 1) {  // ±2^k — pure wiring
+    return {arch::AdderGraph::kInputNode, trailing_zeros(c), c < 0, c};
+  }
+  const number::SignedDigitVector digits = number::to_digits(magnitude, rep);
+  std::vector<arch::TermRef> terms;
+  for (std::size_t k = 0; k < digits.size(); ++k) {
+    if (digits[k] != 0) {
+      terms.push_back({arch::AdderGraph::kInputNode, static_cast<int>(k),
+                       digits[k] < 0});
+    }
+  }
+  const arch::TermRef root = arch::combine_balanced(graph, std::move(terms));
+  MRPF_CHECK(!root.negate && root.shift == 0 &&
+                 graph.fundamental(root.node) == magnitude,
+             "simple baseline: built value mismatch");
+  return {root.node, trailing_zeros(c), c < 0, c};
+}
+
+}  // namespace
+
+arch::MultiplierBlock build_simple_block(const std::vector<i64>& constants,
+                                         number::NumberRep rep,
+                                         bool share_equal_constants) {
+  arch::MultiplierBlock block;
+  block.constants = constants;
+  block.taps.reserve(constants.size());
+  for (const i64 c : constants) {
+    if (share_equal_constants) {
+      block.taps.push_back(arch::synthesize_constant(block.graph, c, rep));
+    } else {
+      block.taps.push_back(synthesize_fresh(block.graph, c, rep));
+    }
+  }
+  block.verify({1, -1, 3, 100, -255, 4096});
+  return block;
+}
+
+}  // namespace mrpf::baseline

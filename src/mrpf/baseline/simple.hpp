@@ -1,0 +1,28 @@
+// The paper's "simple implementation": a transposed-direct-form multiplier
+// block where every tap constant gets its own independent shift-add
+// multiplier in the chosen number representation. Its adder count,
+// Σ max(0, nonzero_digits(c) − 1), is the normalization baseline of
+// Figures 6 and 7.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/number/repr.hpp"
+
+namespace mrpf::baseline {
+
+/// Analytic adder count of the simple implementation over `constants`
+/// (typically the folded coefficient half). No sharing of any kind.
+int simple_adder_cost(const std::vector<i64>& constants,
+                      number::NumberRep rep);
+
+/// Builds the simple multiplier block. With `share_equal_constants` (the
+/// physically free case) constants identical up to sign and power-of-two
+/// shift reuse one multiplier; with it off the block replicates every
+/// multiplier so its graph adder count equals simple_adder_cost exactly.
+arch::MultiplierBlock build_simple_block(const std::vector<i64>& constants,
+                                         number::NumberRep rep,
+                                         bool share_equal_constants = true);
+
+}  // namespace mrpf::baseline

@@ -1,0 +1,63 @@
+// Bit-level helpers on signed 64-bit values used throughout the number and
+// core modules. All functions are constexpr and total (defined for every
+// int64_t input unless documented otherwise).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace mrpf {
+
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+using i128 = __int128;
+
+/// Number of bits needed to represent |v| (0 for v == 0).
+constexpr int bit_width_abs(i64 v) {
+  u64 m = v < 0 ? static_cast<u64>(-(v + 1)) + 1 : static_cast<u64>(v);
+  int w = 0;
+  while (m != 0) {
+    ++w;
+    m >>= 1;
+  }
+  return w;
+}
+
+/// True iff |v| is a power of two (v != 0).
+constexpr bool is_pow2_abs(i64 v) {
+  const u64 m = v < 0 ? static_cast<u64>(-(v + 1)) + 1 : static_cast<u64>(v);
+  return m != 0 && (m & (m - 1)) == 0;
+}
+
+/// Number of set bits in |v|.
+constexpr int popcount_abs(i64 v) {
+  u64 m = v < 0 ? static_cast<u64>(-(v + 1)) + 1 : static_cast<u64>(v);
+  int c = 0;
+  while (m != 0) {
+    c += static_cast<int>(m & 1);
+    m >>= 1;
+  }
+  return c;
+}
+
+/// Largest k with 2^k dividing v; 0 for v == 0 by convention.
+constexpr int trailing_zeros(i64 v) {
+  if (v == 0) return 0;
+  u64 m = static_cast<u64>(v < 0 ? -v : v);
+  int k = 0;
+  while ((m & 1) == 0) {
+    ++k;
+    m >>= 1;
+  }
+  return k;
+}
+
+/// Odd part of |v|: |v| / 2^trailing_zeros(v). odd_part(0) == 0.
+constexpr i64 odd_part(i64 v) {
+  if (v == 0) return 0;
+  i64 m = v < 0 ? -v : v;
+  while ((m & 1) == 0) m >>= 1;
+  return m;
+}
+
+}  // namespace mrpf

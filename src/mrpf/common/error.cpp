@@ -1,0 +1,13 @@
+#include "mrpf/common/error.hpp"
+
+#include "mrpf/common/format.hpp"
+
+namespace mrpf::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  throw Error(str_format("MRPF_CHECK failed: (%s) at %s:%d — %s", expr, file,
+                         line, msg.c_str()));
+}
+
+}  // namespace mrpf::detail

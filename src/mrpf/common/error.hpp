@@ -1,0 +1,34 @@
+// Error handling primitives shared by all mrpf modules.
+//
+// Library code throws mrpf::Error for violated preconditions and invalid
+// inputs; internal invariants use MRPF_CHECK which also throws (never
+// aborts), so callers — including the test-suite's failure-injection tests —
+// can observe and recover from misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mrpf {
+
+/// Exception type thrown by every mrpf component on invalid input or a
+/// broken internal invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace mrpf
+
+/// Precondition / invariant check: throws mrpf::Error when `expr` is false.
+#define MRPF_CHECK(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::mrpf::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)

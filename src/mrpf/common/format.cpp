@@ -1,0 +1,27 @@
+#include "mrpf/common/format.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace mrpf {
+
+std::string str_vformat(const char* fmt, std::va_list args) {
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+  if (n <= 0) return {};
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+std::string str_format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::string out = str_vformat(fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace mrpf

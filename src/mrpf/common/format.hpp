@@ -1,0 +1,16 @@
+// Minimal printf-style string formatting (libstdc++ 12 lacks std::format).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace mrpf {
+
+/// snprintf into a std::string. Format errors yield an empty string.
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavour of str_format.
+std::string str_vformat(const char* fmt, std::va_list args);
+
+}  // namespace mrpf

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generation (xoshiro256**) so that
+// property tests, workload generators and power-proxy simulations are
+// reproducible across platforms — std::mt19937 distributions are not
+// implementation-defined but the convenience wrappers here pin the exact
+// sampling algorithm as well.
+#pragma once
+
+#include <cstdint>
+
+namespace mrpf {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) — bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Standard-normal sample (Box–Muller).
+  double next_gaussian();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace mrpf

@@ -1,0 +1,101 @@
+#include "mrpf/core/build.hpp"
+
+#include <map>
+
+#include "mrpf/arch/synth.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/cse/build.hpp"
+
+namespace mrpf::core {
+
+namespace {
+
+/// Realizes every value of one MRP level in the graph and returns a tap
+/// per value. Recurses into nested SEED levels.
+std::map<i64, arch::Tap> lower_level(arch::AdderGraph& graph,
+                                     const MrpResult& result,
+                                     const MrpOptions& options) {
+  // --- SEED multiplication network. ---
+  std::map<i64, arch::Tap> seed_tap;
+  if (result.seed_recursive != nullptr) {
+    seed_tap = lower_level(graph, *result.seed_recursive, options);
+  } else if (result.seed_cse.has_value()) {
+    const std::vector<arch::Tap> taps =
+        cse::lower_into(*result.seed_cse, graph);
+    for (std::size_t i = 0; i < result.seed_values.size(); ++i) {
+      seed_tap.emplace(result.seed_values[i], taps[i]);
+    }
+  } else {
+    for (const i64 v : result.seed_values) {
+      seed_tap.emplace(v, arch::synthesize_constant(graph, v, options.rep));
+    }
+  }
+  for (const i64 v : result.seed_values) {
+    MRPF_CHECK(seed_tap.contains(v), "mrp build: missing SEED tap");
+  }
+
+  // --- Overhead add network: trees in parent-before-child order. ---
+  std::vector<arch::Tap> vertex_tap(result.vertices.size());
+  for (std::size_t i = 0; i < result.roots.size(); ++i) {
+    const int root = result.roots[i];
+    vertex_tap[static_cast<std::size_t>(root)] =
+        seed_tap.at(result.vertices[static_cast<std::size_t>(root)]);
+  }
+  for (const TreeEdge& te : result.tree_edges) {
+    const SidcEdge& e = te.edge;
+    const arch::Tap& parent = vertex_tap[static_cast<std::size_t>(e.from)];
+    MRPF_CHECK(parent.node >= 0, "mrp build: parent realized after child");
+    const arch::Tap& color = seed_tap.at(e.color);
+    // c_to = σ·(c_from << L) + ±(color << color_shift).
+    const arch::Tap tap =
+        arch::add_taps(graph, parent, e.l, e.pred_negate, color,
+                       e.color_shift, e.color_negate);
+    MRPF_CHECK(tap.constant ==
+                   result.vertices[static_cast<std::size_t>(e.to)],
+               "mrp build: tree edge realized the wrong value");
+    vertex_tap[static_cast<std::size_t>(e.to)] = tap;
+  }
+
+  // --- Map every primary to its tap (by value). ---
+  std::map<i64, arch::Tap> out;
+  for (std::size_t v = 0; v < result.vertices.size(); ++v) {
+    MRPF_CHECK(vertex_tap[v].node >= 0, "mrp build: unrealized vertex");
+    out.emplace(result.vertices[v], vertex_tap[v]);
+  }
+  return out;
+}
+
+}  // namespace
+
+arch::MultiplierBlock build_mrp_block(const std::vector<i64>& constants,
+                                      const MrpResult& result,
+                                      const MrpOptions& options) {
+  MRPF_CHECK(constants.size() == result.bank.refs.size(),
+             "mrp build: constants do not match the optimized bank");
+  arch::MultiplierBlock block;
+  block.constants = constants;
+
+  const std::map<i64, arch::Tap> primary_tap =
+      result.vertices.empty()
+          ? std::map<i64, arch::Tap>{}
+          : lower_level(block.graph, result, options);
+
+  for (std::size_t i = 0; i < constants.size(); ++i) {
+    const PrimaryBank::Ref& ref = result.bank.refs[i];
+    if (ref.vertex < 0) {
+      MRPF_CHECK(constants[i] == 0, "mrp build: zero ref for nonzero value");
+      block.taps.push_back({-1, 0, false, 0});
+      continue;
+    }
+    arch::Tap tap =
+        primary_tap.at(result.vertices[static_cast<std::size_t>(ref.vertex)]);
+    tap.shift += ref.shift;
+    tap.negate = tap.negate != ref.negate;
+    tap.constant = constants[i];
+    block.taps.push_back(tap);
+  }
+  block.verify({1, -1, 2, 9, -100, 2047});
+  return block;
+}
+
+}  // namespace mrpf::core

@@ -1,0 +1,18 @@
+// Lowers an MrpResult into a physical arch::MultiplierBlock: the SEED
+// multiplication network (direct, CSE'd or recursively MRP'd) followed by
+// the overhead add network mirroring the spanning trees (paper Fig. 4/5).
+#pragma once
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/core/mrp.hpp"
+
+namespace mrpf::core {
+
+/// Builds and verifies the multiplier block for the constant bank the
+/// result was computed from. `constants` must be the same bank passed to
+/// mrp_optimize.
+arch::MultiplierBlock build_mrp_block(const std::vector<i64>& constants,
+                                      const MrpResult& result,
+                                      const MrpOptions& options);
+
+}  // namespace mrpf::core

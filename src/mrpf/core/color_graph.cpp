@@ -1,0 +1,96 @@
+#include "mrpf/core/color_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/core/sidc.hpp"
+
+namespace mrpf::core {
+
+int ColorGraph::class_of(i64 color) const {
+  const auto it = std::lower_bound(
+      classes.begin(), classes.end(), color,
+      [](const ColorClass& cls, i64 c) { return cls.color < c; });
+  if (it == classes.end() || it->color != color) return -1;
+  return static_cast<int>(it - classes.begin());
+}
+
+ColorGraph build_color_graph(const std::vector<i64>& primaries,
+                             const ColorGraphOptions& options) {
+  ColorGraph g;
+  g.vertices = primaries;
+  const int n = static_cast<int>(primaries.size());
+  for (int v = 0; v < n; ++v) {
+    MRPF_CHECK(primaries[static_cast<std::size_t>(v)] > 0 &&
+                   primaries[static_cast<std::size_t>(v)] % 2 == 1,
+               "color graph: vertices must be positive odd primaries");
+    MRPF_CHECK(v == 0 || primaries[static_cast<std::size_t>(v)] >
+                             primaries[static_cast<std::size_t>(v) - 1],
+               "color graph: vertices must be sorted and unique");
+  }
+
+  int l_max = options.l_max;
+  if (l_max < 0) {
+    l_max = 1;
+    for (const i64 p : primaries) l_max = std::max(l_max, bit_width_abs(p));
+    l_max = std::min(l_max, 24);
+  }
+  MRPF_CHECK(l_max >= 0 && l_max <= 40, "color graph: l_max out of range");
+  g.l_max = l_max;
+
+  // Enumerate the 2·(l_max+1)·n·(n−1) SIDC edges, grouping by color.
+  std::map<i64, ColorClass> classes;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const i64 ci = primaries[static_cast<std::size_t>(i)];
+      const i64 cj = primaries[static_cast<std::size_t>(j)];
+      for (int l = 0; l <= l_max; ++l) {
+        const i64 shifted = ci << l;
+        for (const bool pred_negate : {false, true}) {
+          const i64 xi = cj - (pred_negate ? -shifted : shifted);
+          // ξ == 0 would mean cj is a shift of ci — impossible between
+          // distinct primaries — so every edge carries a real color.
+          MRPF_CHECK(xi != 0, "color graph: zero differential");
+          const ShiftSign d = decompose(xi);
+          SidcEdge e;
+          e.from = i;
+          e.to = j;
+          e.l = l;
+          e.pred_negate = pred_negate;
+          e.xi = xi;
+          e.color = d.primary;
+          e.color_shift = d.shift;
+          e.color_negate = d.negate;
+
+          auto [it, inserted] = classes.try_emplace(d.primary);
+          if (inserted) {
+            it->second.color = d.primary;
+            it->second.cost =
+                number::nonzero_digits(d.primary, options.rep);
+          }
+          it->second.edges.push_back(static_cast<int>(g.edges.size()));
+          g.edges.push_back(e);
+        }
+      }
+    }
+  }
+
+  g.classes.reserve(classes.size());
+  for (auto& [color, cls] : classes) {
+    std::vector<int> targets;
+    targets.reserve(cls.edges.size());
+    for (const int ei : cls.edges) {
+      targets.push_back(g.edges[static_cast<std::size_t>(ei)].to);
+    }
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    cls.coverable = std::move(targets);
+    g.classes.push_back(std::move(cls));
+  }
+  return g;
+}
+
+}  // namespace mrpf::core

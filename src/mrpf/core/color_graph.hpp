@@ -1,0 +1,56 @@
+// The SIDC color graph (paper §2–3.2).
+//
+// Vertices are primary coefficients. For every ordered vertex pair (i, j),
+// predecessor shift L ∈ [0, l_max] and predecessor sign σ ∈ {+, −} there is
+// a directed edge i→j carrying the differential
+//     ξ = c_j − σ·(c_i << L)          (so c_j·x = σ·(c_i·x << L) + ξ·x)
+// whose *color* is the primary value of ξ. All edges of one color class
+// share a single ξ-multiplier (plus free shifts), which is what the
+// weighted-minimum-set-cover stage exploits.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+#include "mrpf/number/repr.hpp"
+
+namespace mrpf::core {
+
+struct SidcEdge {
+  int from = 0;
+  int to = 0;
+  int l = 0;               // predecessor shift L
+  bool pred_negate = false;  // σ == −1
+  i64 xi = 0;              // exact differential (never 0)
+  i64 color = 0;           // primary of |xi|
+  int color_shift = 0;     // xi == ±(color << color_shift)
+  bool color_negate = false;
+};
+
+struct ColorClass {
+  i64 color = 0;
+  int cost = 0;                 // nonzero digits of the color under rep
+  std::vector<int> edges;       // indices into ColorGraph::edges
+  std::vector<int> coverable;   // distinct target vertices, sorted
+};
+
+struct ColorGraph {
+  std::vector<i64> vertices;       // primary coefficients
+  std::vector<SidcEdge> edges;
+  std::vector<ColorClass> classes; // sorted by color value
+  int l_max = 0;
+
+  int class_of(i64 color) const;   // index into classes, or -1
+};
+
+struct ColorGraphOptions {
+  /// Max predecessor shift; -1 derives it from the widest primary
+  /// (the paper's L ≤ W), capped at 24.
+  int l_max = -1;
+  number::NumberRep rep = number::NumberRep::kSpt;
+};
+
+ColorGraph build_color_graph(const std::vector<i64>& primaries,
+                             const ColorGraphOptions& options = {});
+
+}  // namespace mrpf::core

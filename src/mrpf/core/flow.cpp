@@ -1,0 +1,123 @@
+#include "mrpf/core/flow.hpp"
+
+#include <algorithm>
+
+#include "mrpf/baseline/diff_mst.hpp"
+#include "mrpf/baseline/ragn.hpp"
+#include "mrpf/baseline/simple.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/core/build.hpp"
+#include "mrpf/cse/build.hpp"
+#include "mrpf/filter/symmetric.hpp"
+
+namespace mrpf::core {
+
+std::string to_string(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSimple:
+      return "simple";
+    case Scheme::kCse:
+      return "cse";
+    case Scheme::kDiffMst:
+      return "diff-mst";
+    case Scheme::kRagn:
+      return "rag-n";
+    case Scheme::kMrp:
+      return "mrpf";
+    case Scheme::kMrpCse:
+      return "mrpf+cse";
+  }
+  return "?";
+}
+
+SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
+                           const MrpOptions& options) {
+  SchemeResult out;
+  out.scheme = scheme;
+  switch (scheme) {
+    case Scheme::kSimple: {
+      out.multiplier_adders = baseline::simple_adder_cost(bank, options.rep);
+      out.block = baseline::build_simple_block(bank, options.rep);
+      return out;
+    }
+    case Scheme::kCse: {
+      cse::CseOptions cse_opts;
+      cse_opts.rep = number::NumberRep::kCsd;  // Hartley CSE is CSD-based
+      out.cse = cse::hartley_cse(bank, cse_opts);
+      out.multiplier_adders = out.cse->adder_count();
+      out.block = cse::build_multiplier_block(*out.cse);
+      return out;
+    }
+    case Scheme::kDiffMst: {
+      const baseline::DiffMstResult plan =
+          baseline::diff_mst_optimize(bank, options.rep);
+      out.multiplier_adders = plan.adders;
+      out.block = baseline::build_diff_mst_block(bank, options.rep);
+      return out;
+    }
+    case Scheme::kRagn: {
+      baseline::RagnResult plan =
+          baseline::ragn_optimize(bank, number::NumberRep::kCsd);
+      out.multiplier_adders = plan.adders;
+      out.block = std::move(plan.block);
+      return out;
+    }
+    case Scheme::kMrp:
+    case Scheme::kMrpCse: {
+      MrpOptions opts = options;
+      opts.cse_on_seed = (scheme == Scheme::kMrpCse);
+      out.mrp = mrp_optimize(bank, opts);
+      out.multiplier_adders = out.mrp->total_adders();
+      out.block = build_mrp_block(bank, *out.mrp, opts);
+      return out;
+    }
+  }
+  throw Error("optimize_bank: unknown scheme");
+}
+
+std::vector<i64> optimization_bank(const std::vector<i64>& coefficients) {
+  if (filter::is_symmetric(coefficients)) {
+    return filter::folded_half(coefficients);
+  }
+  return coefficients;
+}
+
+std::vector<int> alignment_of(const number::QuantizedCoefficients& q) {
+  int smax = 0;
+  for (const auto& c : q.coeffs) smax = std::max(smax, c.scale_log2);
+  std::vector<int> align;
+  align.reserve(q.coeffs.size());
+  for (const auto& c : q.coeffs) align.push_back(smax - c.scale_log2);
+  return align;
+}
+
+arch::TdfFilter build_tdf(const std::vector<i64>& coefficients,
+                          const std::vector<int>& align, Scheme scheme,
+                          const MrpOptions& options) {
+  MRPF_CHECK(!coefficients.empty(), "build_tdf: empty coefficient vector");
+  const std::vector<i64> bank = optimization_bank(coefficients);
+  SchemeResult opt = optimize_bank(bank, scheme, options);
+
+  // Expand the folded block back onto every tap position.
+  arch::MultiplierBlock full;
+  full.graph = std::move(opt.block.graph);
+  full.constants = coefficients;
+  const std::size_t n = coefficients.size();
+  full.taps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t folded_index =
+        bank.size() == n ? i : std::min(i, n - 1 - i);
+    arch::Tap tap = opt.block.taps[folded_index];
+    MRPF_CHECK(tap.constant == coefficients[i],
+               "build_tdf: folded tap does not match mirrored coefficient");
+    full.taps.push_back(tap);
+  }
+  return arch::TdfFilter(coefficients, align, std::move(full));
+}
+
+arch::TdfFilter build_tdf(const number::QuantizedCoefficients& q,
+                          Scheme scheme, const MrpOptions& options) {
+  return build_tdf(q.values(), alignment_of(q), scheme, options);
+}
+
+}  // namespace mrpf::core

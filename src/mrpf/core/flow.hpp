@@ -1,0 +1,63 @@
+// High-level synthesis flow: one entry point per optimization scheme, from
+// a quantized coefficient bank down to a verified TDF filter. This is the
+// API the examples and benches drive.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/core/mrp.hpp"
+#include "mrpf/cse/hartley.hpp"
+#include "mrpf/number/quantize.hpp"
+
+namespace mrpf::core {
+
+enum class Scheme {
+  kSimple,   // per-tap shift-add multipliers (the paper's baseline)
+  kCse,      // Hartley CSE over the whole bank (the paper's CSE baseline)
+  kDiffMst,  // differential coefficients + MST (prior work [5])
+  kRagn,     // RAG-n-style graph MCM heuristic (literature baseline)
+  kMrp,      // MRPF (this paper)
+  kMrpCse,   // MRPF with CSE applied to the SEED network (Fig. 8)
+};
+
+std::string to_string(Scheme scheme);
+
+/// Optimization outcome over one constant bank (move-only: MrpResult owns
+/// its recursive SEED levels).
+struct SchemeResult {
+  Scheme scheme = Scheme::kSimple;
+  /// The paper's complexity metric: multiplier-block adders, analytic.
+  int multiplier_adders = 0;
+  /// Verified physical block over the bank (graph adders can be lower than
+  /// the analytic count when values share structure incidentally).
+  arch::MultiplierBlock block;
+  std::optional<MrpResult> mrp;        // kMrp / kMrpCse
+  std::optional<cse::CseResult> cse;   // kCse
+};
+
+/// Optimizes a constant bank (no folding applied here).
+SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
+                           const MrpOptions& options = {});
+
+/// Builds a complete, bit-exact TDF filter for the coefficient vector.
+/// Symmetric vectors are folded first (the multiplier block covers the
+/// unique half); `align` are per-tap alignment shifts (maximal scaling).
+arch::TdfFilter build_tdf(const std::vector<i64>& coefficients,
+                          const std::vector<int>& align, Scheme scheme,
+                          const MrpOptions& options = {});
+
+/// Convenience overload: quantized coefficients carry their own alignment.
+arch::TdfFilter build_tdf(const number::QuantizedCoefficients& q,
+                          Scheme scheme, const MrpOptions& options = {});
+
+/// Alignment shifts of a quantized bank (max scale − per-tap scale).
+std::vector<int> alignment_of(const number::QuantizedCoefficients& q);
+
+/// The bank a scheme optimizes for a coefficient vector: the folded unique
+/// half when symmetric, the full vector otherwise.
+std::vector<i64> optimization_bank(const std::vector<i64>& coefficients);
+
+}  // namespace mrpf::core

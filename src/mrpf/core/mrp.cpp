@@ -1,0 +1,209 @@
+#include "mrpf/core/mrp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/graph/digraph.hpp"
+#include "mrpf/graph/set_cover.hpp"
+
+namespace mrpf::core {
+
+namespace {
+
+/// Claims every vertex reachable from the already-claimed set within the
+/// depth budget, recording parent edges. `depth` uses -1 for unclaimed.
+void expand_trees(const graph::Digraph& sub, int depth_limit,
+                  std::vector<int>& depth, std::vector<int>& parent_edge) {
+  // Process claimed vertices in ascending depth (unit edge weights keep
+  // the frontier sorted, exactly as in BFS).
+  std::vector<int> order;
+  for (int v = 0; v < sub.num_vertices(); ++v) {
+    if (depth[static_cast<std::size_t>(v)] >= 0) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [&depth](int a, int b) {
+    return depth[static_cast<std::size_t>(a)] <
+           depth[static_cast<std::size_t>(b)];
+  });
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const int u = order[head];
+    if (depth[static_cast<std::size_t>(u)] >= depth_limit) continue;
+    for (const int ei : sub.out_edges(u)) {
+      const graph::Edge& e = sub.edge(ei);
+      if (depth[static_cast<std::size_t>(e.to)] == -1) {
+        depth[static_cast<std::size_t>(e.to)] =
+            depth[static_cast<std::size_t>(u)] + 1;
+        parent_edge[static_cast<std::size_t>(e.to)] =
+            static_cast<int>(e.label);
+        order.push_back(e.to);
+      }
+    }
+  }
+}
+
+/// (#unclaimed vertices reachable from `source` within depth_limit hops
+/// using only unclaimed vertices, eccentricity of that reach).
+std::pair<int, int> root_score(const graph::Digraph& sub,
+                               const std::vector<int>& depth, int source,
+                               int depth_limit) {
+  std::vector<int> local(static_cast<std::size_t>(sub.num_vertices()), -1);
+  local[static_cast<std::size_t>(source)] = 0;
+  std::vector<int> order{source};
+  int count = 1;
+  int ecc = 0;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const int u = order[head];
+    if (local[static_cast<std::size_t>(u)] >= depth_limit) continue;
+    for (const int ei : sub.out_edges(u)) {
+      const int to = sub.edge(ei).to;
+      if (depth[static_cast<std::size_t>(to)] != -1) continue;  // claimed
+      if (local[static_cast<std::size_t>(to)] != -1) continue;
+      local[static_cast<std::size_t>(to)] =
+          local[static_cast<std::size_t>(u)] + 1;
+      ecc = std::max(ecc, local[static_cast<std::size_t>(to)]);
+      ++count;
+      order.push_back(to);
+    }
+  }
+  return {count, ecc};
+}
+
+}  // namespace
+
+MrpResult mrp_optimize(const std::vector<i64>& constants,
+                       const MrpOptions& options) {
+  MRPF_CHECK(options.beta >= 0.0 && options.beta <= 1.0,
+             "mrp: beta outside [0,1]");
+  MRPF_CHECK(options.depth_limit >= 0, "mrp: negative depth limit");
+  MRPF_CHECK(options.recursive_levels >= 0 && options.recursive_levels <= 8,
+             "mrp: recursive_levels out of range");
+
+  MrpResult r;
+  r.bank = extract_primaries(constants);
+  r.vertices = r.bank.primaries;
+  const int n = static_cast<int>(r.vertices.size());
+  r.vertex_depth.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) return r;  // all-zero bank: nothing to compute
+
+  // --- Stage A steps 3–5: color graph and greedy WMSC. ---
+  const ColorGraph cg =
+      build_color_graph(r.vertices, {options.l_max, options.rep});
+  std::vector<graph::CoverSet> sets;
+  sets.reserve(cg.classes.size());
+  for (const ColorClass& cls : cg.classes) {
+    sets.push_back({cls.coverable, static_cast<double>(cls.cost)});
+  }
+  const graph::SetCoverResult cover = graph::greedy_weighted_set_cover(
+      n, sets, graph::paper_benefit(options.beta));
+  for (const int si : cover.chosen) {
+    r.solution_colors.push_back(
+        cg.classes[static_cast<std::size_t>(si)].color);
+  }
+
+  // --- Cover sub-graph: all edges of the selected color classes. ---
+  graph::Digraph sub(n);
+  for (const int si : cover.chosen) {
+    for (const int ei : cg.classes[static_cast<std::size_t>(si)].edges) {
+      const SidcEdge& e = cg.edges[static_cast<std::size_t>(ei)];
+      sub.add_edge(e.from, e.to, 1.0, ei);
+    }
+  }
+
+  // --- Step 6: vertices equal to a solution color are free roots. ---
+  std::vector<int>& depth = r.vertex_depth;
+  std::vector<int> parent_edge(static_cast<std::size_t>(n), -1);
+  const std::set<i64> color_set(r.solution_colors.begin(),
+                                r.solution_colors.end());
+  for (int v = 0; v < n; ++v) {
+    if (color_set.contains(r.vertices[static_cast<std::size_t>(v)])) {
+      depth[static_cast<std::size_t>(v)] = 0;
+      r.roots.push_back(v);
+      r.root_is_free.push_back(true);
+    }
+  }
+
+  // --- Tree construction: grow minimum-height arborescences. ---
+  const int depth_limit = options.depth_limit > 0
+                              ? options.depth_limit
+                              : std::numeric_limits<int>::max() - 1;
+  expand_trees(sub, depth_limit, depth, parent_edge);
+  while (true) {
+    // Root selection (paper §3.4): among the still-uncovered vertices pick
+    // the one whose depth-limited arborescence claims the most vertices;
+    // ties go to the smaller tree height (the APSP row-max criterion),
+    // then to the cheaper vertex value.
+    int best = -1;
+    std::pair<int, int> best_score{0, 0};
+    for (int v = 0; v < n; ++v) {
+      if (depth[static_cast<std::size_t>(v)] != -1) continue;
+      const auto score = root_score(sub, depth, v, depth_limit);
+      const bool better =
+          best == -1 || score.first > best_score.first ||
+          (score.first == best_score.first &&
+           (score.second < best_score.second ||
+            (score.second == best_score.second &&
+             r.vertices[static_cast<std::size_t>(v)] <
+                 r.vertices[static_cast<std::size_t>(best)])));
+      if (better) {
+        best = v;
+        best_score = score;
+      }
+    }
+    if (best == -1) break;  // every vertex claimed
+    depth[static_cast<std::size_t>(best)] = 0;
+    r.roots.push_back(best);
+    r.root_is_free.push_back(false);
+    expand_trees(sub, depth_limit, depth, parent_edge);
+  }
+
+  // --- Record tree edges, parents before children. ---
+  std::vector<int> by_depth;
+  for (int v = 0; v < n; ++v) {
+    MRPF_CHECK(depth[static_cast<std::size_t>(v)] >= 0,
+               "mrp: vertex left uncovered");
+    r.tree_height =
+        std::max(r.tree_height, depth[static_cast<std::size_t>(v)]);
+    if (parent_edge[static_cast<std::size_t>(v)] >= 0) by_depth.push_back(v);
+  }
+  std::sort(by_depth.begin(), by_depth.end(), [&depth](int a, int b) {
+    return depth[static_cast<std::size_t>(a)] <
+           depth[static_cast<std::size_t>(b)];
+  });
+  for (const int v : by_depth) {
+    r.tree_edges.push_back(
+        {cg.edges[static_cast<std::size_t>(
+             parent_edge[static_cast<std::size_t>(v)])],
+         depth[static_cast<std::size_t>(v)]});
+  }
+  r.overhead_adders = static_cast<int>(r.tree_edges.size());
+
+  // --- SEED set and its network cost. ---
+  std::vector<i64> seed = r.solution_colors;
+  for (const int root : r.roots) {
+    seed.push_back(r.vertices[static_cast<std::size_t>(root)]);
+  }
+  std::sort(seed.begin(), seed.end());
+  seed.erase(std::unique(seed.begin(), seed.end()), seed.end());
+  r.seed_values = std::move(seed);
+
+  if (options.recursive_levels > 0 && !r.seed_values.empty()) {
+    MrpOptions nested = options;
+    nested.recursive_levels = options.recursive_levels - 1;
+    r.seed_recursive = std::make_unique<MrpResult>(
+        mrp_optimize(r.seed_values, nested));
+    r.seed_adders = r.seed_recursive->total_adders();
+  } else if (options.cse_on_seed) {
+    cse::CseOptions cse_opts;
+    cse_opts.rep = number::NumberRep::kCsd;
+    r.seed_cse = cse::hartley_cse(r.seed_values, cse_opts);
+    r.seed_adders = r.seed_cse->adder_count();
+  } else {
+    for (const i64 v : r.seed_values) {
+      r.seed_adders += number::multiplier_adders(v, options.rep);
+    }
+  }
+  return r;
+}
+
+}  // namespace mrpf::core

@@ -1,0 +1,78 @@
+// The MRP optimizer (paper §3): greedy weighted-minimum-set-cover over
+// color classes, spanning-arborescence construction with minimum tree
+// height (APSP/BFS root selection) and optional depth constraint, SEED
+// extraction, and the two SEED-network refinements of §4 — CSE and
+// recursive MRP.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mrpf/core/color_graph.hpp"
+#include "mrpf/core/sidc.hpp"
+#include "mrpf/cse/hartley.hpp"
+#include "mrpf/number/repr.hpp"
+
+namespace mrpf::core {
+
+struct MrpOptions {
+  number::NumberRep rep = number::NumberRep::kSpt;
+  /// Benefit trade-off: f = β·frequency − (1−β)·cost (paper eq. 1).
+  /// β = 0.5 weighs sharing and implementation cost equally; lower values
+  /// model expensive interconnect (§3.3).
+  double beta = 0.5;
+  /// Max predecessor shift (paper: the coefficient wordlength); -1 = auto.
+  int l_max = -1;
+  /// Max spanning-tree height; 0 = unconstrained. Table 1 uses 3.
+  int depth_limit = 0;
+  /// Apply MRP to the SEED network this many more times (§4).
+  int recursive_levels = 0;
+  /// Apply Hartley CSE (CSD) to the SEED network instead (§4, Fig. 8).
+  bool cse_on_seed = false;
+};
+
+/// One committed computation-order edge: child = σ·(parent<<L) ± ξ.
+struct TreeEdge {
+  SidcEdge edge;
+  int depth = 0;  // of edge.to within its tree
+};
+
+struct MrpResult {
+  PrimaryBank bank;
+  std::vector<i64> vertices;        // primary coefficients (== bank.primaries)
+  std::vector<i64> solution_colors; // selected color classes, pick order
+  std::vector<int> roots;           // vertex ids, in creation order
+  std::vector<bool> root_is_free;   // value coincides with a solution color
+  std::vector<TreeEdge> tree_edges; // parents always precede children
+  std::vector<int> vertex_depth;    // -1 only for vertices of an empty bank
+  int tree_height = 0;
+
+  /// Colors ∪ root values, deduplicated and sorted: the SEED set.
+  std::vector<i64> seed_values;
+
+  /// Adders in the SEED multiplication network (direct, CSE'd, or
+  /// recursive, depending on options).
+  int seed_adders = 0;
+  /// One adder per non-root covered vertex (the overhead add network).
+  int overhead_adders = 0;
+  int total_adders() const { return seed_adders + overhead_adders; }
+
+  /// Table-1 shape: (#roots, #solution colors).
+  int seed_roots() const { return static_cast<int>(roots.size()); }
+  int seed_solution_set() const {
+    return static_cast<int>(solution_colors.size());
+  }
+
+  /// Present when options.cse_on_seed.
+  std::optional<cse::CseResult> seed_cse;
+  /// Present when options.recursive_levels > 0.
+  std::unique_ptr<MrpResult> seed_recursive;
+};
+
+/// Runs MRP stage A + tree construction over a constant bank (typically
+/// the folded coefficient half of a symmetric filter). Deterministic.
+MrpResult mrp_optimize(const std::vector<i64>& constants,
+                       const MrpOptions& options = {});
+
+}  // namespace mrpf::core

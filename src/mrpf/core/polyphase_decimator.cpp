@@ -1,0 +1,105 @@
+#include "mrpf/core/polyphase_decimator.hpp"
+
+#include <limits>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/filter/polyphase.hpp"
+
+namespace mrpf::core {
+
+PolyphaseDecimator::PolyphaseDecimator(std::vector<i64> coefficients,
+                                       int factor, Scheme scheme,
+                                       const MrpOptions& options)
+    : coefficients_(std::move(coefficients)), factor_(factor) {
+  MRPF_CHECK(factor_ >= 1, "PolyphaseDecimator: factor must be positive");
+  MRPF_CHECK(!coefficients_.empty(), "PolyphaseDecimator: empty filter");
+
+  std::vector<std::vector<i64>> phases =
+      filter::polyphase_decompose(coefficients_, factor_);
+  branches_.reserve(phases.size());
+  for (std::vector<i64>& bank : phases) {
+    if (bank.empty()) bank.push_back(0);  // short filters: inert branch
+    SchemeResult opt = optimize_bank(bank, scheme, options);
+    branch_adders_.push_back(opt.multiplier_adders);
+    branches_.emplace_back(bank, std::vector<int>{}, std::move(opt.block));
+  }
+}
+
+std::vector<i64> PolyphaseDecimator::run(const std::vector<i64>& x) const {
+  if (x.empty()) return {};
+  const std::size_t m_out =
+      (x.size() + static_cast<std::size_t>(factor_) - 1) /
+      static_cast<std::size_t>(factor_);
+
+  std::vector<i64> y(m_out, 0);
+  for (int k = 0; k < factor_; ++k) {
+    // Phase stream s_k[m] = x[mM − k] (zero before the stream starts).
+    std::vector<i64> s(m_out, 0);
+    for (std::size_t m = 0; m < m_out; ++m) {
+      const i64 index = static_cast<i64>(m) * factor_ - k;
+      if (index >= 0 && index < static_cast<i64>(x.size())) {
+        s[m] = x[static_cast<std::size_t>(index)];
+      }
+    }
+    const std::vector<i64> branch_out =
+        branches_[static_cast<std::size_t>(k)].run(s);
+    for (std::size_t m = 0; m < m_out; ++m) {
+      const i128 sum = static_cast<i128>(y[m]) + branch_out[m];
+      MRPF_CHECK(sum <= std::numeric_limits<i64>::max() &&
+                     sum >= std::numeric_limits<i64>::min(),
+                 "PolyphaseDecimator: combiner overflow");
+      y[m] = static_cast<i64>(sum);
+    }
+  }
+  return y;
+}
+
+int PolyphaseDecimator::multiplier_adders() const {
+  int total = 0;
+  for (const arch::TdfFilter& b : branches_) {
+    total += b.metrics().multiplier_adders;
+  }
+  return total;
+}
+
+PolyphaseInterpolator::PolyphaseInterpolator(std::vector<i64> coefficients,
+                                             int factor, Scheme scheme,
+                                             const MrpOptions& options)
+    : coefficients_(std::move(coefficients)), factor_(factor) {
+  MRPF_CHECK(factor_ >= 1, "PolyphaseInterpolator: factor must be positive");
+  MRPF_CHECK(!coefficients_.empty(), "PolyphaseInterpolator: empty filter");
+  SchemeResult opt = optimize_bank(coefficients_, scheme, options);
+  block_ = std::move(opt.block);
+}
+
+std::vector<i64> PolyphaseInterpolator::run(const std::vector<i64>& x) const {
+  const std::size_t l = static_cast<std::size_t>(factor_);
+  const std::size_t depth = (coefficients_.size() + l - 1) / l;
+  // Ring of node-value vectors for the most recent low-rate samples:
+  // product j at low-rate delay q is block_.product(j, history[q]).
+  std::vector<std::vector<i64>> history(
+      depth, std::vector<i64>(
+                 static_cast<std::size_t>(block_.graph.num_nodes()), 0));
+  std::size_t head = 0;
+
+  std::vector<i64> y;
+  y.reserve(x.size() * l);
+  for (const i64 sample : x) {
+    head = (head + depth - 1) % depth;  // push front
+    history[head] = block_.graph.evaluate(sample);
+    for (std::size_t r = 0; r < l; ++r) {
+      i128 acc = 0;
+      for (std::size_t q = 0; q * l + r < coefficients_.size(); ++q) {
+        acc += static_cast<i128>(
+            block_.product(q * l + r, history[(head + q) % depth]));
+      }
+      MRPF_CHECK(acc <= std::numeric_limits<i64>::max() &&
+                     acc >= std::numeric_limits<i64>::min(),
+                 "PolyphaseInterpolator: accumulator overflow");
+      y.push_back(static_cast<i64>(acc));
+    }
+  }
+  return y;
+}
+
+}  // namespace mrpf::core

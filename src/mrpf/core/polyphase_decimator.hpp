@@ -1,0 +1,60 @@
+// Optimized polyphase decimator: one multiplier block per phase branch,
+// each synthesized by any Scheme, combined at the low rate. Demonstrates
+// MRP on a multirate structure (each branch is a vector scaling) and that
+// sharing stops at branch boundaries (different multiplicands).
+#pragma once
+
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/core/flow.hpp"
+
+namespace mrpf::core {
+
+class PolyphaseDecimator {
+ public:
+  /// Splits `coefficients` into `factor` phases and optimizes each branch
+  /// bank with `scheme`. Empty/all-zero branches cost nothing.
+  PolyphaseDecimator(std::vector<i64> coefficients, int factor,
+                     Scheme scheme, const MrpOptions& options = {});
+
+  /// Exact decimated output: equals filter::decimate_exact bit for bit.
+  std::vector<i64> run(const std::vector<i64>& x) const;
+
+  int factor() const { return factor_; }
+  /// Σ multiplier adders over all branch blocks (physical graph counts).
+  int multiplier_adders() const;
+  /// Analytic per-branch costs in phase order.
+  const std::vector<int>& branch_adders() const { return branch_adders_; }
+
+ private:
+  std::vector<i64> coefficients_;
+  int factor_;
+  std::vector<arch::TdfFilter> branches_;  // one low-rate TDF per phase
+  std::vector<int> branch_adders_;
+};
+
+/// Optimized polyphase interpolator. Unlike the decimator, every branch
+/// multiplies the *same* low-rate input stream, so one multiplier block
+/// serves all phases — cross-branch sharing is free here, a structural
+/// asymmetry the tests pin down.
+class PolyphaseInterpolator {
+ public:
+  PolyphaseInterpolator(std::vector<i64> coefficients, int factor,
+                        Scheme scheme, const MrpOptions& options = {});
+
+  /// Exact interpolated output, length |x|·factor: equals
+  /// filter::interpolate_exact bit for bit.
+  std::vector<i64> run(const std::vector<i64>& x) const;
+
+  int factor() const { return factor_; }
+  /// Adders of the single shared multiplier block.
+  int multiplier_adders() const { return block_.graph.num_adders(); }
+
+ private:
+  std::vector<i64> coefficients_;
+  int factor_;
+  arch::MultiplierBlock block_;  // one tap per coefficient, shared input
+};
+
+}  // namespace mrpf::core

@@ -1,0 +1,60 @@
+#include "mrpf/core/report.hpp"
+
+#include "mrpf/arch/cost_model.hpp"
+#include "mrpf/common/format.hpp"
+
+namespace mrpf::core {
+
+std::string describe(const MrpResult& result) {
+  std::string out;
+  out += str_format("MRP result: %zu vertices, tree height %d\n",
+                    result.vertices.size(), result.tree_height);
+  out += "  vertices:";
+  for (const i64 v : result.vertices) {
+    out += str_format(" %lld", static_cast<long long>(v));
+  }
+  out += "\n  solution colors:";
+  for (const i64 c : result.solution_colors) {
+    out += str_format(" %lld", static_cast<long long>(c));
+  }
+  out += "\n  roots:";
+  for (std::size_t i = 0; i < result.roots.size(); ++i) {
+    out += str_format(
+        " %lld%s",
+        static_cast<long long>(
+            result.vertices[static_cast<std::size_t>(result.roots[i])]),
+        result.root_is_free[i] ? "(free)" : "");
+  }
+  out += "\n  trees:\n";
+  for (const TreeEdge& te : result.tree_edges) {
+    const SidcEdge& e = te.edge;
+    out += str_format(
+        "    %lld = %s(%lld << %d) %s (%lld << %d)   [color %lld, depth %d]\n",
+        static_cast<long long>(
+            result.vertices[static_cast<std::size_t>(e.to)]),
+        e.pred_negate ? "-" : "",
+        static_cast<long long>(
+            result.vertices[static_cast<std::size_t>(e.from)]),
+        e.l, e.color_negate ? "-" : "+", static_cast<long long>(e.color),
+        e.color_shift, static_cast<long long>(e.color), te.depth);
+  }
+  out += "  SEED:";
+  for (const i64 v : result.seed_values) {
+    out += str_format(" %lld", static_cast<long long>(v));
+  }
+  out += str_format(
+      "\n  adders: %d seed + %d overhead = %d total (roots %d, colors %d)\n",
+      result.seed_adders, result.overhead_adders, result.total_adders(),
+      result.seed_roots(), result.seed_solution_set());
+  return out;
+}
+
+std::string describe(const SchemeResult& result, int input_bits) {
+  return str_format(
+      "%-9s adders=%-4d graph_adders=%-4d depth=%-2d cla_area=%.1f",
+      to_string(result.scheme).c_str(), result.multiplier_adders,
+      result.block.graph.num_adders(), result.block.graph.max_depth(),
+      arch::multiplier_block_area(result.block.graph, input_bits));
+}
+
+}  // namespace mrpf::core

@@ -1,0 +1,19 @@
+// Human-readable reports for MRP results and scheme comparisons (used by
+// the examples and the bench harness output).
+#pragma once
+
+#include <string>
+
+#include "mrpf/core/flow.hpp"
+#include "mrpf/core/mrp.hpp"
+
+namespace mrpf::core {
+
+/// Multi-line description: vertices, solution colors, roots, trees, SEED,
+/// and the adder-cost breakdown.
+std::string describe(const MrpResult& result);
+
+/// One table row comparing a scheme's analytic and physical costs.
+std::string describe(const SchemeResult& result, int input_bits);
+
+}  // namespace mrpf::core

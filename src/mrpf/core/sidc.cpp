@@ -1,0 +1,46 @@
+#include "mrpf/core/sidc.hpp"
+
+#include <algorithm>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::core {
+
+ShiftSign decompose(i64 v) {
+  MRPF_CHECK(v != 0, "decompose: zero has no primary");
+  ShiftSign s;
+  s.negate = v < 0;
+  s.shift = trailing_zeros(v);
+  s.primary = odd_part(v);
+  return s;
+}
+
+int PrimaryBank::vertex_of(i64 p) const {
+  const auto it = std::lower_bound(primaries.begin(), primaries.end(), p);
+  if (it == primaries.end() || *it != p) return -1;
+  return static_cast<int>(it - primaries.begin());
+}
+
+PrimaryBank extract_primaries(const std::vector<i64>& constants) {
+  PrimaryBank bank;
+  for (const i64 c : constants) {
+    if (c != 0) bank.primaries.push_back(odd_part(c));
+  }
+  std::sort(bank.primaries.begin(), bank.primaries.end());
+  bank.primaries.erase(
+      std::unique(bank.primaries.begin(), bank.primaries.end()),
+      bank.primaries.end());
+
+  bank.refs.reserve(constants.size());
+  for (const i64 c : constants) {
+    if (c == 0) {
+      bank.refs.push_back({-1, 0, false});
+      continue;
+    }
+    const ShiftSign s = decompose(c);
+    bank.refs.push_back({bank.vertex_of(s.primary), s.shift, s.negate});
+  }
+  return bank;
+}
+
+}  // namespace mrpf::core

@@ -1,0 +1,45 @@
+// Shift-inclusive differential coefficient primitives (paper §3.1).
+//
+// Every nonzero integer v factors uniquely as ±(p << s) with p odd and
+// positive; p is the *primary* value of v's shift class. Primary
+// coefficients become the vertices of the color graph (paper step 2:
+// "all secondary coefficients are removed"), and primary colors name the
+// color classes (a color and all of its shifts).
+#pragma once
+
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::core {
+
+/// v == (negate ? -1 : 1) * (primary << shift), primary odd and positive.
+struct ShiftSign {
+  i64 primary = 0;
+  int shift = 0;
+  bool negate = false;
+};
+
+/// Unique odd/sign/shift factorization; requires v != 0.
+ShiftSign decompose(i64 v);
+
+/// The primary-coefficient view of a constant bank.
+struct PrimaryBank {
+  /// How one original constant maps onto a primary vertex.
+  struct Ref {
+    int vertex = -1;   // index into primaries; -1 for the constant 0
+    int shift = 0;
+    bool negate = false;
+  };
+
+  std::vector<i64> primaries;  // sorted, unique, odd, positive
+  std::vector<Ref> refs;       // one per input constant
+
+  /// Index of primary value p, or -1.
+  int vertex_of(i64 p) const;
+};
+
+/// Extracts primaries from the bank (zeros map to Ref{-1}).
+PrimaryBank extract_primaries(const std::vector<i64>& constants);
+
+}  // namespace mrpf::core

@@ -1,0 +1,70 @@
+#include "mrpf/cse/build.hpp"
+
+#include "mrpf/arch/synth.hpp"
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::cse {
+
+std::vector<arch::Tap> lower_into(const CseResult& cse,
+                                  arch::AdderGraph& graph) {
+  // Symbol -> graph term: where each symbol's value lives in the graph.
+  // Symbol values can be negative or even; the graph node stores the raw
+  // value, so the mapping is direct.
+  std::vector<arch::TermRef> symbol_node(cse.subexpressions.size() + 1);
+  symbol_node[0] = {arch::AdderGraph::kInputNode, 0, false};
+  for (std::size_t s = 0; s < cse.subexpressions.size(); ++s) {
+    const Subexpression& sub = cse.subexpressions[s];
+    MRPF_CHECK(sub.pattern.sym_a <= static_cast<int>(s) &&
+                   sub.pattern.sym_b <= static_cast<int>(s),
+               "cse build: subexpression references a later symbol");
+    arch::TermRef a = symbol_node[static_cast<std::size_t>(sub.pattern.sym_a)];
+    arch::TermRef b = symbol_node[static_cast<std::size_t>(sub.pattern.sym_b)];
+    b.shift += sub.pattern.rel_shift;
+    if (sub.pattern.rel_negate) b.negate = !b.negate;
+    const arch::TermRef combined = arch::combine_balanced(graph, {a, b});
+    symbol_node[s + 1] = combined;
+    // Cross-check: the term (with sign) carries exactly sub.value.
+    const i64 built = (combined.negate ? -1 : 1) *
+                      (graph.fundamental(combined.node) << combined.shift);
+    MRPF_CHECK(built == sub.value, "cse build: subexpression value mismatch");
+  }
+
+  std::vector<arch::Tap> taps;
+  taps.reserve(cse.expressions.size());
+  for (std::size_t e = 0; e < cse.expressions.size(); ++e) {
+    const auto& terms = cse.expressions[e];
+    if (terms.empty()) {
+      MRPF_CHECK(cse.constants[e] == 0,
+                 "cse build: empty expression for nonzero constant");
+      taps.push_back({-1, 0, false, 0});
+      continue;
+    }
+    std::vector<arch::TermRef> refs;
+    refs.reserve(terms.size());
+    for (const Term& t : terms) {
+      arch::TermRef ref = symbol_node[static_cast<std::size_t>(t.symbol)];
+      ref.shift += t.shift;
+      if (t.negate) ref.negate = !ref.negate;
+      refs.push_back(ref);
+    }
+    const arch::TermRef root =
+        arch::combine_balanced(graph, std::move(refs));
+    arch::Tap tap;
+    tap.node = root.node;
+    tap.shift = root.shift;
+    tap.negate = root.negate;
+    tap.constant = cse.constants[e];
+    taps.push_back(tap);
+  }
+  return taps;
+}
+
+arch::MultiplierBlock build_multiplier_block(const CseResult& cse) {
+  arch::MultiplierBlock block;
+  block.constants = cse.constants;
+  block.taps = lower_into(cse, block.graph);
+  block.verify({1, -1, 2, 3, 255, -128, 1021});
+  return block;
+}
+
+}  // namespace mrpf::cse

@@ -1,0 +1,19 @@
+// Lowers a CSE result into a physical arch::MultiplierBlock: one adder per
+// sub-expression plus a balanced residual-term tree per constant. The
+// resulting graph's adder count equals CseResult::adder_count() and the
+// block is verified tap-by-tap before being returned.
+#pragma once
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/cse/hartley.hpp"
+
+namespace mrpf::cse {
+
+/// Lowers the CSE network into an existing graph (used by MRPF to realize
+/// its SEED multiplication network with CSE). Returns one Tap per constant.
+std::vector<arch::Tap> lower_into(const CseResult& cse,
+                                  arch::AdderGraph& graph);
+
+arch::MultiplierBlock build_multiplier_block(const CseResult& cse);
+
+}  // namespace mrpf::cse

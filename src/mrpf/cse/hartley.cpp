@@ -1,0 +1,209 @@
+#include "mrpf/cse/hartley.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::cse {
+
+namespace {
+
+using PatternKey = std::tuple<int, int, int, bool>;
+
+PatternKey key_of(const Pattern& p) {
+  return {p.sym_a, p.sym_b, p.rel_shift, p.rel_negate};
+}
+
+/// Canonical pattern + base placement of a term pair. The pattern is
+/// invariant under shifting and global negation; `base_shift`/`base_negate`
+/// say where this particular occurrence sits.
+struct Occurrence {
+  Pattern pattern;
+  int base_shift = 0;
+  bool base_negate = false;
+};
+
+Occurrence normalize_pair(Term a, Term b) {
+  const auto rank = [](const Term& t) {
+    return std::tuple(t.shift, t.symbol, t.negate);
+  };
+  if (rank(b) < rank(a)) std::swap(a, b);
+  Occurrence occ;
+  occ.base_shift = a.shift;
+  occ.base_negate = a.negate;
+  if (a.negate) {  // factor the global sign out of both terms
+    a.negate = false;
+    b.negate = !b.negate;
+  }
+  occ.pattern = {a.symbol, b.symbol, b.shift - a.shift, b.negate};
+  return occ;
+}
+
+i64 shifted_value(i64 v, int shift) {
+  const i128 s = static_cast<i128>(v) << shift;
+  MRPF_CHECK(s <= std::numeric_limits<i64>::max() &&
+                 s >= std::numeric_limits<i64>::min(),
+             "cse: shifted value overflows int64");
+  return static_cast<i64>(s);
+}
+
+}  // namespace
+
+i64 CseResult::symbol_value(int symbol) const {
+  if (symbol == 0) return 1;
+  MRPF_CHECK(symbol >= 1 &&
+                 static_cast<std::size_t>(symbol) <= subexpressions.size(),
+             "cse: unknown symbol");
+  return subexpressions[static_cast<std::size_t>(symbol) - 1].value;
+}
+
+i64 CseResult::term_value(const Term& term) const {
+  const i64 v = shifted_value(symbol_value(term.symbol), term.shift);
+  return term.negate ? -v : v;
+}
+
+i64 CseResult::expression_value(std::size_t i) const {
+  MRPF_CHECK(i < expressions.size(), "cse: expression index out of range");
+  i64 acc = 0;
+  for (const Term& t : expressions[i]) acc += term_value(t);
+  return acc;
+}
+
+int CseResult::adder_count() const {
+  int adders = static_cast<int>(subexpressions.size());
+  for (const auto& terms : expressions) {
+    if (terms.size() > 1) adders += static_cast<int>(terms.size()) - 1;
+  }
+  return adders;
+}
+
+CseResult hartley_cse(const std::vector<i64>& constants,
+                      const CseOptions& options) {
+  std::vector<number::SignedDigitVector> forms;
+  forms.reserve(constants.size());
+  for (const i64 c : constants) {
+    forms.push_back(number::to_digits(c, options.rep));
+  }
+  return hartley_cse_with_forms(constants, forms, options);
+}
+
+CseResult hartley_cse_with_forms(
+    const std::vector<i64>& constants,
+    const std::vector<number::SignedDigitVector>& forms,
+    const CseOptions& options) {
+  MRPF_CHECK(options.min_occurrences >= 2,
+             "cse: min_occurrences must be at least 2");
+  MRPF_CHECK(forms.size() == constants.size(),
+             "cse: one digit form required per constant");
+  CseResult r;
+  r.constants = constants;
+  r.expressions.reserve(constants.size());
+  for (std::size_t i = 0; i < constants.size(); ++i) {
+    const number::SignedDigitVector& digits = forms[i];
+    MRPF_CHECK(digits.value() == constants[i],
+               "cse: digit form does not evaluate to its constant");
+    std::vector<Term> terms;
+    for (std::size_t k = 0; k < digits.size(); ++k) {
+      if (digits[k] != 0) {
+        terms.push_back({0, static_cast<int>(k), digits[k] < 0});
+      }
+    }
+    r.expressions.push_back(std::move(terms));
+  }
+
+  const auto pattern_value = [&r](const Pattern& p) -> i64 {
+    const i64 vb = shifted_value(r.symbol_value(p.sym_b), p.rel_shift);
+    return r.symbol_value(p.sym_a) + (p.rel_negate ? -vb : vb);
+  };
+
+  std::set<PatternKey> banned;
+  while (static_cast<int>(r.subexpressions.size()) <
+         options.max_subexpressions) {
+    // --- Count raw pair occurrences of every pattern. ---
+    std::map<PatternKey, std::pair<int, Pattern>> counts;
+    for (const auto& terms : r.expressions) {
+      for (std::size_t i = 0; i < terms.size(); ++i) {
+        for (std::size_t j = i + 1; j < terms.size(); ++j) {
+          const Occurrence occ = normalize_pair(terms[i], terms[j]);
+          const PatternKey key = key_of(occ.pattern);
+          if (banned.contains(key)) continue;
+          if (pattern_value(occ.pattern) == 0) continue;
+          auto [it, inserted] = counts.try_emplace(key, 0, occ.pattern);
+          ++it->second.first;
+        }
+      }
+    }
+
+    // --- Select the most frequent pattern (ties: smaller |value|, order).
+    const Pattern* best = nullptr;
+    int best_count = options.min_occurrences - 1;
+    i64 best_abs = std::numeric_limits<i64>::max();
+    for (const auto& [key, entry] : counts) {
+      const auto& [count, pattern] = entry;
+      const i64 vabs = std::llabs(pattern_value(pattern));
+      if (count > best_count || (count == best_count && vabs < best_abs)) {
+        best = &pattern;
+        best_count = count;
+        best_abs = vabs;
+      }
+    }
+    if (best == nullptr) break;
+
+    // --- Collect non-overlapping occurrences of the chosen pattern. ---
+    const PatternKey best_key = key_of(*best);
+    std::vector<std::vector<bool>> used(r.expressions.size());
+    std::vector<std::vector<Occurrence>> matched(r.expressions.size());
+    int total_matches = 0;
+    for (std::size_t e = 0; e < r.expressions.size(); ++e) {
+      const auto& terms = r.expressions[e];
+      used[e].assign(terms.size(), false);
+      for (std::size_t i = 0; i < terms.size(); ++i) {
+        if (used[e][i]) continue;
+        for (std::size_t j = i + 1; j < terms.size(); ++j) {
+          if (used[e][j]) continue;
+          const Occurrence occ = normalize_pair(terms[i], terms[j]);
+          if (key_of(occ.pattern) == best_key) {
+            used[e][i] = used[e][j] = true;
+            matched[e].push_back(occ);
+            ++total_matches;
+            break;
+          }
+        }
+      }
+    }
+    if (total_matches < options.min_occurrences) {
+      banned.insert(best_key);  // occurrences overlap; not worth a symbol
+      continue;
+    }
+
+    // --- Commit: new symbol, rebuild expressions without matched pairs. ---
+    const int symbol = static_cast<int>(r.subexpressions.size()) + 1;
+    r.subexpressions.push_back({*best, pattern_value(*best)});
+    for (std::size_t e = 0; e < r.expressions.size(); ++e) {
+      if (matched[e].empty()) continue;
+      std::vector<Term> rebuilt;
+      rebuilt.reserve(r.expressions[e].size());
+      for (std::size_t k = 0; k < r.expressions[e].size(); ++k) {
+        if (!used[e][k]) rebuilt.push_back(r.expressions[e][k]);
+      }
+      for (const Occurrence& occ : matched[e]) {
+        rebuilt.push_back({symbol, occ.base_shift, occ.base_negate});
+      }
+      r.expressions[e] = std::move(rebuilt);
+    }
+    banned.clear();  // structure changed; overlaps may have dissolved
+  }
+
+  // Post-condition: every expression still evaluates to its constant.
+  for (std::size_t i = 0; i < constants.size(); ++i) {
+    MRPF_CHECK(r.expression_value(i) == constants[i],
+               "cse: rewrite changed an expression value");
+  }
+  return r;
+}
+
+}  // namespace mrpf::cse

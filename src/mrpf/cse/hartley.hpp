@@ -1,0 +1,76 @@
+// Common sub-expression elimination over signed-digit multiplier banks
+// (Hartley, TCAS-II'96) — the "CSE" baseline of the paper and the logical
+// optimizer MRPI applies to its SEED network.
+//
+// Every constant is expanded into signed-digit terms ±(sym << shift) over
+// the common input x. The greedy loop repeatedly finds the two-term
+// pattern occurring most often across all expressions (up to shift and
+// global negation), materializes it as a new sub-expression symbol, and
+// rewrites non-overlapping occurrences. Total adder count =
+// #sub-expressions + Σ per expression (terms − 1).
+#pragma once
+
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+#include "mrpf/number/repr.hpp"
+
+namespace mrpf::cse {
+
+/// Symbol 0 is the input x; symbols >= 1 index subexpressions[sym - 1].
+struct Term {
+  int symbol = 0;
+  int shift = 0;      // >= 0
+  bool negate = false;
+};
+
+/// A two-term pattern, normalized: first term positive at shift 0.
+struct Pattern {
+  int sym_a = 0;
+  int sym_b = 0;
+  int rel_shift = 0;   // shift of b relative to a
+  bool rel_negate = false;  // b enters negatively
+
+  bool operator==(const Pattern&) const = default;
+};
+
+struct Subexpression {
+  Pattern pattern;
+  i64 value = 0;  // exact integer multiple of x this symbol carries
+};
+
+struct CseResult {
+  std::vector<Subexpression> subexpressions;      // creation order
+  std::vector<std::vector<Term>> expressions;     // residual terms per input
+  std::vector<i64> constants;                     // the inputs, echoed
+
+  /// #subexpressions + Σ max(0, terms_i − 1).
+  int adder_count() const;
+
+  /// Exact value of a symbol (0 → 1).
+  i64 symbol_value(int symbol) const;
+  /// Exact value of a term / an expression (must reproduce constants[i]).
+  i64 term_value(const Term& term) const;
+  i64 expression_value(std::size_t i) const;
+};
+
+struct CseOptions {
+  number::NumberRep rep = number::NumberRep::kCsd;
+  int min_occurrences = 2;  // stop when the best pattern is rarer than this
+  int max_subexpressions = 1 << 20;  // safety valve
+};
+
+/// Runs Hartley CSE over the constant bank. Deterministic: ties are broken
+/// toward the smaller |pattern value|, then lexicographic pattern order.
+CseResult hartley_cse(const std::vector<i64>& constants,
+                      const CseOptions& options = {});
+
+/// Same engine, but with explicit signed-digit expansions per constant
+/// (each must evaluate to its constant). Lets MSD-aware CSE inject
+/// alternative minimal forms.
+CseResult hartley_cse_with_forms(
+    const std::vector<i64>& constants,
+    const std::vector<number::SignedDigitVector>& forms,
+    const CseOptions& options = {});
+
+}  // namespace mrpf::cse

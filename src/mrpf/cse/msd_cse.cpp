@@ -1,0 +1,65 @@
+#include "mrpf/cse/msd_cse.hpp"
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/number/csd.hpp"
+#include "mrpf/number/msd.hpp"
+
+namespace mrpf::cse {
+
+MsdCseResult msd_cse(const std::vector<i64>& constants,
+                     const MsdCseOptions& options) {
+  MRPF_CHECK(options.max_forms_per_constant >= 1,
+             "msd_cse: need at least one form per constant");
+  MRPF_CHECK(options.improvement_passes >= 0,
+             "msd_cse: negative pass count");
+
+  // Start from the CSD forms (the plain Hartley baseline).
+  std::vector<number::SignedDigitVector> forms;
+  std::vector<std::vector<number::SignedDigitVector>> alternatives;
+  forms.reserve(constants.size());
+  alternatives.reserve(constants.size());
+  for (const i64 c : constants) {
+    const number::SignedDigitVector csd = number::to_csd(c);
+    // All minimal forms within one extra digit position of the CSD degree
+    // (wider forms trade a longer shift for different digit placement).
+    std::vector<number::SignedDigitVector> alts =
+        c == 0 ? std::vector<number::SignedDigitVector>{csd}
+               : number::enumerate_msd(
+                     c, csd.degree() + 1,
+                     static_cast<std::size_t>(
+                         options.max_forms_per_constant));
+    if (alts.empty()) alts.push_back(csd);
+    forms.push_back(csd);
+    alternatives.push_back(std::move(alts));
+  }
+
+  MsdCseResult out;
+  CseResult best = hartley_cse_with_forms(constants, forms);
+  out.csd_adders = best.adder_count();
+
+  for (int pass = 0; pass < options.improvement_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i < constants.size(); ++i) {
+      for (const number::SignedDigitVector& alt : alternatives[i]) {
+        if (alt == forms[i]) continue;
+        std::vector<number::SignedDigitVector> trial = forms;
+        trial[i] = alt;
+        const CseResult candidate =
+            hartley_cse_with_forms(constants, trial);
+        if (candidate.adder_count() < best.adder_count()) {
+          best = candidate;
+          forms = std::move(trial);
+          improved = true;
+          ++out.reselected_constants;
+          break;  // move to the next constant with the new baseline
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  out.cse = std::move(best);
+  return out;
+}
+
+}  // namespace mrpf::cse

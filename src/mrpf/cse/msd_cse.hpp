@@ -1,0 +1,29 @@
+// MSD-aware CSE (after Park & Kang, DAC'01): CSD is only one of possibly
+// many minimal signed-digit representations, and a different minimal form
+// can expose more shareable patterns. This extension greedily re-selects
+// each constant's MSD form when doing so lowers the Hartley CSE adder
+// count. It is an optional refinement beyond the paper (listed as an
+// extension in DESIGN.md) and feeds the ablation bench.
+#pragma once
+
+#include "mrpf/cse/hartley.hpp"
+
+namespace mrpf::cse {
+
+struct MsdCseOptions {
+  int max_forms_per_constant = 12;  // cap on enumerated MSD forms
+  int improvement_passes = 2;       // re-selection sweeps over the bank
+};
+
+struct MsdCseResult {
+  CseResult cse;                    // the final (best) CSE outcome
+  int csd_adders = 0;               // plain CSD-CSE cost, for comparison
+  int reselected_constants = 0;     // how many switched representation
+};
+
+/// Runs CSD CSE, then tries alternative minimal forms per constant,
+/// keeping any switch that lowers the total adder count. Deterministic.
+MsdCseResult msd_cse(const std::vector<i64>& constants,
+                     const MsdCseOptions& options = {});
+
+}  // namespace mrpf::cse

@@ -1,0 +1,87 @@
+#include "mrpf/dsp/fft.hpp"
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::dsp {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+void fft_radix2(std::vector<cplx>& data, bool inverse) {
+  const std::size_t n = data.size();
+  MRPF_CHECK(is_pow2(n), "fft_radix2: size must be a power of two");
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * M_PI /
+                       static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = data[i + k];
+        const cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (cplx& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<cplx> dft_direct(const std::vector<cplx>& data, bool inverse) {
+  const std::size_t n = data.size();
+  std::vector<cplx> out(n, cplx{0.0, 0.0});
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = sign * M_PI * static_cast<double>(k * t) /
+                         static_cast<double>(n);
+      out[k] += data[t] * cplx(std::cos(ang), std::sin(ang));
+    }
+  }
+  if (inverse) {
+    for (cplx& x : out) x /= static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<cplx> forward_real(const std::vector<double>& data) {
+  std::vector<cplx> c(data.begin(), data.end());
+  if (is_pow2(c.size())) {
+    fft_radix2(c, /*inverse=*/false);
+    return c;
+  }
+  return dft_direct(c, /*inverse=*/false);
+}
+
+std::vector<double> inverse_to_real(const std::vector<cplx>& spectrum) {
+  std::vector<cplx> c = spectrum;
+  if (is_pow2(c.size())) {
+    fft_radix2(c, /*inverse=*/true);
+  } else {
+    c = dft_direct(c, /*inverse=*/true);
+  }
+  std::vector<double> out;
+  out.reserve(c.size());
+  for (const cplx& x : c) out.push_back(x.real());
+  return out;
+}
+
+}  // namespace mrpf::dsp

@@ -1,0 +1,28 @@
+// Discrete Fourier transforms: an iterative radix-2 FFT for power-of-two
+// sizes plus a direct DFT for arbitrary sizes. Used by the
+// frequency-sampling filter designer and by verification tests.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace mrpf::dsp {
+
+using cplx = std::complex<double>;
+
+/// In-place radix-2 decimation-in-time FFT; size must be a power of two.
+/// `inverse` applies the conjugate transform and the 1/N normalization.
+void fft_radix2(std::vector<cplx>& data, bool inverse);
+
+/// Direct O(N²) DFT for any size (reference implementation / odd sizes).
+std::vector<cplx> dft_direct(const std::vector<cplx>& data, bool inverse);
+
+/// Forward transform of a real signal (dispatches to the FFT when the size
+/// is a power of two, otherwise to the direct DFT).
+std::vector<cplx> forward_real(const std::vector<double>& data);
+
+/// Inverse transform returning the real parts (imaginary residue is the
+/// caller's responsibility to check; it is ~0 for conjugate-symmetric input).
+std::vector<double> inverse_to_real(const std::vector<cplx>& spectrum);
+
+}  // namespace mrpf::dsp

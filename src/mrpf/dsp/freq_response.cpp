@@ -1,0 +1,67 @@
+#include "mrpf/dsp/freq_response.hpp"
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::dsp {
+
+std::complex<double> freq_response_at(const std::vector<double>& h, double f) {
+  const double w = M_PI * f;
+  std::complex<double> acc{0.0, 0.0};
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    const double ang = -w * static_cast<double>(k);
+    acc += h[k] * std::complex<double>(std::cos(ang), std::sin(ang));
+  }
+  return acc;
+}
+
+std::vector<double> magnitude_response(const std::vector<double>& h, int n) {
+  MRPF_CHECK(n >= 2, "magnitude_response: need at least two grid points");
+  std::vector<double> mag;
+  mag.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(n - 1);
+    mag.push_back(std::abs(freq_response_at(h, f)));
+  }
+  return mag;
+}
+
+std::vector<double> magnitude_response_db(const std::vector<double>& h,
+                                          int n) {
+  std::vector<double> mag = magnitude_response(h, n);
+  for (double& m : mag) {
+    m = m > 1e-15 ? 20.0 * std::log10(m) : -300.0;
+  }
+  return mag;
+}
+
+double group_delay_at(const std::vector<double>& h, double f) {
+  MRPF_CHECK(!h.empty(), "group_delay_at: empty filter");
+  const double w = M_PI * f;
+  std::complex<double> num{0.0, 0.0};
+  std::complex<double> den{0.0, 0.0};
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    const double ang = -w * static_cast<double>(k);
+    const std::complex<double> e(std::cos(ang), std::sin(ang));
+    num += static_cast<double>(k) * h[k] * e;
+    den += h[k] * e;
+  }
+  MRPF_CHECK(std::abs(den) > 1e-12,
+             "group_delay_at: response magnitude too small");
+  return (num / den).real();
+}
+
+double amplitude_response_at(const std::vector<double>& h, double f) {
+  const std::size_t n = h.size();
+  MRPF_CHECK(n >= 1, "amplitude_response_at: empty filter");
+  const double center = static_cast<double>(n - 1) / 2.0;
+  const double w = M_PI * f;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += h[k] * std::cos(w * (static_cast<double>(k) - center));
+  }
+  return acc;
+}
+
+}  // namespace mrpf::dsp

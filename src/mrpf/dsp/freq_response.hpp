@@ -1,0 +1,32 @@
+// Frequency-response evaluation of FIR filters.
+//
+// Frequencies are normalized: f ∈ [0, 1] maps to ω = π·f (so f = 1 is the
+// Nyquist frequency), matching the convention of the filter catalog.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace mrpf::dsp {
+
+/// H(e^{jπf}) = Σ h[k]·e^{-jπfk}.
+std::complex<double> freq_response_at(const std::vector<double>& h, double f);
+
+/// |H| on a uniform grid of `n` points covering [0, 1].
+std::vector<double> magnitude_response(const std::vector<double>& h, int n);
+
+/// 20·log10(|H|), floored at -300 dB to keep plots finite.
+std::vector<double> magnitude_response_db(const std::vector<double>& h,
+                                          int n);
+
+/// Amplitude response of a linear-phase (symmetric) FIR: the real zero-phase
+/// amplitude A(f) with the e^{-jπf(N-1)/2} factor removed. Requires an
+/// (anti)symmetric h.
+double amplitude_response_at(const std::vector<double>& h, double f);
+
+/// Group delay −dφ/dω in samples at normalized frequency f, computed from
+/// the exact FIR identity τ(ω) = Re{ (Σ k·h[k] e^{-jωk}) / (Σ h[k] e^{-jωk}) }.
+/// Linear-phase filters return (N−1)/2 wherever |H| is nonzero.
+double group_delay_at(const std::vector<double>& h, double f);
+
+}  // namespace mrpf::dsp

@@ -1,0 +1,116 @@
+#include "mrpf/dsp/linalg.hpp"
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::dsp {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            fill) {
+  MRPF_CHECK(rows >= 0 && cols >= 0, "Matrix: negative dimension");
+}
+
+double& Matrix::at(int r, int c) {
+  MRPF_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+             "Matrix::at out of range");
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+double Matrix::at(int r, int c) const {
+  MRPF_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+             "Matrix::at out of range");
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  MRPF_CHECK(cols_ == rhs.rows_, "Matrix multiply: dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (int c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) += a * rhs.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  MRPF_CHECK(static_cast<int>(v.size()) == cols_,
+             "Matrix-vector multiply: dimension mismatch");
+  std::vector<double> out(static_cast<std::size_t>(rows_), 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += at(r, c) * v[static_cast<std::size_t>(c)];
+    out[static_cast<std::size_t>(r)] = acc;
+  }
+  return out;
+}
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  const int n = a.rows();
+  MRPF_CHECK(a.cols() == n, "solve_linear: matrix must be square");
+  MRPF_CHECK(static_cast<int>(b.size()) == n,
+             "solve_linear: rhs size mismatch");
+
+  for (int col = 0; col < n; ++col) {
+    // Partial pivoting.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col))) pivot = r;
+    }
+    MRPF_CHECK(std::fabs(a.at(pivot, col)) > 1e-12,
+               "solve_linear: singular system");
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[static_cast<std::size_t>(pivot)],
+                b[static_cast<std::size_t>(col)]);
+    }
+    const double d = a.at(col, col);
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / d;
+      if (factor == 0.0) continue;
+      for (int c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[static_cast<std::size_t>(r)] -=
+          factor * b[static_cast<std::size_t>(col)];
+    }
+  }
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double acc = b[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < n; ++c) {
+      acc -= a.at(r, c) * x[static_cast<std::size_t>(c)];
+    }
+    x[static_cast<std::size_t>(r)] = acc / a.at(r, r);
+  }
+  return x;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b) {
+  const Matrix at = a.transposed();
+  return solve_linear(at * a, at * b);
+}
+
+}  // namespace mrpf::dsp

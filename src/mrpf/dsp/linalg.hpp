@@ -1,0 +1,38 @@
+// Dense linear algebra just large enough for least-squares FIR design:
+// a row-major matrix and Gaussian elimination with partial pivoting.
+#pragma once
+
+#include <vector>
+
+namespace mrpf::dsp {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  double& at(int r, int c);
+  double at(int r, int c) const;
+
+  static Matrix identity(int n);
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A·x = b by Gaussian elimination with partial pivoting.
+/// Throws mrpf::Error on singular (or numerically singular) systems.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Solves the normal equations AᵀA·x = Aᵀb (linear least squares).
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b);
+
+}  // namespace mrpf::dsp

@@ -1,0 +1,92 @@
+#include "mrpf/filter/butterworth.hpp"
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/dsp/window.hpp"
+
+namespace mrpf::filter {
+
+namespace {
+
+double lowpass_mag(double omega_ratio, int order) {
+  // |H|² = 1 / (1 + Ω^2n)
+  return 1.0 / std::sqrt(1.0 + std::pow(omega_ratio, 2 * order));
+}
+
+}  // namespace
+
+double butterworth_magnitude(BandType band, const std::vector<double>& edges,
+                             int order, double f) {
+  MRPF_CHECK(order >= 1, "butterworth: order must be >= 1");
+  switch (band) {
+    case BandType::kLowPass: {
+      MRPF_CHECK(edges.size() == 1, "butterworth LP: need one edge {fc}");
+      return lowpass_mag(f / edges[0], order);
+    }
+    case BandType::kHighPass: {
+      MRPF_CHECK(edges.size() == 1, "butterworth HP: need one edge {fc}");
+      if (f == 0.0) return 0.0;
+      return lowpass_mag(edges[0] / f, order);
+    }
+    case BandType::kBandPass: {
+      MRPF_CHECK(edges.size() == 2 && edges[1] > edges[0],
+                 "butterworth BP: need ascending {f1, f2}");
+      const double f0sq = edges[0] * edges[1];
+      const double bw = edges[1] - edges[0];
+      if (f == 0.0) return 0.0;
+      // Standard analog LP→BP transform: Ω = (f² − f0²) / (B·f).
+      return lowpass_mag(std::fabs((f * f - f0sq) / (bw * f)), order);
+    }
+    case BandType::kBandStop: {
+      MRPF_CHECK(edges.size() == 2 && edges[1] > edges[0],
+                 "butterworth BS: need ascending {f1, f2}");
+      const double f0sq = edges[0] * edges[1];
+      const double bw = edges[1] - edges[0];
+      const double num = f * f - f0sq;
+      if (num == 0.0) return 0.0;  // center of the notch
+      // LP→BS transform: Ω = B·f / (f² − f0²).
+      return lowpass_mag(std::fabs(bw * f / num), order);
+    }
+  }
+  throw Error("butterworth_magnitude: unknown band type");
+}
+
+std::vector<double> design_butterworth_fir(BandType band,
+                                           const std::vector<double>& edges,
+                                           int order, int num_taps,
+                                           bool smooth) {
+  MRPF_CHECK(num_taps >= 3 && num_taps % 2 == 1,
+             "butterworth FIR: num_taps must be odd and >= 3");
+  const int m = (num_taps - 1) / 2;
+
+  // Frequency sampling on the DFT grid f_j = 2j/N (type-I linear phase):
+  // h[n] = (1/N)·[A_0 + 2·Σ_j A_j·cos(2πj(n−m)/N)].
+  std::vector<double> a(static_cast<std::size_t>(m) + 1, 0.0);
+  for (int j = 0; j <= m; ++j) {
+    const double f = 2.0 * static_cast<double>(j) /
+                     static_cast<double>(num_taps);
+    a[static_cast<std::size_t>(j)] =
+        butterworth_magnitude(band, edges, order, std::min(f, 1.0));
+  }
+
+  std::vector<double> h(static_cast<std::size_t>(num_taps), 0.0);
+  for (int n = 0; n < num_taps; ++n) {
+    double acc = a[0];
+    for (int j = 1; j <= m; ++j) {
+      acc += 2.0 * a[static_cast<std::size_t>(j)] *
+             std::cos(2.0 * M_PI * static_cast<double>(j) *
+                      static_cast<double>(n - m) /
+                      static_cast<double>(num_taps));
+    }
+    h[static_cast<std::size_t>(n)] = acc / static_cast<double>(num_taps);
+  }
+
+  if (smooth) {
+    const std::vector<double> w = dsp::window_hamming(num_taps);
+    for (std::size_t i = 0; i < h.size(); ++i) h[i] *= w[i];
+  }
+  return h;
+}
+
+}  // namespace mrpf::filter

@@ -1,0 +1,29 @@
+// Butterworth-derived FIR filters ("BW" in Table 1).
+//
+// The catalog's BW entries are maximally-flat magnitude filters realized as
+// linear-phase FIRs: the analog Butterworth magnitude (with the standard
+// LP→BP / LP→BS frequency transformations) is sampled on the DFT grid and
+// inverted into a symmetric impulse response (frequency-sampling method,
+// optionally smoothed by a window). This trades the IIR phase for exact
+// linear phase, which is what a multiplierless parallel FIR needs.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/filter/spec.hpp"
+
+namespace mrpf::filter {
+
+/// |H(f)| of an order-n Butterworth prototype mapped onto `band` with the
+/// given edges (LP/HP: {fc}; BP/BS: {f1, f2}); f normalized to [0, 1].
+double butterworth_magnitude(BandType band, const std::vector<double>& edges,
+                             int order, double f);
+
+/// Length-`num_taps` (odd) linear-phase FIR sampling that magnitude.
+/// `smooth` applies a Hamming window to damp frequency-sampling ripple.
+std::vector<double> design_butterworth_fir(BandType band,
+                                           const std::vector<double>& edges,
+                                           int order, int num_taps,
+                                           bool smooth = true);
+
+}  // namespace mrpf::filter

@@ -1,0 +1,89 @@
+#include "mrpf/filter/catalog.hpp"
+
+#include <mutex>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/filter/design.hpp"
+
+namespace mrpf::filter {
+
+namespace {
+
+FilterSpec make(const char* name, DesignMethod m, BandType b,
+                std::vector<double> edges, double rp, double rs, int taps,
+                int bw_order = 5) {
+  FilterSpec s;
+  s.name = name;
+  s.method = m;
+  s.band = b;
+  s.edges = std::move(edges);
+  s.passband_ripple_db = rp;
+  s.stopband_atten_db = rs;
+  s.num_taps = taps;
+  s.butterworth_order = bw_order;
+  return s;
+}
+
+std::vector<FilterSpec> build_catalog() {
+  using M = DesignMethod;
+  using B = BandType;
+  // Method/band rows follow the paper's Table 1 exactly:
+  //   BW PM LS BW PM LS PM PM LS LS PM LS
+  //   LP LP LP LP BS BS BS LP BS LP BP BP
+  return {
+      make("Ex1", M::kButterworthFir, B::kLowPass, {0.15, 0.50}, 1.0, 20.0,
+           17, 12),
+      make("Ex2", M::kParksMcClellan, B::kLowPass, {0.20, 0.35}, 1.0, 45.0,
+           21),
+      make("Ex3", M::kLeastSquares, B::kLowPass, {0.15, 0.28}, 0.5, 50.0,
+           27),
+      make("Ex4", M::kButterworthFir, B::kLowPass, {0.20, 0.40}, 1.0, 22.0,
+           33, 16),
+      make("Ex5", M::kParksMcClellan, B::kBandStop,
+           {0.18, 0.25, 0.35, 0.42}, 0.5, 45.0, 41),
+      make("Ex6", M::kLeastSquares, B::kBandStop, {0.20, 0.28, 0.42, 0.50},
+           0.5, 50.0, 45),
+      make("Ex7", M::kParksMcClellan, B::kBandStop,
+           {0.15, 0.22, 0.38, 0.45}, 0.5, 50.0, 53),
+      make("Ex8", M::kParksMcClellan, B::kLowPass, {0.10, 0.16}, 0.3, 55.0,
+           61),
+      make("Ex9", M::kLeastSquares, B::kBandStop, {0.22, 0.28, 0.40, 0.46},
+           0.3, 55.0, 67),
+      make("Ex10", M::kLeastSquares, B::kLowPass, {0.08, 0.13}, 0.3, 55.0,
+           75),
+      make("Ex11", M::kParksMcClellan, B::kBandPass,
+           {0.22, 0.30, 0.40, 0.48}, 0.3, 55.0, 85),
+      make("Ex12", M::kLeastSquares, B::kBandPass,
+           {0.16, 0.25, 0.42, 0.50}, 0.3, 55.0, 101),
+  };
+}
+
+const std::vector<FilterSpec>& catalog_impl() {
+  static const std::vector<FilterSpec> specs = build_catalog();
+  return specs;
+}
+
+}  // namespace
+
+int catalog_size() { return static_cast<int>(catalog_impl().size()); }
+
+const std::vector<FilterSpec>& catalog() { return catalog_impl(); }
+
+const FilterSpec& catalog_spec(int i) {
+  MRPF_CHECK(i >= 0 && i < catalog_size(), "catalog_spec: index out of range");
+  return catalog_impl()[static_cast<std::size_t>(i)];
+}
+
+const std::vector<double>& catalog_coefficients(int i) {
+  MRPF_CHECK(i >= 0 && i < catalog_size(),
+             "catalog_coefficients: index out of range");
+  static std::vector<std::vector<double>> cache(
+      static_cast<std::size_t>(catalog_size()));
+  static std::mutex mu;
+  std::scoped_lock lock(mu);
+  auto& slot = cache[static_cast<std::size_t>(i)];
+  if (slot.empty()) slot = design(catalog_spec(i));
+  return slot;
+}
+
+}  // namespace mrpf::filter

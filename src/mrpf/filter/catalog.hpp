@@ -1,0 +1,30 @@
+// The 12-filter example catalog of Table 1.
+//
+// The paper's method row (BW PM LS BW PM LS PM PM LS LS PM LS) and band
+// row (LP LP LP LP BS BS BS LP BS LP BP BP) are reproduced exactly; the
+// numeric band edges / ripples are unreadable in the available scan, so
+// this catalog substitutes concrete specs with orders spanning ~17–125
+// taps (see DESIGN.md, "Substitutions"). All filters are symmetric
+// (linear phase) and evaluated folded.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/filter/spec.hpp"
+
+namespace mrpf::filter {
+
+/// Number of catalog entries (12, as in Table 1).
+int catalog_size();
+
+/// Spec of catalog entry i ∈ [0, catalog_size()).
+const FilterSpec& catalog_spec(int i);
+
+/// Designed impulse response of catalog entry i (deterministic; results
+/// are cached internally because the benches sweep the catalog repeatedly).
+const std::vector<double>& catalog_coefficients(int i);
+
+/// All specs, in order.
+const std::vector<FilterSpec>& catalog();
+
+}  // namespace mrpf::filter

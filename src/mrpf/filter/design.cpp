@@ -1,0 +1,49 @@
+#include "mrpf/filter/design.hpp"
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/filter/butterworth.hpp"
+#include "mrpf/filter/kaiser.hpp"
+#include "mrpf/filter/least_squares.hpp"
+#include "mrpf/filter/remez.hpp"
+
+namespace mrpf::filter {
+
+namespace {
+
+/// Butterworth prototypes take cutoff frequencies (mid-transition), not
+/// pass/stop edge pairs.
+std::vector<double> butterworth_edges(const FilterSpec& spec) {
+  switch (spec.band) {
+    case BandType::kLowPass:
+    case BandType::kHighPass:
+      return {(spec.edges[0] + spec.edges[1]) / 2.0};
+    case BandType::kBandPass:
+      return {(spec.edges[0] + spec.edges[1]) / 2.0,
+              (spec.edges[2] + spec.edges[3]) / 2.0};
+    case BandType::kBandStop:
+      return {(spec.edges[0] + spec.edges[1]) / 2.0,
+              (spec.edges[2] + spec.edges[3]) / 2.0};
+  }
+  throw Error("butterworth_edges: unknown band type");
+}
+
+}  // namespace
+
+std::vector<double> design(const FilterSpec& spec) {
+  spec.validate();
+  switch (spec.method) {
+    case DesignMethod::kParksMcClellan:
+      return design_remez(spec.bands(), spec.num_taps).h;
+    case DesignMethod::kLeastSquares:
+      return design_least_squares(spec.bands(), spec.num_taps);
+    case DesignMethod::kButterworthFir:
+      return design_butterworth_fir(spec.band, butterworth_edges(spec),
+                                    spec.butterworth_order, spec.num_taps);
+    case DesignMethod::kKaiserWindow:
+      return design_kaiser(spec.band, spec.edges, spec.stopband_atten_db,
+                           spec.num_taps);
+  }
+  throw Error("design: unknown method");
+}
+
+}  // namespace mrpf::filter

@@ -1,0 +1,14 @@
+// Unified entry point: design a FilterSpec with its chosen method.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/filter/spec.hpp"
+
+namespace mrpf::filter {
+
+/// Dispatches to Remez / least-squares / Butterworth-FIR / Kaiser and
+/// returns the impulse response (length spec.num_taps, symmetric).
+std::vector<double> design(const FilterSpec& spec);
+
+}  // namespace mrpf::filter

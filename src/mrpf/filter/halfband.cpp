@@ -1,0 +1,53 @@
+#include "mrpf/filter/halfband.hpp"
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/dsp/window.hpp"
+
+namespace mrpf::filter {
+
+std::vector<double> design_halfband(int num_taps, double atten_db) {
+  MRPF_CHECK(num_taps >= 7 && num_taps % 4 == 3,
+             "design_halfband: length must be ≥ 7 with N % 4 == 3");
+  MRPF_CHECK(atten_db > 0.0, "design_halfband: attenuation must be positive");
+
+  const int m = (num_taps - 1) / 2;
+  const std::vector<double> w =
+      dsp::window_kaiser(num_taps, dsp::kaiser_beta_for_attenuation(atten_db));
+
+  std::vector<double> h(static_cast<std::size_t>(num_taps), 0.0);
+  for (int n = 0; n < num_taps; ++n) {
+    const int q = n - m;
+    if (q == 0) {
+      h[static_cast<std::size_t>(n)] = 0.5;
+    } else if (q % 2 != 0) {
+      // Ideal fc = 0.5 lowpass: h(q) = sin(πq/2)/(πq), an even function
+      // equal to ±1/(π|q|) for odd q (+ when |q| ≡ 1 mod 4).
+      const double sign = (std::abs(q) % 4 == 1) ? 1.0 : -1.0;
+      h[static_cast<std::size_t>(n)] =
+          sign / (M_PI * std::abs(static_cast<double>(q))) *
+          w[static_cast<std::size_t>(n)];
+    }
+    // Even q ≠ 0: structurally zero.
+  }
+  return h;
+}
+
+bool is_halfband(const std::vector<double>& h) {
+  if (h.size() < 7 || h.size() % 2 == 0) return false;
+  const int m = static_cast<int>(h.size() - 1) / 2;
+  for (int n = 0; n < static_cast<int>(h.size()); ++n) {
+    const int q = n - m;
+    if (q != 0 && q % 2 == 0 && h[static_cast<std::size_t>(n)] != 0.0) {
+      return false;
+    }
+    if (h[static_cast<std::size_t>(n)] !=
+        h[h.size() - 1 - static_cast<std::size_t>(n)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mrpf::filter

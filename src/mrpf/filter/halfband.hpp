@@ -1,0 +1,20 @@
+// Half-band FIR design: cutoff at f = 0.5 makes every even-offset tap
+// (except the centre) exactly zero — the workhorse of decimate-by-2
+// chains, and a structural gift to multiplierless synthesis (half the
+// multiplier bank disappears before any optimizer runs).
+#pragma once
+
+#include <vector>
+
+namespace mrpf::filter {
+
+/// Kaiser-windowed half-band low-pass of length `num_taps` (must satisfy
+/// num_taps % 4 == 3, the canonical half-band length). Zero taps are
+/// exact (set structurally, not left to floating point).
+std::vector<double> design_halfband(int num_taps, double atten_db);
+
+/// True when h has the half-band structure: odd length, symmetric, all
+/// even-offset taps from the centre exactly zero (except the centre).
+bool is_halfband(const std::vector<double>& h);
+
+}  // namespace mrpf::filter

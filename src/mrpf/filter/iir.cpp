@@ -1,0 +1,153 @@
+#include "mrpf/filter/iir.hpp"
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::filter {
+
+namespace {
+
+using cplx = std::complex<double>;
+
+/// Multiplies polynomial p (ascending powers of z^-1) by
+/// (c0 + c1 z^-1 + c2 z^-2).
+std::vector<double> poly_mul3(const std::vector<double>& p, double c0,
+                              double c1, double c2) {
+  std::vector<double> out(p.size() + 2, 0.0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    out[i] += p[i] * c0;
+    out[i + 1] += p[i] * c1;
+    out[i + 2] += p[i] * c2;
+  }
+  // Trim the always-zero tail of first-order factors.
+  while (out.size() > 1 && out.back() == 0.0) out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+IirDesign::DirectForm IirDesign::direct_form() const {
+  DirectForm df;
+  df.b = {1.0};
+  df.a = {1.0};
+  for (const Biquad& s : sections) {
+    df.b = poly_mul3(df.b, s.b0, s.b1, s.b2);
+    df.a = poly_mul3(df.a, 1.0, s.a1, s.a2);
+  }
+  // Pad to equal length (direct form expects matched orders).
+  while (df.b.size() < df.a.size()) df.b.push_back(0.0);
+  while (df.a.size() < df.b.size()) df.a.push_back(0.0);
+  return df;
+}
+
+std::complex<double> IirDesign::response_at(double f) const {
+  const double w = M_PI * f;
+  const cplx zi = std::exp(cplx(0.0, -w));  // z^-1
+  cplx h(1.0, 0.0);
+  for (const Biquad& s : sections) {
+    h *= (s.b0 + s.b1 * zi + s.b2 * zi * zi) /
+         (1.0 + s.a1 * zi + s.a2 * zi * zi);
+  }
+  return h;
+}
+
+IirDesign design_butterworth_iir(BandType band, double fc, int order) {
+  MRPF_CHECK(band == BandType::kLowPass || band == BandType::kHighPass,
+             "design_butterworth_iir: LP/HP only (cascade two for BP/BS)");
+  MRPF_CHECK(fc > 0.0 && fc < 1.0, "design_butterworth_iir: fc outside (0,1)");
+  MRPF_CHECK(order >= 1 && order <= 16,
+             "design_butterworth_iir: order out of range [1,16]");
+
+  // Pre-warped analog cutoff (bilinear transform with T = 2).
+  const double wc = std::tan(M_PI * fc / 2.0);
+  const bool highpass = band == BandType::kHighPass;
+
+  IirDesign design;
+  // Analog Butterworth poles on the left half of the |s| = wc circle:
+  // s_k = wc·exp(jθ_k), θ_k = π(2k + n + 1)/(2n). For HP the analog
+  // prototype is transformed s → wc²/s, equivalent to mapping each pole
+  // p → wc²/p and moving the zeros from s=∞ to s=0 (z = +1 digitally).
+  for (int k = 0; k < order / 2; ++k) {
+    const double theta = M_PI *
+                         (2.0 * static_cast<double>(k) + 1.0 +
+                          static_cast<double>(order)) /
+                         (2.0 * static_cast<double>(order));
+    cplx p = wc * std::exp(cplx(0.0, theta));
+    if (highpass) p = (wc * wc) / p;
+    // Bilinear: z_pole = (1 + p) / (1 − p).
+    const cplx zp = (1.0 + p) / (1.0 - p);
+    Biquad s;
+    s.a1 = -2.0 * zp.real();
+    s.a2 = std::norm(zp);
+    // Zeros: z = −1 (LP) or z = +1 (HP), double.
+    const double z0 = highpass ? 1.0 : -1.0;
+    s.b0 = 1.0;
+    s.b1 = -2.0 * z0;
+    s.b2 = 1.0;
+    // Normalize: unit gain at DC (LP) / Nyquist (HP), where z^-1 = ±1.
+    const double zi = highpass ? -1.0 : 1.0;
+    const double num = s.b0 + s.b1 * zi + s.b2 * zi * zi;
+    const double den = 1.0 + s.a1 * zi + s.a2 * zi * zi;
+    const double g = den / num;
+    s.b0 *= g;
+    s.b1 *= g;
+    s.b2 *= g;
+    design.sections.push_back(s);
+  }
+  if (order % 2 == 1) {
+    // Real pole at s = −wc (LP) or s = −wc (HP prototype maps to itself).
+    double p = -wc;
+    if (highpass) p = (wc * wc) / p;
+    const double zp = (1.0 + p) / (1.0 - p);
+    Biquad s;
+    s.a1 = -zp;
+    const double z0 = highpass ? 1.0 : -1.0;
+    s.b0 = 1.0;
+    s.b1 = -z0;
+    const double zi = highpass ? -1.0 : 1.0;
+    const double g = (1.0 + s.a1 * zi) / (s.b0 + s.b1 * zi);
+    s.b0 *= g;
+    s.b1 *= g;
+    design.sections.push_back(s);
+  }
+  return design;
+}
+
+std::vector<double> iir_filter(const IirDesign& design,
+                               const std::vector<double>& x) {
+  std::vector<double> data = x;
+  for (const Biquad& s : design.sections) {
+    double w1 = 0.0;
+    double w2 = 0.0;  // transposed direct form II state
+    for (double& v : data) {
+      const double in = v;
+      const double out = s.b0 * in + w1;
+      w1 = s.b1 * in - s.a1 * out + w2;
+      w2 = s.b2 * in - s.a2 * out;
+      v = out;
+    }
+  }
+  return data;
+}
+
+std::vector<double> iir_filter_direct(const std::vector<double>& b,
+                                      const std::vector<double>& a,
+                                      const std::vector<double>& x) {
+  MRPF_CHECK(!a.empty() && a[0] == 1.0,
+             "iir_filter_direct: denominator must be monic");
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < b.size() && k <= n; ++k) {
+      acc += b[k] * x[n - k];
+    }
+    for (std::size_t k = 1; k < a.size() && k <= n; ++k) {
+      acc -= a[k] * y[n - k];
+    }
+    y[n] = acc;
+  }
+  return y;
+}
+
+}  // namespace mrpf::filter

@@ -1,0 +1,55 @@
+// IIR filter design (Butterworth, bilinear transform).
+//
+// The paper notes (§1) that MRP applies "to any application which can be
+// expressed as a vector scaling operation, like transposed direct form IIR
+// filters": the feed-forward bank {b_i} scales the input broadcast and the
+// feedback bank {a_i} scales the output broadcast. This module provides
+// the IIR substrate: analog Butterworth prototypes mapped through the
+// bilinear transform into biquad cascades, cascade→direct-form expansion,
+// and double-precision reference filtering.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "mrpf/filter/spec.hpp"
+
+namespace mrpf::filter {
+
+/// One second-order section: H(z) = (b0 + b1 z^-1 + b2 z^-2) /
+/// (1 + a1 z^-1 + a2 z^-2). First-order sections set b2 = a2 = 0.
+struct Biquad {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+};
+
+struct IirDesign {
+  std::vector<Biquad> sections;  // cascade, applied in order
+
+  /// Direct-form coefficients of the expanded cascade:
+  /// numerator b[0..order], denominator a[0..order] with a[0] == 1.
+  struct DirectForm {
+    std::vector<double> b;
+    std::vector<double> a;
+  };
+  DirectForm direct_form() const;
+
+  std::complex<double> response_at(double f) const;  // f in [0,1], Nyquist=1
+};
+
+/// Digital Butterworth low-pass/high-pass of the given order with -3 dB
+/// cutoff fc (normalized, 0 < fc < 1). Throws on band-pass/stop (use two
+/// cascaded designs) or invalid arguments.
+IirDesign design_butterworth_iir(BandType band, double fc, int order);
+
+/// Double-precision cascade filtering (reference model).
+std::vector<double> iir_filter(const IirDesign& design,
+                               const std::vector<double>& x);
+
+/// Direct-form filtering from explicit (b, a) (reference model for the
+/// fixed-point path): y[n] = Σ b_k x[n-k] − Σ_{k≥1} a_k y[n-k].
+std::vector<double> iir_filter_direct(const std::vector<double>& b,
+                                      const std::vector<double>& a,
+                                      const std::vector<double>& x);
+
+}  // namespace mrpf::filter

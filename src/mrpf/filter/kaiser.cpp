@@ -1,0 +1,88 @@
+#include "mrpf/filter/kaiser.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/dsp/window.hpp"
+
+namespace mrpf::filter {
+
+namespace {
+
+/// h_ideal of a lowpass with cutoff fc (normalized), centered at m.
+double lowpass_tap(double fc, int n, int m) {
+  if (n == m) return fc;
+  const double t = M_PI * static_cast<double>(n - m);
+  return std::sin(fc * t) / t;
+}
+
+}  // namespace
+
+std::vector<double> ideal_impulse_response(BandType band,
+                                           const std::vector<double>& edges,
+                                           int num_taps) {
+  MRPF_CHECK(num_taps >= 3 && num_taps % 2 == 1,
+             "ideal_impulse_response: num_taps must be odd and >= 3");
+  const int m = (num_taps - 1) / 2;
+  std::vector<double> h(static_cast<std::size_t>(num_taps), 0.0);
+
+  auto mid = [](double a, double b) { return (a + b) / 2.0; };
+  for (int n = 0; n < num_taps; ++n) {
+    double v = 0.0;
+    switch (band) {
+      case BandType::kLowPass: {
+        MRPF_CHECK(edges.size() == 2, "LP needs {f_pass, f_stop}");
+        v = lowpass_tap(mid(edges[0], edges[1]), n, m);
+        break;
+      }
+      case BandType::kHighPass: {
+        MRPF_CHECK(edges.size() == 2, "HP needs {f_stop, f_pass}");
+        const double fc = mid(edges[0], edges[1]);
+        v = (n == m ? 1.0 : 0.0) - lowpass_tap(fc, n, m);
+        break;
+      }
+      case BandType::kBandPass: {
+        MRPF_CHECK(edges.size() == 4, "BP needs 4 edges");
+        v = lowpass_tap(mid(edges[2], edges[3]), n, m) -
+            lowpass_tap(mid(edges[0], edges[1]), n, m);
+        break;
+      }
+      case BandType::kBandStop: {
+        MRPF_CHECK(edges.size() == 4, "BS needs 4 edges");
+        // Stop band is [edges[1], edges[2]]; cutoffs sit mid-transition.
+        v = (n == m ? 1.0 : 0.0) -
+            (lowpass_tap(mid(edges[2], edges[3]), n, m) -
+             lowpass_tap(mid(edges[0], edges[1]), n, m));
+        break;
+      }
+    }
+    h[static_cast<std::size_t>(n)] = v;
+  }
+  return h;
+}
+
+std::vector<double> design_kaiser(BandType band,
+                                  const std::vector<double>& edges,
+                                  double atten_db, int num_taps) {
+  MRPF_CHECK(atten_db > 0.0, "design_kaiser: attenuation must be positive");
+  MRPF_CHECK(edges.size() == 2 || edges.size() == 4,
+             "design_kaiser: need 2 or 4 edges");
+  double min_transition = 1.0;
+  for (std::size_t i = 0; i + 1 < edges.size(); i += 2) {
+    min_transition = std::min(min_transition, edges[i + 1] - edges[i]);
+  }
+  if (num_taps == 0) {
+    num_taps = dsp::kaiser_length_for_spec(atten_db, min_transition);
+    if (num_taps % 2 == 0) ++num_taps;
+  }
+  MRPF_CHECK(num_taps % 2 == 1, "design_kaiser: num_taps must be odd");
+
+  std::vector<double> h = ideal_impulse_response(band, edges, num_taps);
+  const std::vector<double> w = dsp::window_kaiser(
+      num_taps, dsp::kaiser_beta_for_attenuation(atten_db));
+  for (std::size_t i = 0; i < h.size(); ++i) h[i] *= w[i];
+  return h;
+}
+
+}  // namespace mrpf::filter

@@ -1,0 +1,23 @@
+// Kaiser-window FIR design: ideal band-selective impulse response times a
+// Kaiser window sized from the attenuation/transition-width spec.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/filter/spec.hpp"
+
+namespace mrpf::filter {
+
+/// Ideal (sinc) linear-phase impulse response of length num_taps for the
+/// band type. Cutoffs are placed mid-transition; edges as in FilterSpec.
+std::vector<double> ideal_impulse_response(BandType band,
+                                           const std::vector<double>& edges,
+                                           int num_taps);
+
+/// Kaiser-window design: num_taps == 0 lets the Kaiser length formula pick
+/// the (odd) length from atten_db and the narrowest transition band.
+std::vector<double> design_kaiser(BandType band,
+                                  const std::vector<double>& edges,
+                                  double atten_db, int num_taps = 0);
+
+}  // namespace mrpf::filter

@@ -1,0 +1,73 @@
+#include "mrpf/filter/least_squares.hpp"
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/dsp/linalg.hpp"
+
+namespace mrpf::filter {
+
+namespace {
+
+/// ∫_{f1}^{f2} cos(πkf)·cos(πlf) df, closed form.
+double cos_inner(int k, int l, double f1, double f2) {
+  const double a = M_PI * k;
+  const double b = M_PI * l;
+  if (k == 0 && l == 0) return f2 - f1;
+  if (k == l) {
+    return (f2 - f1) / 2.0 +
+           (std::sin(2.0 * a * f2) - std::sin(2.0 * a * f1)) / (4.0 * a);
+  }
+  const double d = a - b;
+  const double s = a + b;
+  return (std::sin(d * f2) - std::sin(d * f1)) / (2.0 * d) +
+         (std::sin(s * f2) - std::sin(s * f1)) / (2.0 * s);
+}
+
+/// ∫_{f1}^{f2} cos(πkf) df.
+double cos_moment(int k, double f1, double f2) {
+  if (k == 0) return f2 - f1;
+  const double a = M_PI * k;
+  return (std::sin(a * f2) - std::sin(a * f1)) / a;
+}
+
+}  // namespace
+
+std::vector<double> design_least_squares(const std::vector<Band>& bands,
+                                         int num_taps) {
+  MRPF_CHECK(num_taps >= 3 && num_taps % 2 == 1,
+             "least_squares: num_taps must be odd and >= 3");
+  MRPF_CHECK(!bands.empty(), "least_squares: no bands");
+
+  const int m = (num_taps - 1) / 2;
+  const int r = m + 1;
+
+  dsp::Matrix q(r, r);
+  std::vector<double> rhs(static_cast<std::size_t>(r), 0.0);
+  for (const Band& band : bands) {
+    MRPF_CHECK(band.f_hi > band.f_lo, "least_squares: empty band");
+    MRPF_CHECK(band.weight > 0.0, "least_squares: non-positive weight");
+    for (int k = 0; k < r; ++k) {
+      for (int l = k; l < r; ++l) {
+        const double v =
+            band.weight * cos_inner(k, l, band.f_lo, band.f_hi);
+        q.at(k, l) += v;
+        if (l != k) q.at(l, k) += v;
+      }
+      rhs[static_cast<std::size_t>(k)] +=
+          band.weight * band.desired * cos_moment(k, band.f_lo, band.f_hi);
+    }
+  }
+
+  const std::vector<double> a = dsp::solve_linear(q, rhs);
+
+  std::vector<double> h(static_cast<std::size_t>(num_taps), 0.0);
+  h[static_cast<std::size_t>(m)] = a[0];
+  for (int k = 1; k <= m; ++k) {
+    h[static_cast<std::size_t>(m - k)] = a[static_cast<std::size_t>(k)] / 2.0;
+    h[static_cast<std::size_t>(m + k)] = a[static_cast<std::size_t>(k)] / 2.0;
+  }
+  return h;
+}
+
+}  // namespace mrpf::filter

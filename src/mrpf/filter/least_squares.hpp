@@ -1,0 +1,18 @@
+// Weighted least-squares linear-phase FIR design (type I).
+//
+// Minimizes  Σ_bands W_b ∫ (A(f) − D_b)² df  over the cosine-basis
+// amplitude A(f) = Σ a_k cos(πfk). The Gram matrix and load vector have
+// closed-form band integrals, so no numerical quadrature is involved.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/filter/spec.hpp"
+
+namespace mrpf::filter {
+
+/// Length-`num_taps` (odd) impulse response of the LS-optimal filter.
+std::vector<double> design_least_squares(const std::vector<Band>& bands,
+                                         int num_taps);
+
+}  // namespace mrpf::filter

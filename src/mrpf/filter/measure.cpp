@@ -1,0 +1,55 @@
+#include "mrpf/filter/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/dsp/freq_response.hpp"
+
+namespace mrpf::filter {
+
+Measurement measure(const std::vector<double>& h, const FilterSpec& spec,
+                    int grid_points) {
+  MRPF_CHECK(!h.empty(), "measure: empty filter");
+  MRPF_CHECK(grid_points >= 16, "measure: grid too small");
+
+  Measurement out;
+  out.max_passband_gain = 0.0;
+  out.min_passband_gain = std::numeric_limits<double>::infinity();
+  out.max_stopband_gain = 0.0;
+
+  for (const Band& band : spec.bands()) {
+    const bool is_pass = band.desired > 0.5;
+    const int n = std::max(
+        8, static_cast<int>((band.f_hi - band.f_lo) * grid_points));
+    for (int i = 0; i <= n; ++i) {
+      const double f = band.f_lo + (band.f_hi - band.f_lo) *
+                                       static_cast<double>(i) /
+                                       static_cast<double>(n);
+      const double mag = std::abs(dsp::freq_response_at(h, f));
+      if (is_pass) {
+        out.max_passband_gain = std::max(out.max_passband_gain, mag);
+        out.min_passband_gain = std::min(out.min_passband_gain, mag);
+      } else {
+        out.max_stopband_gain = std::max(out.max_stopband_gain, mag);
+      }
+    }
+  }
+
+  const double dev = std::max(std::fabs(out.max_passband_gain - 1.0),
+                              std::fabs(1.0 - out.min_passband_gain));
+  out.passband_ripple_db = -20.0 * std::log10(std::max(1.0 - dev, 1e-15));
+  out.stopband_atten_db =
+      -20.0 * std::log10(std::max(out.max_stopband_gain, 1e-15));
+  return out;
+}
+
+bool meets_spec(const std::vector<double>& h, const FilterSpec& spec,
+                double slack_db, int grid_points) {
+  const Measurement m = measure(h, spec, grid_points);
+  return m.passband_ripple_db <= spec.passband_ripple_db + slack_db &&
+         m.stopband_atten_db >= spec.stopband_atten_db - slack_db;
+}
+
+}  // namespace mrpf::filter

@@ -1,0 +1,27 @@
+// Frequency-domain measurement of a designed filter against its spec:
+// realized passband ripple and stopband attenuation on a dense grid.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/filter/spec.hpp"
+
+namespace mrpf::filter {
+
+struct Measurement {
+  double passband_ripple_db = 0.0;   // max deviation from unity, in dB
+  double stopband_atten_db = 0.0;    // min attenuation over stop bands
+  double max_passband_gain = 0.0;    // linear
+  double min_passband_gain = 0.0;    // linear
+  double max_stopband_gain = 0.0;    // linear
+};
+
+/// Measures h over the bands of `spec` using `grid_points` per unit band.
+Measurement measure(const std::vector<double>& h, const FilterSpec& spec,
+                    int grid_points = 2048);
+
+/// True when the realized response meets the spec within `slack_db`.
+bool meets_spec(const std::vector<double>& h, const FilterSpec& spec,
+                double slack_db = 0.0, int grid_points = 2048);
+
+}  // namespace mrpf::filter

@@ -1,0 +1,74 @@
+#include "mrpf/filter/polyphase.hpp"
+
+#include <limits>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::filter {
+
+namespace {
+
+template <typename T>
+std::vector<std::vector<T>> decompose_impl(const std::vector<T>& h,
+                                           int factor) {
+  MRPF_CHECK(factor >= 1, "polyphase: factor must be positive");
+  MRPF_CHECK(!h.empty(), "polyphase: empty filter");
+  std::vector<std::vector<T>> branches(static_cast<std::size_t>(factor));
+  for (std::size_t j = 0; j < h.size(); ++j) {
+    branches[j % static_cast<std::size_t>(factor)].push_back(h[j]);
+  }
+  return branches;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> polyphase_decompose(
+    const std::vector<double>& h, int factor) {
+  return decompose_impl(h, factor);
+}
+
+std::vector<std::vector<i64>> polyphase_decompose(const std::vector<i64>& h,
+                                                  int factor) {
+  return decompose_impl(h, factor);
+}
+
+std::vector<i64> decimate_exact(const std::vector<i64>& c, int factor,
+                                const std::vector<i64>& x) {
+  MRPF_CHECK(factor >= 1, "decimate_exact: factor must be positive");
+  MRPF_CHECK(!c.empty(), "decimate_exact: empty filter");
+  std::vector<i64> y;
+  for (std::size_t n = 0; n < x.size(); n += static_cast<std::size_t>(factor)) {
+    i128 acc = 0;
+    for (std::size_t j = 0; j < c.size() && j <= n; ++j) {
+      acc += static_cast<i128>(c[j]) * x[n - j];
+    }
+    MRPF_CHECK(acc <= std::numeric_limits<i64>::max() &&
+                   acc >= std::numeric_limits<i64>::min(),
+               "decimate_exact: accumulator overflow");
+    y.push_back(static_cast<i64>(acc));
+  }
+  return y;
+}
+
+std::vector<i64> interpolate_exact(const std::vector<i64>& c, int factor,
+                                   const std::vector<i64>& x) {
+  MRPF_CHECK(factor >= 1, "interpolate_exact: factor must be positive");
+  MRPF_CHECK(!c.empty(), "interpolate_exact: empty filter");
+  std::vector<i64> y(x.size() * static_cast<std::size_t>(factor), 0);
+  for (std::size_t n = 0; n < y.size(); ++n) {
+    i128 acc = 0;
+    // Only indices with n − j divisible by L contribute (zero stuffing).
+    for (std::size_t j = n % static_cast<std::size_t>(factor);
+         j < c.size() && j <= n; j += static_cast<std::size_t>(factor)) {
+      acc += static_cast<i128>(c[j]) *
+             x[(n - j) / static_cast<std::size_t>(factor)];
+    }
+    MRPF_CHECK(acc <= std::numeric_limits<i64>::max() &&
+                   acc >= std::numeric_limits<i64>::min(),
+               "interpolate_exact: accumulator overflow");
+    y[n] = static_cast<i64>(acc);
+  }
+  return y;
+}
+
+}  // namespace mrpf::filter

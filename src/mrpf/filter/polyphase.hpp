@@ -1,0 +1,34 @@
+// Polyphase decomposition for multirate FIR filters.
+//
+// A decimate-by-M filter splits h into M subfilters e_k[q] = h[qM + k];
+// each branch runs at the low rate on its own input phase. Within one
+// branch the transposed direct form broadcasts a single low-rate sample to
+// all of that branch's coefficients — a vector scaling again — so MRP/CSE
+// apply per branch (and, instructively, cannot share across branches,
+// whose multiplicands differ).
+#pragma once
+
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::filter {
+
+/// Subfilters e_k[q] = h[qM + k], k = 0..factor-1 (trailing zeros trimmed
+/// per branch, empty branches possible for short filters).
+std::vector<std::vector<double>> polyphase_decompose(
+    const std::vector<double>& h, int factor);
+std::vector<std::vector<i64>> polyphase_decompose(const std::vector<i64>& h,
+                                                  int factor);
+
+/// Reference decimator: y[m] = (c ⊛ x)[mM], exact integers,
+/// m = 0..floor((|x|-1)/M).
+std::vector<i64> decimate_exact(const std::vector<i64>& c, int factor,
+                                const std::vector<i64>& x);
+
+/// Reference interpolator: zero-stuff x by L then filter with c;
+/// y[n] = Σ_q c[n − qL]·x[q], length |x|·L.
+std::vector<i64> interpolate_exact(const std::vector<i64>& c, int factor,
+                                   const std::vector<i64>& x);
+
+}  // namespace mrpf::filter

@@ -1,0 +1,264 @@
+#include "mrpf/filter/remez.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::filter {
+
+namespace {
+
+struct GridPoint {
+  double f = 0.0;
+  double desired = 0.0;
+  double weight = 1.0;
+};
+
+struct Grid {
+  std::vector<GridPoint> pts;
+  std::vector<std::pair<int, int>> segments;  // [first, last] per band
+};
+
+Grid build_grid(const std::vector<Band>& bands, int r, int density) {
+  double total_width = 0.0;
+  for (const Band& b : bands) {
+    MRPF_CHECK(b.f_hi >= b.f_lo && b.f_lo >= 0.0 && b.f_hi <= 1.0,
+               "remez: malformed band");
+    MRPF_CHECK(b.weight > 0.0, "remez: non-positive band weight");
+    total_width += b.f_hi - b.f_lo;
+  }
+  MRPF_CHECK(total_width > 0.0, "remez: zero-width band union");
+
+  const int target_points = std::max(density * r, 2 * r + 8);
+  const double step = total_width / static_cast<double>(target_points);
+
+  Grid g;
+  for (const Band& b : bands) {
+    const int first = static_cast<int>(g.pts.size());
+    const double width = b.f_hi - b.f_lo;
+    const int n = std::max(2, static_cast<int>(std::ceil(width / step)) + 1);
+    for (int i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+      g.pts.push_back({b.f_lo + t * width, b.desired, b.weight});
+    }
+    g.segments.emplace_back(first, static_cast<int>(g.pts.size()) - 1);
+  }
+  return g;
+}
+
+/// 1 / Π_{j≠i} (x_i − x_j), computed via log magnitudes for stability.
+std::vector<double> barycentric_gammas(const std::vector<double>& x) {
+  const std::size_t n = x.size();
+  std::vector<double> gamma(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double log_mag = 0.0;
+    double sign = 1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double d = x[i] - x[j];
+      MRPF_CHECK(d != 0.0, "remez: coincident extremal abscissae");
+      log_mag -= std::log(std::fabs(d));
+      if (d < 0.0) sign = -sign;
+    }
+    gamma[i] = sign * std::exp(log_mag);
+  }
+  return gamma;
+}
+
+/// Barycentric interpolation through (x_i, c_i) with weights beta_i.
+double interpolate(const std::vector<double>& x, const std::vector<double>& c,
+                   const std::vector<double>& beta, double xq) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = xq - x[i];
+    if (std::fabs(d) < 1e-14) return c[i];
+    const double t = beta[i] / d;
+    num += t * c[i];
+    den += t;
+  }
+  return num / den;
+}
+
+}  // namespace
+
+RemezResult design_remez(const std::vector<Band>& bands, int num_taps,
+                         const RemezOptions& options) {
+  MRPF_CHECK(num_taps >= 3, "remez: num_taps must be >= 3");
+  MRPF_CHECK(!bands.empty(), "remez: no bands");
+  MRPF_CHECK(options.grid_density >= 4, "remez: grid density too small");
+
+  // Type I (odd length): A(f) = Σ a_k cos(πfk). Type II (even length):
+  // A(f) = cos(πf/2)·P(f) with the same cosine form for P — run the
+  // exchange on D/q and W·q with q(f) = cos(πf/2), keeping the grid away
+  // from f = 1 where q vanishes (A(1) ≡ 0 structurally).
+  const bool type2 = (num_taps % 2 == 0);
+  const int r = type2 ? num_taps / 2 : (num_taps - 1) / 2 + 1;
+
+  std::vector<Band> work_bands = bands;
+  if (type2) {
+    constexpr double kNyquistGuard = 1.0 - 2e-3;
+    for (Band& b : work_bands) {
+      if (b.f_hi > kNyquistGuard) {
+        MRPF_CHECK(b.desired < 0.5,
+                   "remez: even length (type II) forces a Nyquist zero — "
+                   "cannot pass a band touching f = 1");
+        b.f_hi = kNyquistGuard;
+        b.f_lo = std::min(b.f_lo, b.f_hi);
+      }
+    }
+  }
+
+  Grid grid = build_grid(work_bands, r, options.grid_density);
+  if (type2) {
+    for (GridPoint& p : grid.pts) {
+      const double q = std::cos(M_PI * p.f / 2.0);
+      p.desired /= q;
+      p.weight *= q;
+    }
+  }
+  const int g = static_cast<int>(grid.pts.size());
+  MRPF_CHECK(g >= r + 1, "remez: grid smaller than extremal set");
+
+  // Initial extremal set: r+1 indices spread uniformly over the grid.
+  std::vector<int> ext(static_cast<std::size_t>(r) + 1);
+  for (int i = 0; i <= r; ++i) {
+    ext[static_cast<std::size_t>(i)] =
+        static_cast<int>(static_cast<double>(i) * (g - 1) / r);
+  }
+
+  RemezResult result;
+  std::vector<double> error(static_cast<std::size_t>(g), 0.0);
+  std::vector<double> xe, ce, beta;
+  double delta = 0.0;
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+
+    // --- Compute delta on the current extremal set. ---
+    xe.assign(ext.size(), 0.0);
+    for (std::size_t i = 0; i < ext.size(); ++i) {
+      xe[i] = std::cos(M_PI * grid.pts[static_cast<std::size_t>(ext[i])].f);
+    }
+    const std::vector<double> gamma = barycentric_gammas(xe);
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < ext.size(); ++i) {
+      const GridPoint& p = grid.pts[static_cast<std::size_t>(ext[i])];
+      num += gamma[i] * p.desired;
+      den += (i % 2 == 0 ? 1.0 : -1.0) * gamma[i] / p.weight;
+    }
+    MRPF_CHECK(std::fabs(den) > 0.0, "remez: degenerate extremal set");
+    delta = num / den;
+
+    // --- Interpolate A(f) through the first r extremal points. ---
+    std::vector<double> xr(xe.begin(), xe.begin() + r);
+    beta = barycentric_gammas(xr);
+    ce.assign(static_cast<std::size_t>(r), 0.0);
+    for (int i = 0; i < r; ++i) {
+      const GridPoint& p = grid.pts[static_cast<std::size_t>(ext[static_cast<std::size_t>(i)])];
+      ce[static_cast<std::size_t>(i)] =
+          p.desired - (i % 2 == 0 ? 1.0 : -1.0) * delta / p.weight;
+    }
+    xe = std::move(xr);
+
+    // --- Weighted error on the whole grid. ---
+    double max_err = 0.0;
+    for (int i = 0; i < g; ++i) {
+      const GridPoint& p = grid.pts[static_cast<std::size_t>(i)];
+      const double a = interpolate(xe, ce, beta, std::cos(M_PI * p.f));
+      error[static_cast<std::size_t>(i)] = p.weight * (a - p.desired);
+      max_err = std::max(max_err, std::fabs(error[static_cast<std::size_t>(i)]));
+    }
+
+    // --- Converged? ---
+    const double dev = (max_err - std::fabs(delta)) /
+                       std::max(std::fabs(delta), 1e-15);
+    if (dev < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // --- Multiple exchange: pick new alternating extrema. ---
+    // Band edges are always candidates: the Chebyshev optimum pins
+    // extrema there, and dropping them starves the alternation set.
+    std::vector<int> cand;
+    for (const auto& [s, e] : grid.segments) {
+      for (int i = s; i <= e; ++i) {
+        const double ei = std::fabs(error[static_cast<std::size_t>(i)]);
+        const bool left_ok = (i == s) ||
+            ei >= std::fabs(error[static_cast<std::size_t>(i) - 1]);
+        const bool right_ok = (i == e) ||
+            ei > std::fabs(error[static_cast<std::size_t>(i) + 1]);
+        const bool is_edge = (i == s || i == e);
+        if (((left_ok && right_ok) || is_edge) && ei > 0.0) {
+          cand.push_back(i);
+        }
+      }
+    }
+    // Enforce sign alternation: among same-sign neighbours keep the larger.
+    std::vector<int> alt;
+    for (const int i : cand) {
+      if (!alt.empty() &&
+          std::signbit(error[static_cast<std::size_t>(alt.back())]) ==
+              std::signbit(error[static_cast<std::size_t>(i)])) {
+        if (std::fabs(error[static_cast<std::size_t>(i)]) >
+            std::fabs(error[static_cast<std::size_t>(alt.back())])) {
+          alt.back() = i;
+        }
+      } else {
+        alt.push_back(i);
+      }
+    }
+    if (static_cast<int>(alt.size()) < r + 1) {
+      // Not enough alternations found — the current solution is already
+      // essentially optimal on this grid; stop with the best iterate.
+      result.converged = dev < 1e-3;
+      break;
+    }
+    // Trim to exactly r+1 by dropping the weaker endpoint repeatedly.
+    while (static_cast<int>(alt.size()) > r + 1) {
+      if (std::fabs(error[static_cast<std::size_t>(alt.front())]) <
+          std::fabs(error[static_cast<std::size_t>(alt.back())])) {
+        alt.erase(alt.begin());
+      } else {
+        alt.pop_back();
+      }
+    }
+    if (alt == ext) {
+      result.converged = true;
+      break;
+    }
+    ext = std::move(alt);
+  }
+
+  // --- Impulse response from A(f) sampled at f_j = 2j/N (A = q·P; the
+  // type-II Nyquist sample is the structural zero and drops out). ---
+  const int j_max = type2 ? num_taps / 2 - 1 : (num_taps - 1) / 2;
+  std::vector<double> a(static_cast<std::size_t>(j_max) + 1, 0.0);
+  for (int j = 0; j <= j_max; ++j) {
+    const double f = 2.0 * static_cast<double>(j) /
+                     static_cast<double>(num_taps);
+    const double q = type2 ? std::cos(M_PI * f / 2.0) : 1.0;
+    a[static_cast<std::size_t>(j)] =
+        q * interpolate(xe, ce, beta, std::cos(M_PI * f));
+  }
+  const double center = static_cast<double>(num_taps - 1) / 2.0;
+  result.h.assign(static_cast<std::size_t>(num_taps), 0.0);
+  for (int n = 0; n < num_taps; ++n) {
+    double acc = a[0];
+    for (int j = 1; j <= j_max; ++j) {
+      acc += 2.0 * a[static_cast<std::size_t>(j)] *
+             std::cos(2.0 * M_PI * static_cast<double>(j) *
+                      (static_cast<double>(n) - center) /
+                      static_cast<double>(num_taps));
+    }
+    result.h[static_cast<std::size_t>(n)] =
+        acc / static_cast<double>(num_taps);
+  }
+  result.delta = std::fabs(delta);
+  return result;
+}
+
+}  // namespace mrpf::filter

@@ -1,0 +1,36 @@
+// Parks–McClellan optimal equiripple FIR design via the Remez exchange
+// algorithm. Odd lengths give type-I filters (A(f) = Σ a_k·cos(πfk),
+// r = (N+1)/2 basis terms); even lengths give type-II filters
+// (A(f) = cos(πf/2)·P(f), r = N/2, with a structural zero at Nyquist —
+// so type II cannot realize bands that pass f = 1). In both cases the
+// exchange finds the unique amplitude minimizing max W·|A − D| over the
+// band union, characterized by r+1 alternations (Chebyshev).
+#pragma once
+
+#include <vector>
+
+#include "mrpf/filter/spec.hpp"
+
+namespace mrpf::filter {
+
+struct RemezOptions {
+  int grid_density = 16;  // grid points per basis function
+  int max_iterations = 64;
+  double tolerance = 1e-7;  // relative convergence of the ripple δ
+};
+
+struct RemezResult {
+  std::vector<double> h;       // impulse response, length num_taps
+  double delta = 0.0;          // final weighted ripple magnitude
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Designs a length-`num_taps` linear-phase filter over `bands`
+/// (odd → type I, even → type II).
+/// Throws mrpf::Error on invalid inputs; a non-converged exchange still
+/// returns the best iterate with converged == false.
+RemezResult design_remez(const std::vector<Band>& bands, int num_taps,
+                         const RemezOptions& options = {});
+
+}  // namespace mrpf::filter

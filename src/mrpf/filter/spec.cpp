@@ -1,0 +1,97 @@
+#include "mrpf/filter/spec.hpp"
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::filter {
+
+namespace {
+
+int expected_edge_count(BandType b) {
+  switch (b) {
+    case BandType::kLowPass:
+    case BandType::kHighPass:
+      return 2;
+    case BandType::kBandPass:
+    case BandType::kBandStop:
+      return 4;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void FilterSpec::validate() const {
+  MRPF_CHECK(static_cast<int>(edges.size()) == expected_edge_count(band),
+             "FilterSpec: wrong number of band edges for band type");
+  double prev = 0.0;
+  for (const double e : edges) {
+    MRPF_CHECK(e > prev && e < 1.0,
+               "FilterSpec: edges must be ascending inside (0, 1)");
+    prev = e;
+  }
+  MRPF_CHECK(num_taps >= 3, "FilterSpec: num_taps must be >= 3");
+  MRPF_CHECK(num_taps % 2 == 1,
+             "FilterSpec: only odd lengths (type-I linear phase) supported");
+  MRPF_CHECK(passband_ripple_db > 0.0, "FilterSpec: ripple must be positive");
+  MRPF_CHECK(stopband_atten_db > 0.0,
+             "FilterSpec: attenuation must be positive");
+  MRPF_CHECK(butterworth_order >= 1 && butterworth_order <= 20,
+             "FilterSpec: butterworth_order out of range");
+}
+
+std::vector<Band> FilterSpec::bands() const {
+  validate();
+  // Classic PM weighting makes the weighted ripples equal: weight stopbands
+  // by δp/δs so a unit weighted error corresponds to δp in passbands.
+  const double dp = 1.0 - std::pow(10.0, -passband_ripple_db / 20.0);
+  const double ds = std::pow(10.0, -stopband_atten_db / 20.0);
+  const double ws = dp / ds;
+
+  switch (band) {
+    case BandType::kLowPass:
+      return {{0.0, edges[0], 1.0, 1.0}, {edges[1], 1.0, 0.0, ws}};
+    case BandType::kHighPass:
+      return {{0.0, edges[0], 0.0, ws}, {edges[1], 1.0, 1.0, 1.0}};
+    case BandType::kBandPass:
+      return {{0.0, edges[0], 0.0, ws},
+              {edges[1], edges[2], 1.0, 1.0},
+              {edges[3], 1.0, 0.0, ws}};
+    case BandType::kBandStop:
+      return {{0.0, edges[0], 1.0, 1.0},
+              {edges[1], edges[2], 0.0, ws},
+              {edges[3], 1.0, 1.0, 1.0}};
+  }
+  throw Error("FilterSpec::bands: unknown band type");
+}
+
+std::string to_string(BandType b) {
+  switch (b) {
+    case BandType::kLowPass:
+      return "LP";
+    case BandType::kHighPass:
+      return "HP";
+    case BandType::kBandPass:
+      return "BP";
+    case BandType::kBandStop:
+      return "BS";
+  }
+  return "?";
+}
+
+std::string to_string(DesignMethod m) {
+  switch (m) {
+    case DesignMethod::kParksMcClellan:
+      return "PM";
+    case DesignMethod::kLeastSquares:
+      return "LS";
+    case DesignMethod::kButterworthFir:
+      return "BW";
+    case DesignMethod::kKaiserWindow:
+      return "KW";
+  }
+  return "?";
+}
+
+}  // namespace mrpf::filter

@@ -1,0 +1,54 @@
+// Filter specifications.
+//
+// Frequencies are normalized to [0, 1] with 1 = Nyquist (ω = π·f). A spec
+// is a band type plus its edges; designers receive the equivalent
+// piecewise-constant Band list (desired value + weight per band).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mrpf::filter {
+
+enum class BandType { kLowPass, kHighPass, kBandPass, kBandStop };
+enum class DesignMethod {
+  kParksMcClellan,   // "PM" in the paper's Table 1
+  kLeastSquares,     // "LS"
+  kButterworthFir,   // "BW": Butterworth magnitude sampled into a FIR
+  kKaiserWindow,     // extra design path (not in Table 1)
+};
+
+/// One piecewise-constant band of the desired amplitude response.
+struct Band {
+  double f_lo = 0.0;     // inclusive, normalized
+  double f_hi = 0.0;     // inclusive, normalized
+  double desired = 0.0;  // target amplitude (1 pass, 0 stop)
+  double weight = 1.0;   // error weight
+};
+
+struct FilterSpec {
+  std::string name;
+  DesignMethod method = DesignMethod::kParksMcClellan;
+  BandType band = BandType::kLowPass;
+  /// Band edges, ascending, inside (0, 1):
+  ///  LP/HP: {f_pass, f_stop} (LP) or {f_stop, f_pass} (HP);
+  ///  BP:    {f_stop1, f_pass1, f_pass2, f_stop2};
+  ///  BS:    {f_pass1, f_stop1, f_stop2, f_pass2}.
+  std::vector<double> edges;
+  double passband_ripple_db = 1.0;
+  double stopband_atten_db = 40.0;
+  int num_taps = 0;           // must be odd (type-I linear phase)
+  int butterworth_order = 5;  // analog prototype order (BW method only)
+
+  /// Validates edge ordering/count for the band type; throws on violation.
+  void validate() const;
+
+  /// Piecewise-constant desired response with ripple-derived weights
+  /// (weight = 1 in passbands, δp/δs in stopbands, the classic weighting).
+  std::vector<Band> bands() const;
+};
+
+std::string to_string(BandType b);
+std::string to_string(DesignMethod m);
+
+}  // namespace mrpf::filter

@@ -1,0 +1,31 @@
+#include "mrpf/filter/symmetric.hpp"
+
+#include <cmath>
+
+namespace mrpf::filter {
+
+bool is_symmetric(const std::vector<double>& h, double tol) {
+  for (std::size_t k = 0; k < h.size() / 2; ++k) {
+    if (std::fabs(h[k] - h[h.size() - 1 - k]) > tol) return false;
+  }
+  return true;
+}
+
+bool is_symmetric(const std::vector<i64>& h) {
+  for (std::size_t k = 0; k < h.size() / 2; ++k) {
+    if (h[k] != h[h.size() - 1 - k]) return false;
+  }
+  return true;
+}
+
+std::vector<double> symmetrize(const std::vector<double>& h) {
+  std::vector<double> s = h;
+  for (std::size_t k = 0; k < s.size() / 2; ++k) {
+    const double avg = (s[k] + s[s.size() - 1 - k]) / 2.0;
+    s[k] = avg;
+    s[s.size() - 1 - k] = avg;
+  }
+  return s;
+}
+
+}  // namespace mrpf::filter

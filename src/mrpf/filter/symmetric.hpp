@@ -1,0 +1,27 @@
+// Symmetry utilities: the paper's filters are all linear-phase symmetric
+// and implemented in *folded* transposed direct form, so only the unique
+// half of the coefficient vector feeds the multiplier-block optimizers.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::filter {
+
+/// True when h[k] == h[N-1-k] within tol for all k.
+bool is_symmetric(const std::vector<double>& h, double tol = 1e-12);
+bool is_symmetric(const std::vector<i64>& h);
+
+/// Enforces exact symmetry by averaging mirrored taps.
+std::vector<double> symmetrize(const std::vector<double>& h);
+
+/// Unique half of a symmetric filter: first ceil(N/2) taps.
+template <typename T>
+std::vector<T> folded_half(const std::vector<T>& h) {
+  return std::vector<T>(h.begin(),
+                        h.begin() + static_cast<std::ptrdiff_t>(
+                                        (h.size() + 1) / 2));
+}
+
+}  // namespace mrpf::filter

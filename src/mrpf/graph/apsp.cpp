@@ -1,0 +1,44 @@
+#include "mrpf/graph/apsp.hpp"
+
+#include <algorithm>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/graph/bfs.hpp"
+
+namespace mrpf::graph {
+
+std::vector<std::vector<int>> apsp_unit(const Digraph& g) {
+  const int n = g.num_vertices();
+  std::vector<std::vector<int>> dist;
+  dist.reserve(static_cast<std::size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    dist.push_back(bfs(g, u).dist);
+  }
+  return dist;
+}
+
+std::vector<std::vector<double>> apsp_floyd_warshall(const Digraph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, kInfDist));
+  for (std::size_t u = 0; u < n; ++u) d[u][u] = 0.0;
+  for (const Edge& e : g.edges()) {
+    auto& cell = d[static_cast<std::size_t>(e.from)]
+                  [static_cast<std::size_t>(e.to)];
+    cell = std::min(cell, e.weight);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d[i][k] == kInfDist) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (d[k][j] == kInfDist) continue;
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    MRPF_CHECK(d[v][v] >= 0.0, "apsp_floyd_warshall: negative cycle");
+  }
+  return d;
+}
+
+}  // namespace mrpf::graph

@@ -1,0 +1,26 @@
+// All-pairs shortest paths.
+//
+// MRP stage A uses the APSP matrix to pick spanning-tree roots: the row
+// maximum m_t is the tree height obtained when vertex t is the root, so the
+// best root minimizes m_t over its connected sub-graph (paper §3.4).
+// Two flavours: repeated BFS for the unit-weight color sub-graph (O(V·E))
+// and Floyd–Warshall for general weights.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "mrpf/graph/digraph.hpp"
+
+namespace mrpf::graph {
+
+/// dist[u][v] in hops, or kUnreachable. O(V·(V+E)).
+std::vector<std::vector<int>> apsp_unit(const Digraph& g);
+
+/// Floyd–Warshall over edge weights; unreachable pairs hold +infinity.
+/// Throws on negative cycles.
+std::vector<std::vector<double>> apsp_floyd_warshall(const Digraph& g);
+
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+}  // namespace mrpf::graph

@@ -1,0 +1,58 @@
+#include "mrpf/graph/bfs.hpp"
+
+#include <queue>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::graph {
+
+BfsResult multi_source_bfs(const Digraph& g, const std::vector<int>& sources) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  BfsResult r;
+  r.dist.assign(n, kUnreachable);
+  r.parent_edge.assign(n, -1);
+  std::queue<int> q;
+  for (const int s : sources) {
+    g.check_vertex(s);
+    if (r.dist[static_cast<std::size_t>(s)] == kUnreachable) {
+      r.dist[static_cast<std::size_t>(s)] = 0;
+      q.push(s);
+    }
+  }
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (const int ei : g.out_edges(u)) {
+      const Edge& e = g.edge(ei);
+      auto& dv = r.dist[static_cast<std::size_t>(e.to)];
+      if (dv == kUnreachable) {
+        dv = r.dist[static_cast<std::size_t>(u)] + 1;
+        r.parent_edge[static_cast<std::size_t>(e.to)] = ei;
+        q.push(e.to);
+      }
+    }
+  }
+  return r;
+}
+
+BfsResult bfs(const Digraph& g, int source) {
+  return multi_source_bfs(g, {source});
+}
+
+int eccentricity(const Digraph& g, int source) {
+  const BfsResult r = bfs(g, source);
+  int ecc = 0;
+  for (const int d : r.dist) {
+    if (d != kUnreachable && d > ecc) ecc = d;
+  }
+  return ecc;
+}
+
+int reachable_count(const Digraph& g, int source) {
+  const BfsResult r = bfs(g, source);
+  int c = 0;
+  for (const int d : r.dist) c += (d != kUnreachable);
+  return c;
+}
+
+}  // namespace mrpf::graph

@@ -1,0 +1,33 @@
+// Breadth-first search on unit-weight digraphs: distances, parent edges
+// (shortest-path arborescence) and eccentricities. MRP uses BFS trees as
+// its minimum-height spanning trees because every SIDC edge costs exactly
+// one overhead adder, so hop count == adder depth.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/graph/digraph.hpp"
+
+namespace mrpf::graph {
+
+/// Sentinel distance for unreachable vertices.
+inline constexpr int kUnreachable = -1;
+
+struct BfsResult {
+  std::vector<int> dist;         // hops from source; kUnreachable if not
+  std::vector<int> parent_edge;  // edge index into g.edges(); -1 at source
+};
+
+/// BFS over out-edges from a single source.
+BfsResult bfs(const Digraph& g, int source);
+
+/// BFS from several sources at once (distance 0 each).
+BfsResult multi_source_bfs(const Digraph& g, const std::vector<int>& sources);
+
+/// max over reachable v of dist(source → v); 0 when nothing else reachable.
+int eccentricity(const Digraph& g, int source);
+
+/// Number of vertices reachable from source (including source).
+int reachable_count(const Digraph& g, int source);
+
+}  // namespace mrpf::graph

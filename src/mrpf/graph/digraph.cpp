@@ -1,0 +1,43 @@
+#include "mrpf/graph/digraph.hpp"
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::graph {
+
+Digraph::Digraph(int num_vertices) {
+  MRPF_CHECK(num_vertices >= 0, "Digraph: negative vertex count");
+  adj_.resize(static_cast<std::size_t>(num_vertices));
+  radj_.resize(static_cast<std::size_t>(num_vertices));
+}
+
+void Digraph::check_vertex(int v) const {
+  MRPF_CHECK(v >= 0 && v < num_vertices(), "Digraph: vertex out of range");
+}
+
+int Digraph::add_edge(int from, int to, double weight, i64 label) {
+  check_vertex(from);
+  check_vertex(to);
+  const int index = static_cast<int>(edges_.size());
+  edges_.push_back({from, to, weight, label});
+  adj_[static_cast<std::size_t>(from)].push_back(index);
+  radj_[static_cast<std::size_t>(to)].push_back(index);
+  ++num_edges_;
+  return index;
+}
+
+const std::vector<int>& Digraph::out_edges(int u) const {
+  check_vertex(u);
+  return adj_[static_cast<std::size_t>(u)];
+}
+
+const std::vector<int>& Digraph::in_edges(int u) const {
+  check_vertex(u);
+  return radj_[static_cast<std::size_t>(u)];
+}
+
+const Edge& Digraph::edge(int index) const {
+  MRPF_CHECK(index >= 0 && index < num_edges_, "Digraph: edge out of range");
+  return edges_[static_cast<std::size_t>(index)];
+}
+
+}  // namespace mrpf::graph

@@ -1,0 +1,46 @@
+// A small adjacency-list directed graph with optional edge weights and
+// labels. This is the substrate for the SIDC color graph, the spanning
+// arborescences of MRP stage A, and the generic algorithms in this module.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::graph {
+
+struct Edge {
+  int from = 0;
+  int to = 0;
+  double weight = 1.0;
+  /// Free-form label; MRP stores the color-class id / shift here.
+  i64 label = 0;
+};
+
+class Digraph {
+ public:
+  explicit Digraph(int num_vertices = 0);
+
+  int num_vertices() const { return static_cast<int>(adj_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  /// Adds a directed edge; returns its index in edges().
+  int add_edge(int from, int to, double weight = 1.0, i64 label = 0);
+
+  /// Out-edges of u, as indices into edges().
+  const std::vector<int>& out_edges(int u) const;
+  /// In-edges of u, as indices into edges().
+  const std::vector<int>& in_edges(int u) const;
+  const Edge& edge(int index) const;
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  void check_vertex(int v) const;
+
+ private:
+  std::vector<std::vector<int>> adj_;   // out-edge indices per vertex
+  std::vector<std::vector<int>> radj_;  // in-edge indices per vertex
+  std::vector<Edge> edges_;
+  int num_edges_ = 0;
+};
+
+}  // namespace mrpf::graph

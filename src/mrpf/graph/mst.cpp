@@ -1,0 +1,94 @@
+#include "mrpf/graph/mst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/graph/union_find.hpp"
+
+namespace mrpf::graph {
+
+MstResult mst_kruskal(int num_vertices, std::vector<WeightedEdge> edges) {
+  MRPF_CHECK(num_vertices >= 0, "mst_kruskal: negative vertex count");
+  for (const WeightedEdge& e : edges) {
+    MRPF_CHECK(e.u >= 0 && e.u < num_vertices && e.v >= 0 &&
+                   e.v < num_vertices,
+               "mst_kruskal: edge endpoint out of range");
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const WeightedEdge& a, const WeightedEdge& b) {
+                     return a.weight < b.weight;
+                   });
+  UnionFind uf(num_vertices);
+  MstResult r;
+  for (const WeightedEdge& e : edges) {
+    if (e.u != e.v && uf.unite(e.u, e.v)) {
+      r.edges.push_back(e);
+      r.total_weight += e.weight;
+    }
+  }
+  r.num_components = uf.num_components();
+  return r;
+}
+
+MstResult mst_prim_dense(const std::vector<std::vector<double>>& weights) {
+  const int n = static_cast<int>(weights.size());
+  for (const auto& row : weights) {
+    MRPF_CHECK(static_cast<int>(row.size()) == n,
+               "mst_prim_dense: non-square matrix");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<bool> in_tree(static_cast<std::size_t>(n), false);
+  std::vector<double> best(static_cast<std::size_t>(n), kInf);
+  std::vector<int> best_from(static_cast<std::size_t>(n), -1);
+
+  MstResult r;
+  int remaining = n;
+  while (remaining > 0) {
+    // Start a new component at the first vertex not yet in the forest.
+    int seed = -1;
+    for (int v = 0; v < n; ++v) {
+      if (!in_tree[static_cast<std::size_t>(v)]) {
+        seed = v;
+        break;
+      }
+    }
+    ++r.num_components;
+    best[static_cast<std::size_t>(seed)] = 0.0;
+    best_from[static_cast<std::size_t>(seed)] = -1;
+    while (true) {
+      int u = -1;
+      double bu = kInf;
+      for (int v = 0; v < n; ++v) {
+        if (!in_tree[static_cast<std::size_t>(v)] &&
+            best[static_cast<std::size_t>(v)] < bu) {
+          u = v;
+          bu = best[static_cast<std::size_t>(v)];
+        }
+      }
+      if (u == -1) break;  // current component exhausted
+      in_tree[static_cast<std::size_t>(u)] = true;
+      --remaining;
+      if (best_from[static_cast<std::size_t>(u)] >= 0) {
+        r.edges.push_back({best_from[static_cast<std::size_t>(u)], u, bu, 0});
+        r.total_weight += bu;
+      }
+      for (int v = 0; v < n; ++v) {
+        const double w = weights[static_cast<std::size_t>(u)]
+                                [static_cast<std::size_t>(v)];
+        MRPF_CHECK(w == weights[static_cast<std::size_t>(v)]
+                               [static_cast<std::size_t>(u)],
+                   "mst_prim_dense: asymmetric weight matrix");
+        if (!in_tree[static_cast<std::size_t>(v)] &&
+            w < best[static_cast<std::size_t>(v)]) {
+          best[static_cast<std::size_t>(v)] = w;
+          best_from[static_cast<std::size_t>(v)] = u;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace mrpf::graph

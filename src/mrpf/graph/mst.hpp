@@ -1,0 +1,36 @@
+// Minimum spanning trees / forests on undirected weighted graphs.
+//
+// The differential-coefficient predecessor of MRP (Muhammad & Roy [5])
+// computes a minimum spanning tree over the complete coefficient graph; it
+// is implemented here both as a baseline transform and as a general
+// utility. Prim is preferred on the dense complete graphs MRP produces;
+// Kruskal is provided for sparse graphs and as a cross-check.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::graph {
+
+struct WeightedEdge {
+  int u = 0;
+  int v = 0;
+  double weight = 0.0;
+  i64 label = 0;
+};
+
+struct MstResult {
+  std::vector<WeightedEdge> edges;  // n - #components edges
+  double total_weight = 0.0;
+  int num_components = 0;
+};
+
+/// Kruskal over an explicit edge list; computes a minimum spanning forest.
+MstResult mst_kruskal(int num_vertices, std::vector<WeightedEdge> edges);
+
+/// Prim over a dense weight matrix; weights[u][v] == +infinity means "no
+/// edge". The matrix must be symmetric.
+MstResult mst_prim_dense(const std::vector<std::vector<double>>& weights);
+
+}  // namespace mrpf::graph

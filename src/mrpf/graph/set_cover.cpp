@@ -1,0 +1,77 @@
+#include "mrpf/graph/set_cover.hpp"
+
+#include <algorithm>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::graph {
+
+BenefitFn paper_benefit(double beta) {
+  MRPF_CHECK(beta >= 0.0 && beta <= 1.0, "paper_benefit: beta outside [0,1]");
+  return [beta](int freq, double cost) {
+    return beta * static_cast<double>(freq) - (1.0 - beta) * cost;
+  };
+}
+
+BenefitFn ratio_benefit() {
+  return [](int freq, double cost) {
+    return static_cast<double>(freq) / std::max(cost, 1e-9);
+  };
+}
+
+SetCoverResult greedy_weighted_set_cover(int num_elements,
+                                         const std::vector<CoverSet>& sets,
+                                         const BenefitFn& benefit) {
+  MRPF_CHECK(num_elements >= 0, "set cover: negative element count");
+  MRPF_CHECK(static_cast<bool>(benefit), "set cover: null benefit function");
+  for (const CoverSet& s : sets) {
+    for (const int e : s.elements) {
+      MRPF_CHECK(e >= 0 && e < num_elements,
+                 "set cover: element id out of range");
+    }
+  }
+
+  SetCoverResult r;
+  r.covered_by.assign(static_cast<std::size_t>(num_elements), -1);
+  int uncovered = num_elements;
+  std::vector<bool> used(sets.size(), false);
+
+  while (uncovered > 0) {
+    int best = -1;
+    double best_f = 0.0;
+    int best_freq = 0;
+    for (std::size_t si = 0; si < sets.size(); ++si) {
+      if (used[si]) continue;
+      int freq = 0;
+      for (const int e : sets[si].elements) {
+        freq += (r.covered_by[static_cast<std::size_t>(e)] == -1);
+      }
+      if (freq == 0) continue;
+      const double f = benefit(freq, sets[si].cost);
+      const bool better =
+          best == -1 || f > best_f ||
+          (f == best_f &&
+           (sets[si].cost < sets[static_cast<std::size_t>(best)].cost ||
+            (sets[si].cost == sets[static_cast<std::size_t>(best)].cost &&
+             static_cast<int>(si) < best)));
+      if (better) {
+        best = static_cast<int>(si);
+        best_f = f;
+        best_freq = freq;
+      }
+    }
+    if (best == -1) break;  // remaining elements are uncoverable
+    used[static_cast<std::size_t>(best)] = true;
+    r.chosen.push_back(best);
+    r.total_cost += sets[static_cast<std::size_t>(best)].cost;
+    for (const int e : sets[static_cast<std::size_t>(best)].elements) {
+      auto& cb = r.covered_by[static_cast<std::size_t>(e)];
+      if (cb == -1) cb = best;
+    }
+    uncovered -= best_freq;
+  }
+  r.complete = (uncovered == 0);
+  return r;
+}
+
+}  // namespace mrpf::graph

@@ -1,0 +1,46 @@
+// Greedy weighted minimum set cover.
+//
+// The core of MRP stage A: covering the coefficient vertices with color
+// classes is an instance of weighted minimum set cover (NP-complete), and
+// the paper solves it greedily with the benefit function
+// f = β·frequency − (1−β)·cost. This module implements the generic greedy
+// loop with a pluggable benefit so the classic frequency/cost rule is also
+// available (used by tests as a cross-check and by ablations).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace mrpf::graph {
+
+struct CoverSet {
+  std::vector<int> elements;  // element ids in [0, num_elements)
+  double cost = 0.0;
+};
+
+/// benefit(live_frequency, cost) — live_frequency counts only elements not
+/// yet covered. Larger is better; sets with live_frequency == 0 are never
+/// selected.
+using BenefitFn = std::function<double(int live_frequency, double cost)>;
+
+/// The paper's rule: f = beta·frequency − (1−beta)·cost, 0 ≤ beta ≤ 1.
+BenefitFn paper_benefit(double beta);
+
+/// Classic greedy WSC rule: frequency / max(cost, epsilon).
+BenefitFn ratio_benefit();
+
+struct SetCoverResult {
+  std::vector<int> chosen;         // indices of selected sets, pick order
+  std::vector<int> covered_by;     // per element: chosen set, or -1
+  bool complete = false;           // all elements covered?
+  double total_cost = 0.0;
+};
+
+/// Greedy selection loop. Ties on benefit are broken toward lower cost,
+/// then lower set index (deterministic). Elements that belong to no set
+/// stay uncovered and make `complete` false.
+SetCoverResult greedy_weighted_set_cover(int num_elements,
+                                         const std::vector<CoverSet>& sets,
+                                         const BenefitFn& benefit);
+
+}  // namespace mrpf::graph

@@ -1,0 +1,34 @@
+#include "mrpf/graph/toposort.hpp"
+
+#include <queue>
+
+namespace mrpf::graph {
+
+std::optional<std::vector<int>> topological_sort(const Digraph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : g.edges()) {
+    ++indeg[static_cast<std::size_t>(e.to)];
+  }
+  std::queue<int> q;
+  for (int v = 0; v < n; ++v) {
+    if (indeg[static_cast<std::size_t>(v)] == 0) q.push(v);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (const int ei : g.out_edges(u)) {
+      const int v = g.edge(ei).to;
+      if (--indeg[static_cast<std::size_t>(v)] == 0) q.push(v);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) return std::nullopt;
+  return order;
+}
+
+bool is_dag(const Digraph& g) { return topological_sort(g).has_value(); }
+
+}  // namespace mrpf::graph

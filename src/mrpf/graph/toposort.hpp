@@ -1,0 +1,18 @@
+// Kahn topological sort; validates that the adder DAGs built by the arch
+// module and the spanning arborescences of MRP are acyclic.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mrpf/graph/digraph.hpp"
+
+namespace mrpf::graph {
+
+/// Topological order of g, or nullopt when g has a cycle.
+std::optional<std::vector<int>> topological_sort(const Digraph& g);
+
+/// Convenience: true when g is a DAG.
+bool is_dag(const Digraph& g);
+
+}  // namespace mrpf::graph

@@ -1,0 +1,53 @@
+#include "mrpf/graph/union_find.hpp"
+
+#include <numeric>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::graph {
+
+UnionFind::UnionFind(int n)
+    : parent_(static_cast<std::size_t>(n)),
+      rank_(static_cast<std::size_t>(n), 0),
+      size_(static_cast<std::size_t>(n), 1),
+      components_(n) {
+  MRPF_CHECK(n >= 0, "UnionFind: negative size");
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int UnionFind::find(int x) {
+  MRPF_CHECK(x >= 0 && x < static_cast<int>(parent_.size()),
+             "UnionFind: element out of range");
+  int root = x;
+  while (parent_[static_cast<std::size_t>(root)] != root) {
+    root = parent_[static_cast<std::size_t>(root)];
+  }
+  while (parent_[static_cast<std::size_t>(x)] != root) {
+    const int next = parent_[static_cast<std::size_t>(x)];
+    parent_[static_cast<std::size_t>(x)] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::unite(int a, int b) {
+  int ra = find(a);
+  int rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[static_cast<std::size_t>(ra)] < rank_[static_cast<std::size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+  if (rank_[static_cast<std::size_t>(ra)] == rank_[static_cast<std::size_t>(rb)]) {
+    ++rank_[static_cast<std::size_t>(ra)];
+  }
+  --components_;
+  return true;
+}
+
+int UnionFind::component_size(int x) {
+  return size_[static_cast<std::size_t>(find(x))];
+}
+
+}  // namespace mrpf::graph

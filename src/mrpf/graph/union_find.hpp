@@ -1,0 +1,27 @@
+// Disjoint-set forest with union by rank and path compression.
+#pragma once
+
+#include <vector>
+
+namespace mrpf::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n);
+
+  int find(int x);
+  /// Merges the sets of a and b; returns false when already joined.
+  bool unite(int a, int b);
+  bool same(int a, int b) { return find(a) == find(b); }
+  int num_components() const { return components_; }
+  /// Size of the set containing x.
+  int component_size(int x);
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  std::vector<int> size_;
+  int components_;
+};
+
+}  // namespace mrpf::graph

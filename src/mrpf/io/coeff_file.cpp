@@ -1,0 +1,99 @@
+#include "mrpf/io/coeff_file.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/format.hpp"
+
+namespace mrpf::io {
+
+std::vector<double> parse_coefficients(const std::string& text) {
+  std::vector<double> values;
+  std::stringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::stringstream ls(line);
+    double v = 0.0;
+    if (ls >> v) {
+      std::string rest;
+      MRPF_CHECK(!(ls >> rest),
+                 str_format("coefficient file: trailing junk on line %d",
+                            line_no));
+      values.push_back(v);
+    } else {
+      std::string word;
+      std::stringstream check(line);
+      MRPF_CHECK(!(check >> word),
+                 str_format("coefficient file: unparsable line %d", line_no));
+    }
+  }
+  return values;
+}
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  MRPF_CHECK(static_cast<bool>(in),
+             str_format("cannot open '%s' for reading", path.c_str()));
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::vector<double> read_coefficients(const std::string& path) {
+  return parse_coefficients(read_file(path));
+}
+
+std::vector<i64> read_integer_coefficients(const std::string& path) {
+  const std::vector<double> raw = parse_coefficients(read_file(path));
+  std::vector<i64> values;
+  values.reserve(raw.size());
+  for (const double v : raw) {
+    MRPF_CHECK(v == std::nearbyint(v),
+               "coefficient file: expected integer coefficients");
+    values.push_back(static_cast<i64>(v));
+  }
+  return values;
+}
+
+namespace {
+
+template <typename T, typename Printer>
+void write_impl(const std::string& path, const std::vector<T>& values,
+                const std::string& header, Printer print) {
+  std::ofstream out(path);
+  MRPF_CHECK(static_cast<bool>(out),
+             str_format("cannot open '%s' for writing", path.c_str()));
+  if (!header.empty()) out << "# " << header << "\n";
+  for (const T& v : values) out << print(v) << "\n";
+  MRPF_CHECK(static_cast<bool>(out),
+             str_format("write to '%s' failed", path.c_str()));
+}
+
+}  // namespace
+
+void write_coefficients(const std::string& path,
+                        const std::vector<double>& values,
+                        const std::string& header_comment) {
+  write_impl(path, values, header_comment,
+             [](double v) { return str_format("%.17g", v); });
+}
+
+void write_coefficients(const std::string& path,
+                        const std::vector<i64>& values,
+                        const std::string& header_comment) {
+  write_impl(path, values, header_comment, [](i64 v) {
+    return str_format("%lld", static_cast<long long>(v));
+  });
+}
+
+}  // namespace mrpf::io

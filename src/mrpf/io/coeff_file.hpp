@@ -1,0 +1,26 @@
+// Coefficient file I/O: the interchange format of the mrpf_synth tool.
+// One value per line; blank lines and '#' comments ignored; doubles and
+// integers share the same format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::io {
+
+/// Parses coefficient text (not a path — see read_* for files).
+std::vector<double> parse_coefficients(const std::string& text);
+
+std::vector<double> read_coefficients(const std::string& path);
+std::vector<i64> read_integer_coefficients(const std::string& path);
+
+void write_coefficients(const std::string& path,
+                        const std::vector<double>& values,
+                        const std::string& header_comment = "");
+void write_coefficients(const std::string& path,
+                        const std::vector<i64>& values,
+                        const std::string& header_comment = "");
+
+}  // namespace mrpf::io

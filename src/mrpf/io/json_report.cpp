@@ -1,0 +1,82 @@
+#include "mrpf/io/json_report.hpp"
+
+#include "mrpf/arch/cost_model.hpp"
+#include "mrpf/common/format.hpp"
+
+namespace mrpf::io {
+
+namespace {
+
+std::string json_array(const std::vector<i64>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += str_format("%lld", static_cast<long long>(values[i]));
+  }
+  out += "]";
+  return out;
+}
+
+std::string json_int_array(const std::vector<int>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ",";
+    out += str_format("%d", values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const core::SchemeResult& result, int input_bits) {
+  std::string out = "{";
+  out += str_format("\"scheme\":\"%s\",",
+                    core::to_string(result.scheme).c_str());
+  out += str_format("\"multiplier_adders\":%d,", result.multiplier_adders);
+  out += str_format("\"graph_adders\":%d,",
+                    result.block.graph.num_adders());
+  out += str_format("\"depth\":%d,", result.block.graph.max_depth());
+  out += str_format(
+      "\"cla_area\":%.3f,",
+      arch::multiplier_block_area(result.block.graph, input_bits));
+  out += "\"constants\":" + json_array(result.block.constants);
+  if (result.mrp.has_value()) {
+    out += ",\"mrp\":" + to_json(*result.mrp);
+  }
+  out += "}";
+  return out;
+}
+
+std::string to_json(const core::MrpResult& result) {
+  std::string out = "{";
+  out += "\"vertices\":" + json_array(result.vertices) + ",";
+  out += "\"solution_colors\":" + json_array(result.solution_colors) + ",";
+  out += "\"roots\":" + json_int_array(result.roots) + ",";
+  out += "\"seed\":" + json_array(result.seed_values) + ",";
+  out += "\"tree\":[";
+  for (std::size_t i = 0; i < result.tree_edges.size(); ++i) {
+    const core::SidcEdge& e = result.tree_edges[i].edge;
+    if (i != 0) out += ",";
+    out += str_format(
+        "{\"child\":%lld,\"parent\":%lld,\"l\":%d,\"pred_negate\":%s,"
+        "\"color\":%lld,\"color_shift\":%d,\"color_negate\":%s,"
+        "\"depth\":%d}",
+        static_cast<long long>(
+            result.vertices[static_cast<std::size_t>(e.to)]),
+        static_cast<long long>(
+            result.vertices[static_cast<std::size_t>(e.from)]),
+        e.l, e.pred_negate ? "true" : "false",
+        static_cast<long long>(e.color), e.color_shift,
+        e.color_negate ? "true" : "false", result.tree_edges[i].depth);
+  }
+  out += "],";
+  out += str_format("\"seed_adders\":%d,", result.seed_adders);
+  out += str_format("\"overhead_adders\":%d,", result.overhead_adders);
+  out += str_format("\"total_adders\":%d,", result.total_adders());
+  out += str_format("\"tree_height\":%d", result.tree_height);
+  out += "}";
+  return out;
+}
+
+}  // namespace mrpf::io

@@ -1,0 +1,19 @@
+// Machine-readable synthesis reports (hand-rolled JSON, no dependencies):
+// what CI dashboards and downstream scripts consume from mrpf_synth.
+#pragma once
+
+#include <string>
+
+#include "mrpf/core/flow.hpp"
+#include "mrpf/core/mrp.hpp"
+
+namespace mrpf::io {
+
+/// {"scheme": "...", "multiplier_adders": N, "graph_adders": N,
+///  "depth": N, "cla_area": X, "constants": [...]}
+std::string to_json(const core::SchemeResult& result, int input_bits);
+
+/// Full MRP breakdown: vertices, colors, roots, trees, SEED, costs.
+std::string to_json(const core::MrpResult& result);
+
+}  // namespace mrpf::io

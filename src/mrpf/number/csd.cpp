@@ -1,0 +1,35 @@
+#include "mrpf/number/csd.hpp"
+
+#include <limits>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::number {
+
+SignedDigitVector to_csd(i64 v) {
+  MRPF_CHECK(v > std::numeric_limits<i64>::min() / 4 &&
+                 v < std::numeric_limits<i64>::max() / 4,
+             "CSD conversion operand too large");
+  std::vector<SignedDigit> digits;
+  // Classic recoding: examine v mod 4 to decide each digit; appending -1
+  // when v ≡ 3 (mod 4) guarantees the next digit is 0 (canonical property).
+  i64 x = v;
+  while (x != 0) {
+    if ((x & 1) == 0) {
+      digits.push_back(0);
+    } else {
+      const i64 rem4 = ((x % 4) + 4) % 4;
+      const SignedDigit d = rem4 == 1 ? SignedDigit{1} : SignedDigit{-1};
+      digits.push_back(d);
+      x -= d;
+    }
+    x /= 2;
+  }
+  SignedDigitVector out(std::move(digits));
+  out.trim();
+  return out;
+}
+
+int csd_weight(i64 v) { return to_csd(v).nonzero_count(); }
+
+}  // namespace mrpf::number

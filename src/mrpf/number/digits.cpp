@@ -1,0 +1,83 @@
+#include "mrpf/number/digits.hpp"
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::number {
+
+SignedDigitVector::SignedDigitVector(std::vector<SignedDigit> digits)
+    : digits_(std::move(digits)) {
+  for (const SignedDigit d : digits_) {
+    MRPF_CHECK(d == -1 || d == 0 || d == 1, "signed digit out of range");
+  }
+}
+
+i64 SignedDigitVector::value() const {
+  MRPF_CHECK(digits_.size() <= 62, "signed-digit value overflows int64");
+  i64 v = 0;
+  for (std::size_t k = digits_.size(); k-- > 0;) {
+    v = v * 2 + digits_[k];
+  }
+  return v;
+}
+
+int SignedDigitVector::nonzero_count() const {
+  int c = 0;
+  for (const SignedDigit d : digits_) c += (d != 0);
+  return c;
+}
+
+int SignedDigitVector::degree() const {
+  for (std::size_t k = digits_.size(); k-- > 0;) {
+    if (digits_[k] != 0) return static_cast<int>(k);
+  }
+  return -1;
+}
+
+bool SignedDigitVector::is_canonical() const {
+  for (std::size_t k = 1; k < digits_.size(); ++k) {
+    if (digits_[k] != 0 && digits_[k - 1] != 0) return false;
+  }
+  return true;
+}
+
+void SignedDigitVector::trim() {
+  while (!digits_.empty() && digits_.back() == 0) digits_.pop_back();
+}
+
+std::string SignedDigitVector::to_string() const {
+  if (digits_.empty()) return "0";
+  std::string s;
+  s.reserve(digits_.size());
+  for (std::size_t k = digits_.size(); k-- > 0;) {
+    s.push_back(digits_[k] == 0 ? '0' : (digits_[k] > 0 ? '+' : '-'));
+  }
+  return s;
+}
+
+SignedDigitVector to_sign_magnitude(i64 v) {
+  const SignedDigit sign = v < 0 ? SignedDigit{-1} : SignedDigit{1};
+  u64 m = v < 0 ? static_cast<u64>(-(v + 1)) + 1 : static_cast<u64>(v);
+  std::vector<SignedDigit> digits;
+  while (m != 0) {
+    digits.push_back((m & 1) != 0 ? sign : SignedDigit{0});
+    m >>= 1;
+  }
+  return SignedDigitVector(std::move(digits));
+}
+
+SignedDigitVector to_twos_complement(i64 v, int width) {
+  MRPF_CHECK(width >= 1 && width <= 62, "two's-complement width out of range");
+  const i64 lo = -(i64{1} << (width - 1));
+  const i64 hi = (i64{1} << (width - 1)) - 1;
+  MRPF_CHECK(v >= lo && v <= hi, "value does not fit in requested width");
+  std::vector<SignedDigit> digits(static_cast<std::size_t>(width), 0);
+  u64 bits = static_cast<u64>(v);
+  for (int k = 0; k < width; ++k) {
+    digits[static_cast<std::size_t>(k)] =
+        ((bits >> k) & 1) != 0 ? SignedDigit{1} : SignedDigit{0};
+  }
+  if (digits.back() == 1) digits.back() = -1;  // MSB weight is -2^(w-1)
+  return SignedDigitVector(std::move(digits));
+}
+
+}  // namespace mrpf::number

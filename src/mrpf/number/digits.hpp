@@ -1,0 +1,65 @@
+// Signed-digit vectors: the shared currency of the number module.
+//
+// A SignedDigitVector holds digits d[k] ∈ {-1, 0, +1}, least-significant
+// first, representing the integer  Σ_k d[k] · 2^k.  Canonical signed digit
+// (CSD), plain binary / sign-magnitude, and minimal-signed-digit (MSD)
+// representations all use this container.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::number {
+
+/// One digit of a radix-2 signed-digit number: -1, 0 or +1.
+using SignedDigit = std::int8_t;
+
+/// Little-endian (LSB first) vector of signed digits.
+class SignedDigitVector {
+ public:
+  SignedDigitVector() = default;
+  explicit SignedDigitVector(std::vector<SignedDigit> digits);
+
+  /// Integer value Σ d[k]·2^k. Throws if the value overflows int64.
+  i64 value() const;
+
+  /// Number of nonzero digits (the adder-array cost of a multiplier built
+  /// from this representation).
+  int nonzero_count() const;
+
+  /// Index of the highest nonzero digit, or -1 when the value is zero.
+  int degree() const;
+
+  /// True when no two adjacent digits are both nonzero (the CSD property).
+  bool is_canonical() const;
+
+  /// Drops high-order zero digits.
+  void trim();
+
+  /// Human-readable MSB-first string, e.g. "+0-0+" for 13... documentation
+  /// and debugging aid ('+', '-', '0').
+  std::string to_string() const;
+
+  std::size_t size() const { return digits_.size(); }
+  bool empty() const { return digits_.empty(); }
+  SignedDigit operator[](std::size_t k) const { return digits_[k]; }
+  const std::vector<SignedDigit>& digits() const { return digits_; }
+
+  bool operator==(const SignedDigitVector&) const = default;
+
+ private:
+  std::vector<SignedDigit> digits_;
+};
+
+/// Plain binary expansion of |v| with all digits carrying sign(v):
+/// the sign-magnitude (SM) representation. nonzero_count == popcount(|v|).
+SignedDigitVector to_sign_magnitude(i64 v);
+
+/// Two's-complement digit expansion of v over `width` bits (digits in
+/// {0, +1} except the top digit which is {0, -1}). Requires v to fit.
+SignedDigitVector to_twos_complement(i64 v, int width);
+
+}  // namespace mrpf::number

@@ -1,0 +1,48 @@
+#include "mrpf/number/msd.hpp"
+
+#include <functional>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/number/csd.hpp"
+
+namespace mrpf::number {
+
+std::vector<SignedDigitVector> enumerate_msd(i64 v, int max_degree,
+                                             std::size_t max_results) {
+  MRPF_CHECK(max_degree >= 0 && max_degree <= 60, "max_degree out of range");
+  const int budget = csd_weight(v);
+  std::vector<SignedDigitVector> results;
+  std::vector<SignedDigit> digits(static_cast<std::size_t>(max_degree) + 1, 0);
+
+  // Depth-first over digit positions LSB→MSB. At position k the remaining
+  // value must be divisible by 2^k; choosing digit d leaves (rest - d·2^k).
+  // Prune on nonzero budget and on magnitude reachability:
+  // |rest| ≤ budget_left · 2^(max_degree+1) is a loose but safe bound.
+  std::function<void(int, i64, int)> rec = [&](int k, i64 rest, int used) {
+    if (results.size() >= max_results) return;
+    if (rest == 0) {
+      if (used == budget) {
+        SignedDigitVector sv(digits);
+        sv.trim();
+        results.push_back(std::move(sv));
+      }
+      return;
+    }
+    if (k > max_degree || used >= budget) return;
+    // Remaining digits can contribute at most (2^(max_degree+1) - 2^k).
+    const i64 max_reach = (i64{1} << (max_degree + 1)) - (i64{1} << k);
+    if (rest > max_reach || rest < -max_reach) return;
+    for (const SignedDigit d : {SignedDigit{0}, SignedDigit{1},
+                                SignedDigit{-1}}) {
+      if ((rest & 1) != 0 && d == 0) continue;  // parity forces nonzero
+      if ((rest & 1) == 0 && d != 0) continue;  // parity forces zero
+      digits[static_cast<std::size_t>(k)] = d;
+      rec(k + 1, (rest - d) / 2, used + (d != 0));
+      digits[static_cast<std::size_t>(k)] = 0;
+    }
+  };
+  rec(0, v, 0);
+  return results;
+}
+
+}  // namespace mrpf::number

@@ -1,0 +1,22 @@
+// Minimal signed digit (MSD) representations.
+//
+// The CSD form is only one of possibly many signed-digit representations
+// with the minimal nonzero-digit count. Enumerating all of them enlarges
+// the pattern space of common-subexpression elimination (Park & Kang,
+// DAC'01) — exposed here as an optional CSE extension and an ablation.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+#include "mrpf/number/digits.hpp"
+
+namespace mrpf::number {
+
+/// All signed-digit representations of v that achieve csd_weight(v)
+/// nonzero digits within degree ≤ max_degree. The CSD form is always
+/// included. `max_results` caps combinatorial blow-up.
+std::vector<SignedDigitVector> enumerate_msd(i64 v, int max_degree,
+                                             std::size_t max_results = 64);
+
+}  // namespace mrpf::number

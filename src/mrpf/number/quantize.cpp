@@ -1,0 +1,104 @@
+#include "mrpf/number/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::number {
+
+namespace {
+
+double max_abs(const std::vector<double>& h) {
+  double m = 0.0;
+  for (const double v : h) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void check_input(const std::vector<double>& h, int wordlength) {
+  MRPF_CHECK(!h.empty(), "quantize: empty coefficient vector");
+  MRPF_CHECK(wordlength >= 2 && wordlength <= 24,
+             "quantize: wordlength out of supported range [2,24]");
+  MRPF_CHECK(max_abs(h) > 0.0, "quantize: all-zero coefficient vector");
+  for (const double v : h) {
+    MRPF_CHECK(std::isfinite(v), "quantize: non-finite coefficient");
+  }
+}
+
+i64 round_clamped(double x, i64 limit) {
+  const double r = std::nearbyint(x);
+  return std::clamp(static_cast<i64>(r), -limit, limit);
+}
+
+}  // namespace
+
+std::vector<i64> QuantizedCoefficients::values() const {
+  std::vector<i64> v;
+  v.reserve(coeffs.size());
+  for (const QuantizedCoeff& c : coeffs) v.push_back(c.value);
+  return v;
+}
+
+double QuantizedCoefficients::realized(std::size_t i) const {
+  MRPF_CHECK(i < coeffs.size(), "realized: index out of range");
+  return static_cast<double>(coeffs[i].value) *
+         std::ldexp(global_scale, -coeffs[i].scale_log2);
+}
+
+double QuantizedCoefficients::max_abs_error(
+    const std::vector<double>& original) const {
+  MRPF_CHECK(original.size() == coeffs.size(),
+             "max_abs_error: size mismatch");
+  double e = 0.0;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    e = std::max(e, std::fabs(realized(i) - original[i]));
+  }
+  return e;
+}
+
+QuantizedCoefficients quantize_uniform(const std::vector<double>& h,
+                                       int wordlength) {
+  check_input(h, wordlength);
+  const i64 limit = (i64{1} << (wordlength - 1)) - 1;
+  const double scale = static_cast<double>(limit) / max_abs(h);
+
+  QuantizedCoefficients out;
+  out.wordlength = wordlength;
+  out.global_scale = 1.0 / scale;
+  out.coeffs.reserve(h.size());
+  for (const double v : h) {
+    out.coeffs.push_back({round_clamped(v * scale, limit), 0});
+  }
+  return out;
+}
+
+QuantizedCoefficients quantize_maximal(const std::vector<double>& h,
+                                       int wordlength) {
+  check_input(h, wordlength);
+  const i64 limit = (i64{1} << (wordlength - 1)) - 1;
+  const double half = static_cast<double>(i64{1} << (wordlength - 2));
+  const double scale = static_cast<double>(limit) / max_abs(h);
+
+  QuantizedCoefficients out;
+  out.wordlength = wordlength;
+  out.global_scale = 1.0 / scale;
+  out.coeffs.reserve(h.size());
+  for (const double v : h) {
+    if (v == 0.0) {
+      out.coeffs.push_back({0, 0});
+      continue;
+    }
+    // Find k ≥ 0 with |v|·scale·2^k ∈ [2^(W-2), 2^(W-1)).
+    int k = 0;
+    double mag = std::fabs(v) * scale;
+    while (mag < half && k < 62) {
+      mag *= 2.0;
+      ++k;
+    }
+    out.coeffs.push_back({round_clamped(v * scale * std::ldexp(1.0, k), limit),
+                          k});
+  }
+  return out;
+}
+
+}  // namespace mrpf::number

@@ -1,0 +1,51 @@
+// Coefficient quantization: the two scaling regimes evaluated by the paper.
+//
+// * Uniform scaling — all coefficients share one scale factor chosen so the
+//   largest magnitude uses the full wordlength. One global alignment.
+// * Maximal scaling (Muhammad & Roy, TCAD'02) — each coefficient is scaled
+//   by its own power of two so that every nonzero coefficient individually
+//   uses the full wordlength; per-tap alignment shifts (free hard wiring)
+//   restore the common scale. This maximizes per-coefficient precision and
+//   densifies the digit pattern, which is why it raises multiplier cost.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::number {
+
+/// One quantized coefficient: the integer value and the power-of-two
+/// alignment. The realized coefficient is value / 2^scale_log2 relative to
+/// the common filter scale (see QuantizedCoefficients::global_scale).
+struct QuantizedCoeff {
+  i64 value = 0;      // integer in [-(2^(W-1)-1), 2^(W-1)-1]
+  int scale_log2 = 0; // per-coefficient extra scaling (0 under uniform)
+};
+
+struct QuantizedCoefficients {
+  std::vector<QuantizedCoeff> coeffs;
+  int wordlength = 0;
+  /// All realized coefficients equal value_i · 2^-scale_log2_i · global_scale
+  /// where global_scale maps integers back to the original double range.
+  double global_scale = 1.0;
+
+  std::vector<i64> values() const;
+  /// Realized double coefficient i (for error measurement).
+  double realized(std::size_t i) const;
+  /// Max |realized - original| over all taps, given the originals.
+  double max_abs_error(const std::vector<double>& original) const;
+};
+
+/// Uniform scaling: c_i = round(h_i · S), S = (2^(W-1)-1)/max|h|.
+/// Requires 2 ≤ wordlength ≤ 24 and a nonzero coefficient vector.
+QuantizedCoefficients quantize_uniform(const std::vector<double>& h,
+                                       int wordlength);
+
+/// Maximal scaling: every nonzero c_i is scaled by its own 2^{k_i} so that
+/// |c_i| ∈ [2^(W-2), 2^(W-1)). k_i is recorded in scale_log2 (relative to
+/// the uniform scale of the largest coefficient, so k_i ≥ 0).
+QuantizedCoefficients quantize_maximal(const std::vector<double>& h,
+                                       int wordlength);
+
+}  // namespace mrpf::number

@@ -1,0 +1,47 @@
+#include "mrpf/number/repr.hpp"
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/number/csd.hpp"
+
+namespace mrpf::number {
+
+SignedDigitVector to_digits(i64 v, NumberRep rep) {
+  switch (rep) {
+    case NumberRep::kSignMagnitude:
+      return to_sign_magnitude(v);
+    case NumberRep::kCsd:
+    case NumberRep::kSpt:
+      return to_csd(v);
+  }
+  throw Error("to_digits: unknown representation");
+}
+
+int nonzero_digits(i64 v, NumberRep rep) {
+  switch (rep) {
+    case NumberRep::kSignMagnitude:
+      return popcount_abs(v);
+    case NumberRep::kCsd:
+    case NumberRep::kSpt:
+      return csd_weight(v);
+  }
+  throw Error("nonzero_digits: unknown representation");
+}
+
+int multiplier_adders(i64 v, NumberRep rep) {
+  const int nz = nonzero_digits(v, rep);
+  return nz > 1 ? nz - 1 : 0;
+}
+
+std::string to_string(NumberRep rep) {
+  switch (rep) {
+    case NumberRep::kSignMagnitude:
+      return "SM";
+    case NumberRep::kCsd:
+      return "CSD";
+    case NumberRep::kSpt:
+      return "SPT";
+  }
+  return "?";
+}
+
+}  // namespace mrpf::number

@@ -1,0 +1,37 @@
+// Number-representation abstraction used for cost accounting.
+//
+// The paper evaluates three representations: signed powers of two (SPT,
+// realized here by CSD which achieves the minimal SPT term count),
+// canonical signed digit (CSD) proper, and sign-magnitude (SM). The cost
+// of multiplying the common input by a constant c is the number of nonzero
+// digits of c in the chosen representation; the adder count of that
+// multiplier is (nonzero digits - 1).
+#pragma once
+
+#include <string>
+
+#include "mrpf/common/bits.hpp"
+#include "mrpf/number/digits.hpp"
+
+namespace mrpf::number {
+
+enum class NumberRep {
+  kSignMagnitude,  // plain binary magnitude + sign
+  kCsd,            // canonical signed digit
+  kSpt,            // minimal signed-powers-of-two (same weight as CSD)
+};
+
+/// Digit expansion of v under `rep`.
+SignedDigitVector to_digits(i64 v, NumberRep rep);
+
+/// Nonzero-digit count of v under `rep` (0 for v == 0).
+int nonzero_digits(i64 v, NumberRep rep);
+
+/// Adders needed by a shift-add multiplier for constant v:
+/// max(0, nonzero_digits - 1).
+int multiplier_adders(i64 v, NumberRep rep);
+
+/// "SM" / "CSD" / "SPT".
+std::string to_string(NumberRep rep);
+
+}  // namespace mrpf::number

@@ -1,0 +1,72 @@
+// AST for the synthesizable Verilog subset mrpf emits: signed nets,
+// continuous assigns over {+, −, unary −, <<<, >>>}, and one
+// posedge-clocked always block with a reset branch. The rtl module exists
+// to close the verification loop — the emitted text is parsed back and
+// simulated with Verilog truncation semantics, then compared bit-for-bit
+// against the C++ architecture model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::rtl {
+
+enum class ExprKind {
+  kConst,      // sized literal (e.g. 12'sd0)
+  kRef,        // net/reg/port reference
+  kNegate,     // -a
+  kShiftLeft,  // a <<< n
+  kShiftRight, // a >>> n (arithmetic)
+  kAdd,        // a + b
+  kSub,        // a - b
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kConst;
+  i64 value = 0;            // kConst, or shift amount for shifts
+  std::string name;         // kRef
+  std::unique_ptr<Expr> a;  // operand(s)
+  std::unique_ptr<Expr> b;
+};
+
+enum class PortDir { kInput, kOutput };
+
+struct Net {
+  std::string name;
+  int width = 1;          // bits; declared as [width-1:0]
+  bool is_signed = false;
+  bool is_reg = false;
+};
+
+struct Port {
+  PortDir dir = PortDir::kInput;
+  Net net;
+};
+
+struct Assign {
+  std::string lhs;
+  std::unique_ptr<Expr> rhs;
+};
+
+/// One non-blocking assignment inside the clocked block.
+struct SeqAssign {
+  std::string lhs;
+  std::unique_ptr<Expr> reset_rhs;  // value under `if (rst)`
+  std::unique_ptr<Expr> clock_rhs;  // value otherwise
+};
+
+struct Module {
+  std::string name;
+  std::vector<Port> ports;
+  std::vector<Net> nets;          // internal wires and regs
+  std::vector<Assign> assigns;    // continuous
+  std::vector<SeqAssign> seq;     // posedge-clk block (may be empty)
+
+  const Net* find_net(const std::string& name) const;
+  bool has_clock() const { return !seq.empty(); }
+};
+
+}  // namespace mrpf::rtl

@@ -1,0 +1,273 @@
+#include "mrpf/rtl/parser.hpp"
+
+#include <map>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/format.hpp"
+#include "mrpf/rtl/lexer.hpp"
+
+namespace mrpf::rtl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Module parse() {
+    Module m;
+    expect_ident("module");
+    m.name = take_identifier("module name");
+    expect_symbol("(");
+    parse_ports(m);
+    expect_symbol(")");
+    expect_symbol(";");
+    while (!at_ident("endmodule")) {
+      if (at_ident("wire") || at_ident("reg")) {
+        parse_net_decl(m);
+      } else if (at_ident("assign")) {
+        parse_assign(m);
+      } else if (at_ident("always")) {
+        parse_always(m);
+      } else {
+        fail("unexpected token in module body");
+      }
+    }
+    expect_ident("endmodule");
+    return m;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  void advance() { if (cur().kind != TokenKind::kEnd) ++pos_; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error(str_format("rtl parser: %s at line %d (near '%s')",
+                           what.c_str(), cur().line, cur().text.c_str()));
+  }
+
+  bool at_ident(const char* word) const {
+    return cur().kind == TokenKind::kIdentifier && cur().text == word;
+  }
+  bool at_symbol(const char* sym) const {
+    return cur().kind == TokenKind::kSymbol && cur().text == sym;
+  }
+  void expect_ident(const char* word) {
+    if (!at_ident(word)) fail(str_format("expected '%s'", word));
+    advance();
+  }
+  void expect_symbol(const char* sym) {
+    if (!at_symbol(sym)) fail(str_format("expected '%s'", sym));
+    advance();
+  }
+  std::string take_identifier(const char* what) {
+    if (cur().kind != TokenKind::kIdentifier) {
+      fail(str_format("expected %s", what));
+    }
+    std::string name = cur().text;
+    advance();
+    return name;
+  }
+  i64 take_number(const char* what) {
+    if (cur().kind != TokenKind::kNumber) fail(str_format("expected %s", what));
+    const i64 v = cur().value;
+    advance();
+    return v;
+  }
+
+  /// ["signed"] ["[" msb ":" lsb "]"] — returns (width, signed).
+  std::pair<int, bool> parse_width() {
+    bool is_signed = false;
+    int width = 1;
+    if (at_ident("signed")) {
+      is_signed = true;
+      advance();
+    }
+    if (at_symbol("[")) {
+      advance();
+      const i64 msb = take_number("msb");
+      expect_symbol(":");
+      const i64 lsb = take_number("lsb");
+      expect_symbol("]");
+      MRPF_CHECK(lsb == 0 && msb >= 0 && msb < 63,
+                 "rtl parser: only [N:0] ranges up to 63 bits supported");
+      width = static_cast<int>(msb) + 1;
+    }
+    return {width, is_signed};
+  }
+
+  void parse_ports(Module& m) {
+    while (!at_symbol(")")) {
+      Port p;
+      if (at_ident("input")) {
+        p.dir = PortDir::kInput;
+      } else if (at_ident("output")) {
+        p.dir = PortDir::kOutput;
+      } else {
+        fail("expected 'input' or 'output'");
+      }
+      advance();
+      const auto [width, is_signed] = parse_width();
+      p.net.width = width;
+      p.net.is_signed = is_signed;
+      p.net.name = take_identifier("port name");
+      m.ports.push_back(std::move(p));
+      if (at_symbol(",")) advance();
+    }
+  }
+
+  void parse_net_decl(Module& m) {
+    Net net;
+    net.is_reg = at_ident("reg");
+    advance();  // wire | reg
+    const auto [width, is_signed] = parse_width();
+    net.width = width;
+    net.is_signed = is_signed;
+    net.name = take_identifier("net name");
+    expect_symbol(";");
+    m.nets.push_back(std::move(net));
+  }
+
+  void parse_assign(Module& m) {
+    expect_ident("assign");
+    Assign a;
+    a.lhs = take_identifier("assign target");
+    expect_symbol("=");
+    a.rhs = parse_expr();
+    expect_symbol(";");
+    m.assigns.push_back(std::move(a));
+  }
+
+  void parse_always(Module& m) {
+    expect_ident("always");
+    expect_symbol("@");
+    expect_symbol("(");
+    expect_ident("posedge");
+    take_identifier("clock name");
+    expect_symbol(")");
+    expect_ident("begin");
+    expect_ident("if");
+    expect_symbol("(");
+    take_identifier("reset name");
+    expect_symbol(")");
+    expect_ident("begin");
+    std::map<std::string, std::unique_ptr<Expr>> reset;
+    while (!at_ident("end")) {
+      auto [lhs, rhs] = parse_seq_assign();
+      reset.emplace(std::move(lhs), std::move(rhs));
+    }
+    expect_ident("end");
+    expect_ident("else");
+    expect_ident("begin");
+    while (!at_ident("end")) {
+      auto [lhs, rhs] = parse_seq_assign();
+      SeqAssign sa;
+      sa.lhs = lhs;
+      const auto it = reset.find(lhs);
+      MRPF_CHECK(it != reset.end(),
+                 "rtl parser: register missing a reset assignment");
+      sa.reset_rhs = std::move(it->second);
+      sa.clock_rhs = std::move(rhs);
+      m.seq.push_back(std::move(sa));
+      reset.erase(it);
+    }
+    expect_ident("end");   // else-begin
+    expect_ident("end");   // always-begin
+    MRPF_CHECK(reset.empty(),
+               "rtl parser: register reset without a clocked assignment");
+  }
+
+  std::pair<std::string, std::unique_ptr<Expr>> parse_seq_assign() {
+    std::string lhs = take_identifier("register name");
+    expect_symbol("<=");
+    auto rhs = parse_expr();
+    expect_symbol(";");
+    return {std::move(lhs), std::move(rhs)};
+  }
+
+  // expr := shift_term (('+'|'-') shift_term)*
+  std::unique_ptr<Expr> parse_expr() {
+    auto lhs = parse_shift();
+    while (at_symbol("+") || at_symbol("-")) {
+      const bool add = at_symbol("+");
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = add ? ExprKind::kAdd : ExprKind::kSub;
+      node->a = std::move(lhs);
+      node->b = parse_shift();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  // shift_term := unary (('<<<'|'>>>') number)*
+  std::unique_ptr<Expr> parse_shift() {
+    auto lhs = parse_unary();
+    while (at_symbol("<<<") || at_symbol(">>>")) {
+      const bool left = at_symbol("<<<");
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = left ? ExprKind::kShiftLeft : ExprKind::kShiftRight;
+      node->value = take_number("shift amount");
+      node->a = std::move(lhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> parse_unary() {
+    if (at_symbol("-")) {
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kNegate;
+      node->a = parse_unary();
+      return node;
+    }
+    return parse_primary();
+  }
+
+  std::unique_ptr<Expr> parse_primary() {
+    if (at_symbol("(")) {
+      advance();
+      auto inner = parse_expr();
+      expect_symbol(")");
+      return inner;
+    }
+    auto node = std::make_unique<Expr>();
+    if (cur().kind == TokenKind::kIdentifier) {
+      node->kind = ExprKind::kRef;
+      node->name = cur().text;
+      advance();
+      return node;
+    }
+    if (cur().kind == TokenKind::kNumber ||
+        cur().kind == TokenKind::kSizedLiteral) {
+      node->kind = ExprKind::kConst;
+      node->value = cur().value;
+      advance();
+      return node;
+    }
+    fail("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Net* Module::find_net(const std::string& net_name) const {
+  for (const Net& n : nets) {
+    if (n.name == net_name) return &n;
+  }
+  for (const Port& p : ports) {
+    if (p.net.name == net_name) return &p.net;
+  }
+  return nullptr;
+}
+
+Module parse_module(const std::string& source) {
+  return Parser(tokenize(source)).parse();
+}
+
+}  // namespace mrpf::rtl

@@ -1,0 +1,14 @@
+// Recursive-descent parser for the emitted-Verilog subset (see ast.hpp).
+#pragma once
+
+#include <string>
+
+#include "mrpf/rtl/ast.hpp"
+
+namespace mrpf::rtl {
+
+/// Parses exactly one module. Throws mrpf::Error with a line number on
+/// anything outside the supported subset.
+Module parse_module(const std::string& source);
+
+}  // namespace mrpf::rtl

@@ -1,0 +1,178 @@
+#include "mrpf/rtl/simulator.hpp"
+
+#include <functional>
+#include <queue>
+#include <set>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/format.hpp"
+
+namespace mrpf::rtl {
+
+namespace {
+
+/// Names referenced by an expression.
+void collect_refs(const Expr& e, std::set<std::string>& out) {
+  if (e.kind == ExprKind::kRef) out.insert(e.name);
+  if (e.a != nullptr) collect_refs(*e.a, out);
+  if (e.b != nullptr) collect_refs(*e.b, out);
+}
+
+}  // namespace
+
+Simulator::Simulator(Module module) : module_(std::move(module)) {
+  // Zero-init every net and port.
+  for (const Port& p : module_.ports) values_[p.net.name] = 0;
+  for (const Net& n : module_.nets) values_[n.name] = 0;
+
+  // Topological order of continuous assigns: an assign depends on another
+  // assign whose lhs it references. Registers and ports are state.
+  const std::size_t n_assigns = module_.assigns.size();
+  std::map<std::string, int> producer;
+  for (std::size_t i = 0; i < n_assigns; ++i) {
+    const auto [it, inserted] =
+        producer.emplace(module_.assigns[i].lhs, static_cast<int>(i));
+    MRPF_CHECK(inserted, "rtl sim: net driven by multiple assigns");
+    const Net* net = module_.find_net(module_.assigns[i].lhs);
+    MRPF_CHECK(net != nullptr, "rtl sim: assign to undeclared net");
+    MRPF_CHECK(!net->is_reg, "rtl sim: continuous assign to a reg");
+  }
+  std::vector<std::vector<int>> consumers(n_assigns);
+  std::vector<int> indegree(n_assigns, 0);
+  for (std::size_t i = 0; i < n_assigns; ++i) {
+    std::set<std::string> refs;
+    collect_refs(*module_.assigns[i].rhs, refs);
+    for (const std::string& r : refs) {
+      MRPF_CHECK(values_.contains(r),
+                 str_format("rtl sim: reference to undeclared net '%s'",
+                            r.c_str()));
+      const auto it = producer.find(r);
+      if (it != producer.end()) {
+        consumers[static_cast<std::size_t>(it->second)].push_back(
+            static_cast<int>(i));
+        ++indegree[i];
+      }
+    }
+  }
+  std::queue<int> ready;
+  for (std::size_t i = 0; i < n_assigns; ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<int>(i));
+  }
+  while (!ready.empty()) {
+    const int a = ready.front();
+    ready.pop();
+    assign_order_.push_back(a);
+    for (const int c : consumers[static_cast<std::size_t>(a)]) {
+      if (--indegree[static_cast<std::size_t>(c)] == 0) ready.push(c);
+    }
+  }
+  MRPF_CHECK(assign_order_.size() == n_assigns,
+             "rtl sim: combinational cycle in continuous assigns");
+}
+
+i64 Simulator::truncate(const std::string& net_name, i64 value) const {
+  const Net* net = module_.find_net(net_name);
+  MRPF_CHECK(net != nullptr, "rtl sim: truncate on undeclared net");
+  const int w = net->width;
+  if (w >= 63) return value;
+  const u64 mask = (u64{1} << w) - 1;
+  u64 bits = static_cast<u64>(value) & mask;
+  if (net->is_signed && (bits & (u64{1} << (w - 1))) != 0) {
+    bits |= ~mask;  // sign-extend
+  }
+  return static_cast<i64>(bits);
+}
+
+i64 Simulator::eval(const Expr& e) const {
+  switch (e.kind) {
+    case ExprKind::kConst:
+      return e.value;
+    case ExprKind::kRef: {
+      const auto it = values_.find(e.name);
+      MRPF_CHECK(it != values_.end(), "rtl sim: read of undeclared net");
+      return it->second;
+    }
+    case ExprKind::kNegate:
+      return -eval(*e.a);
+    case ExprKind::kShiftLeft:
+      return eval(*e.a) << e.value;
+    case ExprKind::kShiftRight:
+      return eval(*e.a) >> e.value;  // arithmetic on signed i64
+    case ExprKind::kAdd:
+      return eval(*e.a) + eval(*e.b);
+    case ExprKind::kSub:
+      return eval(*e.a) - eval(*e.b);
+  }
+  throw Error("rtl sim: unknown expression kind");
+}
+
+void Simulator::set_input(const std::string& name, i64 value) {
+  bool found = false;
+  for (const Port& p : module_.ports) {
+    if (p.net.name == name) {
+      MRPF_CHECK(p.dir == PortDir::kInput, "rtl sim: set on output port");
+      found = true;
+      break;
+    }
+  }
+  MRPF_CHECK(found, str_format("rtl sim: no input port '%s'", name.c_str()));
+  values_[name] = truncate(name, value);
+}
+
+void Simulator::settle() {
+  for (const int i : assign_order_) {
+    const Assign& a = module_.assigns[static_cast<std::size_t>(i)];
+    values_[a.lhs] = truncate(a.lhs, eval(*a.rhs));
+  }
+}
+
+void Simulator::clock_edge(bool reset) {
+  // Non-blocking semantics: evaluate all rhs first, then commit.
+  std::vector<i64> next;
+  next.reserve(module_.seq.size());
+  for (const SeqAssign& sa : module_.seq) {
+    next.push_back(eval(reset ? *sa.reset_rhs : *sa.clock_rhs));
+  }
+  for (std::size_t i = 0; i < module_.seq.size(); ++i) {
+    values_[module_.seq[i].lhs] =
+        truncate(module_.seq[i].lhs, next[i]);
+  }
+  settle();
+}
+
+i64 Simulator::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  MRPF_CHECK(it != values_.end(),
+             str_format("rtl sim: no net '%s'", name.c_str()));
+  return it->second;
+}
+
+std::vector<i64> Simulator::run_filter(const std::vector<i64>& x) {
+  MRPF_CHECK(module_.has_clock(), "rtl sim: module has no clocked block");
+  set_input("x", 0);
+  settle();
+  clock_edge(/*reset=*/true);
+  std::vector<i64> y;
+  y.reserve(x.size());
+  for (const i64 sample : x) {
+    set_input("x", sample);
+    settle();
+    clock_edge(/*reset=*/false);
+    y.push_back(get("y"));
+  }
+  return y;
+}
+
+std::vector<i64> Simulator::run_block(i64 x) {
+  set_input("x", x);
+  settle();
+  std::vector<i64> out;
+  for (std::size_t i = 0;; ++i) {
+    const std::string name = str_format("p%zu", i);
+    if (module_.find_net(name) == nullptr) break;
+    out.push_back(get(name));
+  }
+  return out;
+}
+
+}  // namespace mrpf::rtl

@@ -1,0 +1,53 @@
+// Event-free two-phase simulator for parsed modules: continuous assigns
+// settle in dependency order, registers update on an explicit clock edge,
+// every write truncates to the declared net width with Verilog signed
+// semantics. Deliberately faithful rather than fast — its job is to
+// certify the emitted Verilog against the C++ architecture model.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mrpf/rtl/ast.hpp"
+
+namespace mrpf::rtl {
+
+class Simulator {
+ public:
+  explicit Simulator(Module module);
+
+  /// Drives an input port (value truncated to the port width).
+  void set_input(const std::string& name, i64 value);
+
+  /// Re-evaluates all continuous assigns (topological order).
+  void settle();
+
+  /// One posedge: all registers take their clocked (or reset) value
+  /// simultaneously, then combinational logic settles.
+  void clock_edge(bool reset);
+
+  /// Current value of any net/port.
+  i64 get(const std::string& name) const;
+
+  /// Convenience for emitted TDF filters (ports clk/rst/x/y): applies a
+  /// reset edge, then feeds x sample by sample, returning y after each
+  /// clock edge. Matches arch::TdfFilter::run bit-for-bit.
+  std::vector<i64> run_filter(const std::vector<i64>& x);
+
+  /// Convenience for emitted multiplier blocks (ports x/p0..pN): sets x,
+  /// settles, and returns every p output in index order.
+  std::vector<i64> run_block(i64 x);
+
+  const Module& module() const { return module_; }
+
+ private:
+  i64 eval(const Expr& e) const;
+  i64 truncate(const std::string& net, i64 value) const;
+
+  Module module_;
+  std::map<std::string, i64> values_;
+  std::vector<int> assign_order_;  // indices into module_.assigns
+};
+
+}  // namespace mrpf::rtl

@@ -1,0 +1,56 @@
+#include "mrpf/sim/equivalence.hpp"
+
+#include "mrpf/common/format.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/dsp/convolve.hpp"
+#include "mrpf/sim/workload.hpp"
+
+namespace mrpf::sim {
+
+std::string EquivalenceReport::to_string() const {
+  if (equivalent) return "equivalent";
+  return str_format("mismatch at sample %zu: expected %lld, got %lld",
+                    first_mismatch, static_cast<long long>(expected),
+                    static_cast<long long>(actual));
+}
+
+EquivalenceReport check_equivalence(const arch::TdfFilter& filter,
+                                    const std::vector<i64>& x) {
+  const std::vector<i64> want = dsp::fir_filter_exact(
+      filter.coefficients(), filter.alignment(), x);
+  const std::vector<i64> got = filter.run(x);
+
+  EquivalenceReport r;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (want[i] != got[i]) {
+      r.equivalent = false;
+      r.first_mismatch = i;
+      r.expected = want[i];
+      r.actual = got[i];
+      return r;
+    }
+  }
+  r.equivalent = true;
+  return r;
+}
+
+EquivalenceReport check_equivalence_suite(const arch::TdfFilter& filter,
+                                          int input_bits,
+                                          std::size_t samples,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::vector<i64>> stimuli = {
+      uniform_stream(rng, samples, input_bits),
+      impulse_stream(samples, input_bits),
+      sine_stream(samples, 0.21, input_bits),
+  };
+  for (const auto& x : stimuli) {
+    const EquivalenceReport r = check_equivalence(filter, x);
+    if (!r.equivalent) return r;
+  }
+  EquivalenceReport ok;
+  ok.equivalent = true;
+  return ok;
+}
+
+}  // namespace mrpf::sim

@@ -1,0 +1,33 @@
+// Bit-exact equivalence checking of synthesized filters against the golden
+// convolution model — the property every optimization scheme must satisfy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+
+namespace mrpf::sim {
+
+struct EquivalenceReport {
+  bool equivalent = false;
+  std::size_t first_mismatch = 0;  // sample index, valid when !equivalent
+  i64 expected = 0;
+  i64 actual = 0;
+
+  std::string to_string() const;
+};
+
+/// Runs the filter on x and compares every sample against
+/// dsp::fir_filter_exact over the same coefficients and alignment.
+EquivalenceReport check_equivalence(const arch::TdfFilter& filter,
+                                    const std::vector<i64>& x);
+
+/// Convenience: random + impulse + sine stimuli, `samples` each.
+/// Returns the first failing report, or a passing one.
+EquivalenceReport check_equivalence_suite(const arch::TdfFilter& filter,
+                                          int input_bits,
+                                          std::size_t samples = 256,
+                                          std::uint64_t seed = 1);
+
+}  // namespace mrpf::sim

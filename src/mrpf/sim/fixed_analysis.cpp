@@ -1,0 +1,112 @@
+#include "mrpf/sim/fixed_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/dsp/convolve.hpp"
+
+namespace mrpf::sim {
+
+std::string to_string(OverflowMode mode) {
+  switch (mode) {
+    case OverflowMode::kWiden:
+      return "widen";
+    case OverflowMode::kSaturate:
+      return "saturate";
+    case OverflowMode::kWrap:
+      return "wrap";
+  }
+  return "?";
+}
+
+FixedRunReport run_tdf_constrained(const arch::TdfFilter& filter,
+                                   const std::vector<i64>& x,
+                                   int accumulator_bits, OverflowMode mode) {
+  MRPF_CHECK(accumulator_bits >= 2 && accumulator_bits <= 62,
+             "run_tdf_constrained: accumulator width out of range");
+  const i64 hi = (i64{1} << (accumulator_bits - 1)) - 1;
+  const i64 lo = -(i64{1} << (accumulator_bits - 1));
+  const arch::MultiplierBlock& block = filter.block();
+  const std::size_t n_taps = filter.coefficients().size();
+
+  FixedRunReport report;
+  std::vector<i64> chain(n_taps, 0);
+  report.y.reserve(x.size());
+
+  for (const i64 sample : x) {
+    const std::vector<i64> values = block.graph.evaluate(sample);
+    std::vector<i64> next(n_taps, 0);
+    for (std::size_t k = 0; k < n_taps; ++k) {
+      i128 p = static_cast<i128>(block.product(k, values));
+      if (!filter.alignment().empty()) p <<= filter.alignment()[k];
+      i128 r = p + (k + 1 < n_taps ? static_cast<i128>(chain[k + 1]) : 0);
+      MRPF_CHECK(r <= std::numeric_limits<i64>::max() &&
+                     r >= std::numeric_limits<i64>::min(),
+                 "run_tdf_constrained: value exceeds the 64-bit model");
+      const i64 wide = static_cast<i64>(r);
+      const i64 mag = wide < 0 ? -(wide + 1) : wide;  // |v| without UB
+      report.peak_magnitude = std::max(report.peak_magnitude, mag);
+      i64 constrained = wide;
+      if (wide > hi || wide < lo) {
+        ++report.overflow_events;
+        switch (mode) {
+          case OverflowMode::kWiden:
+            break;
+          case OverflowMode::kSaturate:
+            constrained = std::clamp(wide, lo, hi);
+            break;
+          case OverflowMode::kWrap: {
+            const u64 span = u64{1} << accumulator_bits;
+            u64 bits = static_cast<u64>(wide) & (span - 1);
+            if (bits & (span >> 1)) bits |= ~(span - 1);
+            constrained = static_cast<i64>(bits);
+            break;
+          }
+        }
+      }
+      next[k] = constrained;
+    }
+    chain = std::move(next);
+    report.y.push_back(chain[0]);
+  }
+  report.required_accumulator_bits =
+      bit_width_abs(report.peak_magnitude) + 1;
+  return report;
+}
+
+SnrReport measure_quantization_snr(const std::vector<double>& h_ideal,
+                                   const number::QuantizedCoefficients& q,
+                                   const std::vector<i64>& x) {
+  MRPF_CHECK(h_ideal.size() == q.coeffs.size(),
+             "measure_quantization_snr: coefficient count mismatch");
+  MRPF_CHECK(!x.empty(), "measure_quantization_snr: empty input");
+
+  std::vector<double> xd;
+  xd.reserve(x.size());
+  for (const i64 v : x) xd.push_back(static_cast<double>(v));
+
+  std::vector<double> h_realized;
+  h_realized.reserve(q.coeffs.size());
+  for (std::size_t i = 0; i < q.coeffs.size(); ++i) {
+    h_realized.push_back(q.realized(i));
+  }
+
+  const std::vector<double> y_ideal = dsp::fir_filter(h_ideal, xd);
+  const std::vector<double> y_real = dsp::fir_filter(h_realized, xd);
+
+  SnrReport r;
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    r.signal_power += y_ideal[n] * y_ideal[n];
+    const double e = y_real[n] - y_ideal[n];
+    r.noise_power += e * e;
+  }
+  r.signal_power /= static_cast<double>(x.size());
+  r.noise_power /= static_cast<double>(x.size());
+  r.snr_db = 10.0 * std::log10(r.signal_power /
+                               std::max(r.noise_power, 1e-300));
+  return r;
+}
+
+}  // namespace mrpf::sim

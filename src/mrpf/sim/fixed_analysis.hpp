@@ -1,0 +1,53 @@
+// Fixed-point implementation analysis.
+//
+// Two practical questions a deployed multiplierless filter must answer:
+// (1) how wide must the TDF accumulator chain be — and what happens on
+// overflow (saturate vs two's-complement wrap)? (2) how much SNR does
+// coefficient quantization cost against the ideal double-precision
+// design? Both are measured here on the exact integer model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/number/quantize.hpp"
+
+namespace mrpf::sim {
+
+enum class OverflowMode {
+  kWiden,     // unconstrained accumulator (reference behaviour)
+  kSaturate,  // clamp to the accumulator range
+  kWrap,      // two's-complement wrap-around
+};
+
+std::string to_string(OverflowMode mode);
+
+struct FixedRunReport {
+  std::vector<i64> y;
+  int overflow_events = 0;   // chain values outside the accumulator range
+  i64 peak_magnitude = 0;    // max |pre-constraint| chain value observed
+  /// Smallest accumulator width (signed bits) that would avoid overflow.
+  int required_accumulator_bits = 0;
+};
+
+/// Runs the filter with the TDF chain constrained to `accumulator_bits`
+/// under `mode`. kWiden ignores the width (and reports what would be
+/// needed); kSaturate/kWrap reproduce the respective hardware policies.
+FixedRunReport run_tdf_constrained(const arch::TdfFilter& filter,
+                                   const std::vector<i64>& x,
+                                   int accumulator_bits, OverflowMode mode);
+
+struct SnrReport {
+  double signal_power = 0.0;  // mean square of the ideal output
+  double noise_power = 0.0;   // mean square of (realized − ideal)
+  double snr_db = 0.0;
+};
+
+/// Quantization SNR: the realized (quantized-coefficient) filter output
+/// against the ideal double-precision design on the same input.
+SnrReport measure_quantization_snr(const std::vector<double>& h_ideal,
+                                   const number::QuantizedCoefficients& q,
+                                   const std::vector<i64>& x);
+
+}  // namespace mrpf::sim

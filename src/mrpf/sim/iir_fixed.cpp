@@ -1,0 +1,107 @@
+#include "mrpf/sim/iir_fixed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::sim {
+
+namespace {
+
+i64 checked_narrow(i128 v, const char* what) {
+  MRPF_CHECK(v <= std::numeric_limits<i64>::max() &&
+                 v >= std::numeric_limits<i64>::min(),
+             what);
+  return static_cast<i64>(v);
+}
+
+}  // namespace
+
+QuantizedIir quantize_iir(const filter::IirDesign::DirectForm& df,
+                          int wordlength) {
+  MRPF_CHECK(wordlength >= 4 && wordlength <= 24,
+             "quantize_iir: wordlength out of range [4,24]");
+  MRPF_CHECK(!df.a.empty() && df.a[0] == 1.0,
+             "quantize_iir: denominator must be monic");
+  MRPF_CHECK(df.a.size() == df.b.size(), "quantize_iir: order mismatch");
+
+  double max_mag = 1.0;  // a0 == 1 participates in the range
+  for (const double v : df.b) max_mag = std::max(max_mag, std::fabs(v));
+  for (const double v : df.a) max_mag = std::max(max_mag, std::fabs(v));
+
+  // Scale 2^q with round(max_mag·2^q) ≤ 2^(W-1) − 1.
+  int q = 0;
+  const double limit = static_cast<double>((i64{1} << (wordlength - 1)) - 1);
+  while (max_mag * std::ldexp(1.0, q + 1) <= limit && q < 40) ++q;
+  MRPF_CHECK(q >= 1, "quantize_iir: coefficients too large for wordlength");
+
+  QuantizedIir out;
+  out.q = q;
+  for (const double v : df.b) {
+    out.b.push_back(static_cast<i64>(std::nearbyint(std::ldexp(v, q))));
+  }
+  for (const double v : df.a) {
+    out.a.push_back(static_cast<i64>(std::nearbyint(std::ldexp(v, q))));
+  }
+  MRPF_CHECK(out.a[0] == (i64{1} << q), "quantize_iir: a0 must stay exact");
+  return out;
+}
+
+std::vector<i64> iir_fixed_reference(const QuantizedIir& c,
+                                     const std::vector<i64>& x) {
+  MRPF_CHECK(!c.b.empty() && c.b.size() == c.a.size(),
+             "iir_fixed_reference: malformed coefficients");
+  const std::size_t order = c.b.size() - 1;
+  std::vector<i64> state(order + 1, 0);  // state[k] = s_k[n-1]; s_0 unused
+  std::vector<i64> y;
+  y.reserve(x.size());
+  for (const i64 xn : x) {
+    const i128 acc = static_cast<i128>(c.b[0]) * xn +
+                     (order >= 1 ? state[1] : 0);
+    const i64 yn = checked_narrow(acc >> c.q, "iir: output overflow") ;
+    for (std::size_t k = 1; k <= order; ++k) {
+      const i128 s = static_cast<i128>(c.b[k]) * xn -
+                     static_cast<i128>(c.a[k]) * yn +
+                     (k + 1 <= order ? state[k + 1] : 0);
+      state[k] = checked_narrow(s, "iir: state overflow");
+    }
+    y.push_back(yn);
+  }
+  return y;
+}
+
+std::vector<i64> iir_fixed_blocks(const QuantizedIir& c,
+                                  const arch::MultiplierBlock& b_block,
+                                  const arch::MultiplierBlock& a_block,
+                                  const std::vector<i64>& x) {
+  const std::size_t order = c.b.size() - 1;
+  MRPF_CHECK(b_block.constants == c.b,
+             "iir_fixed_blocks: b_block does not realize the b bank");
+  MRPF_CHECK(a_block.constants.size() == order &&
+                 std::equal(a_block.constants.begin(),
+                            a_block.constants.end(), c.a.begin() + 1),
+             "iir_fixed_blocks: a_block must realize a[1..order]");
+
+  std::vector<i64> state(order + 1, 0);
+  std::vector<i64> y;
+  y.reserve(x.size());
+  for (const i64 xn : x) {
+    const std::vector<i64> bx = b_block.graph.evaluate(xn);
+    const i128 acc = static_cast<i128>(b_block.product(0, bx)) +
+                     (order >= 1 ? state[1] : 0);
+    const i64 yn = checked_narrow(acc >> c.q, "iir: output overflow");
+    const std::vector<i64> ay = a_block.graph.evaluate(yn);
+    for (std::size_t k = 1; k <= order; ++k) {
+      const i128 s = static_cast<i128>(b_block.product(k, bx)) -
+                     static_cast<i128>(a_block.product(k - 1, ay)) +
+                     (k + 1 <= order ? state[k + 1] : 0);
+      state[k] = checked_narrow(s, "iir: state overflow");
+    }
+    y.push_back(yn);
+  }
+  return y;
+}
+
+}  // namespace mrpf::sim

@@ -1,0 +1,46 @@
+// Fixed-point direct-form IIR simulation over multiplier blocks.
+//
+// A transposed-direct-form IIR has two vector×scalar products per sample:
+// the feed-forward bank {b_k} scales the input broadcast, the feedback
+// bank {a_k} scales the output broadcast. Each bank is a multiplier block
+// this library can optimize (simple / CSE / MRPF). The fixed-point
+// semantics are pinned exactly so that any verified multiplier block
+// yields bit-identical output to the direct reference:
+//
+//   acc[n]   = b0·x[n] + s_1[n-1]                (product scale, 2^q)
+//   y[n]     = acc[n] >> q                       (arithmetic shift, floor)
+//   s_k[n]   = b_k·x[n] − a_k·y[n] + s_{k+1}[n-1],  s_{order+1} = 0
+#pragma once
+
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/filter/iir.hpp"
+
+namespace mrpf::sim {
+
+/// Quantized direct-form IIR coefficients with common scale 2^-q.
+struct QuantizedIir {
+  std::vector<i64> b;  // length order+1
+  std::vector<i64> a;  // length order+1, a[0] == 2^q
+  int q = 0;           // coefficient scale
+};
+
+/// Quantizes a direct form to `wordlength` bits (largest magnitude,
+/// including the implicit a0 = 1, uses the full range).
+QuantizedIir quantize_iir(const filter::IirDesign::DirectForm& df,
+                          int wordlength);
+
+/// Reference fixed-point filter (plain integer arithmetic).
+std::vector<i64> iir_fixed_reference(const QuantizedIir& coeffs,
+                                     const std::vector<i64>& x);
+
+/// The same semantics with products read from two verified multiplier
+/// blocks: `b_block` taps realize coeffs.b over x, `a_block` taps realize
+/// coeffs.a[1..] over y. Must match the reference bit for bit.
+std::vector<i64> iir_fixed_blocks(const QuantizedIir& coeffs,
+                                  const arch::MultiplierBlock& b_block,
+                                  const arch::MultiplierBlock& a_block,
+                                  const std::vector<i64>& x);
+
+}  // namespace mrpf::sim

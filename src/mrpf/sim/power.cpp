@@ -1,0 +1,58 @@
+#include "mrpf/sim/power.hpp"
+
+#include <limits>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::sim {
+
+namespace {
+
+int toggles_between(i64 prev, i64 next) {
+  u64 diff = static_cast<u64>(prev) ^ static_cast<u64>(next);
+  int count = 0;
+  while (diff != 0) {
+    count += static_cast<int>(diff & 1);
+    diff >>= 1;
+  }
+  return count;
+}
+
+}  // namespace
+
+PowerReport measure_power(const arch::TdfFilter& filter,
+                          const std::vector<i64>& x) {
+  const arch::MultiplierBlock& block = filter.block();
+  const std::size_t n_taps = filter.coefficients().size();
+
+  std::vector<i64> prev_nodes(
+      static_cast<std::size_t>(block.graph.num_nodes()), 0);
+  std::vector<i64> chain(n_taps, 0);
+
+  PowerReport report;
+  report.samples = static_cast<double>(x.size());
+  for (const i64 sample : x) {
+    const std::vector<i64> nodes = block.graph.evaluate(sample);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      report.multiplier_toggles += toggles_between(prev_nodes[i], nodes[i]);
+    }
+    prev_nodes = nodes;
+
+    std::vector<i64> next(n_taps, 0);
+    for (std::size_t k = 0; k < n_taps; ++k) {
+      i128 p = static_cast<i128>(block.product(k, nodes));
+      if (!filter.alignment().empty()) p <<= filter.alignment()[k];
+      const i128 r =
+          p + (k + 1 < n_taps ? static_cast<i128>(chain[k + 1]) : 0);
+      MRPF_CHECK(r <= std::numeric_limits<i64>::max() &&
+                     r >= std::numeric_limits<i64>::min(),
+                 "measure_power: chain overflow");
+      next[k] = static_cast<i64>(r);
+      report.chain_toggles += toggles_between(chain[k], next[k]);
+    }
+    chain = std::move(next);
+  }
+  return report;
+}
+
+}  // namespace mrpf::sim

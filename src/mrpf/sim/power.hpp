@@ -1,0 +1,32 @@
+// Switching-activity power proxy.
+//
+// Dynamic power in a multiplier block is dominated by bit toggles on adder
+// outputs. Without gate-level netlists we use the standard architectural
+// proxy: per input sample, XOR each node's two's-complement output against
+// its previous value and count flipped bits, optionally weighted by a
+// per-bit capacitance. Lower toggle counts on fewer/narrower adders is
+// exactly the mechanism behind the paper's low-power claim.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+
+namespace mrpf::sim {
+
+struct PowerReport {
+  double multiplier_toggles = 0.0;  // Σ toggles over all graph nodes
+  double chain_toggles = 0.0;       // Σ toggles over TDF chain registers
+  double samples = 0.0;
+
+  double total() const { return multiplier_toggles + chain_toggles; }
+  double toggles_per_sample() const {
+    return samples > 0.0 ? total() / samples : 0.0;
+  }
+};
+
+/// Simulates the filter over x and accumulates toggle counts.
+PowerReport measure_power(const arch::TdfFilter& filter,
+                          const std::vector<i64>& x);
+
+}  // namespace mrpf::sim

@@ -1,0 +1,50 @@
+#include "mrpf/sim/workload.hpp"
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::sim {
+
+namespace {
+
+i64 full_scale(int input_bits) {
+  MRPF_CHECK(input_bits >= 2 && input_bits <= 32,
+             "workload: input_bits out of range");
+  return (i64{1} << (input_bits - 1)) - 1;
+}
+
+}  // namespace
+
+std::vector<i64> uniform_stream(Rng& rng, std::size_t length,
+                                int input_bits) {
+  const i64 fs = full_scale(input_bits);
+  std::vector<i64> x;
+  x.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    x.push_back(rng.next_int(-fs, fs));
+  }
+  return x;
+}
+
+std::vector<i64> sine_stream(std::size_t length, double f, int input_bits) {
+  MRPF_CHECK(f > 0.0 && f < 1.0, "sine_stream: frequency outside (0,1)");
+  const i64 fs = full_scale(input_bits);
+  std::vector<i64> x;
+  x.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double v =
+        std::sin(M_PI * f * static_cast<double>(i)) * static_cast<double>(fs);
+    x.push_back(static_cast<i64>(std::nearbyint(v)));
+  }
+  return x;
+}
+
+std::vector<i64> impulse_stream(std::size_t length, int input_bits) {
+  std::vector<i64> x(length, 0);
+  MRPF_CHECK(!x.empty(), "impulse_stream: zero length");
+  x[0] = full_scale(input_bits);
+  return x;
+}
+
+}  // namespace mrpf::sim

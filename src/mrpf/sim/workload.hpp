@@ -1,0 +1,23 @@
+// Input-stream workload generators for equivalence checks and the power
+// proxy: uniform noise, sinusoids (quantized), and impulse/step patterns.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+#include "mrpf/common/rng.hpp"
+
+namespace mrpf::sim {
+
+/// `length` samples uniform in the signed `input_bits` range.
+std::vector<i64> uniform_stream(Rng& rng, std::size_t length,
+                                int input_bits);
+
+/// Quantized sinusoid at normalized frequency f ∈ (0, 1) (1 = Nyquist).
+std::vector<i64> sine_stream(std::size_t length, double f, int input_bits);
+
+/// δ[n]: full-scale impulse followed by zeros — runs the filter through
+/// its impulse response (y equals the coefficient sequence scaled).
+std::vector<i64> impulse_stream(std::size_t length, int input_bits);
+
+}  // namespace mrpf::sim

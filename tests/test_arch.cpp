@@ -1,0 +1,387 @@
+// Adder-graph IR: fundamentals, depth, resolve, constant synthesis,
+// add_taps normalization, TDF simulation, cost model, pipelining, Verilog.
+#include <gtest/gtest.h>
+
+#include "mrpf/arch/adder_graph.hpp"
+#include "mrpf/arch/cost_model.hpp"
+#include "mrpf/arch/dot.hpp"
+#include "mrpf/arch/folded.hpp"
+#include "mrpf/arch/pipeline.hpp"
+#include "mrpf/arch/scm_exact.hpp"
+#include "mrpf/arch/synth.hpp"
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/arch/verilog.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/format.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/dsp/convolve.hpp"
+#include "mrpf/number/repr.hpp"
+
+namespace mrpf::arch {
+namespace {
+
+using number::NumberRep;
+
+TEST(AdderGraphTest, FundamentalsAndDepth) {
+  AdderGraph g;
+  EXPECT_EQ(g.num_adders(), 0);
+  EXPECT_EQ(g.fundamental(AdderGraph::kInputNode), 1);
+  const int n3 = g.add_op(0, 1, 0, 0, true);   // 2 - 1 = 1? No: (1<<1)-1 = 1
+  EXPECT_EQ(g.fundamental(n3), 1);
+  const int n5 = g.add_op(0, 2, 0, 0, false);  // 4 + 1
+  EXPECT_EQ(g.fundamental(n5), 5);
+  const int n20 = g.add_op(n5, 2, n3, 0, true);  // 20 - 1 = 19
+  EXPECT_EQ(g.fundamental(n20), 19);
+  EXPECT_EQ(g.depth(n20), 2);
+  EXPECT_EQ(g.max_depth(), 2);
+  EXPECT_EQ(g.num_adders(), 3);
+}
+
+TEST(AdderGraphTest, RejectsZeroAndOverflow) {
+  AdderGraph g;
+  EXPECT_THROW(g.add_op(0, 0, 0, 0, true), Error);  // 1 - 1 = 0
+  EXPECT_THROW(g.add_op(0, 61, 0, 61, false), Error);
+  EXPECT_THROW(g.add_op(0, -1, 0, 0, false), Error);
+  EXPECT_THROW(g.add_op(5, 0, 0, 0, false), Error);
+}
+
+TEST(AdderGraphTest, ResolveFindsShiftedAndNegatedForms) {
+  AdderGraph g;
+  const int n5 = g.add_op(0, 2, 0, 0, false);  // 5
+  const auto t20 = g.resolve(20);
+  ASSERT_TRUE(t20.has_value());
+  EXPECT_EQ(t20->node, n5);
+  EXPECT_EQ(t20->shift, 2);
+  EXPECT_FALSE(t20->negate);
+  const auto tm5 = g.resolve(-5);
+  ASSERT_TRUE(tm5.has_value());
+  EXPECT_TRUE(tm5->negate);
+  EXPECT_FALSE(g.resolve(7).has_value());
+  const auto zero = g.resolve(0);
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(zero->node, -1);
+}
+
+TEST(AdderGraphTest, EvaluateIsExact) {
+  AdderGraph g;
+  const int n5 = g.add_op(0, 2, 0, 0, false);
+  const int n45 = g.add_op(n5, 3, n5, 0, false);  // 40 + 5
+  for (const i64 x : {i64{1}, i64{-3}, i64{1000}, i64{-65536}}) {
+    const auto v = g.evaluate(x);
+    EXPECT_EQ(v[static_cast<std::size_t>(n5)], 5 * x);
+    EXPECT_EQ(v[static_cast<std::size_t>(n45)], 45 * x);
+  }
+}
+
+TEST(SynthTest, CostMatchesDigitCount) {
+  for (const auto rep : {NumberRep::kCsd, NumberRep::kSignMagnitude}) {
+    for (const i64 c : {i64{7}, i64{45}, i64{255}, i64{-693}, i64{1024}}) {
+      AdderGraph g;
+      const Tap tap = synthesize_constant(g, c, rep);
+      EXPECT_EQ(g.num_adders(), number::multiplier_adders(c, rep))
+          << c << " " << number::to_string(rep);
+      const auto v = g.evaluate(11);
+      if (tap.node >= 0) {
+        i64 p = v[static_cast<std::size_t>(tap.node)];
+        p = tap.shift >= 0 ? (p << tap.shift) : (p >> -tap.shift);
+        if (tap.negate) p = -p;
+        EXPECT_EQ(p, c * 11);
+      }
+    }
+  }
+}
+
+TEST(SynthTest, ReusesExistingNodes) {
+  AdderGraph g;
+  synthesize_constant(g, 45, NumberRep::kCsd);
+  const int before = g.num_adders();
+  synthesize_constant(g, 90, NumberRep::kCsd);   // shift of 45
+  synthesize_constant(g, -45, NumberRep::kCsd);  // negation
+  EXPECT_EQ(g.num_adders(), before);
+}
+
+TEST(SynthTest, DepthIsLogarithmic) {
+  AdderGraph g;
+  // 0b101010101010101 has 8 nonzero digits → balanced depth 3.
+  synthesize_constant(g, 0b101010101010101, NumberRep::kSignMagnitude);
+  EXPECT_EQ(g.max_depth(), 3);
+}
+
+TEST(SynthTest, AddTapsHandlesNegativeNetShifts) {
+  AdderGraph g;
+  const Tap t5 = synthesize_constant(g, 5, NumberRep::kCsd);
+  const Tap t3 = synthesize_constant(g, 3, NumberRep::kCsd);
+  // 5·x − 3·(x<<1)... with taps pre-shifted: resolve(10) has shift 1;
+  // combine (10>>1) + 3 = 8: net shift −1 on the first operand.
+  const auto t10 = g.resolve(10);
+  ASSERT_TRUE(t10.has_value());
+  const Tap sum = add_taps(g, *t10, -1, false, t3, 0, false);
+  EXPECT_EQ(sum.constant, 8);
+  const Tap diff = add_taps(g, t5, 2, false, t3, 0, true);  // 20 − 3
+  EXPECT_EQ(diff.constant, 17);
+  const Tap neg = add_taps(g, t5, 0, true, t3, 1, true);  // −5 − 6
+  EXPECT_EQ(neg.constant, -11);
+  EXPECT_THROW(add_taps(g, t5, 0, false, t5, 0, true), Error);  // == 0
+}
+
+MultiplierBlock two_tap_block() {
+  MultiplierBlock block;
+  block.constants = {5, -3};
+  block.taps.push_back(synthesize_constant(block.graph, 5, NumberRep::kCsd));
+  block.taps.push_back(synthesize_constant(block.graph, -3, NumberRep::kCsd));
+  return block;
+}
+
+TEST(TdfTest, MatchesReferenceConvolution) {
+  MultiplierBlock block = two_tap_block();
+  const TdfFilter filter({5, -3}, {}, std::move(block));
+  Rng rng(1);
+  std::vector<i64> x;
+  for (int i = 0; i < 64; ++i) x.push_back(rng.next_int(-1000, 1000));
+  EXPECT_EQ(filter.run(x), dsp::fir_filter_exact({5, -3}, {}, x));
+}
+
+TEST(TdfTest, AlignmentShiftsApply)
+{
+  MultiplierBlock block = two_tap_block();
+  const TdfFilter filter({5, -3}, {0, 3}, std::move(block));
+  const std::vector<i64> x = {1, 0, 0};
+  const auto y = filter.run(x);
+  EXPECT_EQ(y[0], 5);
+  EXPECT_EQ(y[1], -24);  // −3 << 3
+}
+
+TEST(TdfTest, MetricsAreConsistent) {
+  MultiplierBlock block = two_tap_block();
+  const int adders = block.graph.num_adders();
+  const TdfFilter filter({5, -3}, {}, std::move(block));
+  const TdfMetrics m = filter.metrics();
+  EXPECT_EQ(m.multiplier_adders, adders);
+  EXPECT_EQ(m.structural_adders, 1);
+  EXPECT_EQ(m.registers, 2);
+  EXPECT_GE(m.multiplier_depth, 1);
+}
+
+TEST(TdfTest, ConstructorValidates) {
+  EXPECT_THROW(TdfFilter({}, {}, MultiplierBlock{}), Error);
+  MultiplierBlock block = two_tap_block();
+  EXPECT_THROW(TdfFilter({5}, {}, std::move(block)), Error);
+}
+
+TEST(CostModelTest, AreaAndDelayScale) {
+  const ClaCostModel m;
+  EXPECT_GT(m.adder_area(24), m.adder_area(12));
+  EXPECT_GT(m.adder_delay(32), m.adder_delay(16));
+  // Delay grows logarithmically: doubling width adds a constant.
+  const double d1 = m.adder_delay(16) - m.adder_delay(8);
+  const double d2 = m.adder_delay(32) - m.adder_delay(16);
+  EXPECT_NEAR(d1, d2, 1e-9);
+  EXPECT_THROW(m.adder_area(0), Error);
+}
+
+TEST(CostModelTest, BlockAreaSumsNodes) {
+  AdderGraph g;
+  synthesize_constant(g, 45, NumberRep::kCsd);
+  const ClaCostModel m;
+  double expected = 0.0;
+  for (int node = 1; node < g.num_nodes(); ++node) {
+    expected += m.adder_area(g.node_width(node, 12));
+  }
+  EXPECT_DOUBLE_EQ(multiplier_block_area(g, 12, m), expected);
+  EXPECT_GT(critical_path_delay(g, 12, m), 0.0);
+}
+
+TEST(PipelineTest, CutsCountCrossingValues) {
+  AdderGraph g;
+  const Tap t45 = synthesize_constant(g, 45, NumberRep::kCsd);
+  const Tap t7 = synthesize_constant(g, 7, NumberRep::kCsd);
+  const std::vector<Tap> taps = {t45, t7};
+  const PipelineReport r = analyze_pipeline(g, taps);
+  EXPECT_EQ(r.max_depth, g.max_depth());
+  int total = 0;
+  for (const int a : r.adders_per_level) total += a;
+  EXPECT_EQ(total, g.num_adders());
+  // A cut at the output level must register at least every tapped node.
+  EXPECT_GE(r.registers_at_cut.back(), 2);
+}
+
+TEST(PipelineTest, PipelinedRunIsDelayedByOneSample) {
+  // MRPF-shaped block with depth > 1 so every cut is meaningful.
+  const std::vector<i64> constants = {45, 7, -90, 23};
+  MultiplierBlock block;
+  block.constants = constants;
+  for (const i64 c : constants) {
+    block.taps.push_back(synthesize_constant(block.graph, c,
+                                             NumberRep::kCsd));
+  }
+  const TdfFilter filter(constants, {}, std::move(block));
+  Rng rng(8);
+  std::vector<i64> x;
+  for (int i = 0; i < 100; ++i) x.push_back(rng.next_int(-500, 500));
+  const std::vector<i64> ref = filter.run(x);
+  for (int cut = 0; cut <= filter.block().graph.max_depth(); ++cut) {
+    const std::vector<i64> pip = run_pipelined(filter, x, cut);
+    ASSERT_EQ(pip.size(), ref.size());
+    for (std::size_t n = 1; n < x.size(); ++n) {
+      ASSERT_EQ(pip[n], ref[n - 1])
+          << "cut " << cut << " sample " << n
+          << ": pipelined output must be the reference delayed by one";
+    }
+  }
+  EXPECT_THROW(run_pipelined(filter, x, 99), Error);
+}
+
+TEST(VerilogTest, MultiplierBlockModuleShape) {
+  MultiplierBlock block = two_tap_block();
+  const std::string v = emit_multiplier_block(block, 12, "mb");
+  EXPECT_NE(v.find("module mb"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("output signed"), std::string::npos);
+  EXPECT_NE(v.find("assign p0"), std::string::npos);
+  EXPECT_NE(v.find("assign p1"), std::string::npos);
+  // One wire declaration per adder node.
+  std::size_t count = 0;
+  for (std::size_t pos = v.find("wire signed"); pos != std::string::npos;
+       pos = v.find("wire signed", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<std::size_t>(block.graph.num_adders()) + 1);
+}
+
+TEST(VerilogTest, TdfFilterModuleShape) {
+  MultiplierBlock block = two_tap_block();
+  const TdfFilter filter({5, -3}, {0, 1}, std::move(block));
+  const std::string v = emit_tdf_filter(filter, 12, "fir");
+  EXPECT_NE(v.find("module fir"), std::string::npos);
+  EXPECT_NE(v.find("posedge clk"), std::string::npos);
+  EXPECT_NE(v.find("assign y = r0;"), std::string::npos);
+  EXPECT_NE(v.find("r0 <= p0 + r1;"), std::string::npos);
+  EXPECT_NE(v.find("r1 <= p1;"), std::string::npos);
+}
+
+TEST(VerilogTest, TestbenchEmbedsStimulusAndExpectations) {
+  MultiplierBlock block = two_tap_block();
+  const TdfFilter filter({5, -3}, {}, std::move(block));
+  const std::vector<i64> stimulus = {1, -2, 100};
+  const std::vector<i64> want = filter.run(stimulus);
+  const std::string tb = emit_tdf_testbench(filter, 12, "fir", stimulus);
+  EXPECT_NE(tb.find("module fir_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("fir dut"), std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  for (std::size_t i = 0; i < stimulus.size(); ++i) {
+    EXPECT_NE(tb.find("stim[" + std::to_string(i) + "] = " +
+                      std::to_string(stimulus[i])),
+              std::string::npos);
+    EXPECT_NE(tb.find("want[" + std::to_string(i) + "] = " +
+                      std::to_string(want[i])),
+              std::string::npos);
+  }
+  EXPECT_THROW(emit_tdf_testbench(filter, 12, "fir", {}), Error);
+}
+
+TEST(VerilogTest, OutputWidthIsConsistentWithEmission) {
+  MultiplierBlock block = two_tap_block();
+  const TdfFilter filter({5, -3}, {}, std::move(block));
+  const int w = tdf_output_width(filter, 12);
+  const std::string v = emit_tdf_filter(filter, 12, "fir");
+  EXPECT_NE(v.find(str_format("output signed [%d:0] y", w - 1)),
+            std::string::npos);
+}
+
+TEST(ScmExact, KnownOptimalCosts) {
+  const ScmTable table(12);
+  EXPECT_EQ(table.cost(0), 0);
+  EXPECT_EQ(table.cost(1), 0);
+  EXPECT_EQ(table.cost(-1024), 0);  // pure shift/sign
+  EXPECT_EQ(table.cost(3), 1);
+  EXPECT_EQ(table.cost(7), 1);
+  EXPECT_EQ(table.cost(2049), 1);   // 2^11 + 1
+  EXPECT_EQ(table.cost(11), 2);
+  EXPECT_EQ(table.cost(45), 2);     // 45 = 5·9: CSD needs 3, graph needs 2
+  EXPECT_EQ(table.cost(693), 3);    // CSD needs 5
+  EXPECT_THROW(table.cost((1 << 13) + 1), Error);
+}
+
+TEST(ScmExact, LowerBoundsEveryCsdTree) {
+  const ScmTable table(10);
+  for (i64 v = 1; v < 1024; v += 2) {
+    const int exact = table.cost(v);
+    const int csd = number::multiplier_adders(v, NumberRep::kCsd);
+    if (csd <= 3) {
+      EXPECT_LE(exact, csd) << v << ": exact SCM can never beat-fail CSD";
+    }
+    // Cost-1 classification is exactly |2^i ± 2^j|.
+    const bool is_sum_of_two_powers = [v] {
+      for (int i = 0; i <= 11; ++i) {
+        for (int j = 0; j <= 11; ++j) {
+          if ((i64{1} << i) + (i64{1} << j) == v) return true;
+          if ((i64{1} << i) - (i64{1} << j) == v) return true;
+        }
+      }
+      return false;
+    }();
+    if (v > 1) {
+      EXPECT_EQ(exact == 1, is_sum_of_two_powers) << v;
+    }
+  }
+}
+
+TEST(ScmExact, HistogramCoversAllOddValues) {
+  const ScmTable table(8);
+  const auto h = table.histogram();
+  std::size_t total = 0;
+  for (const std::size_t c : h) total += c;
+  EXPECT_EQ(total, 128u);  // odd values below 2^8
+  EXPECT_EQ(h[0], 1u);     // only the value 1
+  // Every 8-bit constant is known to need at most 3 adders.
+  EXPECT_EQ(h[4], 0u);
+}
+
+TEST(DotTest, EmitsAllNodesAndTaps) {
+  MultiplierBlock block = two_tap_block();
+  const std::string dot = emit_dot(block, "demo");
+  EXPECT_NE(dot.find("digraph demo"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"x\""), std::string::npos);
+  EXPECT_NE(dot.find("p0 = 5*x"), std::string::npos);
+  EXPECT_NE(dot.find("p1 = -3*x"), std::string::npos);
+  for (int node = 1; node < block.graph.num_nodes(); ++node) {
+    EXPECT_NE(dot.find("n" + std::to_string(node) + " ["),
+              std::string::npos);
+  }
+}
+
+TEST(FoldedDirectTest, MatchesConvolutionOddAndEvenLengths) {
+  Rng rng(33);
+  for (const std::size_t n : {3u, 4u, 7u, 10u, 15u}) {
+    std::vector<i64> c(n, 0);
+    for (std::size_t k = 0; k < (n + 1) / 2; ++k) {
+      c[k] = rng.next_int(-511, 511);
+      c[n - 1 - k] = c[k];
+    }
+    const FoldedDirectFilter filter(c, number::NumberRep::kCsd);
+    std::vector<i64> x;
+    for (int i = 0; i < 60; ++i) x.push_back(rng.next_int(-200, 200));
+    EXPECT_EQ(filter.run(x), dsp::fir_filter_exact(c, {}, x)) << n;
+  }
+}
+
+TEST(FoldedDirectTest, MultiplierCostEqualsSimpleByConstruction) {
+  // The direct form cannot share products — its multiplier cost is the
+  // simple implementation's, which is the paper's §2 argument for TDF.
+  const std::vector<i64> c = {45, 90, 17, 90, 45};  // symmetric
+  const FoldedDirectFilter filter(c, number::NumberRep::kCsd);
+  int expected = 0;
+  for (const i64 v : {45, 90, 17}) {
+    expected += number::multiplier_adders(v, number::NumberRep::kCsd);
+  }
+  EXPECT_EQ(filter.metrics().multiplier_adders, expected);
+  EXPECT_EQ(filter.folding_adders(), 2);
+}
+
+TEST(FoldedDirectTest, RejectsAsymmetricCoefficients) {
+  EXPECT_THROW(FoldedDirectFilter({1, 2, 3}, number::NumberRep::kCsd),
+               Error);
+}
+
+}  // namespace
+}  // namespace mrpf::arch

@@ -1,0 +1,206 @@
+// Baselines: simple multiplierless TDF, the differential-MST transform,
+// and the RAG-n-style MCM heuristic.
+#include <gtest/gtest.h>
+
+#include "mrpf/baseline/decor.hpp"
+#include "mrpf/baseline/diff_mst.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/baseline/ragn.hpp"
+#include "mrpf/baseline/simple.hpp"
+#include "mrpf/dsp/convolve.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/number/csd.hpp"
+
+namespace mrpf::baseline {
+namespace {
+
+using number::NumberRep;
+
+TEST(Simple, AnalyticCostKnownValues) {
+  // 7 → 2 digits CSD → 1 adder; 45 → 4 digits → 3; 64 → 0; 0 → 0.
+  EXPECT_EQ(simple_adder_cost({7, 45, 64, 0}, NumberRep::kCsd), 4);
+  EXPECT_EQ(simple_adder_cost({7, 7}, NumberRep::kCsd), 2)
+      << "simple implementation never shares";
+  EXPECT_EQ(simple_adder_cost({}, NumberRep::kCsd), 0);
+}
+
+TEST(Simple, UnsharedBlockMatchesAnalyticCost) {
+  const std::vector<i64> bank = {7, 45, -45, 90, 255, 0, 64, 7};
+  for (const auto rep : {NumberRep::kCsd, NumberRep::kSignMagnitude}) {
+    const arch::MultiplierBlock block =
+        build_simple_block(bank, rep, /*share_equal_constants=*/false);
+    EXPECT_EQ(block.graph.num_adders(), simple_adder_cost(bank, rep));
+  }
+}
+
+TEST(Simple, SharedBlockNeverCostsMore) {
+  const std::vector<i64> bank = {7, 45, -45, 90, 255, 0, 64, 7};
+  const arch::MultiplierBlock shared =
+      build_simple_block(bank, NumberRep::kCsd, true);
+  EXPECT_LT(shared.graph.num_adders(),
+            simple_adder_cost(bank, NumberRep::kCsd));
+}
+
+TEST(Simple, BlockIsExactOnRandomBanks) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<i64> bank;
+    const int taps = static_cast<int>(rng.next_int(1, 20));
+    for (int t = 0; t < taps; ++t) bank.push_back(rng.next_int(-4095, 4095));
+    const arch::MultiplierBlock block =
+        build_simple_block(bank, NumberRep::kCsd);
+    const auto values = block.graph.evaluate(13);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      ASSERT_EQ(block.product(i, values), bank[i] * 13);
+    }
+  }
+}
+
+TEST(DiffMst, TrivialBanks) {
+  const DiffMstResult empty = diff_mst_optimize({0, 0}, NumberRep::kCsd);
+  EXPECT_EQ(empty.adders, 0);
+  const DiffMstResult one = diff_mst_optimize({12}, NumberRep::kCsd);
+  EXPECT_EQ(one.adders, number::multiplier_adders(12, NumberRep::kCsd));
+  EXPECT_EQ(one.roots.size(), 1u);
+}
+
+TEST(DiffMst, ChainOfCloseValuesIsCheap) {
+  // 100, 101, 102, 103: differences of 1 → 1 adder per derived value.
+  const DiffMstResult r =
+      diff_mst_optimize({100, 101, 102, 103}, NumberRep::kCsd);
+  const int root_cost = number::multiplier_adders(
+      r.uniques[static_cast<std::size_t>(r.roots[0])], NumberRep::kCsd);
+  EXPECT_EQ(r.adders, root_cost + 3);
+  EXPECT_LT(r.adders,
+            simple_adder_cost({100, 101, 102, 103}, NumberRep::kCsd));
+}
+
+TEST(DiffMst, ParentStructureIsForest) {
+  const DiffMstResult r =
+      diff_mst_optimize({7, 66, 17, 9, 27, 41, 57, 11}, NumberRep::kCsd);
+  int roots = 0;
+  for (std::size_t v = 0; v < r.uniques.size(); ++v) {
+    if (r.parent[v] == -1) {
+      ++roots;
+    } else {
+      ASSERT_GE(r.parent[v], 0);
+      ASSERT_LT(r.parent[v], static_cast<int>(r.uniques.size()));
+    }
+  }
+  EXPECT_EQ(roots, static_cast<int>(r.roots.size()));
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(DiffMst, BlockIsExact) {
+  const std::vector<i64> bank = {7, 66, 17, 9, 27, 41, 57, 11, 0, -17};
+  const arch::MultiplierBlock block =
+      build_diff_mst_block(bank, NumberRep::kCsd);
+  const auto values = block.graph.evaluate(-9);
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    ASSERT_EQ(block.product(i, values), bank[i] * -9);
+  }
+}
+
+TEST(DiffMst, NeverWorseThanSimpleOnClusteredBanks) {
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Clustered values: differences are small, MST should win.
+    std::vector<i64> bank;
+    const i64 base = rng.next_int(500, 2000);
+    for (int t = 0; t < 12; ++t) bank.push_back(base + rng.next_int(0, 15));
+    const DiffMstResult r = diff_mst_optimize(bank, NumberRep::kCsd);
+    EXPECT_LE(r.adders, simple_adder_cost(bank, NumberRep::kCsd));
+  }
+}
+
+TEST(Ragn, CostOneTargetsNeedOneAdderEach) {
+  // 3, 5, 9, 257 are all one adder away from x; 6 and 20 are free shifts
+  // of realized values.
+  const RagnResult r = ragn_optimize({3, 5, 9, 257, 6, 20});
+  EXPECT_EQ(r.adders, 4);
+  EXPECT_EQ(r.heuristic_steps, 0)
+      << "every cost-1 value is one adder from x alone";
+  EXPECT_EQ(r.optimal_steps, 4);
+}
+
+TEST(Ragn, ReusesFundamentalsAcrossTargets) {
+  // 45 = 5·9: once 5 and 9 exist, 45 = (5<<3) + 5 or 45 = 9 + (9<<2)...
+  // either way one more adder, total 3.
+  const RagnResult r = ragn_optimize({5, 9, 45});
+  EXPECT_EQ(r.adders, 3);
+}
+
+TEST(Ragn, NeverWorseThanSimpleOrPlainCsd) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<i64> bank;
+    const int taps = static_cast<int>(rng.next_int(2, 20));
+    for (int t = 0; t < taps; ++t) bank.push_back(rng.next_int(-4095, 4095));
+    const RagnResult r = ragn_optimize(bank);
+    EXPECT_LE(r.adders, simple_adder_cost(bank, NumberRep::kCsd));
+  }
+}
+
+TEST(Ragn, BlockIsExact) {
+  const std::vector<i64> bank = {7, 66, 17, 9, 27, 41, 57, 11, 0, -14};
+  const RagnResult r = ragn_optimize(bank);
+  const auto values = r.block.graph.evaluate(23);
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    ASSERT_EQ(r.block.product(i, values), bank[i] * 23);
+  }
+}
+
+TEST(Ragn, TrivialBanks) {
+  EXPECT_EQ(ragn_optimize({}).adders, 0);
+  EXPECT_EQ(ragn_optimize({0, 64, -2}).adders, 0);
+  EXPECT_EQ(ragn_optimize({3}).adders, 1);
+}
+
+TEST(Decor, DifferenceCoefficientsAreExactPolynomials) {
+  // (1 − z^-1)·(5 + 3z^-1) = 5 − 2z^-1 − 3z^-2.
+  EXPECT_EQ(decor_coefficients({5, 3}, 1), (std::vector<i64>{5, -2, -3}));
+  // Order 0 is the identity.
+  EXPECT_EQ(decor_coefficients({5, 3}, 0), (std::vector<i64>{5, 3}));
+  // Second difference of a constant run collapses to the two end spikes.
+  EXPECT_EQ(decor_coefficients({4, 4, 4}, 1),
+            (std::vector<i64>{4, 0, 0, -4}));
+}
+
+TEST(Decor, HelpsOnCorrelatedCoefficientsOnly) {
+  using number::NumberRep;
+  // Smooth ramp: neighbours differ by 1 → first difference is trivial.
+  const std::vector<i64> smooth = {100, 101, 102, 103, 104, 105};
+  EXPECT_LT(decor_adder_cost(smooth, 1, NumberRep::kCsd),
+            decor_adder_cost(smooth, 0, NumberRep::kCsd));
+  EXPECT_EQ(decor_best_order(smooth, 3, NumberRep::kCsd) > 0, true);
+  // White-ish coefficients: differencing does not pay (paper §1's point).
+  const std::vector<i64> rough = {977, -350, 613, -87, 441, -900};
+  EXPECT_EQ(decor_best_order(rough, 3, NumberRep::kCsd), 0);
+}
+
+TEST(Decor, FilterIsBitExactAgainstConvolution) {
+  Rng rng(21);
+  for (const int order : {0, 1, 2, 3}) {
+    std::vector<i64> c;
+    for (int k = 0; k < 9; ++k) c.push_back(rng.next_int(-255, 255));
+    const DecorFilter filter(c, order, number::NumberRep::kCsd);
+    std::vector<i64> x;
+    for (int i = 0; i < 80; ++i) x.push_back(rng.next_int(-100, 100));
+    EXPECT_EQ(filter.run(x), dsp::fir_filter_exact(c, {}, x))
+        << "order " << order;
+  }
+}
+
+TEST(Decor, CostAccountsIntegrators) {
+  using number::NumberRep;
+  const std::vector<i64> c = {64, 65, 66};
+  const DecorFilter f(c, 1, NumberRep::kCsd);
+  EXPECT_EQ(f.multiplier_adders(),
+            decor_adder_cost(c, 1, NumberRep::kCsd));
+  EXPECT_EQ(f.difference_coefficients(),
+            decor_coefficients(c, 1));
+  EXPECT_THROW(decor_coefficients(c, 99), Error);
+}
+
+}  // namespace
+}  // namespace mrpf::baseline

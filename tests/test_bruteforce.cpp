@@ -1,0 +1,212 @@
+// Brute-force cross-checks on small instances: the heuristics this library
+// ships (greedy set cover, Prim/Kruskal, CSD, diff-MST) are validated
+// against exhaustive enumeration where exhaustive is feasible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "mrpf/baseline/diff_mst.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/graph/mst.hpp"
+#include "mrpf/graph/set_cover.hpp"
+#include "mrpf/number/csd.hpp"
+#include "mrpf/number/repr.hpp"
+
+namespace mrpf {
+namespace {
+
+// ---------------------------------------------------------------- set cover
+
+double exhaustive_cover_cost(int n_elements,
+                             const std::vector<graph::CoverSet>& sets) {
+  const int m = static_cast<int>(sets.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (int mask = 0; mask < (1 << m); ++mask) {
+    std::vector<bool> covered(static_cast<std::size_t>(n_elements), false);
+    double cost = 0.0;
+    for (int s = 0; s < m; ++s) {
+      if ((mask >> s) & 1) {
+        cost += sets[static_cast<std::size_t>(s)].cost;
+        for (const int e : sets[static_cast<std::size_t>(s)].elements) {
+          covered[static_cast<std::size_t>(e)] = true;
+        }
+      }
+    }
+    bool complete = true;
+    for (const bool c : covered) complete = complete && c;
+    if (complete) best = std::min(best, cost);
+  }
+  return best;
+}
+
+TEST(BruteForce, GreedyCoverWithinLogFactorOfOptimal) {
+  Rng rng(0xC0DE);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 3 + static_cast<int>(rng.next_below(6));   // elements
+    const int m = 4 + static_cast<int>(rng.next_below(7));   // sets
+    std::vector<graph::CoverSet> sets;
+    for (int s = 0; s < m; ++s) {
+      graph::CoverSet cs;
+      cs.cost = 1.0 + static_cast<double>(rng.next_below(9));
+      for (int e = 0; e < n; ++e) {
+        if (rng.next_below(100) < 45) cs.elements.push_back(e);
+      }
+      sets.push_back(std::move(cs));
+    }
+    // Guarantee coverability.
+    graph::CoverSet all;
+    all.cost = 20.0;
+    for (int e = 0; e < n; ++e) all.elements.push_back(e);
+    sets.push_back(std::move(all));
+
+    const double opt = exhaustive_cover_cost(n, sets);
+    const auto greedy =
+        graph::greedy_weighted_set_cover(n, sets, graph::ratio_benefit());
+    ASSERT_TRUE(greedy.complete);
+    // Classic guarantee: greedy ≤ H(n)·opt.
+    double harmonic = 0.0;
+    for (int k = 1; k <= n; ++k) harmonic += 1.0 / k;
+    EXPECT_LE(greedy.total_cost, opt * harmonic + 1e-9)
+        << "trial " << trial << " n=" << n << " m=" << m;
+    EXPECT_GE(greedy.total_cost, opt - 1e-9);
+  }
+}
+
+// ------------------------------------------------------------ spanning trees
+
+/// Decodes a Prüfer sequence into tree edges (n ≥ 2 vertices).
+std::vector<std::pair<int, int>> prufer_tree(const std::vector<int>& seq,
+                                             int n) {
+  std::vector<int> degree(static_cast<std::size_t>(n), 1);
+  for (const int v : seq) ++degree[static_cast<std::size_t>(v)];
+  std::vector<std::pair<int, int>> edges;
+  std::vector<int> work = seq;
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (const int v : work) {
+    int leaf = -1;
+    for (int u = 0; u < n; ++u) {
+      if (degree[static_cast<std::size_t>(u)] == 1 &&
+          !used[static_cast<std::size_t>(u)]) {
+        leaf = u;
+        break;
+      }
+    }
+    edges.emplace_back(leaf, v);
+    used[static_cast<std::size_t>(leaf)] = true;
+    --degree[static_cast<std::size_t>(v)];
+  }
+  std::vector<int> rest;
+  for (int u = 0; u < n; ++u) {
+    if (!used[static_cast<std::size_t>(u)] &&
+        degree[static_cast<std::size_t>(u)] >= 1) {
+      rest.push_back(u);
+    }
+  }
+  edges.emplace_back(rest[0], rest[1]);
+  return edges;
+}
+
+TEST(BruteForce, PrimIsOptimalOverAllPruferTrees) {
+  Rng rng(0xABCD);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 5;
+    std::vector<std::vector<double>> w(
+        static_cast<std::size_t>(n),
+        std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double weight = 1.0 + static_cast<double>(rng.next_below(50));
+        w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = weight;
+        w[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = weight;
+      }
+    }
+    const double prim = graph::mst_prim_dense(w).total_weight;
+
+    // Enumerate all n^(n-2) = 125 labelled trees via Prüfer sequences.
+    double best = std::numeric_limits<double>::infinity();
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        for (int c = 0; c < n; ++c) {
+          double total = 0.0;
+          for (const auto& [u, v] : prufer_tree({a, b, c}, n)) {
+            total += w[static_cast<std::size_t>(u)]
+                      [static_cast<std::size_t>(v)];
+          }
+          best = std::min(best, total);
+        }
+      }
+    }
+    EXPECT_DOUBLE_EQ(prim, best) << "trial " << trial;
+  }
+}
+
+TEST(BruteForce, DiffMstTreeIsWeightOptimal) {
+  // The differential-MST baseline must pick the minimum-total-digit tree
+  // among all labelled trees over its unique values.
+  Rng rng(0x1234);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<i64> bank;
+    for (int t = 0; t < 5; ++t) bank.push_back(rng.next_int(1, 2000));
+    std::sort(bank.begin(), bank.end());
+    bank.erase(std::unique(bank.begin(), bank.end()), bank.end());
+    if (bank.size() != 5) continue;
+
+    const auto cost = [&bank](int u, int v) {
+      return number::nonzero_digits(bank[static_cast<std::size_t>(u)] -
+                                        bank[static_cast<std::size_t>(v)],
+                                    number::NumberRep::kCsd);
+    };
+    int best_tree = std::numeric_limits<int>::max();
+    for (int a = 0; a < 5; ++a) {
+      for (int b = 0; b < 5; ++b) {
+        for (int c = 0; c < 5; ++c) {
+          int total = 0;
+          for (const auto& [u, v] : prufer_tree({a, b, c}, 5)) {
+            total += cost(u, v);
+          }
+          best_tree = std::min(best_tree, total);
+        }
+      }
+    }
+    const baseline::DiffMstResult r =
+        baseline::diff_mst_optimize(bank, number::NumberRep::kCsd);
+    int tree_cost = 0;
+    for (std::size_t v = 0; v < r.uniques.size(); ++v) {
+      if (r.parent[v] >= 0) {
+        tree_cost += number::nonzero_digits(
+            r.uniques[v] -
+                r.uniques[static_cast<std::size_t>(r.parent[v])],
+            number::NumberRep::kCsd);
+      }
+    }
+    EXPECT_EQ(tree_cost, best_tree) << "trial " << trial;
+  }
+}
+
+// -------------------------------------------------------------- CSD weight
+
+/// Complete search: does a signed-digit form of v exist with at most
+/// `budget` nonzero digits at positions ≤ k (each position used once)?
+bool reachable_with(i64 v, int budget, int k) {
+  if (v == 0) return true;
+  if (budget == 0 || k < 0) return false;
+  // Positions 0..k can reach at most 2^(k+1) − 1 in magnitude.
+  if (std::llabs(v) > (i64{1} << (k + 1)) - 1) return false;
+  return reachable_with(v, budget, k - 1) ||
+         reachable_with(v - (i64{1} << k), budget - 1, k - 1) ||
+         reachable_with(v + (i64{1} << k), budget - 1, k - 1);
+}
+
+TEST(BruteForce, CsdWeightIsMinimalSignedDigitWeight) {
+  for (i64 v = 1; v <= 512; ++v) {
+    const int w = number::csd_weight(v);
+    // No representation with one digit fewer may exist — the search is
+    // complete over positions up to 12 (far beyond CSD's degree+1 need).
+    EXPECT_FALSE(reachable_with(v, w - 1, 12)) << v;
+    EXPECT_TRUE(reachable_with(v, w, 12)) << v;
+  }
+}
+
+}  // namespace
+}  // namespace mrpf

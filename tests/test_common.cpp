@@ -1,0 +1,117 @@
+// Bit utilities, error handling, formatting, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mrpf/common/bits.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/format.hpp"
+#include "mrpf/common/rng.hpp"
+
+namespace mrpf {
+namespace {
+
+TEST(Bits, BitWidthAbs) {
+  EXPECT_EQ(bit_width_abs(0), 0);
+  EXPECT_EQ(bit_width_abs(1), 1);
+  EXPECT_EQ(bit_width_abs(-1), 1);
+  EXPECT_EQ(bit_width_abs(2), 2);
+  EXPECT_EQ(bit_width_abs(255), 8);
+  EXPECT_EQ(bit_width_abs(256), 9);
+  EXPECT_EQ(bit_width_abs(-256), 9);
+}
+
+TEST(Bits, OddPartAndTrailingZeros) {
+  EXPECT_EQ(odd_part(0), 0);
+  EXPECT_EQ(odd_part(12), 3);
+  EXPECT_EQ(odd_part(-12), 3);
+  EXPECT_EQ(odd_part(7), 7);
+  EXPECT_EQ(trailing_zeros(12), 2);
+  EXPECT_EQ(trailing_zeros(-12), 2);
+  EXPECT_EQ(trailing_zeros(1), 0);
+}
+
+TEST(Bits, ReconstructionProperty) {
+  for (i64 v = -2000; v <= 2000; ++v) {
+    if (v == 0) continue;
+    const i64 sign = v < 0 ? -1 : 1;
+    EXPECT_EQ(sign * (odd_part(v) << trailing_zeros(v)), v) << v;
+  }
+}
+
+TEST(Bits, PopcountAndPow2) {
+  EXPECT_EQ(popcount_abs(0), 0);
+  EXPECT_EQ(popcount_abs(7), 3);
+  EXPECT_EQ(popcount_abs(-7), 3);
+  EXPECT_TRUE(is_pow2_abs(64));
+  EXPECT_TRUE(is_pow2_abs(-64));
+  EXPECT_FALSE(is_pow2_abs(0));
+  EXPECT_FALSE(is_pow2_abs(12));
+}
+
+TEST(ErrorHandling, CheckMacroThrowsWithContext) {
+  try {
+    MRPF_CHECK(1 == 2, "arithmetic broke");
+    FAIL() << "MRPF_CHECK did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("arithmetic broke"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Format, BasicFormatting) {
+  EXPECT_EQ(str_format("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+  EXPECT_EQ(str_format("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(str_format("empty"), "empty");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, NextIntStaysInRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.next_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 11u) << "all values in a small range should occur";
+  EXPECT_THROW(rng.next_int(3, 2), Error);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace mrpf

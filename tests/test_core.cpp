@@ -1,0 +1,328 @@
+// MRP optimizer tests: the paper's 8-tap worked example (§3.5), structural
+// invariants of stage A, tree constraints, SEED accounting, and cost
+// dominance over the simple baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mrpf/baseline/simple.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/core/build.hpp"
+#include "mrpf/core/color_graph.hpp"
+#include "mrpf/core/mrp.hpp"
+#include "mrpf/core/sidc.hpp"
+#include "mrpf/common/rng.hpp"
+
+namespace mrpf::core {
+namespace {
+
+using number::NumberRep;
+
+// The asymmetric 8-tap example of §3.5.
+const std::vector<i64> kPaperExample = {7, 66, 17, 9, 27, 41, 57, 11};
+
+TEST(Sidc, DecomposeRoundTrips) {
+  for (const i64 v : {i64{1}, i64{-1}, i64{6}, i64{-40}, i64{1024},
+                      i64{12345}, i64{-99}}) {
+    const ShiftSign s = decompose(v);
+    EXPECT_GT(s.primary, 0);
+    EXPECT_EQ(s.primary % 2, 1);
+    EXPECT_EQ((s.negate ? -1 : 1) * (s.primary << s.shift), v);
+  }
+  EXPECT_THROW(decompose(0), Error);
+}
+
+TEST(Sidc, ExtractPrimariesMergesShiftClasses) {
+  // 7, 14, 56 share the primary 7; 0 maps to no vertex.
+  const PrimaryBank bank = extract_primaries({7, 14, -56, 0, 9});
+  EXPECT_EQ(bank.primaries, (std::vector<i64>{7, 9}));
+  ASSERT_EQ(bank.refs.size(), 5u);
+  EXPECT_EQ(bank.refs[0].vertex, bank.refs[1].vertex);
+  EXPECT_EQ(bank.refs[1].vertex, bank.refs[2].vertex);
+  EXPECT_TRUE(bank.refs[2].negate);
+  EXPECT_EQ(bank.refs[2].shift, 3);
+  EXPECT_EQ(bank.refs[3].vertex, -1);
+  EXPECT_EQ(bank.refs[4].vertex, bank.vertex_of(9));
+}
+
+TEST(ColorGraph, EdgeCountMatchesFormula) {
+  const std::vector<i64> primaries = {3, 7, 11};
+  ColorGraphOptions opts;
+  opts.l_max = 4;
+  const ColorGraph g = build_color_graph(primaries, opts);
+  // 2·(l_max+1)·M·(M−1) directed colored edges (paper §3.1).
+  EXPECT_EQ(static_cast<int>(g.edges.size()), 2 * 5 * 3 * 2);
+  for (const SidcEdge& e : g.edges) {
+    EXPECT_NE(e.xi, 0);
+    EXPECT_EQ((e.color_negate ? -1 : 1) * (e.color << e.color_shift), e.xi);
+    const i64 cj = primaries[static_cast<std::size_t>(e.to)];
+    const i64 ci = primaries[static_cast<std::size_t>(e.from)];
+    EXPECT_EQ(cj, (e.pred_negate ? -1 : 1) * (ci << e.l) + e.xi);
+  }
+}
+
+TEST(ColorGraph, ClassesCoverAllEdges) {
+  const ColorGraph g = build_color_graph({7, 9, 17}, {});
+  std::size_t edge_total = 0;
+  for (const ColorClass& cls : g.classes) {
+    EXPECT_GT(cls.cost, 0);
+    EXPECT_EQ(cls.color % 2, 1);
+    edge_total += cls.edges.size();
+    for (const int ei : cls.edges) {
+      EXPECT_EQ(g.edges[static_cast<std::size_t>(ei)].color, cls.color);
+    }
+  }
+  EXPECT_EQ(edge_total, g.edges.size());
+}
+
+TEST(Mrp, PaperExampleCoversWithSmallColors) {
+  MrpOptions opts;
+  opts.rep = NumberRep::kSpt;
+  const MrpResult r = mrp_optimize(kPaperExample, opts);
+
+  // All eight coefficients are primary in the example.
+  EXPECT_EQ(r.vertices.size(), 8u);
+
+  // Every vertex is either a root or derived by exactly one tree edge.
+  std::set<int> derived;
+  for (const TreeEdge& te : r.tree_edges) derived.insert(te.edge.to);
+  EXPECT_EQ(derived.size() + r.roots.size(), r.vertices.size());
+
+  // The combination must beat the simple implementation (§3.5 shows the
+  // example collapsing onto the colors {3, 5}).
+  const int simple =
+      baseline::simple_adder_cost(kPaperExample, NumberRep::kSpt);
+  EXPECT_LT(r.total_adders(), simple);
+  // Colors are cheap: the greedy picks low-cost high-frequency classes.
+  for (const i64 c : r.solution_colors) {
+    EXPECT_LE(number::nonzero_digits(c, NumberRep::kSpt), 2);
+  }
+}
+
+TEST(Mrp, TreeEdgesUseSolutionColorsAndRespectOrder) {
+  const MrpResult r = mrp_optimize(kPaperExample, {});
+  const std::set<i64> colors(r.solution_colors.begin(),
+                             r.solution_colors.end());
+  std::set<int> realized(r.roots.begin(), r.roots.end());
+  for (const TreeEdge& te : r.tree_edges) {
+    EXPECT_TRUE(colors.contains(te.edge.color));
+    EXPECT_TRUE(realized.contains(te.edge.from))
+        << "child realized before its parent";
+    realized.insert(te.edge.to);
+  }
+  EXPECT_EQ(realized.size(), r.vertices.size());
+}
+
+TEST(Mrp, DepthLimitIsHonored) {
+  for (const int limit : {1, 2, 3}) {
+    MrpOptions opts;
+    opts.depth_limit = limit;
+    const MrpResult r = mrp_optimize(kPaperExample, opts);
+    EXPECT_LE(r.tree_height, limit);
+    for (const TreeEdge& te : r.tree_edges) EXPECT_LE(te.depth, limit);
+  }
+}
+
+TEST(Mrp, TighterDepthNeedsAtLeastAsManySeeds) {
+  MrpOptions loose;
+  const MrpResult r_loose = mrp_optimize(kPaperExample, loose);
+  MrpOptions tight;
+  tight.depth_limit = 1;
+  const MrpResult r_tight = mrp_optimize(kPaperExample, tight);
+  EXPECT_GE(r_tight.seed_roots(), r_loose.seed_roots() > 0 ? 1 : 0);
+  EXPECT_GE(static_cast<int>(r_tight.seed_values.size()),
+            static_cast<int>(r_loose.solution_colors.size()) > 0 ? 1 : 0);
+}
+
+TEST(Mrp, FreeRootsMatchSolutionColors) {
+  // Bank containing the value 3 where 3 is an overwhelmingly useful color.
+  const MrpResult r = mrp_optimize({3, 7, 11, 19, 35}, {});
+  for (std::size_t i = 0; i < r.roots.size(); ++i) {
+    if (r.root_is_free[i]) {
+      const i64 value =
+          r.vertices[static_cast<std::size_t>(r.roots[i])];
+      EXPECT_TRUE(std::count(r.solution_colors.begin(),
+                             r.solution_colors.end(), value) > 0);
+    }
+  }
+}
+
+TEST(Mrp, SeedValuesAreColorsAndRoots) {
+  const MrpResult r = mrp_optimize(kPaperExample, {});
+  std::set<i64> expected(r.solution_colors.begin(), r.solution_colors.end());
+  for (const int root : r.roots) {
+    expected.insert(r.vertices[static_cast<std::size_t>(root)]);
+  }
+  const std::set<i64> seeds(r.seed_values.begin(), r.seed_values.end());
+  EXPECT_EQ(seeds, expected);
+}
+
+TEST(Mrp, EmptyAndTrivialBanks) {
+  const MrpResult empty = mrp_optimize({0, 0, 0}, {});
+  EXPECT_EQ(empty.total_adders(), 0);
+  EXPECT_TRUE(empty.vertices.empty());
+
+  const MrpResult single = mrp_optimize({12}, {});
+  EXPECT_EQ(single.vertices, (std::vector<i64>{3}));
+  EXPECT_EQ(single.roots.size(), 1u);
+  EXPECT_EQ(single.overhead_adders, 0);
+  EXPECT_EQ(single.seed_adders, number::multiplier_adders(3, NumberRep::kSpt));
+}
+
+TEST(MrpBuild, PaperExampleBlockIsExact) {
+  MrpOptions opts;
+  const MrpResult r = mrp_optimize(kPaperExample, opts);
+  const arch::MultiplierBlock block =
+      build_mrp_block(kPaperExample, r, opts);
+  // verify() ran inside; double-check one input by hand.
+  const std::vector<i64> values = block.graph.evaluate(3);
+  for (std::size_t i = 0; i < kPaperExample.size(); ++i) {
+    EXPECT_EQ(block.product(i, values), kPaperExample[i] * 3);
+  }
+  // Physical adders never exceed the analytic count.
+  EXPECT_LE(block.graph.num_adders(), r.total_adders());
+}
+
+TEST(MrpBuild, CseOnSeedStillExact) {
+  MrpOptions opts;
+  opts.cse_on_seed = true;
+  const MrpResult r = mrp_optimize(kPaperExample, opts);
+  ASSERT_TRUE(r.seed_cse.has_value());
+  const arch::MultiplierBlock block =
+      build_mrp_block(kPaperExample, r, opts);
+  EXPECT_LE(block.graph.num_adders(), r.total_adders());
+}
+
+TEST(MrpBuild, RecursiveSeedStillExact) {
+  MrpOptions opts;
+  opts.recursive_levels = 2;
+  const MrpResult r = mrp_optimize(kPaperExample, opts);
+  ASSERT_NE(r.seed_recursive, nullptr);
+  const arch::MultiplierBlock block =
+      build_mrp_block(kPaperExample, r, opts);
+  const std::vector<i64> values = block.graph.evaluate(-5);
+  for (std::size_t i = 0; i < kPaperExample.size(); ++i) {
+    EXPECT_EQ(block.product(i, values), kPaperExample[i] * -5);
+  }
+}
+
+TEST(Mrp, LmaxZeroStillCoversViaPlainDifferentials) {
+  // l_max = 0 disables shift inclusion: colors degrade to plain
+  // differentials (closer to prior work [5]); cover must still complete.
+  MrpOptions narrow;
+  narrow.l_max = 0;
+  const MrpResult r0 = mrp_optimize(kPaperExample, narrow);
+  std::set<int> covered(r0.roots.begin(), r0.roots.end());
+  for (const TreeEdge& te : r0.tree_edges) covered.insert(te.edge.to);
+  EXPECT_EQ(covered.size(), r0.vertices.size());
+
+  // Wider shift ranges can only help (more edges to choose from).
+  MrpOptions wide;
+  wide.l_max = 16;
+  const MrpResult r16 = mrp_optimize(kPaperExample, wide);
+  EXPECT_LE(r16.total_adders(), r0.total_adders() + 2);
+}
+
+TEST(Mrp, BetaExtremesStillProduceValidCovers) {
+  for (const double beta : {0.0, 1.0}) {
+    MrpOptions opts;
+    opts.beta = beta;
+    const MrpResult r = mrp_optimize(kPaperExample, opts);
+    std::set<int> covered(r.roots.begin(), r.roots.end());
+    for (const TreeEdge& te : r.tree_edges) covered.insert(te.edge.to);
+    EXPECT_EQ(covered.size(), r.vertices.size()) << "beta " << beta;
+    const arch::MultiplierBlock block =
+        build_mrp_block(kPaperExample, r, opts);
+    EXPECT_GT(block.graph.num_adders(), 0);
+  }
+  MrpOptions bad;
+  bad.beta = 1.5;
+  EXPECT_THROW(mrp_optimize(kPaperExample, bad), Error);
+}
+
+TEST(Mrp, VertexDepthsAreConsistentWithTreeEdges) {
+  const MrpResult r = mrp_optimize(kPaperExample, {});
+  for (const int root : r.roots) {
+    EXPECT_EQ(r.vertex_depth[static_cast<std::size_t>(root)], 0);
+  }
+  for (const TreeEdge& te : r.tree_edges) {
+    EXPECT_EQ(r.vertex_depth[static_cast<std::size_t>(te.edge.to)],
+              r.vertex_depth[static_cast<std::size_t>(te.edge.from)] + 1);
+    EXPECT_EQ(te.depth,
+              r.vertex_depth[static_cast<std::size_t>(te.edge.to)]);
+  }
+}
+
+TEST(Mrp, RecursionNestsAndAccountsSeedCost) {
+  MrpOptions opts;
+  opts.recursive_levels = 2;
+  const MrpResult r = mrp_optimize(kPaperExample, opts);
+  ASSERT_NE(r.seed_recursive, nullptr);
+  EXPECT_EQ(r.seed_adders, r.seed_recursive->total_adders());
+  // The nested level optimizes exactly the SEED values.
+  EXPECT_EQ(r.seed_recursive->bank.refs.size(), r.seed_values.size());
+  // Recursion must never cost more than direct synthesis.
+  MrpOptions flat;
+  const MrpResult direct = mrp_optimize(kPaperExample, flat);
+  EXPECT_LE(r.total_adders(), direct.total_adders());
+}
+
+TEST(Mrp, SignMagnitudeModeMatchesItsCostModel) {
+  MrpOptions opts;
+  opts.rep = number::NumberRep::kSignMagnitude;
+  const MrpResult r = mrp_optimize(kPaperExample, opts);
+  int expected_seed = 0;
+  for (const i64 s : r.seed_values) {
+    expected_seed += number::multiplier_adders(s, opts.rep);
+  }
+  EXPECT_EQ(r.seed_adders, expected_seed);
+}
+
+TEST(Mrp, CseOnSeedNeverBeatenByDirectSeed) {
+  for (const int i : {0, 3, 6}) {
+    Rng rng(static_cast<std::uint64_t>(i) + 500);
+    std::vector<i64> bank;
+    for (int t = 0; t < 14; ++t) bank.push_back(rng.next_int(-8191, 8191));
+    MrpOptions direct;
+    const int plain = mrp_optimize(bank, direct).total_adders();
+    MrpOptions with_cse;
+    with_cse.cse_on_seed = true;
+    const int cse = mrp_optimize(bank, with_cse).total_adders();
+    EXPECT_LE(cse, plain) << "CSE on the SEED network must never hurt";
+  }
+}
+
+// Property sweep: random banks at several wordlengths must always produce
+// exact blocks that never cost more than the simple implementation.
+class MrpRandomBank : public ::testing::TestWithParam<int> {};
+
+TEST_P(MrpRandomBank, ExactAndNeverWorseThanSimple) {
+  const int wordlength = GetParam();
+  Rng rng(0xC0FFEE + static_cast<std::uint64_t>(wordlength));
+  for (int trial = 0; trial < 8; ++trial) {
+    const int taps = static_cast<int>(rng.next_int(2, 24));
+    std::vector<i64> bank;
+    const i64 limit = (i64{1} << (wordlength - 1)) - 1;
+    for (int t = 0; t < taps; ++t) {
+      bank.push_back(rng.next_int(-limit, limit));
+    }
+    MrpOptions opts;
+    const MrpResult r = mrp_optimize(bank, opts);
+    EXPECT_LE(r.total_adders(),
+              baseline::simple_adder_cost(bank, opts.rep) +
+                  static_cast<int>(r.vertices.size()))
+        << "MRP cost wildly above simple for wordlength " << wordlength;
+    const arch::MultiplierBlock block = build_mrp_block(bank, r, opts);
+    const std::vector<i64> values = block.graph.evaluate(7);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      ASSERT_EQ(block.product(i, values), bank[i] * 7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Wordlengths, MrpRandomBank,
+                         ::testing::Values(6, 8, 10, 12, 14, 16));
+
+}  // namespace
+}  // namespace mrpf::core

@@ -1,0 +1,175 @@
+// Hartley CSE: value preservation, adder accounting, pattern sharing on
+// known banks, and the lowered multiplier block.
+#include <gtest/gtest.h>
+
+#include "mrpf/baseline/simple.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/cse/build.hpp"
+#include "mrpf/cse/hartley.hpp"
+#include "mrpf/cse/msd_cse.hpp"
+#include "mrpf/number/csd.hpp"
+
+namespace mrpf::cse {
+namespace {
+
+using number::NumberRep;
+
+TEST(Hartley, PreservesValuesByConstruction) {
+  const std::vector<i64> bank = {7, 45, 101, -77, 0, 1024, 693};
+  const CseResult r = hartley_cse(bank);
+  ASSERT_EQ(r.expressions.size(), bank.size());
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    EXPECT_EQ(r.expression_value(i), bank[i]);
+  }
+}
+
+TEST(Hartley, SharesTheClassicPattern) {
+  // 45 = (101101)b and 105 = (1101001)b share "101": CSD forms share a
+  // two-term pattern, so CSE must beat the simple count.
+  const std::vector<i64> bank = {45, 105, 75, 83};
+  const CseResult r = hartley_cse(bank);
+  EXPECT_GT(r.subexpressions.size(), 0u);
+  EXPECT_LT(r.adder_count(), baseline::simple_adder_cost(bank, NumberRep::kCsd));
+}
+
+TEST(Hartley, RepeatedConstantCollapses) {
+  // Identical constants: after one subexpression the remaining terms
+  // shrink; CSE cost must be far below 2× the single-constant cost.
+  const std::vector<i64> bank = {693, 693, 693, 693};
+  const CseResult r = hartley_cse(bank);
+  const int single = baseline::simple_adder_cost({693}, NumberRep::kCsd);
+  EXPECT_LT(r.adder_count(), 4 * single);
+}
+
+TEST(Hartley, NeverWorseThanSimple) {
+  Rng rng(31);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<i64> bank;
+    const int taps = static_cast<int>(rng.next_int(2, 24));
+    for (int t = 0; t < taps; ++t) bank.push_back(rng.next_int(-8191, 8191));
+    const CseResult r = hartley_cse(bank);
+    EXPECT_LE(r.adder_count(),
+              baseline::simple_adder_cost(bank, NumberRep::kCsd))
+        << "CSE must never exceed the simple count";
+  }
+}
+
+TEST(Hartley, TrivialAndEmptyBanks) {
+  EXPECT_EQ(hartley_cse({}).adder_count(), 0);
+  EXPECT_EQ(hartley_cse({0, 0}).adder_count(), 0);
+  EXPECT_EQ(hartley_cse({64}).adder_count(), 0);   // pure shift
+  EXPECT_EQ(hartley_cse({5}).adder_count(), 1);    // one add, no sharing
+}
+
+TEST(Hartley, SignMagnitudeModeWorksToo) {
+  CseOptions opts;
+  opts.rep = NumberRep::kSignMagnitude;
+  const std::vector<i64> bank = {45, 90, 180, 77};
+  const CseResult r = hartley_cse(bank, opts);
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    EXPECT_EQ(r.expression_value(i), bank[i]);
+  }
+  EXPECT_LE(r.adder_count(),
+            baseline::simple_adder_cost(bank, NumberRep::kSignMagnitude));
+}
+
+TEST(Hartley, SubexpressionValuesAreConsistent) {
+  const CseResult r = hartley_cse({45, 105, 75, 83, 51, 27});
+  for (std::size_t s = 0; s < r.subexpressions.size(); ++s) {
+    const Subexpression& sub = r.subexpressions[s];
+    const i64 vb = r.symbol_value(sub.pattern.sym_b) << sub.pattern.rel_shift;
+    const i64 expect =
+        r.symbol_value(sub.pattern.sym_a) + (sub.pattern.rel_negate ? -vb : vb);
+    EXPECT_EQ(sub.value, expect);
+    EXPECT_NE(sub.value, 0);
+  }
+}
+
+TEST(Hartley, RejectsBadOptions) {
+  CseOptions opts;
+  opts.min_occurrences = 1;
+  EXPECT_THROW(hartley_cse({3, 5}, opts), Error);
+}
+
+TEST(CseBuild, GraphAdderCountMatchesAnalytic) {
+  const std::vector<i64> bank = {45, 105, 75, 83, 0, 64};
+  const CseResult r = hartley_cse(bank);
+  const arch::MultiplierBlock block = build_multiplier_block(r);
+  EXPECT_EQ(block.graph.num_adders(), r.adder_count());
+}
+
+TEST(CseBuild, BlockIsExactOnRandomBanks) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<i64> bank;
+    const int taps = static_cast<int>(rng.next_int(1, 16));
+    for (int t = 0; t < taps; ++t) bank.push_back(rng.next_int(-2047, 2047));
+    const CseResult r = hartley_cse(bank);
+    const arch::MultiplierBlock block = build_multiplier_block(r);
+    const auto values = block.graph.evaluate(21);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      ASSERT_EQ(block.product(i, values), bank[i] * 21);
+    }
+  }
+}
+
+// Parameterized: CSE savings must be monotone-ish in bank size for banks
+// drawn from a fixed small value set (more expressions → more sharing).
+class CseSharing : public ::testing::TestWithParam<int> {};
+
+TEST_P(CseSharing, SavingsGrowWithBankSize) {
+  const int n = GetParam();
+  Rng rng(123);
+  std::vector<i64> bank;
+  for (int i = 0; i < n; ++i) bank.push_back(rng.next_int(100, 130));
+  const CseResult r = hartley_cse(bank);
+  const int simple = baseline::simple_adder_cost(bank, NumberRep::kCsd);
+  EXPECT_LE(r.adder_count(), simple);
+  if (n >= 8) {
+    EXPECT_LT(r.adder_count(), simple)
+        << "large same-range banks must find shared patterns";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BankSizes, CseSharing,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(HartleyForms, ExplicitFormsMustMatchConstants) {
+  const std::vector<i64> bank = {5, 11};
+  std::vector<number::SignedDigitVector> forms = {number::to_csd(5),
+                                                  number::to_csd(12)};
+  EXPECT_THROW(hartley_cse_with_forms(bank, forms), Error);
+  forms[1] = number::to_csd(11);
+  EXPECT_NO_THROW(hartley_cse_with_forms(bank, forms));
+  EXPECT_THROW(hartley_cse_with_forms(bank, {number::to_csd(5)}), Error);
+}
+
+TEST(MsdCse, NeverWorseThanCsdCse) {
+  Rng rng(55);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<i64> bank;
+    const int taps = static_cast<int>(rng.next_int(3, 14));
+    for (int t = 0; t < taps; ++t) bank.push_back(rng.next_int(-2047, 2047));
+    const MsdCseResult r = msd_cse(bank);
+    EXPECT_LE(r.cse.adder_count(), r.csd_adders);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      EXPECT_EQ(r.cse.expression_value(i), bank[i]);
+    }
+  }
+}
+
+TEST(MsdCse, FindsReselectionOnKnownBank) {
+  // 3 = (11)b = (10-1)csd: a bank mixing values whose CSD forms clash but
+  // whose alternative MSD forms align should trigger at least one switch
+  // somewhere in a modest random search space — check machinery works and
+  // result remains lowerable to a verified block.
+  const std::vector<i64> bank = {3, 6, 12, 24, 27, 45, 51, 99};
+  const MsdCseResult r = msd_cse(bank);
+  EXPECT_LE(r.cse.adder_count(), r.csd_adders);
+  const arch::MultiplierBlock block = build_multiplier_block(r.cse);
+  EXPECT_EQ(block.graph.num_adders(), r.cse.adder_count());
+}
+
+}  // namespace
+}  // namespace mrpf::cse

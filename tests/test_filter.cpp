@@ -1,0 +1,376 @@
+// Filter design: Remez equiripple behaviour, least-squares optimality
+// against perturbations, Butterworth magnitude/FIR, Kaiser designs, spec
+// measurement, symmetry utilities, and the Table-1 catalog.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/dsp/freq_response.hpp"
+#include "mrpf/filter/butterworth.hpp"
+#include "mrpf/filter/catalog.hpp"
+#include "mrpf/filter/design.hpp"
+#include "mrpf/filter/halfband.hpp"
+#include "mrpf/filter/kaiser.hpp"
+#include "mrpf/filter/least_squares.hpp"
+#include "mrpf/filter/measure.hpp"
+#include "mrpf/filter/remez.hpp"
+#include "mrpf/filter/symmetric.hpp"
+
+namespace mrpf::filter {
+namespace {
+
+FilterSpec lowpass_spec(int taps, double fp = 0.2, double fs = 0.35) {
+  FilterSpec s;
+  s.name = "test-lp";
+  s.method = DesignMethod::kParksMcClellan;
+  s.band = BandType::kLowPass;
+  s.edges = {fp, fs};
+  s.passband_ripple_db = 1.0;
+  s.stopband_atten_db = 40.0;
+  s.num_taps = taps;
+  return s;
+}
+
+TEST(Spec, ValidationCatchesBadInput) {
+  FilterSpec s = lowpass_spec(21);
+  s.edges = {0.5, 0.4};
+  EXPECT_THROW(s.validate(), Error);
+  s = lowpass_spec(20);  // even length
+  EXPECT_THROW(s.validate(), Error);
+  s = lowpass_spec(21);
+  s.edges = {0.2, 0.3, 0.4};
+  EXPECT_THROW(s.validate(), Error);
+  s = lowpass_spec(21);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Spec, BandsCarryRippleWeights) {
+  const FilterSpec s = lowpass_spec(21);
+  const auto bands = s.bands();
+  ASSERT_EQ(bands.size(), 2u);
+  EXPECT_DOUBLE_EQ(bands[0].desired, 1.0);
+  EXPECT_DOUBLE_EQ(bands[1].desired, 0.0);
+  EXPECT_GT(bands[1].weight, bands[0].weight)
+      << "40 dB stopband must be weighted above 1 dB passband";
+}
+
+TEST(Remez, LowpassMeetsReasonableSpec) {
+  const FilterSpec s = lowpass_spec(31);
+  const RemezResult r = design_remez(s.bands(), s.num_taps);
+  EXPECT_TRUE(r.converged);
+  const Measurement m = measure(r.h, s);
+  EXPECT_GT(m.stopband_atten_db, 30.0);
+  EXPECT_LT(m.passband_ripple_db, 1.5);
+}
+
+TEST(Remez, ProducesSymmetricImpulseResponse) {
+  const RemezResult r = design_remez(lowpass_spec(25).bands(), 25);
+  EXPECT_TRUE(is_symmetric(r.h, 1e-9));
+}
+
+TEST(Remez, EquirippleInStopband) {
+  // The optimal filter's stopband error touches ±δ repeatedly; verify the
+  // measured stopband peak matches the reported delta within tolerance.
+  const FilterSpec s = lowpass_spec(33);
+  const RemezResult r = design_remez(s.bands(), s.num_taps);
+  ASSERT_TRUE(r.converged);
+  const auto bands = s.bands();
+  double peak = 0.0;
+  for (double f = bands[1].f_lo; f <= 1.0; f += 0.0005) {
+    peak = std::max(peak, std::fabs(dsp::amplitude_response_at(r.h, f)));
+  }
+  EXPECT_NEAR(peak * bands[1].weight, r.delta, r.delta * 0.15);
+}
+
+TEST(Remez, MoreTapsMeansSmallerRipple) {
+  const auto bands = lowpass_spec(21).bands();
+  const double d21 = design_remez(bands, 21).delta;
+  const double d41 = design_remez(bands, 41).delta;
+  EXPECT_LT(d41, d21 * 0.5);
+}
+
+TEST(Remez, BandpassAndBandstopConverge) {
+  FilterSpec bp;
+  bp.method = DesignMethod::kParksMcClellan;
+  bp.band = BandType::kBandPass;
+  bp.edges = {0.2, 0.3, 0.5, 0.6};
+  bp.num_taps = 41;
+  bp.passband_ripple_db = 1.0;
+  bp.stopband_atten_db = 40.0;
+  const RemezResult r = design_remez(bp.bands(), bp.num_taps);
+  EXPECT_TRUE(r.converged);
+  const Measurement m = measure(r.h, bp);
+  EXPECT_GT(m.stopband_atten_db, 25.0);
+
+  FilterSpec bs = bp;
+  bs.band = BandType::kBandStop;
+  const RemezResult r2 = design_remez(bs.bands(), bs.num_taps);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_GT(measure(r2.h, bs).stopband_atten_db, 25.0);
+}
+
+TEST(Remez, RejectsBadArguments) {
+  const auto bands = lowpass_spec(21).bands();
+  EXPECT_THROW(design_remez(bands, 2), Error);
+  EXPECT_THROW(design_remez({}, 21), Error);
+}
+
+TEST(RemezTypeII, EvenLengthLowpassConverges) {
+  const FilterSpec s = lowpass_spec(21);  // spec object for measurement only
+  const RemezResult r = design_remez(s.bands(), 30);
+  EXPECT_TRUE(r.converged);
+  ASSERT_EQ(r.h.size(), 30u);
+  EXPECT_TRUE(is_symmetric(r.h, 1e-9));
+  const Measurement m = measure(r.h, s);
+  EXPECT_GT(m.stopband_atten_db, 30.0);
+  EXPECT_LT(m.passband_ripple_db, 1.0);
+}
+
+TEST(RemezTypeII, HasStructuralNyquistZero) {
+  const RemezResult r = design_remez(lowpass_spec(21).bands(), 24);
+  EXPECT_LT(std::abs(dsp::freq_response_at(r.h, 1.0)), 1e-9)
+      << "type-II filters are zero at f = 1 by construction";
+}
+
+TEST(RemezTypeII, RefusesToPassNyquist) {
+  // A highpass passband reaching f = 1 is impossible for type II.
+  FilterSpec hp;
+  hp.method = DesignMethod::kParksMcClellan;
+  hp.band = BandType::kHighPass;
+  hp.edges = {0.4, 0.5};
+  hp.num_taps = 25;  // validate() wants odd; build bands directly
+  const std::vector<Band> bands = {{0.0, 0.4, 0.0, 10.0},
+                                   {0.5, 1.0, 1.0, 1.0}};
+  EXPECT_THROW(design_remez(bands, 24), Error);
+  EXPECT_NO_THROW(design_remez(bands, 25));
+}
+
+TEST(RemezTypeII, MatchesTypeIQuality) {
+  // Adjacent lengths should deliver comparable ripple.
+  const auto bands = lowpass_spec(21, 0.2, 0.4).bands();
+  const double d31 = design_remez(bands, 31).delta;
+  const double d32 = design_remez(bands, 32).delta;
+  EXPECT_LT(d32, d31 * 1.3);
+  EXPECT_GT(d32, d31 * 0.3);
+}
+
+TEST(LeastSquares, BeatsPerturbationsInWeightedL2) {
+  const FilterSpec s = lowpass_spec(25);
+  const auto bands = s.bands();
+  const auto h = design_least_squares(bands, s.num_taps);
+
+  const auto l2 = [&bands](const std::vector<double>& hh) {
+    double acc = 0.0;
+    for (const Band& b : bands) {
+      const int n = 400;
+      for (int i = 0; i <= n; ++i) {
+        const double f =
+            b.f_lo + (b.f_hi - b.f_lo) * static_cast<double>(i) / n;
+        const double e = dsp::amplitude_response_at(hh, f) - b.desired;
+        acc += b.weight * e * e * (b.f_hi - b.f_lo) / n;
+      }
+    }
+    return acc;
+  };
+
+  const double base = l2(h);
+  for (std::size_t k = 0; k < h.size(); k += 3) {
+    std::vector<double> hp = h;
+    hp[k] += 1e-3;
+    hp[h.size() - 1 - k] += 1e-3;  // keep symmetric
+    EXPECT_GT(l2(hp), base) << "perturbation improved the LS optimum";
+  }
+}
+
+TEST(LeastSquares, DesignIsSymmetricAndReasonable) {
+  const FilterSpec s = lowpass_spec(33, 0.15, 0.3);
+  const auto h = design_least_squares(s.bands(), s.num_taps);
+  EXPECT_TRUE(is_symmetric(h, 1e-10));
+  const Measurement m = measure(h, s);
+  EXPECT_GT(m.stopband_atten_db, 25.0);
+  EXPECT_NEAR(std::abs(dsp::freq_response_at(h, 0.05)), 1.0, 0.05);
+}
+
+TEST(Butterworth, MagnitudeShapeLP) {
+  EXPECT_NEAR(butterworth_magnitude(BandType::kLowPass, {0.3}, 5, 0.0), 1.0,
+              1e-12);
+  EXPECT_NEAR(butterworth_magnitude(BandType::kLowPass, {0.3}, 5, 0.3),
+              1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_LT(butterworth_magnitude(BandType::kLowPass, {0.3}, 5, 0.6), 0.05);
+  // Monotone decreasing.
+  double prev = 2.0;
+  for (double f = 0.0; f <= 1.0; f += 0.01) {
+    const double m = butterworth_magnitude(BandType::kLowPass, {0.3}, 5, f);
+    EXPECT_LE(m, prev + 1e-12);
+    prev = m;
+  }
+}
+
+TEST(Butterworth, BandTransformsHitCenterAndEdges) {
+  // BP: unity near center, -3 dB at the mapped edges.
+  const std::vector<double> edges = {0.3, 0.5};
+  const double f0 = std::sqrt(0.3 * 0.5);
+  EXPECT_NEAR(butterworth_magnitude(BandType::kBandPass, edges, 4, f0), 1.0,
+              1e-9);
+  EXPECT_NEAR(butterworth_magnitude(BandType::kBandPass, edges, 4, 0.3),
+              1.0 / std::sqrt(2.0), 1e-9);
+  // BS: notch at center.
+  EXPECT_NEAR(butterworth_magnitude(BandType::kBandStop, edges, 4, f0), 0.0,
+              1e-9);
+  EXPECT_NEAR(butterworth_magnitude(BandType::kBandStop, edges, 4, 0.05),
+              1.0, 0.01);
+}
+
+TEST(Butterworth, FirTracksAnalogMagnitude) {
+  const auto h = design_butterworth_fir(BandType::kLowPass, {0.3}, 5, 41);
+  EXPECT_TRUE(is_symmetric(h, 1e-10));
+  for (double f = 0.05; f <= 0.95; f += 0.1) {
+    const double want =
+        butterworth_magnitude(BandType::kLowPass, {0.3}, 5, f);
+    const double got = std::abs(dsp::freq_response_at(h, f));
+    EXPECT_NEAR(got, want, 0.08) << f;
+  }
+}
+
+TEST(Kaiser, MeetsItsOwnSpec) {
+  const auto h = design_kaiser(BandType::kLowPass, {0.2, 0.3}, 50.0);
+  FilterSpec s = lowpass_spec(static_cast<int>(h.size()), 0.2, 0.3);
+  s.stopband_atten_db = 50.0;
+  const Measurement m = measure(h, s);
+  EXPECT_GT(m.stopband_atten_db, 45.0);
+  EXPECT_TRUE(is_symmetric(h, 1e-10));
+}
+
+TEST(Kaiser, BandstopKeepsPassbandsAndNotches) {
+  const auto h =
+      design_kaiser(BandType::kBandStop, {0.2, 0.3, 0.5, 0.6}, 45.0);
+  EXPECT_NEAR(std::abs(dsp::freq_response_at(h, 0.05)), 1.0, 0.05);
+  EXPECT_NEAR(std::abs(dsp::freq_response_at(h, 0.9)), 1.0, 0.05);
+  EXPECT_LT(std::abs(dsp::freq_response_at(h, 0.4)), 0.02);
+}
+
+TEST(Halfband, StructureAndResponse) {
+  const auto h = design_halfband(31, 60.0);
+  EXPECT_TRUE(is_halfband(h));
+  // Exact zeros at even offsets from the centre, centre = 0.5.
+  const int m = 15;
+  EXPECT_DOUBLE_EQ(h[static_cast<std::size_t>(m)], 0.5);
+  for (int q = 2; q <= m; q += 2) {
+    EXPECT_EQ(h[static_cast<std::size_t>(m + q)], 0.0);
+    EXPECT_EQ(h[static_cast<std::size_t>(m - q)], 0.0);
+  }
+  // Half-band amplitude complementarity: A(f) + A(1−f) = 1 exactly (the
+  // odd taps cancel between the two evaluations; the centre gives 2·0.5).
+  for (double f = 0.05; f <= 0.45; f += 0.05) {
+    const double a = dsp::amplitude_response_at(h, f);
+    const double b = dsp::amplitude_response_at(h, 1.0 - f);
+    EXPECT_NEAR(a + b, 1.0, 1e-9) << f;
+  }
+  EXPECT_NEAR(std::abs(dsp::freq_response_at(h, 0.5)), 0.5, 1e-6);
+}
+
+TEST(Halfband, ZerosHalveTheMultiplierBank) {
+  const auto h = design_halfband(43, 50.0);
+  int zero_taps = 0;
+  for (const double v : h) zero_taps += (v == 0.0);
+  // (N−3)/2 even-offset zeros for a canonical half-band.
+  EXPECT_EQ(zero_taps, (43 - 3) / 2);
+  EXPECT_THROW(design_halfband(21, 50.0), Error);  // 21 % 4 != 3
+  EXPECT_FALSE(is_halfband({1.0, 2.0, 1.0}));
+}
+
+TEST(Symmetric, FoldAndCheck) {
+  EXPECT_TRUE(is_symmetric(std::vector<double>{1, 2, 3, 2, 1}));
+  EXPECT_FALSE(is_symmetric(std::vector<double>{1, 2, 3, 2, 5}));
+  EXPECT_TRUE(is_symmetric(std::vector<i64>{4, -2, 4}));
+  const auto folded = folded_half(std::vector<i64>{1, 2, 3, 2, 1});
+  EXPECT_EQ(folded, (std::vector<i64>{1, 2, 3}));
+  const auto sym = symmetrize({1.0, 2.0, 3.0, 2.5, 0.5});
+  EXPECT_TRUE(is_symmetric(sym));
+}
+
+// Remez spec grid: every (taps, edge-pair) combination must converge,
+// stay symmetric, and exhibit the optimal-filter monotonicity (delta
+// shrinks with more taps and wider transitions).
+struct RemezCase {
+  int taps;
+  double fp;
+  double fs;
+};
+
+class RemezGrid : public ::testing::TestWithParam<RemezCase> {};
+
+TEST_P(RemezGrid, ConvergesSymmetricAndSane) {
+  const RemezCase c = GetParam();
+  const FilterSpec s = lowpass_spec(c.taps, c.fp, c.fs);
+  const RemezResult r = design_remez(s.bands(), c.taps);
+  EXPECT_TRUE(r.converged) << c.taps << " " << c.fp << " " << c.fs;
+  EXPECT_TRUE(is_symmetric(r.h, 1e-9));
+  EXPECT_GT(r.delta, 0.0);
+  EXPECT_LT(r.delta, 0.5);
+  // DC gain near unity for a lowpass.
+  EXPECT_NEAR(dsp::amplitude_response_at(r.h, 0.0), 1.0, 10.0 * r.delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecGrid, RemezGrid,
+    ::testing::Values(RemezCase{15, 0.2, 0.4}, RemezCase{21, 0.2, 0.4},
+                      RemezCase{31, 0.2, 0.4}, RemezCase{21, 0.1, 0.25},
+                      RemezCase{41, 0.1, 0.25}, RemezCase{31, 0.3, 0.45},
+                      RemezCase{51, 0.05, 0.15}, RemezCase{61, 0.4, 0.55},
+                      RemezCase{81, 0.2, 0.28}),
+    [](const ::testing::TestParamInfo<RemezCase>& info) {
+      return "t" + std::to_string(info.param.taps) + "_fp" +
+             std::to_string(static_cast<int>(info.param.fp * 100)) + "_fs" +
+             std::to_string(static_cast<int>(info.param.fs * 100));
+    });
+
+TEST(RemezGridExtra, WiderTransitionMeansSmallerDelta) {
+  const double d_narrow =
+      design_remez(lowpass_spec(31, 0.2, 0.3).bands(), 31).delta;
+  const double d_wide =
+      design_remez(lowpass_spec(31, 0.2, 0.45).bands(), 31).delta;
+  EXPECT_LT(d_wide, d_narrow);
+}
+
+TEST(Catalog, MatchesTableOneLayout) {
+  ASSERT_EQ(catalog_size(), 12);
+  // Method row: BW PM LS BW PM LS PM PM LS LS PM LS.
+  const DesignMethod methods[] = {
+      DesignMethod::kButterworthFir, DesignMethod::kParksMcClellan,
+      DesignMethod::kLeastSquares,   DesignMethod::kButterworthFir,
+      DesignMethod::kParksMcClellan, DesignMethod::kLeastSquares,
+      DesignMethod::kParksMcClellan, DesignMethod::kParksMcClellan,
+      DesignMethod::kLeastSquares,   DesignMethod::kLeastSquares,
+      DesignMethod::kParksMcClellan, DesignMethod::kLeastSquares};
+  // Band row: LP LP LP LP BS BS BS LP BS LP BP BP.
+  const BandType bands[] = {
+      BandType::kLowPass,  BandType::kLowPass,  BandType::kLowPass,
+      BandType::kLowPass,  BandType::kBandStop, BandType::kBandStop,
+      BandType::kBandStop, BandType::kLowPass,  BandType::kBandStop,
+      BandType::kLowPass,  BandType::kBandPass, BandType::kBandPass};
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(catalog_spec(i).method, methods[i]) << i;
+    EXPECT_EQ(catalog_spec(i).band, bands[i]) << i;
+    EXPECT_NO_THROW(catalog_spec(i).validate());
+  }
+  // Orders strictly increase (the paper's examples grow in size).
+  for (int i = 1; i < 12; ++i) {
+    EXPECT_GT(catalog_spec(i).num_taps, catalog_spec(i - 1).num_taps);
+  }
+}
+
+TEST(Catalog, AllDesignsAreSymmetricAndSane) {
+  for (int i = 0; i < catalog_size(); ++i) {
+    const auto& h = catalog_coefficients(i);
+    ASSERT_EQ(static_cast<int>(h.size()), catalog_spec(i).num_taps) << i;
+    EXPECT_TRUE(is_symmetric(h, 1e-8)) << catalog_spec(i).name;
+    const Measurement m = measure(h, catalog_spec(i));
+    EXPECT_GT(m.stopband_atten_db, 18.0) << catalog_spec(i).name;
+    EXPECT_GT(m.min_passband_gain, 0.7) << catalog_spec(i).name;
+  }
+}
+
+}  // namespace
+}  // namespace mrpf::filter

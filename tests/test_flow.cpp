@@ -1,0 +1,160 @@
+// High-level flow: scheme dispatch, folding, alignment, and the cross-
+// scheme correctness property — every Scheme must produce a bit-exact
+// filter on random symmetric and asymmetric banks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/core/flow.hpp"
+#include "mrpf/number/quantize.hpp"
+#include "mrpf/sim/equivalence.hpp"
+
+namespace mrpf::core {
+namespace {
+
+const std::vector<Scheme> kAllSchemes = {
+    Scheme::kSimple, Scheme::kCse,    Scheme::kDiffMst,
+    Scheme::kRagn,   Scheme::kMrp,    Scheme::kMrpCse,
+};
+
+TEST(Flow, SchemeNamesAreUnique) {
+  std::set<std::string> names;
+  for (const Scheme s : kAllSchemes) names.insert(to_string(s));
+  EXPECT_EQ(names.size(), kAllSchemes.size());
+}
+
+TEST(Flow, OptimizationBankFoldsOnlySymmetricVectors) {
+  EXPECT_EQ(optimization_bank({1, 2, 3, 2, 1}), (std::vector<i64>{1, 2, 3}));
+  EXPECT_EQ(optimization_bank({1, 2, 2, 1}), (std::vector<i64>{1, 2}));
+  EXPECT_EQ(optimization_bank({1, 2, 3}), (std::vector<i64>{1, 2, 3}));
+}
+
+TEST(Flow, AlignmentIsMaxScaleMinusOwn) {
+  number::QuantizedCoefficients q;
+  q.coeffs = {{100, 0}, {90, 3}, {80, 1}};
+  q.wordlength = 8;
+  EXPECT_EQ(alignment_of(q), (std::vector<int>{3, 0, 2}));
+}
+
+TEST(Flow, EverySchemeProducesCostsAndVerifiedBlocks) {
+  const std::vector<i64> bank = {7, 66, 17, 9, 27, 41, 57, 11};
+  int simple_cost = 0;
+  for (const Scheme scheme : kAllSchemes) {
+    const SchemeResult r = optimize_bank(bank, scheme);
+    EXPECT_GT(r.multiplier_adders, 0) << to_string(scheme);
+    EXPECT_EQ(r.block.constants, bank);
+    if (scheme == Scheme::kSimple) {
+      simple_cost = r.multiplier_adders;
+    } else {
+      EXPECT_LE(r.multiplier_adders, simple_cost)
+          << to_string(scheme) << " must not exceed simple";
+    }
+    EXPECT_EQ(r.mrp.has_value(),
+              scheme == Scheme::kMrp || scheme == Scheme::kMrpCse);
+    EXPECT_EQ(r.cse.has_value(), scheme == Scheme::kCse);
+  }
+}
+
+TEST(Flow, BuildTdfRejectsEmptyInput) {
+  EXPECT_THROW(build_tdf(std::vector<i64>{}, {}, Scheme::kSimple), Error);
+}
+
+class FlowRandomBank
+    : public ::testing::TestWithParam<std::tuple<Scheme, bool>> {};
+
+TEST_P(FlowRandomBank, BitExactOnRandomBanks) {
+  const auto [scheme, symmetric] = GetParam();
+  Rng rng(0xF10 + static_cast<int>(scheme) + (symmetric ? 100 : 0));
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.next_int(3, 25));
+    std::vector<i64> c(n, 0);
+    if (symmetric) {
+      for (std::size_t k = 0; k < (n + 1) / 2; ++k) {
+        c[k] = rng.next_int(-2047, 2047);
+        c[n - 1 - k] = c[k];
+      }
+    } else {
+      for (std::size_t k = 0; k < n; ++k) c[k] = rng.next_int(-2047, 2047);
+    }
+    if (std::all_of(c.begin(), c.end(), [](i64 v) { return v == 0; })) {
+      c[0] = 1;
+    }
+    const arch::TdfFilter filter = build_tdf(c, {}, scheme);
+    const sim::EquivalenceReport r =
+        sim::check_equivalence_suite(filter, /*input_bits=*/10,
+                                     /*samples=*/96);
+    ASSERT_TRUE(r.equivalent)
+        << to_string(scheme) << " trial " << trial << ": " << r.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesBySymmetry, FlowRandomBank,
+    ::testing::Combine(::testing::ValuesIn(kAllSchemes),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<Scheme, bool>>& info) {
+      std::string s = to_string(std::get<0>(info.param)) +
+                      (std::get<1>(info.param) ? "_sym" : "_asym");
+      for (char& ch : s) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return s;
+    });
+
+// Crafted adversarial banks: degenerate structures that historically break
+// MCM optimizers (all-equal, pure shifts, alternating signs, huge primes,
+// zero-riddled, near-full-scale).
+class FlowEdgeBank : public ::testing::TestWithParam<int> {};
+
+std::vector<i64> edge_bank(int which) {
+  switch (which) {
+    case 0: return {693, 693, 693, 693, 693};           // all equal
+    case 1: return {1, 2, 4, 8, 16, 32, 64, 128};        // pure shifts
+    case 2: return {1, -1, 1, -1, 1, -1, 1};             // alternating ±1
+    case 3: return {524287, 524287 - 2};                 // near 2^19 primes
+    case 4: return {0, 7, 0, 0, -7, 0, 14, 0};           // zero-riddled
+    case 5: return {32767, -32768 + 1, 16384, -16383};   // full-scale W=16
+    case 6: return {3, 5, 15, 17, 51, 85, 255};          // factor chain
+    case 7: return {2047};                               // single value
+    default: return {1};
+  }
+}
+
+TEST_P(FlowEdgeBank, AllSchemesSurviveAndStayExact) {
+  const std::vector<i64> bank = edge_bank(GetParam());
+  for (const Scheme scheme : kAllSchemes) {
+    const SchemeResult r = optimize_bank(bank, scheme);
+    const auto values = r.block.graph.evaluate(3);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      ASSERT_EQ(r.block.product(i, values), bank[i] * 3)
+          << to_string(scheme) << " bank " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CraftedBanks, FlowEdgeBank,
+                         ::testing::Range(0, 8));
+
+TEST(Flow, MaximalScalingAlignmentRoundTrips) {
+  std::vector<double> h;
+  for (int i = 0; i < 15; ++i) {
+    h.push_back(std::pow(0.6, std::abs(i - 7)) * (i % 3 == 0 ? -1.0 : 1.0));
+  }
+  // Force symmetry so folding kicks in.
+  for (int i = 0; i < 7; ++i) h[static_cast<std::size_t>(14 - i)] = h[static_cast<std::size_t>(i)];
+  const auto q = number::quantize_maximal(h, 12);
+  const arch::TdfFilter filter = build_tdf(q, Scheme::kMrpCse);
+  const sim::EquivalenceReport r = sim::check_equivalence_suite(filter, 10);
+  EXPECT_TRUE(r.equivalent) << r.to_string();
+  // Alignment must be non-trivial for a decaying impulse response.
+  int nonzero_align = 0;
+  for (const int a : filter.alignment()) nonzero_align += (a > 0);
+  EXPECT_GT(nonzero_align, 0);
+}
+
+}  // namespace
+}  // namespace mrpf::core

@@ -1,0 +1,236 @@
+// Graph algorithms: BFS/APSP, MST (Prim vs Kruskal cross-check), greedy
+// weighted set cover with the paper's benefit function, union-find,
+// topological sort.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/graph/apsp.hpp"
+#include "mrpf/graph/bfs.hpp"
+#include "mrpf/graph/digraph.hpp"
+#include "mrpf/graph/mst.hpp"
+#include "mrpf/graph/set_cover.hpp"
+#include "mrpf/graph/toposort.hpp"
+#include "mrpf/graph/union_find.hpp"
+
+namespace mrpf::graph {
+namespace {
+
+Digraph chain(int n) {
+  Digraph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+TEST(Bfs, ChainDistances) {
+  const Digraph g = chain(5);
+  const BfsResult r = bfs(g, 0);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_EQ(r.dist[static_cast<std::size_t>(v)], v);
+  }
+  const BfsResult back = bfs(g, 4);
+  EXPECT_EQ(back.dist[0], kUnreachable);
+  EXPECT_EQ(eccentricity(g, 0), 4);
+  EXPECT_EQ(eccentricity(g, 4), 0);
+  EXPECT_EQ(reachable_count(g, 2), 3);
+}
+
+TEST(Bfs, MultiSourceTakesNearest) {
+  const Digraph g = chain(7);
+  const BfsResult r = multi_source_bfs(g, {0, 4});
+  EXPECT_EQ(r.dist[3], 3);
+  EXPECT_EQ(r.dist[5], 1);
+  EXPECT_EQ(r.dist[6], 2);
+}
+
+TEST(Bfs, ParentEdgesFormShortestPathTree) {
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);  // two equal-length routes to 3
+  g.add_edge(3, 4);
+  g.add_edge(2, 5);
+  const BfsResult r = bfs(g, 0);
+  for (int v = 1; v < 6; ++v) {
+    const int pe = r.parent_edge[static_cast<std::size_t>(v)];
+    ASSERT_GE(pe, 0);
+    const Edge& e = g.edge(pe);
+    EXPECT_EQ(e.to, v);
+    EXPECT_EQ(r.dist[static_cast<std::size_t>(e.from)] + 1,
+              r.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Apsp, UnitMatchesFloydWarshallOnUnitWeights) {
+  Rng rng(42);
+  Digraph g(12);
+  for (int e = 0; e < 30; ++e) {
+    g.add_edge(static_cast<int>(rng.next_below(12)),
+               static_cast<int>(rng.next_below(12)));
+  }
+  const auto unit = apsp_unit(g);
+  const auto fw = apsp_floyd_warshall(g);
+  for (int u = 0; u < 12; ++u) {
+    for (int v = 0; v < 12; ++v) {
+      const int du = unit[static_cast<std::size_t>(u)]
+                         [static_cast<std::size_t>(v)];
+      const double dw = fw[static_cast<std::size_t>(u)]
+                          [static_cast<std::size_t>(v)];
+      if (du == kUnreachable) {
+        EXPECT_EQ(dw, kInfDist);
+      } else {
+        EXPECT_EQ(static_cast<double>(du), dw);
+      }
+    }
+  }
+}
+
+TEST(Mst, PrimAndKruskalAgreeOnRandomGraphs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(10));
+    std::vector<std::vector<double>> w(
+        static_cast<std::size_t>(n),
+        std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    std::vector<WeightedEdge> edges;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double weight = 1.0 + static_cast<double>(rng.next_below(100));
+        w[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = weight;
+        w[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = weight;
+        edges.push_back({i, j, weight, 0});
+      }
+    }
+    const MstResult prim = mst_prim_dense(w);
+    const MstResult kruskal = mst_kruskal(n, edges);
+    EXPECT_EQ(prim.num_components, 1);
+    EXPECT_EQ(kruskal.num_components, 1);
+    EXPECT_DOUBLE_EQ(prim.total_weight, kruskal.total_weight);
+    EXPECT_EQ(prim.edges.size(), static_cast<std::size_t>(n - 1));
+  }
+}
+
+TEST(Mst, KruskalBuildsForestOnDisconnectedGraph) {
+  std::vector<WeightedEdge> edges = {{0, 1, 1.0, 0}, {2, 3, 2.0, 0}};
+  const MstResult r = mst_kruskal(5, edges);
+  EXPECT_EQ(r.edges.size(), 2u);
+  EXPECT_EQ(r.num_components, 3);  // {0,1}, {2,3}, {4}
+}
+
+TEST(SetCover, PaperBenefitPrefersFrequencyAndCost) {
+  // Element universe {0..4}; a cheap set covering 3 must beat an expensive
+  // set covering 4 at beta 0.5 when costs differ enough.
+  const std::vector<CoverSet> sets = {
+      {{0, 1, 2}, 1.0},     // f = 0.5·3 − 0.5·1 = 1.0
+      {{0, 1, 2, 3}, 4.0},  // f = 0.5·4 − 0.5·4 = 0.0
+      {{3, 4}, 1.0},
+  };
+  const SetCoverResult r =
+      greedy_weighted_set_cover(5, sets, paper_benefit(0.5));
+  EXPECT_TRUE(r.complete);
+  ASSERT_EQ(r.chosen.size(), 2u);
+  EXPECT_EQ(r.chosen[0], 0);
+  EXPECT_EQ(r.chosen[1], 2);
+}
+
+TEST(SetCover, BetaSkewsTheChoice) {
+  const std::vector<CoverSet> sets = {
+      {{0, 1, 2, 3, 4}, 8.0},  // high frequency, high cost
+      {{0, 1}, 1.0},           // cheap
+      {{2, 3}, 1.0},
+      {{4}, 1.0},
+  };
+  // beta→1: frequency dominates; the big set wins first.
+  const auto greedy_hi =
+      greedy_weighted_set_cover(5, sets, paper_benefit(1.0));
+  EXPECT_EQ(greedy_hi.chosen.front(), 0);
+  // beta→0: cost dominates; cheap sets win.
+  const auto greedy_lo =
+      greedy_weighted_set_cover(5, sets, paper_benefit(0.0));
+  EXPECT_NE(greedy_lo.chosen.front(), 0);
+  EXPECT_TRUE(greedy_lo.complete);
+}
+
+TEST(SetCover, RatioBenefitSolvesClassicInstance) {
+  const std::vector<CoverSet> sets = {
+      {{0, 1, 2, 3}, 4.0},
+      {{0, 1}, 1.0},
+      {{2, 3}, 1.0},
+  };
+  const auto r = greedy_weighted_set_cover(4, sets, ratio_benefit());
+  EXPECT_TRUE(r.complete);
+  EXPECT_LE(r.total_cost, 2.0);
+}
+
+TEST(SetCover, IncompleteWhenElementsUncoverable) {
+  const std::vector<CoverSet> sets = {{{0}, 1.0}};
+  const auto r = greedy_weighted_set_cover(2, sets, ratio_benefit());
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.covered_by[1], -1);
+}
+
+TEST(SetCover, CoveredByIsConsistent) {
+  const std::vector<CoverSet> sets = {
+      {{0, 2, 4}, 1.0}, {{1, 3}, 1.0}, {{0, 1}, 0.5}};
+  const auto r = greedy_weighted_set_cover(5, sets, paper_benefit(0.5));
+  EXPECT_TRUE(r.complete);
+  for (int e = 0; e < 5; ++e) {
+    const int s = r.covered_by[static_cast<std::size_t>(e)];
+    ASSERT_GE(s, 0);
+    const auto& elements = sets[static_cast<std::size_t>(s)].elements;
+    EXPECT_NE(std::find(elements.begin(), elements.end(), e),
+              elements.end());
+  }
+}
+
+TEST(UnionFindTest, BasicMergesAndSizes) {
+  UnionFind uf(6);
+  EXPECT_EQ(uf.num_components(), 6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));
+  EXPECT_EQ(uf.num_components(), 4);
+  EXPECT_EQ(uf.component_size(2), 3);
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_FALSE(uf.same(0, 5));
+  EXPECT_THROW(uf.find(6), Error);
+}
+
+TEST(Toposort, OrdersDagAndDetectsCycle) {
+  Digraph dag(4);
+  dag.add_edge(0, 1);
+  dag.add_edge(0, 2);
+  dag.add_edge(1, 3);
+  dag.add_edge(2, 3);
+  const auto order = topological_sort(dag);
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) {
+    pos[static_cast<std::size_t>((*order)[static_cast<std::size_t>(i)])] = i;
+  }
+  for (const Edge& e : dag.edges()) {
+    EXPECT_LT(pos[static_cast<std::size_t>(e.from)],
+              pos[static_cast<std::size_t>(e.to)]);
+  }
+  EXPECT_TRUE(is_dag(dag));
+
+  Digraph cyc(3);
+  cyc.add_edge(0, 1);
+  cyc.add_edge(1, 2);
+  cyc.add_edge(2, 0);
+  EXPECT_FALSE(is_dag(cyc));
+}
+
+TEST(DigraphTest, RejectsBadVertices) {
+  Digraph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), Error);
+  EXPECT_THROW(g.add_edge(-1, 0), Error);
+  EXPECT_THROW(g.out_edges(5), Error);
+  EXPECT_THROW(g.edge(0), Error);
+}
+
+}  // namespace
+}  // namespace mrpf::graph

@@ -1,0 +1,162 @@
+// IIR substrate: Butterworth design properties, cascade/direct-form
+// agreement, fixed-point semantics, and the headline property — an IIR
+// whose two coefficient banks run through MRPF multiplier blocks is
+// bit-identical to the fixed-point reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/core/flow.hpp"
+#include "mrpf/filter/iir.hpp"
+#include "mrpf/sim/iir_fixed.hpp"
+#include "mrpf/sim/workload.hpp"
+
+namespace mrpf::filter {
+namespace {
+
+TEST(IirDesignTest, ButterworthLowpassShape) {
+  const IirDesign d = design_butterworth_iir(BandType::kLowPass, 0.3, 5);
+  EXPECT_EQ(d.sections.size(), 3u);  // two biquads + one first-order
+  EXPECT_NEAR(std::abs(d.response_at(0.0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::abs(d.response_at(0.3)), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_LT(std::abs(d.response_at(0.7)), 0.02);
+  // Maximally flat: monotone decreasing magnitude.
+  double prev = 2.0;
+  for (double f = 0.01; f < 1.0; f += 0.01) {
+    const double m = std::abs(d.response_at(f));
+    EXPECT_LE(m, prev + 1e-9) << f;
+    prev = m;
+  }
+}
+
+TEST(IirDesignTest, ButterworthHighpassShape) {
+  const IirDesign d = design_butterworth_iir(BandType::kHighPass, 0.4, 4);
+  EXPECT_NEAR(std::abs(d.response_at(1.0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::abs(d.response_at(0.4)), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_LT(std::abs(d.response_at(0.1)), 0.02);
+}
+
+TEST(IirDesignTest, PolesAreStable) {
+  for (const int order : {1, 2, 3, 5, 8}) {
+    const IirDesign d = design_butterworth_iir(BandType::kLowPass, 0.25,
+                                               order);
+    for (const Biquad& s : d.sections) {
+      // |poles| < 1 ⟺ |a2| < 1 and |a1| < 1 + a2 (second-order Jury test).
+      EXPECT_LT(std::fabs(s.a2), 1.0);
+      EXPECT_LT(std::fabs(s.a1), 1.0 + s.a2 + 1e-12);
+    }
+  }
+}
+
+TEST(IirDesignTest, RejectsBadArguments) {
+  EXPECT_THROW(design_butterworth_iir(BandType::kBandPass, 0.3, 4), Error);
+  EXPECT_THROW(design_butterworth_iir(BandType::kLowPass, 0.0, 4), Error);
+  EXPECT_THROW(design_butterworth_iir(BandType::kLowPass, 0.3, 0), Error);
+}
+
+TEST(IirDesignTest, DirectFormMatchesCascade) {
+  const IirDesign d = design_butterworth_iir(BandType::kLowPass, 0.35, 6);
+  const auto df = d.direct_form();
+  ASSERT_EQ(df.a.size(), 7u);
+  EXPECT_DOUBLE_EQ(df.a[0], 1.0);
+
+  Rng rng(5);
+  std::vector<double> x;
+  for (int i = 0; i < 200; ++i) x.push_back(rng.next_gaussian());
+  const auto y_cascade = iir_filter(d, x);
+  const auto y_direct = iir_filter_direct(df.b, df.a, x);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    EXPECT_NEAR(y_cascade[n], y_direct[n], 1e-8) << n;
+  }
+}
+
+TEST(IirDesignTest, ImpulseResponseDecays) {
+  const IirDesign d = design_butterworth_iir(BandType::kLowPass, 0.2, 4);
+  std::vector<double> x(400, 0.0);
+  x[0] = 1.0;
+  const auto y = iir_filter(d, x);
+  double tail = 0.0;
+  for (std::size_t n = 300; n < 400; ++n) tail = std::max(tail, std::fabs(y[n]));
+  EXPECT_LT(tail, 1e-6);
+}
+
+}  // namespace
+}  // namespace mrpf::filter
+
+namespace mrpf::sim {
+namespace {
+
+using filter::BandType;
+using filter::IirDesign;
+
+QuantizedIir quantized_butterworth(int order, double fc, int w) {
+  const IirDesign d =
+      filter::design_butterworth_iir(BandType::kLowPass, fc, order);
+  return quantize_iir(d.direct_form(), w);
+}
+
+TEST(IirFixed, QuantizationKeepsA0Exact) {
+  for (const int w : {8, 10, 12, 14}) {
+    const QuantizedIir q = quantized_butterworth(4, 0.3, w);
+    EXPECT_EQ(q.a[0], i64{1} << q.q);
+    const i64 limit = (i64{1} << (w - 1)) - 1;
+    for (const i64 v : q.a) EXPECT_LE(std::llabs(v), limit);
+    for (const i64 v : q.b) EXPECT_LE(std::llabs(v), limit);
+  }
+}
+
+TEST(IirFixed, ReferenceTracksDoubleModel) {
+  const IirDesign d =
+      filter::design_butterworth_iir(BandType::kLowPass, 0.3, 4);
+  const auto df = d.direct_form();
+  const QuantizedIir q = quantize_iir(df, 14);
+
+  Rng rng(9);
+  const std::vector<i64> x = uniform_stream(rng, 300, 10);
+  const std::vector<i64> y_fixed = iir_fixed_reference(q, x);
+  std::vector<double> xd(x.begin(), x.end());
+  const std::vector<double> y_double =
+      filter::iir_filter_direct(df.b, df.a, xd);
+  // Fixed-point output should track the double model within a few LSBs of
+  // the coefficient quantization noise accumulated through the feedback.
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    EXPECT_NEAR(static_cast<double>(y_fixed[n]), y_double[n], 24.0) << n;
+  }
+}
+
+TEST(IirFixed, BlockBasedMatchesReferenceBitExact) {
+  for (const auto scheme : {core::Scheme::kSimple, core::Scheme::kCse,
+                            core::Scheme::kMrp, core::Scheme::kMrpCse}) {
+    const QuantizedIir q = quantized_butterworth(5, 0.28, 12);
+    const core::SchemeResult b_opt = core::optimize_bank(q.b, scheme);
+    const std::vector<i64> a_bank(q.a.begin() + 1, q.a.end());
+    const core::SchemeResult a_opt = core::optimize_bank(a_bank, scheme);
+
+    Rng rng(11);
+    const std::vector<i64> x = uniform_stream(rng, 400, 10);
+    const std::vector<i64> want = iir_fixed_reference(q, x);
+    const std::vector<i64> got =
+        iir_fixed_blocks(q, b_opt.block, a_opt.block, x);
+    EXPECT_EQ(want, got) << "scheme " << core::to_string(scheme);
+  }
+}
+
+TEST(IirFixed, MrpfReducesIirBankCost) {
+  const QuantizedIir q = quantized_butterworth(8, 0.22, 14);
+  const auto simple = core::optimize_bank(q.b, core::Scheme::kSimple);
+  const auto mrp = core::optimize_bank(q.b, core::Scheme::kMrp);
+  EXPECT_LE(mrp.multiplier_adders, simple.multiplier_adders);
+}
+
+TEST(IirFixed, RejectsMismatchedBlocks) {
+  const QuantizedIir q = quantized_butterworth(3, 0.3, 10);
+  const auto b_opt = core::optimize_bank(q.b, core::Scheme::kSimple);
+  // Passing the b block for the a bank must throw.
+  EXPECT_THROW(iir_fixed_blocks(q, b_opt.block, b_opt.block, {1, 2, 3}),
+               Error);
+}
+
+}  // namespace
+}  // namespace mrpf::sim

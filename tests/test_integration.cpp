@@ -1,0 +1,135 @@
+// End-to-end integration: spec → design → quantize → optimize (every
+// scheme) → physical TDF filter → bit-exact equivalence, across catalog
+// filters, wordlengths, scalings and schemes. This is the repository's
+// main correctness property.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mrpf/baseline/simple.hpp"
+#include "mrpf/core/flow.hpp"
+#include "mrpf/core/report.hpp"
+#include "mrpf/filter/catalog.hpp"
+#include "mrpf/filter/symmetric.hpp"
+#include "mrpf/number/quantize.hpp"
+#include "mrpf/sim/equivalence.hpp"
+
+namespace mrpf {
+namespace {
+
+using core::Scheme;
+
+struct Case {
+  int catalog_index;
+  int wordlength;
+  bool maximal;
+  Scheme scheme;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string s = filter::catalog_spec(info.param.catalog_index).name +
+                  "_W" + std::to_string(info.param.wordlength) +
+                  (info.param.maximal ? "_max_" : "_uni_") +
+                  core::to_string(info.param.scheme);
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+class EndToEnd : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EndToEnd, SynthesizedFilterIsBitExact) {
+  const Case c = GetParam();
+  const auto& h = filter::catalog_coefficients(c.catalog_index);
+  const auto q = c.maximal ? number::quantize_maximal(h, c.wordlength)
+                           : number::quantize_uniform(h, c.wordlength);
+  const arch::TdfFilter filter = core::build_tdf(q, c.scheme);
+  const sim::EquivalenceReport r =
+      sim::check_equivalence_suite(filter, /*input_bits=*/10,
+                                   /*samples=*/160);
+  EXPECT_TRUE(r.equivalent) << r.to_string();
+}
+
+// A small but representative sample of the full sweep (the benches cover
+// the complete grid; tests stay fast).
+INSTANTIATE_TEST_SUITE_P(
+    CatalogSample, EndToEnd,
+    ::testing::Values(Case{0, 8, false, Scheme::kSimple},
+                      Case{0, 8, false, Scheme::kMrp},
+                      Case{1, 12, false, Scheme::kCse},
+                      Case{1, 12, false, Scheme::kMrpCse},
+                      Case{2, 10, true, Scheme::kMrp},
+                      Case{3, 12, true, Scheme::kMrpCse},
+                      Case{4, 12, false, Scheme::kDiffMst},
+                      Case{5, 14, true, Scheme::kMrp},
+                      Case{6, 8, false, Scheme::kMrpCse},
+                      Case{7, 12, false, Scheme::kMrp},
+                      Case{10, 10, true, Scheme::kCse},
+                      Case{11, 8, false, Scheme::kMrp}),
+    case_name);
+
+TEST(Integration, MrpfBeatsSimpleAcrossTheCatalog) {
+  // The paper's headline direction: MRPF needs fewer multiplier adders
+  // than the simple implementation on essentially every example.
+  using number::NumberRep;
+  int wins = 0;
+  int total = 0;
+  for (int i = 0; i < filter::catalog_size(); ++i) {
+    const auto& h = filter::catalog_coefficients(i);
+    const auto q = number::quantize_uniform(h, 16);
+    const std::vector<i64> bank = core::optimization_bank(q.values());
+    core::MrpOptions opts;
+    const core::MrpResult r = core::mrp_optimize(bank, opts);
+    const int simple = baseline::simple_adder_cost(bank, opts.rep);
+    ++total;
+    if (r.total_adders() < simple) ++wins;
+  }
+  EXPECT_GE(wins, total - 1)
+      << "MRPF lost against simple on more than one catalog filter";
+}
+
+TEST(Integration, MrpCseBeatsPlainCseOnAverage) {
+  double ratio_sum = 0.0;
+  int n = 0;
+  for (int i = 0; i < filter::catalog_size(); i += 2) {
+    const auto& h = filter::catalog_coefficients(i);
+    const auto q = number::quantize_uniform(h, 12);
+    const std::vector<i64> bank = core::optimization_bank(q.values());
+    const auto cse = core::optimize_bank(bank, Scheme::kCse);
+    const auto mrp_cse = core::optimize_bank(bank, Scheme::kMrpCse);
+    if (cse.multiplier_adders == 0) continue;
+    ratio_sum += static_cast<double>(mrp_cse.multiplier_adders) /
+                 static_cast<double>(cse.multiplier_adders);
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(ratio_sum / n, 1.05)
+      << "MRPF+CSE should be competitive with CSE on average";
+}
+
+TEST(Integration, FoldedOptimizationStillCoversFullFilter) {
+  const auto& h = filter::catalog_coefficients(2);
+  ASSERT_TRUE(filter::is_symmetric(h, 1e-8));
+  const auto q = number::quantize_uniform(h, 10);
+  const arch::TdfFilter f = core::build_tdf(q, Scheme::kMrp);
+  EXPECT_EQ(f.coefficients().size(), h.size());
+  // Mirrored taps must point at the same product.
+  const auto& taps = f.block().taps;
+  for (std::size_t k = 0; k < taps.size() / 2; ++k) {
+    EXPECT_EQ(taps[k].node, taps[taps.size() - 1 - k].node);
+  }
+}
+
+TEST(Integration, ReportsAreNonEmpty) {
+  const std::vector<i64> bank = {7, 66, 17, 9, 27, 41, 57, 11};
+  const auto mrp = core::optimize_bank(bank, Scheme::kMrp);
+  ASSERT_TRUE(mrp.mrp.has_value());
+  const std::string text = core::describe(*mrp.mrp);
+  EXPECT_NE(text.find("solution colors"), std::string::npos);
+  EXPECT_NE(text.find("SEED"), std::string::npos);
+  EXPECT_NE(core::describe(mrp, 12).find("mrpf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrpf

@@ -1,0 +1,84 @@
+// I/O: coefficient file parsing/round-trips and JSON report structure.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/core/flow.hpp"
+#include "mrpf/io/coeff_file.hpp"
+#include "mrpf/io/json_report.hpp"
+
+namespace mrpf::io {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CoeffFile, ParsesValuesCommentsAndBlanks) {
+  const auto v = parse_coefficients(
+      "# header\n1.5\n\n-2  # trailing comment\n3e-2\n   \n");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.03);
+}
+
+TEST(CoeffFile, RejectsGarbage) {
+  EXPECT_THROW(parse_coefficients("1.0\nnot_a_number\n"), Error);
+  EXPECT_THROW(parse_coefficients("1.0 2.0\n"), Error);
+  EXPECT_THROW(read_coefficients("/nonexistent/path/x.txt"), Error);
+}
+
+TEST(CoeffFile, DoubleRoundTrip) {
+  const std::string path = temp_path("coeff_double.txt");
+  const std::vector<double> values = {0.125, -3.75, 1e-9, 123456.5};
+  write_coefficients(path, values, "unit test");
+  EXPECT_EQ(read_coefficients(path), values);
+  std::remove(path.c_str());
+}
+
+TEST(CoeffFile, IntegerRoundTripAndStrictness) {
+  const std::string path = temp_path("coeff_int.txt");
+  const std::vector<i64> values = {7, -66, 0, 123456789};
+  write_coefficients(path, values);
+  EXPECT_EQ(read_integer_coefficients(path), values);
+  // A fractional value must be rejected by the integer reader.
+  std::ofstream(path) << "1.5\n";
+  EXPECT_THROW(read_integer_coefficients(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(JsonReport, SchemeResultHasAllFields) {
+  const std::vector<i64> bank = {7, 66, 17, 9};
+  const core::SchemeResult r =
+      core::optimize_bank(bank, core::Scheme::kMrp);
+  const std::string json = to_json(r, 12);
+  for (const char* key :
+       {"\"scheme\":\"mrpf\"", "\"multiplier_adders\":", "\"graph_adders\":",
+        "\"depth\":", "\"cla_area\":", "\"constants\":[7,66,17,9]",
+        "\"mrp\":", "\"solution_colors\":", "\"seed\":", "\"tree\":",
+        "\"tree_height\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  // Balanced braces/brackets — cheap structural sanity.
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(JsonReport, NonMrpSchemesOmitTheMrpBlock) {
+  const core::SchemeResult r =
+      core::optimize_bank({45, 90}, core::Scheme::kCse);
+  const std::string json = to_json(r, 12);
+  EXPECT_EQ(json.find("\"mrp\":"), std::string::npos);
+  EXPECT_NE(json.find("\"scheme\":\"cse\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrpf::io

@@ -1,0 +1,144 @@
+// Polyphase decomposition and the optimized decimator: structural
+// properties, bit-exactness against the reference decimator across
+// factors and schemes, and branch cost accounting.
+#include <gtest/gtest.h>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/core/polyphase_decimator.hpp"
+#include "mrpf/filter/catalog.hpp"
+#include "mrpf/filter/polyphase.hpp"
+#include "mrpf/number/quantize.hpp"
+
+namespace mrpf {
+namespace {
+
+TEST(Polyphase, DecompositionInterleavesExactly) {
+  const std::vector<i64> h = {1, 2, 3, 4, 5, 6, 7};
+  const auto phases = filter::polyphase_decompose(h, 3);
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0], (std::vector<i64>{1, 4, 7}));
+  EXPECT_EQ(phases[1], (std::vector<i64>{2, 5}));
+  EXPECT_EQ(phases[2], (std::vector<i64>{3, 6}));
+  // Factor 1 is the identity decomposition.
+  EXPECT_EQ(filter::polyphase_decompose(h, 1)[0], h);
+  EXPECT_THROW(filter::polyphase_decompose(h, 0), Error);
+}
+
+TEST(Polyphase, ReferenceDecimatorTakesEveryMthSample) {
+  const std::vector<i64> c = {1};  // identity filter
+  const std::vector<i64> x = {10, 11, 12, 13, 14, 15, 16};
+  EXPECT_EQ(filter::decimate_exact(c, 2, x),
+            (std::vector<i64>{10, 12, 14, 16}));
+  EXPECT_EQ(filter::decimate_exact(c, 3, x), (std::vector<i64>{10, 13, 16}));
+}
+
+class PolyphaseSweep
+    : public ::testing::TestWithParam<std::tuple<int, core::Scheme>> {};
+
+TEST_P(PolyphaseSweep, DecimatorMatchesReferenceBitExact) {
+  const auto [factor, scheme] = GetParam();
+  Rng rng(0x50 + factor);
+  std::vector<i64> c;
+  const int taps = static_cast<int>(rng.next_int(5, 31));
+  for (int t = 0; t < taps; ++t) c.push_back(rng.next_int(-1023, 1023));
+
+  const core::PolyphaseDecimator decimator(c, factor, scheme);
+  std::vector<i64> x;
+  for (int i = 0; i < 200; ++i) x.push_back(rng.next_int(-255, 255));
+  EXPECT_EQ(decimator.run(x), filter::decimate_exact(c, factor, x));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FactorsAndSchemes, PolyphaseSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(core::Scheme::kSimple,
+                                         core::Scheme::kCse,
+                                         core::Scheme::kMrp)),
+    [](const auto& info) {
+      std::string s =
+          "M" + std::to_string(std::get<0>(info.param)) + "_" +
+          core::to_string(std::get<1>(info.param));
+      for (char& ch : s) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return s;
+    });
+
+TEST(Polyphase, BranchCostsSumAndMrpHelpsPerBranch) {
+  const auto& h = filter::catalog_coefficients(7);  // 61-tap PM LP
+  const auto q = number::quantize_uniform(h, 12);
+  const std::vector<i64> c = q.values();
+
+  const core::PolyphaseDecimator simple(c, 4, core::Scheme::kSimple);
+  const core::PolyphaseDecimator mrp(c, 4, core::Scheme::kMrp);
+  ASSERT_EQ(simple.branch_adders().size(), 4u);
+  int simple_sum = 0;
+  for (const int a : simple.branch_adders()) simple_sum += a;
+  int mrp_sum = 0;
+  for (const int a : mrp.branch_adders()) mrp_sum += a;
+  EXPECT_LE(mrp_sum, simple_sum);
+  EXPECT_LE(mrp.multiplier_adders(), mrp_sum)
+      << "physical graphs never exceed analytic counts";
+}
+
+TEST(Polyphase, ReferenceInterpolatorZeroStuffs) {
+  // Identity filter: interpolation just inserts L−1 zeros.
+  EXPECT_EQ(filter::interpolate_exact({1}, 3, {5, -7}),
+            (std::vector<i64>{5, 0, 0, -7, 0, 0}));
+  // Hold filter {1,1,1} with L=3: each sample repeated 3 times.
+  EXPECT_EQ(filter::interpolate_exact({1, 1, 1}, 3, {5, -7}),
+            (std::vector<i64>{5, 5, 5, -7, -7, -7}));
+}
+
+class InterpolatorSweep
+    : public ::testing::TestWithParam<std::tuple<int, core::Scheme>> {};
+
+TEST_P(InterpolatorSweep, MatchesReferenceBitExact) {
+  const auto [factor, scheme] = GetParam();
+  Rng rng(0x1A + factor);
+  std::vector<i64> c;
+  const int taps = static_cast<int>(rng.next_int(4, 29));
+  for (int t = 0; t < taps; ++t) c.push_back(rng.next_int(-1023, 1023));
+
+  const core::PolyphaseInterpolator interp(c, factor, scheme);
+  std::vector<i64> x;
+  for (int i = 0; i < 120; ++i) x.push_back(rng.next_int(-255, 255));
+  EXPECT_EQ(interp.run(x), filter::interpolate_exact(c, factor, x));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FactorsAndSchemes, InterpolatorSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(core::Scheme::kSimple,
+                                         core::Scheme::kMrpCse)),
+    [](const auto& info) {
+      std::string s =
+          "L" + std::to_string(std::get<0>(info.param)) + "_" +
+          core::to_string(std::get<1>(info.param));
+      for (char& ch : s) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return s;
+    });
+
+TEST(Polyphase, InterpolatorSharesAcrossBranchesDecimatorCannot) {
+  // Same coefficients, same factor: the interpolator's single shared bank
+  // must not cost more than the decimator's per-branch total.
+  const auto& h = filter::catalog_coefficients(5);
+  const auto q = number::quantize_uniform(h, 12);
+  const std::vector<i64> c = q.values();
+  const core::PolyphaseDecimator dec(c, 3, core::Scheme::kMrpCse);
+  const core::PolyphaseInterpolator interp(c, 3, core::Scheme::kMrpCse);
+  EXPECT_LE(interp.multiplier_adders(), dec.multiplier_adders());
+}
+
+TEST(Polyphase, FactorLargerThanFilterStillWorks) {
+  const std::vector<i64> c = {5, -3};
+  const core::PolyphaseDecimator decimator(c, 6, core::Scheme::kSimple);
+  const std::vector<i64> x = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  EXPECT_EQ(decimator.run(x), filter::decimate_exact(c, 6, x));
+}
+
+}  // namespace
+}  // namespace mrpf

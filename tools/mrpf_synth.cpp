@@ -1,0 +1,225 @@
+// mrpf_synth — command-line filter synthesizer.
+//
+// Designs a linear-phase FIR from a spec, quantizes it, runs the chosen
+// optimization scheme, verifies the architecture bit-exactly and emits a
+// report and (optionally) Verilog.
+//
+//   mrpf_synth --band lp --edges 0.2,0.3 --taps 31 --wordlength 14
+//              --scheme mrpf+cse --method pm [--maximal] [--beta 0.5]
+//              [--depth 3] [--verilog out.v]
+//
+// Or optimize an explicit coefficient bank:
+//
+//   mrpf_synth --coeffs 7,66,17,9,27,41,57,11 --scheme mrpf
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mrpf/arch/cost_model.hpp"
+#include "mrpf/arch/verilog.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/core/flow.hpp"
+#include "mrpf/core/report.hpp"
+#include "mrpf/filter/design.hpp"
+#include "mrpf/io/coeff_file.hpp"
+#include "mrpf/io/json_report.hpp"
+#include "mrpf/filter/measure.hpp"
+#include "mrpf/number/quantize.hpp"
+#include "mrpf/sim/equivalence.hpp"
+
+namespace {
+
+using namespace mrpf;
+
+[[noreturn]] void usage(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: mrpf_synth [options]\n"
+               "  --band lp|hp|bp|bs          band type (default lp)\n"
+               "  --method pm|ls|bw|kw        design method (default pm)\n"
+               "  --edges f1,f2[,f3,f4]       normalized band edges\n"
+               "  --taps N                    odd filter length\n"
+               "  --ripple dB --atten dB      spec targets\n"
+               "  --wordlength W              coefficient bits (default 14)\n"
+               "  --maximal                   maximal (per-tap) scaling\n"
+               "  --scheme simple|cse|diff-mst|rag-n|mrpf|mrpf+cse\n"
+               "  --beta B --depth D          MRP options\n"
+               "  --rep spt|sm                MRP number representation\n"
+               "  --coeffs c0,c1,...          skip design, optimize bank\n"
+               "  --coeffs-file FILE          read an integer bank from FILE\n"
+               "  --json FILE                 write a JSON report to FILE\n"
+               "  --verilog FILE              write Verilog to FILE\n"
+               "  --input-bits N              data width (default 12)\n");
+  std::exit(2);
+}
+
+std::vector<double> parse_doubles(const std::string& s) {
+  std::vector<double> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+  return out;
+}
+
+std::vector<i64> parse_ints(const std::string& s) {
+  std::vector<i64> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
+  return out;
+}
+
+core::Scheme parse_scheme(const std::string& s) {
+  static const std::map<std::string, core::Scheme> schemes = {
+      {"simple", core::Scheme::kSimple},   {"cse", core::Scheme::kCse},
+      {"diff-mst", core::Scheme::kDiffMst}, {"rag-n", core::Scheme::kRagn},
+      {"mrpf", core::Scheme::kMrp},        {"mrpf+cse", core::Scheme::kMrpCse},
+  };
+  const auto it = schemes.find(s);
+  if (it == schemes.end()) usage("unknown scheme");
+  return it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  filter::FilterSpec spec;
+  spec.name = "cli";
+  spec.num_taps = 31;
+  spec.edges = {0.2, 0.3};
+  int wordlength = 14;
+  int input_bits = 12;
+  bool maximal = false;
+  core::Scheme scheme = core::Scheme::kMrpCse;
+  core::MrpOptions mrp_opts;
+  std::optional<std::vector<i64>> explicit_coeffs;
+  std::string verilog_path;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--band") {
+      const std::string b = value();
+      if (b == "lp") spec.band = filter::BandType::kLowPass;
+      else if (b == "hp") spec.band = filter::BandType::kHighPass;
+      else if (b == "bp") spec.band = filter::BandType::kBandPass;
+      else if (b == "bs") spec.band = filter::BandType::kBandStop;
+      else usage("unknown band");
+    } else if (arg == "--method") {
+      const std::string m = value();
+      if (m == "pm") spec.method = filter::DesignMethod::kParksMcClellan;
+      else if (m == "ls") spec.method = filter::DesignMethod::kLeastSquares;
+      else if (m == "bw") spec.method = filter::DesignMethod::kButterworthFir;
+      else if (m == "kw") spec.method = filter::DesignMethod::kKaiserWindow;
+      else usage("unknown method");
+    } else if (arg == "--edges") {
+      spec.edges = parse_doubles(value());
+    } else if (arg == "--taps") {
+      spec.num_taps = std::atoi(value().c_str());
+    } else if (arg == "--ripple") {
+      spec.passband_ripple_db = std::atof(value().c_str());
+    } else if (arg == "--atten") {
+      spec.stopband_atten_db = std::atof(value().c_str());
+    } else if (arg == "--wordlength") {
+      wordlength = std::atoi(value().c_str());
+    } else if (arg == "--input-bits") {
+      input_bits = std::atoi(value().c_str());
+    } else if (arg == "--maximal") {
+      maximal = true;
+    } else if (arg == "--scheme") {
+      scheme = parse_scheme(value());
+    } else if (arg == "--beta") {
+      mrp_opts.beta = std::atof(value().c_str());
+    } else if (arg == "--depth") {
+      mrp_opts.depth_limit = std::atoi(value().c_str());
+    } else if (arg == "--rep") {
+      const std::string r = value();
+      if (r == "spt") mrp_opts.rep = number::NumberRep::kSpt;
+      else if (r == "sm") mrp_opts.rep = number::NumberRep::kSignMagnitude;
+      else usage("unknown representation");
+    } else if (arg == "--coeffs") {
+      explicit_coeffs = parse_ints(value());
+    } else if (arg == "--coeffs-file") {
+      explicit_coeffs = io::read_integer_coefficients(value());
+    } else if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--verilog") {
+      verilog_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(nullptr);
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+
+  try {
+    std::vector<i64> coefficients;
+    std::vector<int> align;
+    if (explicit_coeffs.has_value()) {
+      coefficients = *explicit_coeffs;
+      std::printf("Optimizing explicit %zu-coefficient bank\n",
+                  coefficients.size());
+    } else {
+      const std::vector<double> h = filter::design(spec);
+      const filter::Measurement m = filter::measure(h, spec);
+      std::printf("Designed %d-tap %s %s: ripple %.3f dB, atten %.1f dB\n",
+                  spec.num_taps, filter::to_string(spec.method).c_str(),
+                  filter::to_string(spec.band).c_str(),
+                  m.passband_ripple_db, m.stopband_atten_db);
+      const number::QuantizedCoefficients q =
+          maximal ? number::quantize_maximal(h, wordlength)
+                  : number::quantize_uniform(h, wordlength);
+      std::printf("Quantized to %d bits (%s), max error %.3e\n", wordlength,
+                  maximal ? "maximal" : "uniform", q.max_abs_error(h));
+      coefficients = q.values();
+      align = core::alignment_of(q);
+    }
+
+    const std::vector<i64> bank = core::optimization_bank(coefficients);
+    const core::SchemeResult opt = core::optimize_bank(bank, scheme, mrp_opts);
+    std::printf("%s\n", core::describe(opt, input_bits).c_str());
+    if (opt.mrp.has_value()) {
+      std::fputs(core::describe(*opt.mrp).c_str(), stdout);
+    }
+    if (!json_path.empty()) {
+      std::ofstream json_out(json_path);
+      if (!json_out) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        return 1;
+      }
+      json_out << io::to_json(opt, input_bits) << "\n";
+      std::printf("wrote JSON report to %s\n", json_path.c_str());
+    }
+
+    const arch::TdfFilter tdf =
+        core::build_tdf(coefficients, align, scheme, mrp_opts);
+    const sim::EquivalenceReport eq =
+        sim::check_equivalence_suite(tdf, input_bits);
+    std::printf("verification: %s\n", eq.to_string().c_str());
+    if (!eq.equivalent) return 1;
+
+    if (!verilog_path.empty()) {
+      std::ofstream out(verilog_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", verilog_path.c_str());
+        return 1;
+      }
+      out << arch::emit_tdf_filter(tdf, input_bits, "mrpf_synth_filter");
+      std::printf("wrote Verilog to %s\n", verilog_path.c_str());
+    }
+  } catch (const mrpf::Error& e) {
+    std::fprintf(stderr, "mrpf error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
