@@ -3,7 +3,8 @@
 // (expensive interconnect), β > 0.5 chases coverage. For a catalog subset
 // we sweep β and report adder cost and the maximum color fanout (how many
 // overhead adds reuse one color — the drive/interconnect burden the paper
-// models through β).
+// models through β). The filter × β grid is one mrp_optimize_batch call
+// with per-job options.
 #include <cstdio>
 #include <map>
 
@@ -16,18 +17,29 @@ int main() {
       "Ablation — benefit-function beta sweep (W=16, uniform, SPT)");
 
   const std::vector<double> betas = {0.0, 0.25, 0.5, 0.75, 1.0};
-  std::printf("%-5s", "name");
-  for (const double b : betas) std::printf("      b=%.2f", b);
-  std::printf("   (total adders | max color fanout)\n");
+  const std::vector<int> subset = {1, 4, 7, 10, 11};
 
-  for (const int i : {1, 4, 7, 10, 11}) {
-    std::printf("%-5s", filter::catalog_spec(i).name.c_str());
+  std::vector<core::MrpBatchJob> jobs;
+  for (const int i : subset) {
     const std::vector<i64> bank = bench::folded_bank(i, 16, false);
     for (const double beta : betas) {
       core::MrpOptions opts;
       opts.beta = beta;
       opts.rep = number::NumberRep::kSpt;
-      const core::MrpResult r = core::mrp_optimize(bank, opts);
+      jobs.push_back({bank, opts});
+    }
+  }
+  const std::vector<core::MrpResult> solved = core::mrp_optimize_batch(jobs);
+
+  std::printf("%-5s", "name");
+  for (const double b : betas) std::printf("      b=%.2f", b);
+  std::printf("   (total adders | max color fanout)\n");
+
+  std::size_t job = 0;
+  for (const int i : subset) {
+    std::printf("%-5s", filter::catalog_spec(i).name.c_str());
+    for (std::size_t bi = 0; bi < betas.size(); ++bi) {
+      const core::MrpResult& r = solved[job++];
       std::map<i64, int> fanout;
       for (const core::TreeEdge& te : r.tree_edges) ++fanout[te.edge.color];
       int max_fanout = 0;

@@ -2,6 +2,9 @@
 // catalog filter (W=14, uniform) — the widest single view of where MRPF
 // sits among simple, DECOR [10], differential-MST [5], Hartley CSE [3],
 // MSD-CSE, RAG-n and MRPF(+CSE). Extends the paper's two-way comparisons.
+// The two MRP columns come from one core::mrp_optimize_batch call (per-job
+// options), the baseline columns fan out per filter over the same pool.
+#include <array>
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -9,6 +12,7 @@
 #include "mrpf/baseline/diff_mst.hpp"
 #include "mrpf/baseline/ragn.hpp"
 #include "mrpf/baseline/simple.hpp"
+#include "mrpf/common/parallel.hpp"
 #include "mrpf/core/mrp.hpp"
 #include "mrpf/cse/msd_cse.hpp"
 
@@ -17,30 +21,46 @@ int main() {
   bench::print_header(
       "Baseline zoo — multiplier-block adders, W=14 uniform, folded banks");
 
+  const auto rep = number::NumberRep::kSpt;
+  const int nf = filter::catalog_size();
+  std::vector<std::vector<i64>> banks;
+  for (int i = 0; i < nf; ++i) banks.push_back(bench::folded_bank(i, 14, false));
+
+  // MRPF and MRPF+CSE as one batch: jobs 2i and 2i+1 per filter.
+  std::vector<core::MrpBatchJob> jobs;
+  for (int i = 0; i < nf; ++i) {
+    core::MrpOptions opts;
+    opts.rep = rep;
+    jobs.push_back({banks[static_cast<std::size_t>(i)], opts});
+    opts.cse_on_seed = true;
+    jobs.push_back({banks[static_cast<std::size_t>(i)], opts});
+  }
+  const std::vector<core::MrpResult> mrp_solved = core::mrp_optimize_batch(jobs);
+
+  // Baseline columns per filter: simple, decor, dmst, cse, msd-cse, rag-n.
+  std::vector<std::array<int, 6>> base(static_cast<std::size_t>(nf));
+  parallel_for(static_cast<std::size_t>(nf), [&](std::size_t i) {
+    const std::vector<i64>& bank = banks[i];
+    const cse::MsdCseResult msd = cse::msd_cse(bank);
+    base[i] = {baseline::simple_adder_cost(bank, rep),
+               baseline::decor_adder_cost(
+                   bank, baseline::decor_best_order(bank, 3, rep), rep),
+               baseline::diff_mst_optimize(bank, rep).adders,
+               msd.csd_adders,
+               msd.cse.adder_count(),
+               baseline::ragn_optimize(bank).adders};
+  });
+
   std::printf("%-5s %7s %7s %7s %7s %7s %7s %7s %7s\n", "name", "simple",
               "decor", "dmst", "cse", "msdcse", "rag-n", "mrpf", "mrp+c");
 
   double totals[8] = {0};
-  for (int i = 0; i < filter::catalog_size(); ++i) {
-    const std::vector<i64> bank = bench::folded_bank(i, 14, false);
-    const auto rep = number::NumberRep::kSpt;
-
-    const int simple = baseline::simple_adder_cost(bank, rep);
-    const int decor = baseline::decor_adder_cost(
-        bank, baseline::decor_best_order(bank, 3, rep), rep);
-    const int dmst = baseline::diff_mst_optimize(bank, rep).adders;
-    const cse::MsdCseResult msd = cse::msd_cse(bank);
-    const int cse_cost = msd.csd_adders;
-    const int msd_cost = msd.cse.adder_count();
-    const int ragn = baseline::ragn_optimize(bank).adders;
-    core::MrpOptions opts;
-    opts.rep = rep;
-    const int mrp = core::mrp_optimize(bank, opts).total_adders();
-    opts.cse_on_seed = true;
-    const int mrpc = core::mrp_optimize(bank, opts).total_adders();
-
-    const int row[8] = {simple, decor, dmst, cse_cost, msd_cost, ragn, mrp,
-                        mrpc};
+  for (int i = 0; i < nf; ++i) {
+    const auto& b = base[static_cast<std::size_t>(i)];
+    const int row[8] = {
+        b[0], b[1], b[2], b[3], b[4], b[5],
+        mrp_solved[static_cast<std::size_t>(2 * i)].total_adders(),
+        mrp_solved[static_cast<std::size_t>(2 * i + 1)].total_adders()};
     std::printf("%-5s", filter::catalog_spec(i).name.c_str());
     for (int c = 0; c < 8; ++c) {
       std::printf(" %7d", row[c]);

@@ -1,0 +1,263 @@
+// Perf trajectory bench for the MRP engine. Times the three stage-A
+// kernels (color-graph build, greedy set cover, tree construction) and
+// end-to-end batch throughput on the full catalog (W=16, maximally
+// scaled, SPT — the Table-1/Fig-7 workload), comparing the optimized
+// engine against the in-tree reference kernels (the seed implementation:
+// std::map color graph, full-rescan set cover and root selection) and a
+// parallel batch against the serial one. Writes BENCH_mrp.json so the
+// perf trajectory is machine-readable PR-over-PR, and verifies that
+// serial, parallel and reference solves are bit-identical.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mrpf/common/parallel.hpp"
+#include "mrpf/core/color_graph.hpp"
+#include "mrpf/core/mrp.hpp"
+#include "mrpf/core/sidc.hpp"
+#include "mrpf/graph/set_cover.hpp"
+
+namespace {
+
+using namespace mrpf;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kWordlength = 16;
+constexpr int kReps = 5;
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Best-of-kReps wall time of fn() in nanoseconds.
+template <typename Fn>
+double time_ns(Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double t0 = now_ns();
+    fn();
+    const double t1 = now_ns();
+    if (rep == 0 || t1 - t0 < best) best = t1 - t0;
+  }
+  return best;
+}
+
+bool same_result(const core::MrpResult& a, const core::MrpResult& b) {
+  if (a.vertices != b.vertices || a.solution_colors != b.solution_colors ||
+      a.roots != b.roots || a.root_is_free != b.root_is_free ||
+      a.vertex_depth != b.vertex_depth || a.tree_height != b.tree_height ||
+      a.seed_values != b.seed_values || a.seed_adders != b.seed_adders ||
+      a.overhead_adders != b.overhead_adders ||
+      a.tree_edges.size() != b.tree_edges.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.tree_edges.size(); ++i) {
+    const core::TreeEdge& x = a.tree_edges[i];
+    const core::TreeEdge& y = b.tree_edges[i];
+    if (x.depth != y.depth || x.edge.from != y.edge.from ||
+        x.edge.to != y.edge.to || x.edge.l != y.edge.l ||
+        x.edge.pred_negate != y.edge.pred_negate || x.edge.xi != y.edge.xi ||
+        x.edge.color != y.edge.color ||
+        x.edge.color_shift != y.edge.color_shift ||
+        x.edge.color_negate != y.edge.color_negate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "MRP engine perf sweep — full catalog, W=16, maximal scaling, SPT");
+
+  core::MrpOptions opts;
+  opts.rep = number::NumberRep::kSpt;
+  core::MrpOptions ref_opts = opts;
+  ref_opts.use_reference_engine = true;
+
+  std::vector<std::vector<i64>> banks;
+  std::vector<std::vector<i64>> primaries;
+  for (int i = 0; i < filter::catalog_size(); ++i) {
+    banks.push_back(bench::folded_bank(i, kWordlength, /*maximal=*/true));
+    primaries.push_back(core::extract_primaries(banks.back()).primaries);
+  }
+  const std::size_t solves = banks.size();
+
+  // --- Stage: color-graph construction. ---
+  const core::ColorGraphOptions cg_opts{-1, opts.rep};
+  const double cg_flat_ns = time_ns([&] {
+    for (const auto& p : primaries) {
+      const core::ColorGraph g = core::build_color_graph(p, cg_opts);
+      if (g.classes.empty() && !p.empty()) std::abort();
+    }
+  });
+  const double cg_ref_ns = time_ns([&] {
+    for (const auto& p : primaries) {
+      const core::ColorGraph g = core::build_color_graph_reference(p, cg_opts);
+      if (g.classes.empty() && !p.empty()) std::abort();
+    }
+  });
+
+  // --- Stage: greedy weighted set cover over the real cover instances.
+  // The lazy pass runs the production form (views borrowed from the color
+  // graph's contiguous pools); the reference pass runs the seed form
+  // (owning CoverSets, as the seed engine built them). Graphs are kept
+  // alive to back the views.
+  std::vector<core::ColorGraph> graphs;
+  std::vector<int> cover_n;
+  std::vector<std::vector<graph::CoverSetView>> cover_views;
+  std::vector<std::vector<graph::CoverSet>> cover_sets;
+  for (const auto& p : primaries) {
+    graphs.push_back(core::build_color_graph(p, cg_opts));
+    cover_n.push_back(static_cast<int>(p.size()));
+  }
+  for (const core::ColorGraph& g : graphs) {
+    std::vector<graph::CoverSetView> views;
+    std::vector<graph::CoverSet> sets;
+    views.reserve(g.classes.size());
+    sets.reserve(g.classes.size());
+    for (const core::ColorClass& cls : g.classes) {
+      const auto cov = g.coverable_ids(cls);
+      views.push_back({cov.data(), cls.num_coverable(),
+                       static_cast<double>(cls.cost), cls.color});
+      sets.push_back({{cov.begin(), cov.end()}, static_cast<double>(cls.cost),
+                      cls.color});
+    }
+    cover_views.push_back(std::move(views));
+    cover_sets.push_back(std::move(sets));
+  }
+  const auto benefit = graph::paper_benefit(opts.beta);
+  const double sc_lazy_ns = time_ns([&] {
+    for (std::size_t i = 0; i < cover_views.size(); ++i) {
+      const auto r =
+          graph::greedy_weighted_set_cover(cover_n[i], cover_views[i], benefit);
+      if (!r.complete && cover_n[i] > 0) std::abort();
+    }
+  });
+  const double sc_ref_ns = time_ns([&] {
+    for (std::size_t i = 0; i < cover_sets.size(); ++i) {
+      const auto r = graph::greedy_weighted_set_cover_reference(
+          cover_n[i], cover_sets[i], benefit);
+      if (!r.complete && cover_n[i] > 0) std::abort();
+    }
+  });
+
+  // --- End-to-end: serial and parallel batch, new and reference engine. ---
+  std::vector<core::MrpResult> serial_results;
+  const double e2e_serial_ns = time_ns([&] {
+    serial_results.clear();
+    for (const auto& bank : banks) {
+      serial_results.push_back(core::mrp_optimize(bank, opts));
+    }
+  });
+  const double e2e_ref_ns = time_ns([&] {
+    for (const auto& bank : banks) {
+      const core::MrpResult r = core::mrp_optimize(bank, ref_opts);
+      if (r.total_adders() <= 0) std::abort();
+    }
+  });
+  const int threads = default_thread_count();
+  std::vector<core::MrpResult> parallel_results;
+  const double e2e_parallel_ns = time_ns(
+      [&] { parallel_results = core::mrp_optimize_batch(banks, opts); });
+
+  // --- Bit-identical: serial vs parallel vs reference engine. ---
+  bool identical = parallel_results.size() == serial_results.size();
+  for (std::size_t i = 0; identical && i < serial_results.size(); ++i) {
+    identical = same_result(serial_results[i], parallel_results[i]);
+  }
+  bool ref_identical = true;
+  for (std::size_t i = 0; ref_identical && i < banks.size(); ++i) {
+    ref_identical =
+        same_result(serial_results[i], core::mrp_optimize(banks[i], ref_opts));
+  }
+
+  // Tree construction + SEED synthesis: the end-to-end remainder once the
+  // two timed kernels are subtracted (not separately instrumentable
+  // without perturbing the hot path).
+  const double tree_seed_ns =
+      e2e_serial_ns > cg_flat_ns + sc_lazy_ns
+          ? e2e_serial_ns - cg_flat_ns - sc_lazy_ns
+          : 0.0;
+  const double cg_speedup = cg_ref_ns / cg_flat_ns;
+  const double sc_speedup = sc_ref_ns / sc_lazy_ns;
+  const double algo_speedup =
+      (cg_ref_ns + sc_ref_ns) / (cg_flat_ns + sc_lazy_ns);
+  const double e2e_speedup_vs_ref = e2e_ref_ns / e2e_parallel_ns;
+  const double e2e_speedup_serial_vs_ref = e2e_ref_ns / e2e_serial_ns;
+  const double thread_speedup = e2e_serial_ns / e2e_parallel_ns;
+  const double solves_per_sec = 1e9 * static_cast<double>(solves) /
+                                e2e_parallel_ns;
+
+  std::printf("solves: %zu banks (catalog, W=%d maximal)\n", solves,
+              kWordlength);
+  std::printf("color graph : flat %10.0f ns | reference %10.0f ns | %.2fx\n",
+              cg_flat_ns, cg_ref_ns, cg_speedup);
+  std::printf("set cover   : lazy %10.0f ns | reference %10.0f ns | %.2fx\n",
+              sc_lazy_ns, sc_ref_ns, sc_speedup);
+  std::printf("tree + seed : %10.0f ns (end-to-end remainder)\n",
+              tree_seed_ns);
+  std::printf(
+      "end-to-end  : serial %10.0f ns | parallel(%d) %10.0f ns | "
+      "reference %10.0f ns\n",
+      e2e_serial_ns, threads, e2e_parallel_ns, e2e_ref_ns);
+  std::printf("throughput  : %.1f solves/sec, %.2fx vs reference engine "
+              "(%.2fx serial-only), %.2fx thread scaling\n",
+              solves_per_sec, e2e_speedup_vs_ref, e2e_speedup_serial_vs_ref,
+              thread_speedup);
+  std::printf("identical   : serial==parallel %s, new==reference %s\n",
+              identical ? "yes" : "NO", ref_identical ? "yes" : "NO");
+  std::printf("targets     : cg+cover algorithmic %.2fx (>=1.5 wanted), "
+              "end-to-end %.2fx (>=3 wanted)\n",
+              algo_speedup, e2e_speedup_vs_ref);
+
+  FILE* out = std::fopen("BENCH_mrp.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_mrp.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"perf_mrp_sweep\",\n"
+               "  \"workload\": {\"catalog_filters\": %d, \"wordlength\": %d,"
+               " \"scaling\": \"maximal\", \"rep\": \"spt\", \"solves\": %zu},\n"
+               "  \"threads\": %d,\n"
+               "  \"stages\": {\n"
+               "    \"color_graph\": {\"flat_ns\": %.0f, \"reference_ns\": "
+               "%.0f, \"speedup\": %.3f},\n"
+               "    \"set_cover\": {\"lazy_ns\": %.0f, \"reference_ns\": "
+               "%.0f, \"speedup\": %.3f},\n"
+               "    \"tree_and_seed_ns\": %.0f\n"
+               "  },\n"
+               "  \"end_to_end\": {\n"
+               "    \"serial_ns\": %.0f,\n"
+               "    \"parallel_ns\": %.0f,\n"
+               "    \"reference_serial_ns\": %.0f,\n"
+               "    \"solves_per_sec\": %.1f,\n"
+               "    \"speedup_parallel_vs_serial\": %.3f,\n"
+               "    \"speedup_vs_reference\": %.3f,\n"
+               "    \"speedup_serial_vs_reference\": %.3f,\n"
+               "    \"algorithmic_speedup_cg_plus_cover\": %.3f,\n"
+               "    \"bit_identical_serial_parallel\": %s,\n"
+               "    \"bit_identical_new_reference\": %s\n"
+               "  }\n"
+               "}\n",
+               filter::catalog_size(), kWordlength, solves, threads,
+               cg_flat_ns, cg_ref_ns, cg_speedup, sc_lazy_ns, sc_ref_ns,
+               sc_speedup, tree_seed_ns, e2e_serial_ns, e2e_parallel_ns,
+               e2e_ref_ns, solves_per_sec, thread_speedup,
+               e2e_speedup_vs_ref, e2e_speedup_serial_vs_ref, algo_speedup,
+               identical ? "true" : "false",
+               ref_identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote BENCH_mrp.json\n");
+
+  return (identical && ref_identical) ? 0 : 1;
+}

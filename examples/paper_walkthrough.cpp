@@ -43,9 +43,9 @@ int main() {
   std::vector<const core::ColorClass*> ranked;
   for (const core::ColorClass& cls : cg.classes) ranked.push_back(&cls);
   std::sort(ranked.begin(), ranked.end(), [beta](const auto* a, const auto* b) {
-    const double fa = beta * static_cast<double>(a->coverable.size()) -
+    const double fa = beta * static_cast<double>(a->num_coverable()) -
                       (1.0 - beta) * a->cost;
-    const double fb = beta * static_cast<double>(b->coverable.size()) -
+    const double fb = beta * static_cast<double>(b->num_coverable()) -
                       (1.0 - beta) * b->cost;
     return fa > fb;
   });
@@ -53,10 +53,10 @@ int main() {
   std::printf("%8s %6s %6s %9s\n", "color", "freq", "cost", "benefit");
   for (std::size_t i = 0; i < std::min<std::size_t>(8, ranked.size()); ++i) {
     const auto* cls = ranked[i];
-    std::printf("%8lld %6zu %6d %9.2f\n",
-                static_cast<long long>(cls->color), cls->coverable.size(),
+    std::printf("%8lld %6d %6d %9.2f\n",
+                static_cast<long long>(cls->color), cls->num_coverable(),
                 cls->cost,
-                beta * static_cast<double>(cls->coverable.size()) -
+                beta * static_cast<double>(cls->num_coverable()) -
                     (1.0 - beta) * cls->cost);
   }
 

@@ -1,0 +1,103 @@
+#include "mrpf/common/parallel.hpp"
+
+#include <cstdlib>
+
+namespace mrpf {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("MRPF_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return parsed > 512 ? 512 : static_cast<int>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  num_threads_ = threads > 0 ? threads : default_thread_count();
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    ++idle_workers_;
+    cv_done_.notify_all();
+    cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    --idle_workers_;
+    if (stop_) return;
+    seen = generation_;
+    lk.unlock();
+    drain_job();
+    lk.lock();
+  }
+}
+
+void ThreadPool::drain_job() {
+  // job_/job_n_ are stable for the whole generation: the publisher holds
+  // them fixed until every worker is idle again.
+  const std::function<void(std::size_t)>* job = job_;
+  const std::size_t n = job_n_;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      (*job)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const int all = static_cast<int>(workers_.size());
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return idle_workers_ == all; });
+  job_ = &fn;
+  job_n_ = n;
+  next_.store(0, std::memory_order_relaxed);
+  error_ = nullptr;
+  ++generation_;
+  lk.unlock();
+  cv_work_.notify_all();
+  drain_job();
+  lk.lock();
+  cv_done_.wait(lk, [&] {
+    return idle_workers_ == all && next_.load(std::memory_order_relaxed) >= n;
+  });
+  const std::exception_ptr err = error_;
+  error_ = nullptr;
+  lk.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  int threads) {
+  ThreadPool pool(threads);
+  pool.parallel_for(n, fn);
+}
+
+}  // namespace mrpf

@@ -1,0 +1,73 @@
+// Minimal fixed-size thread pool for fanning out independent solves.
+//
+// The MRP engine's unit of work (one `mrp_optimize` call) is pure and
+// deterministic, so batch layers parallelize by index: every worker writes
+// only results[i] for the indices it claims, which makes the output
+// ordering — and therefore every downstream table — identical to a serial
+// run regardless of scheduling. The pool is deliberately small: one job at
+// a time, `parallel_for` over an index range, no futures, no task graph.
+//
+// Thread count resolution: explicit argument > MRPF_THREADS environment
+// variable > std::thread::hardware_concurrency(). A pool of size 1 never
+// spawns threads and runs everything inline.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrpf {
+
+/// MRPF_THREADS if set and valid (clamped to [1, 512]), else
+/// hardware_concurrency(), else 1. Re-read on every call so tests can
+/// change the environment between batches.
+int default_thread_count();
+
+class ThreadPool {
+ public:
+  /// threads <= 0 resolves via default_thread_count().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, n), blocking until all calls returned.
+  /// Indices are claimed dynamically (atomic counter) but fn must write
+  /// only state owned by index i, so results are order-deterministic.
+  /// The first exception thrown by fn is rethrown here after the loop
+  /// drains; remaining indices still run.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void drain_job();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::uint64_t generation_ = 0;
+  int idle_workers_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+/// One-shot convenience: pool of `threads` (0 = default) over [0, n).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  int threads = 0);
+
+}  // namespace mrpf

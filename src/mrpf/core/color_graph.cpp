@@ -2,24 +2,18 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 
 #include "mrpf/common/error.hpp"
 #include "mrpf/core/sidc.hpp"
 
 namespace mrpf::core {
 
-int ColorGraph::class_of(i64 color) const {
-  const auto it = std::lower_bound(
-      classes.begin(), classes.end(), color,
-      [](const ColorClass& cls, i64 c) { return cls.color < c; });
-  if (it == classes.end() || it->color != color) return -1;
-  return static_cast<int>(it - classes.begin());
-}
+namespace {
 
-ColorGraph build_color_graph(const std::vector<i64>& primaries,
-                             const ColorGraphOptions& options) {
-  ColorGraph g;
-  g.vertices = primaries;
+/// Shared validation + l_max resolution for both builders. Returns l_max.
+int prepare(const std::vector<i64>& primaries,
+            const ColorGraphOptions& options) {
   const int n = static_cast<int>(primaries.size());
   for (int v = 0; v < n; ++v) {
     MRPF_CHECK(primaries[static_cast<std::size_t>(v)] > 0 &&
@@ -37,10 +31,123 @@ ColorGraph build_color_graph(const std::vector<i64>& primaries,
     l_max = std::min(l_max, 24);
   }
   MRPF_CHECK(l_max >= 0 && l_max <= 40, "color graph: l_max out of range");
+  // `ci << l` must stay inside i64 (and ξ = cj ± ci·2^l inside 2^63).
+  for (const i64 p : primaries) {
+    MRPF_CHECK(bit_width_abs(p) + l_max < 63,
+               "color graph: primary << l_max would overflow i64");
+  }
+  return l_max;
+}
+
+SidcEdge make_edge(int i, int j, int l, bool pred_negate, i64 xi) {
+  const ShiftSign d = decompose(xi);
+  SidcEdge e;
+  e.from = i;
+  e.to = j;
+  e.l = l;
+  e.pred_negate = pred_negate;
+  e.xi = xi;
+  e.color = d.primary;
+  e.color_shift = d.shift;
+  e.color_negate = d.negate;
+  return e;
+}
+
+}  // namespace
+
+int ColorGraph::class_of(i64 color) const {
+  const auto it = std::lower_bound(
+      classes.begin(), classes.end(), color,
+      [](const ColorClass& cls, i64 c) { return cls.color < c; });
+  if (it == classes.end() || it->color != color) return -1;
+  return static_cast<int>(it - classes.begin());
+}
+
+ColorGraph build_color_graph(const std::vector<i64>& primaries,
+                             const ColorGraphOptions& options) {
+  ColorGraph g;
+  g.vertices = primaries;
+  const int n = static_cast<int>(primaries.size());
+  const int l_max = prepare(primaries, options);
   g.l_max = l_max;
 
-  // Enumerate the 2·(l_max+1)·n·(n−1) SIDC edges, grouping by color.
-  std::map<i64, ColorClass> classes;
+  // Flat scheme: enumerate every edge into one pre-reserved contiguous
+  // vector, then sort an index permutation by canonical color and slice
+  // the runs into classes — no per-edge node allocation, no tree walk.
+  const std::size_t num_edges = 2u * static_cast<std::size_t>(l_max + 1) *
+                                static_cast<std::size_t>(n) *
+                                static_cast<std::size_t>(n > 0 ? n - 1 : 0);
+  g.edges.reserve(num_edges);
+  for (int i = 0; i < n; ++i) {
+    const i64 ci = primaries[static_cast<std::size_t>(i)];
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const i64 cj = primaries[static_cast<std::size_t>(j)];
+      for (int l = 0; l <= l_max; ++l) {
+        const i64 shifted = ci << l;
+        for (const bool pred_negate : {false, true}) {
+          const i64 xi = cj - (pred_negate ? -shifted : shifted);
+          // ξ == 0 would mean cj is a shift of ci — impossible between
+          // distinct primaries — so every edge carries a real color.
+          MRPF_CHECK(xi != 0, "color graph: zero differential");
+          g.edges.push_back(make_edge(i, j, l, pred_negate, xi));
+        }
+      }
+    }
+  }
+
+  // (color, edge index) keyed grouping; ties on index keep each class's
+  // edge list in enumeration order, exactly like the map-based reference.
+  std::vector<std::pair<i64, int>> keyed;
+  keyed.reserve(g.edges.size());
+  for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
+    keyed.emplace_back(g.edges[ei].color, static_cast<int>(ei));
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  // Slice the sorted runs into classes. The sorted permutation *is* the
+  // concatenated per-class edge list, so class_edges is one bulk copy and
+  // each class only records slice bounds — no per-class allocation.
+  g.class_edges.reserve(keyed.size());
+  g.class_coverable.reserve(keyed.size());
+  for (const auto& [color, ei] : keyed) g.class_edges.push_back(ei);
+  for (std::size_t lo = 0; lo < keyed.size();) {
+    std::size_t hi = lo;
+    while (hi < keyed.size() && keyed[hi].first == keyed[lo].first) ++hi;
+    ColorClass cls;
+    cls.color = keyed[lo].first;
+    cls.cost = number::nonzero_digits(cls.color, options.rep);
+    cls.edges_begin = static_cast<int>(lo);
+    cls.edges_end = static_cast<int>(hi);
+    cls.cov_begin = static_cast<int>(g.class_coverable.size());
+    for (std::size_t k = lo; k < hi; ++k) {
+      g.class_coverable.push_back(
+          g.edges[static_cast<std::size_t>(keyed[k].second)].to);
+    }
+    const auto cov_first = g.class_coverable.begin() + cls.cov_begin;
+    std::sort(cov_first, g.class_coverable.end());
+    g.class_coverable.erase(
+        std::unique(cov_first, g.class_coverable.end()),
+        g.class_coverable.end());
+    cls.cov_end = static_cast<int>(g.class_coverable.size());
+    g.classes.push_back(cls);
+    lo = hi;
+  }
+  return g;
+}
+
+ColorGraph build_color_graph_reference(const std::vector<i64>& primaries,
+                                       const ColorGraphOptions& options) {
+  ColorGraph g;
+  g.vertices = primaries;
+  const int n = static_cast<int>(primaries.size());
+  const int l_max = prepare(primaries, options);
+  g.l_max = l_max;
+
+  // Enumerate the 2·(l_max+1)·n·(n−1) SIDC edges, grouping by color in a
+  // std::map with a dynamically grown edge list per class — the seed
+  // scheme, one tree node plus vector per color.
+  std::map<i64, std::vector<int>> grouped;
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
@@ -50,45 +157,36 @@ ColorGraph build_color_graph(const std::vector<i64>& primaries,
         const i64 shifted = ci << l;
         for (const bool pred_negate : {false, true}) {
           const i64 xi = cj - (pred_negate ? -shifted : shifted);
-          // ξ == 0 would mean cj is a shift of ci — impossible between
-          // distinct primaries — so every edge carries a real color.
           MRPF_CHECK(xi != 0, "color graph: zero differential");
-          const ShiftSign d = decompose(xi);
-          SidcEdge e;
-          e.from = i;
-          e.to = j;
-          e.l = l;
-          e.pred_negate = pred_negate;
-          e.xi = xi;
-          e.color = d.primary;
-          e.color_shift = d.shift;
-          e.color_negate = d.negate;
-
-          auto [it, inserted] = classes.try_emplace(d.primary);
-          if (inserted) {
-            it->second.color = d.primary;
-            it->second.cost =
-                number::nonzero_digits(d.primary, options.rep);
-          }
-          it->second.edges.push_back(static_cast<int>(g.edges.size()));
+          const SidcEdge e = make_edge(i, j, l, pred_negate, xi);
+          grouped[e.color].push_back(static_cast<int>(g.edges.size()));
           g.edges.push_back(e);
         }
       }
     }
   }
 
-  g.classes.reserve(classes.size());
-  for (auto& [color, cls] : classes) {
+  // Flatten into the slice layout (map iteration is already color-sorted).
+  g.classes.reserve(grouped.size());
+  for (const auto& [color, edge_ids] : grouped) {
+    ColorClass cls;
+    cls.color = color;
+    cls.cost = number::nonzero_digits(color, options.rep);
+    cls.edges_begin = static_cast<int>(g.class_edges.size());
+    cls.cov_begin = static_cast<int>(g.class_coverable.size());
     std::vector<int> targets;
-    targets.reserve(cls.edges.size());
-    for (const int ei : cls.edges) {
+    targets.reserve(edge_ids.size());
+    for (const int ei : edge_ids) {
+      g.class_edges.push_back(ei);
       targets.push_back(g.edges[static_cast<std::size_t>(ei)].to);
     }
     std::sort(targets.begin(), targets.end());
     targets.erase(std::unique(targets.begin(), targets.end()),
                   targets.end());
-    cls.coverable = std::move(targets);
-    g.classes.push_back(std::move(cls));
+    for (const int t : targets) g.class_coverable.push_back(t);
+    cls.edges_end = static_cast<int>(g.class_edges.size());
+    cls.cov_end = static_cast<int>(g.class_coverable.size());
+    g.classes.push_back(cls);
   }
   return g;
 }

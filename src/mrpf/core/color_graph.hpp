@@ -9,6 +9,7 @@
 // weighted-minimum-set-cover stage exploits.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "mrpf/common/bits.hpp"
@@ -27,20 +28,43 @@ struct SidcEdge {
   bool color_negate = false;
 };
 
+/// One color class. Its edge list and coverable-target list are contiguous
+/// slices of ColorGraph::class_edges / ColorGraph::class_coverable — with
+/// hundreds of thousands of (mostly singleton) classes per solve, per-class
+/// vectors were two heap allocations each and dominated construction time.
+/// Use ColorGraph::edge_ids() / coverable_ids() to view the slices.
 struct ColorClass {
   i64 color = 0;
-  int cost = 0;                 // nonzero digits of the color under rep
-  std::vector<int> edges;       // indices into ColorGraph::edges
-  std::vector<int> coverable;   // distinct target vertices, sorted
+  int cost = 0;         // nonzero digits of the color under rep
+  int edges_begin = 0;  // slice [edges_begin, edges_end) of class_edges
+  int edges_end = 0;
+  int cov_begin = 0;    // slice [cov_begin, cov_end) of class_coverable
+  int cov_end = 0;
+
+  int num_edges() const { return edges_end - edges_begin; }
+  int num_coverable() const { return cov_end - cov_begin; }
 };
 
 struct ColorGraph {
   std::vector<i64> vertices;       // primary coefficients
   std::vector<SidcEdge> edges;
   std::vector<ColorClass> classes; // sorted by color value
+  std::vector<int> class_edges;     // per-class edge ids, enumeration order
+  std::vector<int> class_coverable; // per-class distinct targets, sorted
   int l_max = 0;
 
   int class_of(i64 color) const;   // index into classes, or -1
+
+  /// Indices into `edges` of one class, in enumeration order.
+  std::span<const int> edge_ids(const ColorClass& cls) const {
+    return {class_edges.data() + cls.edges_begin,
+            static_cast<std::size_t>(cls.num_edges())};
+  }
+  /// Distinct target vertices of one class, sorted ascending.
+  std::span<const int> coverable_ids(const ColorClass& cls) const {
+    return {class_coverable.data() + cls.cov_begin,
+            static_cast<std::size_t>(cls.num_coverable())};
+  }
 };
 
 struct ColorGraphOptions {
@@ -50,7 +74,18 @@ struct ColorGraphOptions {
   number::NumberRep rep = number::NumberRep::kSpt;
 };
 
+/// Flat construction: enumerate all edges into one pre-reserved vector,
+/// sort an index permutation by canonical color, slice the runs into
+/// contiguous classes. Allocation-light and cache-friendly; the hot path
+/// of every `mrp_optimize` call.
 ColorGraph build_color_graph(const std::vector<i64>& primaries,
                              const ColorGraphOptions& options = {});
+
+/// The seed implementation's std::map-based grouping (per-color tree node
+/// and dynamically grown edge list), kept for differential tests and as
+/// the perf baseline in `bench/perf_mrp_sweep`. Output is field-for-field
+/// identical to `build_color_graph`.
+ColorGraph build_color_graph_reference(const std::vector<i64>& primaries,
+                                       const ColorGraphOptions& options = {});
 
 }  // namespace mrpf::core

@@ -6,6 +6,7 @@
 #include "mrpf/baseline/ragn.hpp"
 #include "mrpf/baseline/simple.hpp"
 #include "mrpf/common/error.hpp"
+#include "mrpf/common/parallel.hpp"
 #include "mrpf/core/build.hpp"
 #include "mrpf/cse/build.hpp"
 #include "mrpf/filter/symmetric.hpp"
@@ -73,6 +74,32 @@ SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
     }
   }
   throw Error("optimize_bank: unknown scheme");
+}
+
+std::vector<SchemeResult> optimize_bank_batch(
+    const std::vector<std::vector<i64>>& banks, Scheme scheme,
+    const MrpOptions& options) {
+  std::vector<SchemeResult> results(banks.size());
+  if (scheme == Scheme::kMrp || scheme == Scheme::kMrpCse) {
+    // Fan the MRP solves out first, then lower each block; both stages are
+    // index-owned writes, so the batch is deterministic.
+    MrpOptions opts = options;
+    opts.cse_on_seed = (scheme == Scheme::kMrpCse);
+    std::vector<MrpResult> solved = mrp_optimize_batch(banks, opts);
+    ThreadPool pool;
+    pool.parallel_for(banks.size(), [&](std::size_t i) {
+      results[i].scheme = scheme;
+      results[i].mrp = std::move(solved[i]);
+      results[i].multiplier_adders = results[i].mrp->total_adders();
+      results[i].block = build_mrp_block(banks[i], *results[i].mrp, opts);
+    });
+    return results;
+  }
+  ThreadPool pool;
+  pool.parallel_for(banks.size(), [&](std::size_t i) {
+    results[i] = optimize_bank(banks[i], scheme, options);
+  });
+  return results;
 }
 
 std::vector<i64> optimization_bank(const std::vector<i64>& coefficients) {

@@ -42,6 +42,14 @@ struct SchemeResult {
 SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
                            const MrpOptions& options = {});
 
+/// Batch front-end over independent banks: MRP solves fan out through
+/// core::mrp_optimize_batch (thread count from MRPF_THREADS), every other
+/// scheme through the same thread pool. results[i] is identical to a
+/// serial optimize_bank(banks[i], ...) regardless of thread count.
+std::vector<SchemeResult> optimize_bank_batch(
+    const std::vector<std::vector<i64>>& banks, Scheme scheme,
+    const MrpOptions& options = {});
+
 /// Builds a complete, bit-exact TDF filter for the coefficient vector.
 /// Symmetric vectors are folded first (the multiplier block covers the
 /// unique half); `align` are per-tap alignment shifts (maximal scaling).

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "mrpf/common/error.hpp"
+#include "mrpf/common/parallel.hpp"
 #include "mrpf/graph/digraph.hpp"
 #include "mrpf/graph/set_cover.hpp"
 
@@ -69,6 +70,140 @@ std::pair<int, int> root_score(const graph::Digraph& sub,
   return {count, ecc};
 }
 
+/// Root selection tie-break (paper §3.4): most claimed vertices, then
+/// smaller tree height, then cheaper vertex value.
+bool score_better(const std::pair<int, int>& score, i64 value,
+                  const std::pair<int, int>& best_score, i64 best_value) {
+  return score.first > best_score.first ||
+         (score.first == best_score.first &&
+          (score.second < best_score.second ||
+           (score.second == best_score.second && value < best_value)));
+}
+
+/// Original root-selection loop: a fresh depth-limited BFS from every
+/// uncovered vertex each round. Kept as the perf/differential baseline.
+void grow_trees_reference(const graph::Digraph& sub,
+                          const std::vector<i64>& vertices, int depth_limit,
+                          std::vector<int>& depth,
+                          std::vector<int>& parent_edge,
+                          std::vector<int>& roots,
+                          std::vector<bool>& root_is_free) {
+  const int n = sub.num_vertices();
+  expand_trees(sub, depth_limit, depth, parent_edge);
+  while (true) {
+    int best = -1;
+    std::pair<int, int> best_score{0, 0};
+    for (int v = 0; v < n; ++v) {
+      if (depth[static_cast<std::size_t>(v)] != -1) continue;
+      const auto score = root_score(sub, depth, v, depth_limit);
+      if (best == -1 ||
+          score_better(score, vertices[static_cast<std::size_t>(v)],
+                       best_score,
+                       vertices[static_cast<std::size_t>(best)])) {
+        best = v;
+        best_score = score;
+      }
+    }
+    if (best == -1) break;  // every vertex claimed
+    depth[static_cast<std::size_t>(best)] = 0;
+    roots.push_back(best);
+    root_is_free.push_back(false);
+    expand_trees(sub, depth_limit, depth, parent_edge);
+  }
+}
+
+/// Incremental root selection: per-candidate (reach count, eccentricity)
+/// scores are cached and only recomputed for vertices whose depth-limited
+/// unclaimed-reach was invalidated by the last claimed tree. Invalidation
+/// is exact — a reverse BFS from the newly claimed vertices through the
+/// vertices that were unclaimed before the round finds precisely the
+/// candidates whose reach contained a newly claimed vertex; all other
+/// cached scores are provably unchanged (their BFS never visits a vertex
+/// outside their own reach). Selection order is identical to the
+/// reference loop.
+void grow_trees_incremental(const graph::Digraph& sub,
+                            const std::vector<i64>& vertices, int depth_limit,
+                            std::vector<int>& depth,
+                            std::vector<int>& parent_edge,
+                            std::vector<int>& roots,
+                            std::vector<bool>& root_is_free) {
+  const int n = sub.num_vertices();
+  expand_trees(sub, depth_limit, depth, parent_edge);
+
+  // Deduplicated reverse adjacency (parallel SIDC edges collapse).
+  std::vector<std::vector<int>> radj(static_cast<std::size_t>(n));
+  for (const graph::Edge& e : sub.edges()) {
+    radj[static_cast<std::size_t>(e.to)].push_back(e.from);
+  }
+  for (auto& preds : radj) {
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+  }
+
+  std::vector<std::pair<int, int>> score(static_cast<std::size_t>(n));
+  std::vector<char> valid(static_cast<std::size_t>(n), 0);
+  std::vector<char> pre_unclaimed(static_cast<std::size_t>(n));
+  std::vector<int> rdist(static_cast<std::size_t>(n));
+  std::vector<int> queue;
+  while (true) {
+    int best = -1;
+    std::pair<int, int> best_score{0, 0};
+    for (int v = 0; v < n; ++v) {
+      if (depth[static_cast<std::size_t>(v)] != -1) continue;
+      if (!valid[static_cast<std::size_t>(v)]) {
+        score[static_cast<std::size_t>(v)] =
+            root_score(sub, depth, v, depth_limit);
+        valid[static_cast<std::size_t>(v)] = 1;
+      }
+      if (best == -1 ||
+          score_better(score[static_cast<std::size_t>(v)],
+                       vertices[static_cast<std::size_t>(v)], best_score,
+                       vertices[static_cast<std::size_t>(best)])) {
+        best = v;
+        best_score = score[static_cast<std::size_t>(v)];
+      }
+    }
+    if (best == -1) break;  // every vertex claimed
+    for (int v = 0; v < n; ++v) {
+      pre_unclaimed[static_cast<std::size_t>(v)] =
+          (depth[static_cast<std::size_t>(v)] == -1);
+    }
+    depth[static_cast<std::size_t>(best)] = 0;
+    roots.push_back(best);
+    root_is_free.push_back(false);
+    expand_trees(sub, depth_limit, depth, parent_edge);
+
+    // Reverse BFS (≤ depth_limit hops) from the newly claimed vertices
+    // through pre-round-unclaimed vertices: every still-unclaimed vertex
+    // reached could reach a newly claimed one, so its score is stale.
+    rdist.assign(static_cast<std::size_t>(n), -1);
+    queue.clear();
+    for (int v = 0; v < n; ++v) {
+      if (pre_unclaimed[static_cast<std::size_t>(v)] &&
+          depth[static_cast<std::size_t>(v)] != -1) {
+        rdist[static_cast<std::size_t>(v)] = 0;
+        queue.push_back(v);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int u = queue[head];
+      if (rdist[static_cast<std::size_t>(u)] >= depth_limit) continue;
+      for (const int w : radj[static_cast<std::size_t>(u)]) {
+        if (!pre_unclaimed[static_cast<std::size_t>(w)]) continue;
+        if (rdist[static_cast<std::size_t>(w)] != -1) continue;
+        rdist[static_cast<std::size_t>(w)] =
+            rdist[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(w);
+      }
+    }
+    for (const int v : queue) {
+      if (depth[static_cast<std::size_t>(v)] == -1) {
+        valid[static_cast<std::size_t>(v)] = 0;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 MrpResult mrp_optimize(const std::vector<i64>& constants,
@@ -87,15 +222,38 @@ MrpResult mrp_optimize(const std::vector<i64>& constants,
   if (n == 0) return r;  // all-zero bank: nothing to compute
 
   // --- Stage A steps 3–5: color graph and greedy WMSC. ---
-  const ColorGraph cg =
-      build_color_graph(r.vertices, {options.l_max, options.rep});
-  std::vector<graph::CoverSet> sets;
-  sets.reserve(cg.classes.size());
-  for (const ColorClass& cls : cg.classes) {
-    sets.push_back({cls.coverable, static_cast<double>(cls.cost)});
+  const ColorGraphOptions cg_opts{options.l_max, options.rep};
+  const ColorGraph cg = options.use_reference_engine
+                            ? build_color_graph_reference(r.vertices, cg_opts)
+                            : build_color_graph(r.vertices, cg_opts);
+  // tie_key = color value: DESIGN.md's "ties: lower cost, then smaller
+  // value" rule, explicit instead of leaning on class ordering. The hot
+  // path borrows each class's coverable slice straight out of the color
+  // graph (zero per-set allocations); the reference engine keeps the seed
+  // scheme of copying every element list into an owning CoverSet.
+  graph::SetCoverResult cover;
+  if (options.use_reference_engine) {
+    std::vector<graph::CoverSet> sets;
+    sets.reserve(cg.classes.size());
+    for (const ColorClass& cls : cg.classes) {
+      const auto cov = cg.coverable_ids(cls);
+      sets.push_back({{cov.begin(), cov.end()},
+                      static_cast<double>(cls.cost),
+                      cls.color});
+    }
+    cover = graph::greedy_weighted_set_cover_reference(
+        n, sets, graph::paper_benefit(options.beta));
+  } else {
+    std::vector<graph::CoverSetView> sets;
+    sets.reserve(cg.classes.size());
+    for (const ColorClass& cls : cg.classes) {
+      sets.push_back({cg.class_coverable.data() + cls.cov_begin,
+                      cls.num_coverable(), static_cast<double>(cls.cost),
+                      cls.color});
+    }
+    cover = graph::greedy_weighted_set_cover(
+        n, sets, graph::paper_benefit(options.beta));
   }
-  const graph::SetCoverResult cover = graph::greedy_weighted_set_cover(
-      n, sets, graph::paper_benefit(options.beta));
   for (const int si : cover.chosen) {
     r.solution_colors.push_back(
         cg.classes[static_cast<std::size_t>(si)].color);
@@ -104,7 +262,7 @@ MrpResult mrp_optimize(const std::vector<i64>& constants,
   // --- Cover sub-graph: all edges of the selected color classes. ---
   graph::Digraph sub(n);
   for (const int si : cover.chosen) {
-    for (const int ei : cg.classes[static_cast<std::size_t>(si)].edges) {
+    for (const int ei : cg.edge_ids(cg.classes[static_cast<std::size_t>(si)])) {
       const SidcEdge& e = cg.edges[static_cast<std::size_t>(ei)];
       sub.add_edge(e.from, e.to, 1.0, ei);
     }
@@ -127,34 +285,12 @@ MrpResult mrp_optimize(const std::vector<i64>& constants,
   const int depth_limit = options.depth_limit > 0
                               ? options.depth_limit
                               : std::numeric_limits<int>::max() - 1;
-  expand_trees(sub, depth_limit, depth, parent_edge);
-  while (true) {
-    // Root selection (paper §3.4): among the still-uncovered vertices pick
-    // the one whose depth-limited arborescence claims the most vertices;
-    // ties go to the smaller tree height (the APSP row-max criterion),
-    // then to the cheaper vertex value.
-    int best = -1;
-    std::pair<int, int> best_score{0, 0};
-    for (int v = 0; v < n; ++v) {
-      if (depth[static_cast<std::size_t>(v)] != -1) continue;
-      const auto score = root_score(sub, depth, v, depth_limit);
-      const bool better =
-          best == -1 || score.first > best_score.first ||
-          (score.first == best_score.first &&
-           (score.second < best_score.second ||
-            (score.second == best_score.second &&
-             r.vertices[static_cast<std::size_t>(v)] <
-                 r.vertices[static_cast<std::size_t>(best)])));
-      if (better) {
-        best = v;
-        best_score = score;
-      }
-    }
-    if (best == -1) break;  // every vertex claimed
-    depth[static_cast<std::size_t>(best)] = 0;
-    r.roots.push_back(best);
-    r.root_is_free.push_back(false);
-    expand_trees(sub, depth_limit, depth, parent_edge);
+  if (options.use_reference_engine) {
+    grow_trees_reference(sub, r.vertices, depth_limit, depth, parent_edge,
+                         r.roots, r.root_is_free);
+  } else {
+    grow_trees_incremental(sub, r.vertices, depth_limit, depth, parent_edge,
+                           r.roots, r.root_is_free);
   }
 
   // --- Record tree edges, parents before children. ---
@@ -204,6 +340,25 @@ MrpResult mrp_optimize(const std::vector<i64>& constants,
     }
   }
   return r;
+}
+
+std::vector<MrpResult> mrp_optimize_batch(const std::vector<MrpBatchJob>& jobs) {
+  std::vector<MrpResult> results(jobs.size());
+  ThreadPool pool;
+  pool.parallel_for(jobs.size(), [&](std::size_t i) {
+    results[i] = mrp_optimize(jobs[i].bank, jobs[i].options);
+  });
+  return results;
+}
+
+std::vector<MrpResult> mrp_optimize_batch(
+    const std::vector<std::vector<i64>>& banks, const MrpOptions& options) {
+  std::vector<MrpResult> results(banks.size());
+  ThreadPool pool;
+  pool.parallel_for(banks.size(), [&](std::size_t i) {
+    results[i] = mrp_optimize(banks[i], options);
+  });
+  return results;
 }
 
 }  // namespace mrpf::core

@@ -30,6 +30,11 @@ struct MrpOptions {
   int recursive_levels = 0;
   /// Apply Hartley CSE (CSD) to the SEED network instead (§4, Fig. 8).
   bool cse_on_seed = false;
+  /// Route stage A through the pre-optimization reference kernels
+  /// (map-based color graph, full-rescan set cover and root selection).
+  /// Differential testing and perf baselines only — the result is
+  /// bit-identical either way, just slower.
+  bool use_reference_engine = false;
 };
 
 /// One committed computation-order edge: child = σ·(parent<<L) ± ξ.
@@ -74,5 +79,22 @@ struct MrpResult {
 /// the folded coefficient half of a symmetric filter). Deterministic.
 MrpResult mrp_optimize(const std::vector<i64>& constants,
                        const MrpOptions& options = {});
+
+/// One independent solve in a batch: a constant bank with its options.
+struct MrpBatchJob {
+  std::vector<i64> bank;
+  MrpOptions options;
+};
+
+/// Fans independent solves out across a thread pool (thread count from
+/// MRPF_THREADS, see common/parallel.hpp). Every result slot is written
+/// only by the worker that claimed it, so results[i] is bit-identical to
+/// a serial mrp_optimize(banks[i], options) regardless of thread count.
+std::vector<MrpResult> mrp_optimize_batch(
+    const std::vector<std::vector<i64>>& banks,
+    const MrpOptions& options = {});
+
+/// Per-job options variant (e.g. β sweeps, mixed schemes).
+std::vector<MrpResult> mrp_optimize_batch(const std::vector<MrpBatchJob>& jobs);
 
 }  // namespace mrpf::core

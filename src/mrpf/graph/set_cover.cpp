@@ -1,10 +1,50 @@
 #include "mrpf/graph/set_cover.hpp"
 
 #include <algorithm>
+#include <queue>
+#include <span>
 
 #include "mrpf/common/error.hpp"
 
 namespace mrpf::graph {
+
+namespace {
+
+std::span<const int> elements_of(const CoverSet& s) { return s.elements; }
+std::span<const int> elements_of(const CoverSetView& s) {
+  return {s.elements, static_cast<std::size_t>(s.size)};
+}
+
+template <typename Set>
+void validate(int num_elements, const std::vector<Set>& sets,
+              const BenefitFn& benefit) {
+  MRPF_CHECK(num_elements >= 0, "set cover: negative element count");
+  MRPF_CHECK(static_cast<bool>(benefit), "set cover: null benefit function");
+  for (const Set& s : sets) {
+    for (const int e : elements_of(s)) {
+      MRPF_CHECK(e >= 0 && e < num_elements,
+                 "set cover: element id out of range");
+    }
+  }
+}
+
+/// a "less" than b == a is a strictly worse greedy pick than b.
+struct HeapEntry {
+  double f = 0.0;
+  double cost = 0.0;
+  i64 tie_key = 0;
+  int index = 0;
+  int freq = 0;  // live frequency when this entry was keyed
+
+  bool operator<(const HeapEntry& o) const {
+    if (f != o.f) return f < o.f;
+    if (cost != o.cost) return cost > o.cost;
+    if (tie_key != o.tie_key) return tie_key > o.tie_key;
+    return index > o.index;
+  }
+};
+
+}  // namespace
 
 BenefitFn paper_benefit(double beta) {
   MRPF_CHECK(beta >= 0.0 && beta <= 1.0, "paper_benefit: beta outside [0,1]");
@@ -19,17 +59,88 @@ BenefitFn ratio_benefit() {
   };
 }
 
+namespace {
+
+/// Shared lazy-greedy core over owning CoverSets or borrowed CoverSetViews.
+template <typename Set>
+SetCoverResult lazy_greedy(int num_elements, const std::vector<Set>& sets,
+                           const BenefitFn& benefit) {
+  validate(num_elements, sets, benefit);
+
+  SetCoverResult r;
+  r.covered_by.assign(static_cast<std::size_t>(num_elements), -1);
+  int uncovered = num_elements;
+
+  // Per-element membership lists (one entry per listed occurrence) keep
+  // every set's live frequency exact under O(1) decrements.
+  std::vector<std::vector<int>> member(
+      static_cast<std::size_t>(num_elements));
+  std::vector<int> freq(sets.size(), 0);
+  for (std::size_t si = 0; si < sets.size(); ++si) {
+    for (const int e : elements_of(sets[si])) {
+      member[static_cast<std::size_t>(e)].push_back(static_cast<int>(si));
+      ++freq[si];
+    }
+  }
+
+  std::priority_queue<HeapEntry> heap;
+  for (std::size_t si = 0; si < sets.size(); ++si) {
+    if (freq[si] == 0) continue;
+    heap.push({benefit(freq[si], sets[si].cost), sets[si].cost,
+               sets[si].tie_key, static_cast<int>(si), freq[si]});
+  }
+
+  std::vector<bool> used(sets.size(), false);
+  while (uncovered > 0 && !heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    const std::size_t si = static_cast<std::size_t>(top.index);
+    if (used[si]) continue;
+    if (top.freq != freq[si]) {
+      // Stale: elements were covered since this entry was keyed. Re-key at
+      // the true frequency — monotone benefit means the fresh key is never
+      // larger, so the heap order over fresh entries stays exact.
+      if (freq[si] > 0) {
+        heap.push({benefit(freq[si], top.cost), top.cost, top.tie_key,
+                   top.index, freq[si]});
+      }
+      continue;
+    }
+    used[si] = true;
+    r.chosen.push_back(top.index);
+    r.total_cost += top.cost;
+    uncovered -= top.freq;
+    for (const int e : elements_of(sets[si])) {
+      auto& cb = r.covered_by[static_cast<std::size_t>(e)];
+      if (cb != -1) continue;
+      cb = top.index;
+      for (const int s2 : member[static_cast<std::size_t>(e)]) {
+        --freq[static_cast<std::size_t>(s2)];
+      }
+    }
+  }
+  r.complete = (uncovered == 0);
+  return r;
+}
+
+}  // namespace
+
 SetCoverResult greedy_weighted_set_cover(int num_elements,
                                          const std::vector<CoverSet>& sets,
                                          const BenefitFn& benefit) {
-  MRPF_CHECK(num_elements >= 0, "set cover: negative element count");
-  MRPF_CHECK(static_cast<bool>(benefit), "set cover: null benefit function");
-  for (const CoverSet& s : sets) {
-    for (const int e : s.elements) {
-      MRPF_CHECK(e >= 0 && e < num_elements,
-                 "set cover: element id out of range");
-    }
-  }
+  return lazy_greedy(num_elements, sets, benefit);
+}
+
+SetCoverResult greedy_weighted_set_cover(
+    int num_elements, const std::vector<CoverSetView>& sets,
+    const BenefitFn& benefit) {
+  return lazy_greedy(num_elements, sets, benefit);
+}
+
+SetCoverResult greedy_weighted_set_cover_reference(
+    int num_elements, const std::vector<CoverSet>& sets,
+    const BenefitFn& benefit) {
+  validate(num_elements, sets, benefit);
 
   SetCoverResult r;
   r.covered_by.assign(static_cast<std::size_t>(num_elements), -1);
@@ -48,12 +159,15 @@ SetCoverResult greedy_weighted_set_cover(int num_elements,
       }
       if (freq == 0) continue;
       const double f = benefit(freq, sets[si].cost);
+      const auto& b = best == -1 ? sets[si] : sets[static_cast<std::size_t>(best)];
       const bool better =
           best == -1 || f > best_f ||
           (f == best_f &&
-           (sets[si].cost < sets[static_cast<std::size_t>(best)].cost ||
-            (sets[si].cost == sets[static_cast<std::size_t>(best)].cost &&
-             static_cast<int>(si) < best)));
+           (sets[si].cost < b.cost ||
+            (sets[si].cost == b.cost &&
+             (sets[si].tie_key < b.tie_key ||
+              (sets[si].tie_key == b.tie_key &&
+               static_cast<int>(si) < best)))));
       if (better) {
         best = static_cast<int>(si);
         best_f = f;

@@ -1,11 +1,17 @@
-// Bit utilities, error handling, formatting, deterministic RNG.
+// Bit utilities, error handling, formatting, deterministic RNG, and the
+// fixed thread pool behind mrp_optimize_batch.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "mrpf/common/bits.hpp"
 #include "mrpf/common/error.hpp"
 #include "mrpf/common/format.hpp"
+#include "mrpf/common/parallel.hpp"
 #include "mrpf/common/rng.hpp"
 
 namespace mrpf {
@@ -111,6 +117,63 @@ TEST(RngTest, GaussianMoments) {
   }
   EXPECT_NEAR(sum / n, 0.0, 0.03);
   EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    const std::size_t n = 500;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+    // The pool is reusable: a second job on the same pool.
+    std::atomic<int> total{0};
+    pool.parallel_for(37, [&](std::size_t) { ++total; });
+    EXPECT_EQ(total.load(), 37);
+    pool.parallel_for(0, [&](std::size_t) { ADD_FAILURE(); });
+  }
+}
+
+TEST(ThreadPool, ResultsLandInDeterministicSlots) {
+  // Per-index result slots make output independent of scheduling: each
+  // index writes only its own slot, so the assembled vector is identical
+  // for any thread count.
+  std::vector<std::vector<int>> results;
+  for (const int threads : {1, 3}) {
+    std::vector<int> out(101, -1);
+    parallel_for(out.size(),
+                 [&](std::size_t i) { out[i] = static_cast<int>(i * i % 97); },
+                 threads);
+    results.push_back(std::move(out));
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // Pool still usable after an exceptional job.
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(ThreadPool, DefaultThreadCountReadsEnvironment) {
+  ::setenv("MRPF_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3);
+  ::setenv("MRPF_THREADS", "9999", 1);  // clamped
+  EXPECT_EQ(default_thread_count(), 512);
+  ::setenv("MRPF_THREADS", "garbage", 1);  // ignored -> hardware default
+  EXPECT_GE(default_thread_count(), 1);
+  ::unsetenv("MRPF_THREADS");
+  EXPECT_GE(default_thread_count(), 1);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
 #include "mrpf/baseline/simple.hpp"
@@ -68,8 +69,8 @@ TEST(ColorGraph, ClassesCoverAllEdges) {
   for (const ColorClass& cls : g.classes) {
     EXPECT_GT(cls.cost, 0);
     EXPECT_EQ(cls.color % 2, 1);
-    edge_total += cls.edges.size();
-    for (const int ei : cls.edges) {
+    edge_total += g.edge_ids(cls).size();
+    for (const int ei : g.edge_ids(cls)) {
       EXPECT_EQ(g.edges[static_cast<std::size_t>(ei)].color, cls.color);
     }
   }
@@ -295,6 +296,135 @@ TEST(Mrp, CseOnSeedNeverBeatenByDirectSeed) {
 
 // Property sweep: random banks at several wordlengths must always produce
 // exact blocks that never cost more than the simple implementation.
+TEST(ColorGraph, RejectsShiftThatWouldOverflow) {
+  // bit_width(primary) + l_max must stay below 63 so ci << l (and the
+  // differential) cannot overflow i64.
+  ColorGraphOptions opts;
+  opts.l_max = 30;
+  EXPECT_THROW(build_color_graph({3, (i64{1} << 40) + 1}, opts), Error);
+  EXPECT_THROW(build_color_graph_reference({3, (i64{1} << 40) + 1}, opts),
+               Error);
+  opts.l_max = 10;
+  EXPECT_NO_THROW(build_color_graph({3, (i64{1} << 40) + 1}, opts));
+}
+
+/// Random sorted unique odd primaries, the invariant build_color_graph
+/// requires of its input.
+std::vector<i64> random_primaries(Rng& rng, int count, int wordlength) {
+  std::set<i64> vals;
+  const i64 limit = (i64{1} << wordlength) - 1;
+  while (static_cast<int>(vals.size()) < count) {
+    vals.insert(rng.next_int(1, limit) | 1);
+  }
+  return {vals.begin(), vals.end()};
+}
+
+TEST(ColorGraph, FlatMatchesMapReferenceFieldForField) {
+  Rng rng(0x51DC);
+  for (int trial = 0; trial < 24; ++trial) {
+    const int count = static_cast<int>(rng.next_int(1, 14));
+    const int wordlength = static_cast<int>(rng.next_int(4, 16));
+    const std::vector<i64> primaries =
+        random_primaries(rng, count, wordlength);
+    ColorGraphOptions opts;
+    opts.rep = trial % 2 == 0 ? NumberRep::kSpt : NumberRep::kSignMagnitude;
+    const ColorGraph flat = build_color_graph(primaries, opts);
+    const ColorGraph ref = build_color_graph_reference(primaries, opts);
+
+    ASSERT_EQ(flat.vertices, ref.vertices);
+    ASSERT_EQ(flat.l_max, ref.l_max);
+    ASSERT_EQ(flat.edges.size(), ref.edges.size());
+    for (std::size_t e = 0; e < flat.edges.size(); ++e) {
+      const SidcEdge& a = flat.edges[e];
+      const SidcEdge& b = ref.edges[e];
+      ASSERT_TRUE(a.from == b.from && a.to == b.to && a.l == b.l &&
+                  a.pred_negate == b.pred_negate && a.xi == b.xi &&
+                  a.color == b.color && a.color_shift == b.color_shift &&
+                  a.color_negate == b.color_negate)
+          << "edge " << e;
+    }
+    ASSERT_EQ(flat.class_edges, ref.class_edges);
+    ASSERT_EQ(flat.class_coverable, ref.class_coverable);
+    ASSERT_EQ(flat.classes.size(), ref.classes.size());
+    for (std::size_t c = 0; c < flat.classes.size(); ++c) {
+      const ColorClass& a = flat.classes[c];
+      const ColorClass& b = ref.classes[c];
+      ASSERT_TRUE(a.color == b.color && a.cost == b.cost &&
+                  a.edges_begin == b.edges_begin &&
+                  a.edges_end == b.edges_end && a.cov_begin == b.cov_begin &&
+                  a.cov_end == b.cov_end)
+          << "class " << c;
+    }
+  }
+}
+
+/// Deep equality over everything MrpResult records about a solve.
+void expect_same_mrp_result(const MrpResult& a, const MrpResult& b) {
+  EXPECT_EQ(a.vertices, b.vertices);
+  EXPECT_EQ(a.solution_colors, b.solution_colors);
+  EXPECT_EQ(a.roots, b.roots);
+  EXPECT_EQ(a.root_is_free, b.root_is_free);
+  EXPECT_EQ(a.vertex_depth, b.vertex_depth);
+  EXPECT_EQ(a.tree_height, b.tree_height);
+  EXPECT_EQ(a.seed_values, b.seed_values);
+  EXPECT_EQ(a.seed_adders, b.seed_adders);
+  EXPECT_EQ(a.overhead_adders, b.overhead_adders);
+  ASSERT_EQ(a.tree_edges.size(), b.tree_edges.size());
+  for (std::size_t i = 0; i < a.tree_edges.size(); ++i) {
+    const TreeEdge& x = a.tree_edges[i];
+    const TreeEdge& y = b.tree_edges[i];
+    EXPECT_TRUE(x.depth == y.depth && x.edge.from == y.edge.from &&
+                x.edge.to == y.edge.to && x.edge.l == y.edge.l &&
+                x.edge.xi == y.edge.xi)
+        << "tree edge " << i;
+  }
+}
+
+TEST(Mrp, OptimizedEngineMatchesReferenceEngine) {
+  // The flat color graph + lazy cover + incremental root selection must
+  // reproduce the seed engine's solution exactly, not just its cost.
+  Rng rng(0xE2E);
+  std::vector<std::vector<i64>> banks = {kPaperExample};
+  for (int trial = 0; trial < 10; ++trial) {
+    const int taps = static_cast<int>(rng.next_int(2, 20));
+    const i64 limit = (i64{1} << 12) - 1;
+    std::vector<i64> bank;
+    for (int t = 0; t < taps; ++t) bank.push_back(rng.next_int(-limit, limit));
+    banks.push_back(std::move(bank));
+  }
+  for (const std::vector<i64>& bank : banks) {
+    MrpOptions opts;
+    opts.rep = NumberRep::kSpt;
+    MrpOptions ref_opts = opts;
+    ref_opts.use_reference_engine = true;
+    expect_same_mrp_result(mrp_optimize(bank, opts),
+                           mrp_optimize(bank, ref_opts));
+  }
+}
+
+TEST(Mrp, BatchIsDeterministicAcrossThreadCounts) {
+  // mrp_optimize_batch reads MRPF_THREADS through the pool: the results
+  // must be bit-identical for 1 and 4 threads (deterministic ordering).
+  std::vector<std::vector<i64>> banks;
+  Rng rng(0xBA7C);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int taps = static_cast<int>(rng.next_int(3, 16));
+    std::vector<i64> bank;
+    for (int t = 0; t < taps; ++t) bank.push_back(rng.next_int(-2047, 2047));
+    banks.push_back(std::move(bank));
+  }
+  MrpOptions opts;
+  ::setenv("MRPF_THREADS", "1", 1);
+  const std::vector<MrpResult> one = mrp_optimize_batch(banks, opts);
+  ::setenv("MRPF_THREADS", "4", 1);
+  const std::vector<MrpResult> four = mrp_optimize_batch(banks, opts);
+  ::unsetenv("MRPF_THREADS");
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    expect_same_mrp_result(one[i], four[i]);
+  }
+}
+
 class MrpRandomBank : public ::testing::TestWithParam<int> {};
 
 TEST_P(MrpRandomBank, ExactAndNeverWorseThanSimple) {

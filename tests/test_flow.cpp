@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "mrpf/common/error.hpp"
@@ -56,6 +57,36 @@ TEST(Flow, EverySchemeProducesCostsAndVerifiedBlocks) {
     EXPECT_EQ(r.mrp.has_value(),
               scheme == Scheme::kMrp || scheme == Scheme::kMrpCse);
     EXPECT_EQ(r.cse.has_value(), scheme == Scheme::kCse);
+  }
+}
+
+TEST(Flow, BatchMatchesSerialForEveryScheme) {
+  // optimize_bank_batch must equal per-bank optimize_bank for every
+  // scheme, for any thread count (here 1 and 3 via MRPF_THREADS).
+  Rng rng(0xF10B);
+  std::vector<std::vector<i64>> banks;
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<i64> bank;
+    const int taps = static_cast<int>(rng.next_int(3, 12));
+    for (int t = 0; t < taps; ++t) bank.push_back(rng.next_int(-511, 511));
+    banks.push_back(std::move(bank));
+  }
+  for (const Scheme scheme : kAllSchemes) {
+    for (const char* threads : {"1", "3"}) {
+      ::setenv("MRPF_THREADS", threads, 1);
+      const std::vector<SchemeResult> batch =
+          optimize_bank_batch(banks, scheme);
+      ::unsetenv("MRPF_THREADS");
+      ASSERT_EQ(batch.size(), banks.size());
+      for (std::size_t i = 0; i < banks.size(); ++i) {
+        const SchemeResult serial = optimize_bank(banks[i], scheme);
+        EXPECT_EQ(batch[i].scheme, scheme);
+        EXPECT_EQ(batch[i].multiplier_adders, serial.multiplier_adders)
+            << to_string(scheme) << " bank " << i << " threads " << threads;
+        EXPECT_EQ(batch[i].block.graph.num_adders(),
+                  serial.block.graph.num_adders());
+      }
+    }
   }
 }
 

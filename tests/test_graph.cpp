@@ -186,6 +186,73 @@ TEST(SetCover, CoveredByIsConsistent) {
   }
 }
 
+TEST(SetCover, TieKeyBreaksBenefitAndCostTies) {
+  // Two sets with identical benefit and cost: the smaller tie_key must win
+  // regardless of declaration order (DESIGN.md: "ties: lower cost, then
+  // smaller value").
+  const std::vector<CoverSet> sets = {{{0, 1}, 1.0, 9},
+                                      {{0, 1}, 1.0, 3},
+                                      {{2}, 1.0, 5}};
+  for (const auto& solve :
+       {greedy_weighted_set_cover_reference,
+        static_cast<SetCoverResult (*)(int, const std::vector<CoverSet>&,
+                                       const BenefitFn&)>(
+            greedy_weighted_set_cover)}) {
+    const SetCoverResult r = solve(3, sets, paper_benefit(0.5));
+    ASSERT_EQ(r.chosen.size(), 2u);
+    EXPECT_EQ(r.chosen[0], 1);  // tie_key 3 beats tie_key 9
+    EXPECT_EQ(r.chosen[1], 2);
+  }
+  // Sets tied on tie_key too fall back to the lower index.
+  const std::vector<CoverSet> tied = {{{0}, 1.0, 7}, {{0}, 1.0, 7}};
+  EXPECT_EQ(greedy_weighted_set_cover(1, tied, paper_benefit(0.5)).chosen,
+            (std::vector<int>{0}));
+}
+
+TEST(SetCover, LazyMatchesReferenceOnRandomInstances) {
+  // The lazy-decrement priority-queue greedy must reproduce the reference
+  // full-rescan loop pick for pick: 240 seeded random instances (duplicate
+  // elements, empty sets, uncoverable elements, cost/tie collisions) under
+  // both benefit rules and several betas. Costs come from a small integer
+  // grid so benefit ties are exact in double arithmetic.
+  for (std::uint64_t seed = 1; seed <= 240; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+    const int n = 1 + static_cast<int>(rng.next_below(30));
+    const int m = static_cast<int>(rng.next_below(50));
+    std::vector<CoverSet> sets;
+    std::vector<CoverSetView> views;
+    for (int si = 0; si < m; ++si) {
+      CoverSet s;
+      const int len = static_cast<int>(rng.next_below(8));
+      for (int k = 0; k < len; ++k) {
+        s.elements.push_back(static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(n))));
+      }
+      s.cost = static_cast<double>(rng.next_int(0, 6)) / 2.0;
+      s.tie_key = rng.next_int(0, 9);
+      sets.push_back(std::move(s));
+    }
+    for (const CoverSet& s : sets) {
+      views.push_back({s.elements.data(), static_cast<int>(s.elements.size()),
+                       s.cost, s.tie_key});
+    }
+    const double beta = 0.25 * static_cast<double>(seed % 5);
+    for (const BenefitFn& benefit : {paper_benefit(beta), ratio_benefit()}) {
+      const SetCoverResult ref =
+          greedy_weighted_set_cover_reference(n, sets, benefit);
+      const SetCoverResult lazy = greedy_weighted_set_cover(n, sets, benefit);
+      const SetCoverResult lazy_views =
+          greedy_weighted_set_cover(n, views, benefit);
+      EXPECT_EQ(lazy.chosen, ref.chosen) << "seed " << seed;
+      EXPECT_EQ(lazy.covered_by, ref.covered_by) << "seed " << seed;
+      EXPECT_EQ(lazy.complete, ref.complete) << "seed " << seed;
+      EXPECT_EQ(lazy.total_cost, ref.total_cost) << "seed " << seed;
+      EXPECT_EQ(lazy_views.chosen, ref.chosen) << "seed " << seed;
+      EXPECT_EQ(lazy_views.covered_by, ref.covered_by) << "seed " << seed;
+    }
+  }
+}
+
 TEST(UnionFindTest, BasicMergesAndSizes) {
   UnionFind uf(6);
   EXPECT_EQ(uf.num_components(), 6);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "mrpf/common/error.hpp"
+#include "mrpf/common/rng.hpp"
 #include "mrpf/number/csd.hpp"
 #include "mrpf/number/digits.hpp"
 #include "mrpf/number/msd.hpp"
@@ -205,6 +206,22 @@ TEST_P(QuantizeErrorBound, UniformErrorWithinHalfLsb) {
   // Half an LSB of the uniform grid (plus fp slack).
   const double lsb = 0.83 / static_cast<double>((i64{1} << (w - 1)) - 1);
   EXPECT_LE(q.max_abs_error(h), lsb * 0.5 + 1e-12);
+}
+
+TEST(Csd, WeightClosedFormMatchesDigitVector) {
+  // csd_weight uses the popcount closed form; the digit expansion stays
+  // the oracle. Exhaustive near zero, randomized across the full domain.
+  for (i64 v = -5000; v <= 5000; ++v) {
+    EXPECT_EQ(csd_weight(v), to_csd(v).nonzero_count()) << v;
+  }
+  Rng rng(0xc5d2026u);
+  for (int it = 0; it < 5000; ++it) {
+    const int width = static_cast<int>(rng.next_below(60)) + 1;
+    i64 v = static_cast<i64>(rng.next_u64() &
+                             ((u64{1} << width) - 1));
+    if (rng.next_below(2) == 1) v = -v;
+    EXPECT_EQ(csd_weight(v), to_csd(v).nonzero_count()) << v;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Wordlengths, QuantizeErrorBound,
