@@ -3,13 +3,21 @@
 // end-to-end batch throughput on the full catalog (W=16, maximally
 // scaled, SPT — the Table-1/Fig-7 workload), comparing the optimized
 // engine against the in-tree reference kernels (the seed implementation:
-// std::map color graph, full-rescan set cover and root selection) and a
-// parallel batch against the serial one. Writes BENCH_mrp.json so the
-// perf trajectory is machine-readable PR-over-PR, and verifies that
-// serial, parallel and reference solves are bit-identical.
+// std::map color graph, full-rescan set cover and root selection), a
+// parallel batch against the serial one, and the intra-solve pooled path
+// (opts.pool) against the unpooled one. Writes BENCH_mrp.json — including
+// the per-stage wall/items breakdown of every solve from MrpResult::timers
+// — so the perf trajectory is machine-readable PR-over-PR, and verifies
+// that serial, parallel, pooled and reference solves are bit-identical.
+//
+// `--ci` runs a reduced-catalog smoke: fewer filters and reps, output to
+// BENCH_mrp_ci.json, and a hard gate on bit-identity plus (on hosts with
+// >= 2 hardware threads) on parallel-vs-serial speedup >= 1.0.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -25,7 +33,7 @@ using namespace mrpf;
 using Clock = std::chrono::steady_clock;
 
 constexpr int kWordlength = 16;
-constexpr int kReps = 5;
+int g_reps = 5;  // --ci lowers this
 
 double now_ns() {
   return static_cast<double>(
@@ -34,11 +42,11 @@ double now_ns() {
           .count());
 }
 
-/// Best-of-kReps wall time of fn() in nanoseconds.
+/// Best-of-g_reps wall time of fn() in nanoseconds.
 template <typename Fn>
 double time_ns(Fn&& fn) {
   double best = 0.0;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (int rep = 0; rep < g_reps; ++rep) {
     const double t0 = now_ns();
     fn();
     const double t1 = now_ns();
@@ -71,11 +79,30 @@ bool same_result(const core::MrpResult& a, const core::MrpResult& b) {
   return true;
 }
 
+bool all_same(const std::vector<core::MrpResult>& a,
+              const std::vector<core::MrpResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!same_result(a[i], b[i])) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool ci_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--ci") ci_mode = true;
+  }
+  const int catalog =
+      ci_mode ? std::min(4, filter::catalog_size()) : filter::catalog_size();
+  if (ci_mode) g_reps = 2;
+
   bench::print_header(
-      "MRP engine perf sweep — full catalog, W=16, maximal scaling, SPT");
+      ci_mode ? "MRP engine perf smoke (--ci) — reduced catalog, W=16, SPT"
+              : "MRP engine perf sweep — full catalog, W=16, maximal "
+                "scaling, SPT");
 
   core::MrpOptions opts;
   opts.rep = number::NumberRep::kSpt;
@@ -84,7 +111,7 @@ int main() {
 
   std::vector<std::vector<i64>> banks;
   std::vector<std::vector<i64>> primaries;
-  for (int i = 0; i < filter::catalog_size(); ++i) {
+  for (int i = 0; i < catalog; ++i) {
     banks.push_back(bench::folded_bank(i, kWordlength, /*maximal=*/true));
     primaries.push_back(core::extract_primaries(banks.back()).primaries);
   }
@@ -149,7 +176,7 @@ int main() {
     }
   });
 
-  // --- End-to-end: serial and parallel batch, new and reference engine. ---
+  // --- End-to-end: serial, intra-solve pooled, parallel batch, reference.
   std::vector<core::MrpResult> serial_results;
   const double e2e_serial_ns = time_ns([&] {
     serial_results.clear();
@@ -164,28 +191,50 @@ int main() {
     }
   });
   const int threads = default_thread_count();
+  // Solve-level serial, stage-level parallel: the same pool the batch
+  // hands down, but with no outer fan-out competing for workers. This is
+  // the critical-path view (one big solve at a time).
+  ThreadPool intra_pool(threads);
+  core::MrpOptions pooled_opts = opts;
+  pooled_opts.pool = &intra_pool;
+  std::vector<core::MrpResult> pooled_results;
+  const double e2e_intra_ns = time_ns([&] {
+    pooled_results.clear();
+    for (const auto& bank : banks) {
+      pooled_results.push_back(core::mrp_optimize(bank, pooled_opts));
+    }
+  });
+  // Outer fan-out across solves + inner stage sharding on one pool.
   std::vector<core::MrpResult> parallel_results;
   const double e2e_parallel_ns = time_ns(
       [&] { parallel_results = core::mrp_optimize_batch(banks, opts); });
 
-  // --- Bit-identical: serial vs parallel vs reference engine. ---
-  bool identical = parallel_results.size() == serial_results.size();
-  for (std::size_t i = 0; identical && i < serial_results.size(); ++i) {
-    identical = same_result(serial_results[i], parallel_results[i]);
-  }
+  // --- Bit-identical: serial vs pooled vs parallel vs reference engine.
+  const bool identical = all_same(serial_results, parallel_results);
+  const bool intra_identical = all_same(serial_results, pooled_results);
   bool ref_identical = true;
   for (std::size_t i = 0; ref_identical && i < banks.size(); ++i) {
     ref_identical =
         same_result(serial_results[i], core::mrp_optimize(banks[i], ref_opts));
   }
 
-  // Tree construction + SEED synthesis: the end-to-end remainder once the
-  // two timed kernels are subtracted (not separately instrumentable
-  // without perturbing the hot path).
-  const double tree_seed_ns =
-      e2e_serial_ns > cg_flat_ns + sc_lazy_ns
-          ? e2e_serial_ns - cg_flat_ns - sc_lazy_ns
-          : 0.0;
+  // Aggregate the per-solve stage timers (from the last serial rep) into
+  // a whole-catalog breakdown.
+  core::StageTimers agg;
+  for (const core::MrpResult& r : serial_results) {
+    agg.primaries.ns += r.timers.primaries.ns;
+    agg.primaries.items += r.timers.primaries.items;
+    agg.color_graph.ns += r.timers.color_graph.ns;
+    agg.color_graph.items += r.timers.color_graph.items;
+    agg.set_cover.ns += r.timers.set_cover.ns;
+    agg.set_cover.items += r.timers.set_cover.items;
+    agg.tree_growth.ns += r.timers.tree_growth.ns;
+    agg.tree_growth.items += r.timers.tree_growth.items;
+    agg.seed_synthesis.ns += r.timers.seed_synthesis.ns;
+    agg.seed_synthesis.items += r.timers.seed_synthesis.items;
+    agg.total_ns += r.timers.total_ns;
+  }
+
   const double cg_speedup = cg_ref_ns / cg_flat_ns;
   const double sc_speedup = sc_ref_ns / sc_lazy_ns;
   const double algo_speedup =
@@ -193,34 +242,44 @@ int main() {
   const double e2e_speedup_vs_ref = e2e_ref_ns / e2e_parallel_ns;
   const double e2e_speedup_serial_vs_ref = e2e_ref_ns / e2e_serial_ns;
   const double thread_speedup = e2e_serial_ns / e2e_parallel_ns;
+  const double intra_speedup = e2e_serial_ns / e2e_intra_ns;
   const double solves_per_sec = 1e9 * static_cast<double>(solves) /
                                 e2e_parallel_ns;
+  const unsigned hw = std::thread::hardware_concurrency();
 
-  std::printf("solves: %zu banks (catalog, W=%d maximal)\n", solves,
-              kWordlength);
+  std::printf("solves: %zu banks (catalog, W=%d maximal), %u hardware "
+              "thread%s\n",
+              solves, kWordlength, hw, hw == 1 ? "" : "s");
   std::printf("color graph : flat %10.0f ns | reference %10.0f ns | %.2fx\n",
               cg_flat_ns, cg_ref_ns, cg_speedup);
   std::printf("set cover   : lazy %10.0f ns | reference %10.0f ns | %.2fx\n",
               sc_lazy_ns, sc_ref_ns, sc_speedup);
-  std::printf("tree + seed : %10.0f ns (end-to-end remainder)\n",
-              tree_seed_ns);
   std::printf(
-      "end-to-end  : serial %10.0f ns | parallel(%d) %10.0f ns | "
-      "reference %10.0f ns\n",
-      e2e_serial_ns, threads, e2e_parallel_ns, e2e_ref_ns);
+      "solve stages: primaries %.0f | color graph %.0f | set cover %.0f | "
+      "tree %.0f | seed %.0f ns (per-solve timers, serial)\n",
+      agg.primaries.ns, agg.color_graph.ns, agg.set_cover.ns,
+      agg.tree_growth.ns, agg.seed_synthesis.ns);
+  std::printf(
+      "end-to-end  : serial %10.0f ns | intra(%d) %10.0f ns | "
+      "parallel(%d) %10.0f ns | reference %10.0f ns\n",
+      e2e_serial_ns, threads, e2e_intra_ns, threads, e2e_parallel_ns,
+      e2e_ref_ns);
   std::printf("throughput  : %.1f solves/sec, %.2fx vs reference engine "
-              "(%.2fx serial-only), %.2fx thread scaling\n",
+              "(%.2fx serial-only), %.2fx batch scaling, %.2fx intra-solve\n",
               solves_per_sec, e2e_speedup_vs_ref, e2e_speedup_serial_vs_ref,
-              thread_speedup);
-  std::printf("identical   : serial==parallel %s, new==reference %s\n",
-              identical ? "yes" : "NO", ref_identical ? "yes" : "NO");
+              thread_speedup, intra_speedup);
+  std::printf("identical   : serial==parallel %s, serial==intra %s, "
+              "new==reference %s\n",
+              identical ? "yes" : "NO", intra_identical ? "yes" : "NO",
+              ref_identical ? "yes" : "NO");
   std::printf("targets     : cg+cover algorithmic %.2fx (>=1.5 wanted), "
               "end-to-end %.2fx (>=3 wanted)\n",
               algo_speedup, e2e_speedup_vs_ref);
 
-  FILE* out = std::fopen("BENCH_mrp.json", "w");
+  const char* json_name = ci_mode ? "BENCH_mrp_ci.json" : "BENCH_mrp.json";
+  FILE* out = std::fopen(json_name, "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_mrp.json\n");
+    std::fprintf(stderr, "cannot write %s\n", json_name);
     return 1;
   }
   std::fprintf(out,
@@ -229,35 +288,81 @@ int main() {
                "  \"workload\": {\"catalog_filters\": %d, \"wordlength\": %d,"
                " \"scaling\": \"maximal\", \"rep\": \"spt\", \"solves\": %zu},\n"
                "  \"threads\": %d,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"ci_mode\": %s,\n"
                "  \"stages\": {\n"
                "    \"color_graph\": {\"flat_ns\": %.0f, \"reference_ns\": "
                "%.0f, \"speedup\": %.3f},\n"
                "    \"set_cover\": {\"lazy_ns\": %.0f, \"reference_ns\": "
-               "%.0f, \"speedup\": %.3f},\n"
-               "    \"tree_and_seed_ns\": %.0f\n"
-               "  },\n"
+               "%.0f, \"speedup\": %.3f}\n"
+               "  },\n",
+               catalog, kWordlength, solves, threads, hw,
+               ci_mode ? "true" : "false", cg_flat_ns, cg_ref_ns, cg_speedup,
+               sc_lazy_ns, sc_ref_ns, sc_speedup);
+  // Per-solve stage breakdown from MrpResult::timers (serial run): each
+  // stage is [wall_ns, item_count].
+  std::fprintf(out, "  \"per_solve\": [\n");
+  for (std::size_t i = 0; i < serial_results.size(); ++i) {
+    const core::StageTimers& t = serial_results[i].timers;
+    std::fprintf(
+        out,
+        "    {\"solve\": %zu, \"primaries\": [%.0f, %llu], "
+        "\"color_graph\": [%.0f, %llu], \"set_cover\": [%.0f, %llu], "
+        "\"tree_growth\": [%.0f, %llu], \"seed_synthesis\": [%.0f, %llu], "
+        "\"total_ns\": %.0f}%s\n",
+        i, t.primaries.ns,
+        static_cast<unsigned long long>(t.primaries.items), t.color_graph.ns,
+        static_cast<unsigned long long>(t.color_graph.items), t.set_cover.ns,
+        static_cast<unsigned long long>(t.set_cover.items), t.tree_growth.ns,
+        static_cast<unsigned long long>(t.tree_growth.items),
+        t.seed_synthesis.ns,
+        static_cast<unsigned long long>(t.seed_synthesis.items), t.total_ns,
+        i + 1 < serial_results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
                "  \"end_to_end\": {\n"
                "    \"serial_ns\": %.0f,\n"
+               "    \"intra_solve_parallel_ns\": %.0f,\n"
                "    \"parallel_ns\": %.0f,\n"
                "    \"reference_serial_ns\": %.0f,\n"
                "    \"solves_per_sec\": %.1f,\n"
                "    \"speedup_parallel_vs_serial\": %.3f,\n"
+               "    \"speedup_intra_vs_serial\": %.3f,\n"
                "    \"speedup_vs_reference\": %.3f,\n"
                "    \"speedup_serial_vs_reference\": %.3f,\n"
                "    \"algorithmic_speedup_cg_plus_cover\": %.3f,\n"
                "    \"bit_identical_serial_parallel\": %s,\n"
+               "    \"bit_identical_serial_intra\": %s,\n"
                "    \"bit_identical_new_reference\": %s\n"
                "  }\n"
                "}\n",
-               filter::catalog_size(), kWordlength, solves, threads,
-               cg_flat_ns, cg_ref_ns, cg_speedup, sc_lazy_ns, sc_ref_ns,
-               sc_speedup, tree_seed_ns, e2e_serial_ns, e2e_parallel_ns,
-               e2e_ref_ns, solves_per_sec, thread_speedup,
+               e2e_serial_ns, e2e_intra_ns, e2e_parallel_ns, e2e_ref_ns,
+               solves_per_sec, thread_speedup, intra_speedup,
                e2e_speedup_vs_ref, e2e_speedup_serial_vs_ref, algo_speedup,
                identical ? "true" : "false",
+               intra_identical ? "true" : "false",
                ref_identical ? "true" : "false");
   std::fclose(out);
-  std::printf("wrote BENCH_mrp.json\n");
+  std::printf("wrote %s\n", json_name);
 
-  return (identical && ref_identical) ? 0 : 1;
+  bool ok = identical && intra_identical && ref_identical;
+  if (ci_mode) {
+    // Bit-identity is gated unconditionally (checked above). The speedup
+    // gate needs real cores: on a single-hardware-thread host extra
+    // threads only time-slice, so a < 1.0 ratio is scheduler noise, not a
+    // parallelism regression.
+    if (hw >= 2 && thread_speedup < 1.0) {
+      std::fprintf(stderr,
+                   "CI gate: parallel batch slower than serial (%.3fx) on a "
+                   "%u-thread host\n",
+                   thread_speedup, hw);
+      ok = false;
+    } else if (hw < 2) {
+      std::printf("CI gate: single hardware thread — speedup gate skipped "
+                  "(measured %.3fx)\n",
+                  thread_speedup);
+    }
+  }
+  return ok ? 0 : 1;
 }

@@ -1,19 +1,56 @@
 #include "mrpf/common/parallel.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 namespace mrpf {
 
-int default_thread_count() {
-  if (const char* env = std::getenv("MRPF_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0) {
-      return parsed > 512 ? 512 : static_cast<int>(parsed);
-    }
-  }
+namespace {
+
+std::atomic<bool> g_thread_env_warned{false};
+
+int hardware_default() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+namespace detail {
+bool thread_env_warning_fired() {
+  return g_thread_env_warned.load(std::memory_order_relaxed);
+}
+}  // namespace detail
+
+int default_thread_count() {
+  const char* env = std::getenv("MRPF_THREADS");
+  if (env == nullptr) return hardware_default();
+
+  // Accepted grammar: one or more decimal digits, value >= 1. No sign, no
+  // whitespace, no suffix. Values above 512 clamp to 512.
+  bool well_formed = (*env != '\0');
+  long value = 0;
+  for (const char* p = env; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      well_formed = false;
+      break;
+    }
+    if (value < 100000) value = value * 10 + (*p - '0');
+  }
+  if (well_formed && value >= 1) {
+    return value > 512 ? 512 : static_cast<int>(value);
+  }
+
+  const int hw = hardware_default();
+  if (!g_thread_env_warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "mrpf: ignoring malformed MRPF_THREADS=\"%s\" — expected a "
+                 "decimal integer >= 1 (e.g. MRPF_THREADS=4; values above "
+                 "512 are clamped); falling back to %d hardware thread%s\n",
+                 env, hw, hw == 1 ? "" : "s");
+  }
+  return hw;
 }
 
 ThreadPool::ThreadPool(int threads) {
@@ -34,36 +71,41 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
-  std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    ++idle_workers_;
-    cv_done_.notify_all();
-    cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
-    --idle_workers_;
+    cv_work_.wait(lk, [&] { return stop_ || !active_.empty(); });
+    if (!active_.empty()) {
+      // LIFO: prefer the most recently published job — nested jobs sit on
+      // top, so stealing helps the deepest (critical-path) loop first.
+      run_job(*active_.back(), lk);
+      continue;
+    }
     if (stop_) return;
-    seen = generation_;
-    lk.unlock();
-    drain_job();
-    lk.lock();
   }
 }
 
-void ThreadPool::drain_job() {
-  // job_/job_n_ are stable for the whole generation: the publisher holds
-  // them fixed until every worker is idle again.
-  const std::function<void(std::size_t)>* job = job_;
-  const std::size_t n = job_n_;
+void ThreadPool::run_job(Job& job, std::unique_lock<std::mutex>& lk) {
+  ++job.drainers;
+  lk.unlock();
   for (;;) {
-    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n) return;
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
     try {
-      (*job)(i);
+      (*job.fn)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (!error_) error_ = std::current_exception();
+      std::lock_guard<std::mutex> g(mu_);
+      if (!job.error) job.error = std::current_exception();
     }
+    job.done.fetch_add(1, std::memory_order_acq_rel);
   }
+  lk.lock();
+  --job.drainers;
+  if (job.listed) {
+    // All indices are claimed: withdraw so no new thread joins the job.
+    job.listed = false;
+    active_.erase(std::find(active_.begin(), active_.end(), &job));
+  }
+  if (job_finished(job)) cv_done_.notify_all();
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -73,29 +115,41 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  const int all = static_cast<int>(workers_.size());
+  Job job;
+  job.fn = &fn;
+  job.n = n;
   std::unique_lock<std::mutex> lk(mu_);
-  cv_done_.wait(lk, [&] { return idle_workers_ == all; });
-  job_ = &fn;
-  job_n_ = n;
-  next_.store(0, std::memory_order_relaxed);
-  error_ = nullptr;
-  ++generation_;
-  lk.unlock();
+  job.listed = true;
+  active_.push_back(&job);
   cv_work_.notify_all();
-  drain_job();
-  lk.lock();
-  cv_done_.wait(lk, [&] {
-    return idle_workers_ == all && next_.load(std::memory_order_relaxed) >= n;
-  });
-  const std::exception_ptr err = error_;
-  error_ = nullptr;
+  cv_done_.notify_all();  // publishers blocked in the help loop below
+  run_job(job, lk);
+  // Straggler wait — but keep helping: while another job (typically one
+  // published by a worker still running one of *our* indices) has
+  // unclaimed work, drain it instead of sleeping.
+  while (!job_finished(job)) {
+    if (!active_.empty()) {
+      run_job(*active_.back(), lk);
+      continue;
+    }
+    cv_done_.wait(lk, [&] { return job_finished(job) || !active_.empty(); });
+  }
+  const std::exception_ptr err = job.error;
   lk.unlock();
   if (err) std::rethrow_exception(err);
 }
 
+ThreadPool& shared_thread_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   int threads) {
+  if (threads <= 0) {
+    shared_thread_pool().parallel_for(n, fn);
+    return;
+  }
   ThreadPool pool(threads);
   pool.parallel_for(n, fn);
 }

@@ -1,15 +1,26 @@
-// Minimal fixed-size thread pool for fanning out independent solves.
+// Fixed-size work-sharing thread pool for the MRP engine.
 //
-// The MRP engine's unit of work (one `mrp_optimize` call) is pure and
-// deterministic, so batch layers parallelize by index: every worker writes
-// only results[i] for the indices it claims, which makes the output
-// ordering — and therefore every downstream table — identical to a serial
-// run regardless of scheduling. The pool is deliberately small: one job at
-// a time, `parallel_for` over an index range, no futures, no task graph.
+// Two parallel grains use the same pool with no oversubscription:
+//   * batch layers fan independent solves out by index (every worker writes
+//     only results[i] for the indices it claims, so output ordering — and
+//     therefore every downstream table — is identical to a serial run
+//     regardless of scheduling);
+//   * stages *inside* a solve (sharded color-graph construction, set-cover
+//     seeding) call `parallel_for` again on the same pool. Nested calls are
+//     safe: the calling worker publishes the inner loop as a new job, drains
+//     it inline itself, and any worker that is idle (or blocked waiting for
+//     its own job to finish) steals indices from it. There is never a second
+//     pool and never a deadlock — a nested publisher always makes progress
+//     on its own job.
 //
 // Thread count resolution: explicit argument > MRPF_THREADS environment
 // variable > std::thread::hardware_concurrency(). A pool of size 1 never
 // spawns threads and runs everything inline.
+//
+// MRPF_THREADS grammar: a non-empty string of decimal digits with value
+// >= 1 (no sign, no whitespace, no suffix); values above 512 are clamped
+// to 512. Anything else — "4x", "0", "-2", "" — is rejected with a
+// one-time warning on stderr and the hardware default is used instead.
 #pragma once
 
 #include <atomic>
@@ -24,10 +35,17 @@
 
 namespace mrpf {
 
-/// MRPF_THREADS if set and valid (clamped to [1, 512]), else
-/// hardware_concurrency(), else 1. Re-read on every call so tests can
-/// change the environment between batches.
+/// MRPF_THREADS if set and well-formed (see grammar above, clamped to
+/// [1, 512]), else hardware_concurrency(), else 1. Re-read on every call so
+/// tests can change the environment between batches. Malformed values warn
+/// once per process on stderr and fall back to the hardware default.
 int default_thread_count();
+
+namespace detail {
+/// True once default_thread_count() has warned about a malformed
+/// MRPF_THREADS value (the warning fires at most once per process).
+bool thread_env_warning_fired();
+}  // namespace detail
 
 class ThreadPool {
  public:
@@ -45,11 +63,35 @@ class ThreadPool {
   /// only state owned by index i, so results are order-deterministic.
   /// The first exception thrown by fn is rethrown here after the loop
   /// drains; remaining indices still run.
+  ///
+  /// Reentrant: fn may itself call parallel_for on the same pool. The
+  /// nested loop is published as an independent job that the calling
+  /// thread drains inline while idle workers steal shares of it.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  /// One published index loop. Lives on the publisher's stack; the
+  /// publisher only returns once `drainers == 0 && done == n`, and threads
+  /// only start touching a job while it is listed in `active_` (under
+  /// `mu_`), so the lifetime is safe.
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};  // next unclaimed index
+    std::atomic<std::size_t> done{0};  // indices whose fn() returned
+    int drainers = 0;                  // threads inside run_job (mu_)
+    bool listed = false;               // still in active_ (mu_)
+    std::exception_ptr error;          // first throw (mu_)
+  };
+
   void worker_loop();
-  void drain_job();
+  /// Claims and runs indices of `job` until exhausted. `lk` (locking mu_)
+  /// is held on entry and exit.
+  void run_job(Job& job, std::unique_lock<std::mutex>& lk);
+  bool job_finished(const Job& job) const {
+    return job.drainers == 0 &&
+           job.done.load(std::memory_order_acquire) == job.n;
+  }
 
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
@@ -57,16 +99,19 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_n_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::uint64_t generation_ = 0;
-  int idle_workers_ = 0;
-  std::exception_ptr error_;
+  std::vector<Job*> active_;  // jobs with unclaimed indices, LIFO
   bool stop_ = false;
 };
 
-/// One-shot convenience: pool of `threads` (0 = default) over [0, n).
+/// Process-wide pool, lazily constructed on first use and sized from
+/// default_thread_count() at that moment (later MRPF_THREADS changes do
+/// not resize it — results are thread-count-independent anyway). Shared so
+/// no hot path pays thread-spawn cost per call.
+ThreadPool& shared_thread_pool();
+
+/// Convenience over [0, n): threads <= 0 routes through the process-wide
+/// shared_thread_pool(); an explicit positive count builds a dedicated
+/// pool of that exact size (test/bench use — pays spawn cost per call).
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   int threads = 0);
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <utility>
 
 #include "mrpf/common/error.hpp"
+#include "mrpf/common/parallel.hpp"
 #include "mrpf/core/sidc.hpp"
 
 namespace mrpf::core {
@@ -53,32 +55,16 @@ SidcEdge make_edge(int i, int j, int l, bool pred_negate, i64 xi) {
   return e;
 }
 
-}  // namespace
-
-int ColorGraph::class_of(i64 color) const {
-  const auto it = std::lower_bound(
-      classes.begin(), classes.end(), color,
-      [](const ColorClass& cls, i64 c) { return cls.color < c; });
-  if (it == classes.end() || it->color != color) return -1;
-  return static_cast<int>(it - classes.begin());
-}
-
-ColorGraph build_color_graph(const std::vector<i64>& primaries,
-                             const ColorGraphOptions& options) {
-  ColorGraph g;
-  g.vertices = primaries;
+/// Enumerates the edges of primary rows [row_begin, row_end) in canonical
+/// order (i outer, j inner, then l, then σ) into `out`, which must have
+/// room for exactly (row_end - row_begin) · 2·(l_max+1)·(n−1) edges. Both
+/// the serial builder (one shard covering every row) and the sharded
+/// builder (disjoint row blocks at closed-form offsets) use this, so the
+/// concatenated edge order is identical by construction.
+void enumerate_rows(const std::vector<i64>& primaries, int l_max,
+                    int row_begin, int row_end, SidcEdge* out) {
   const int n = static_cast<int>(primaries.size());
-  const int l_max = prepare(primaries, options);
-  g.l_max = l_max;
-
-  // Flat scheme: enumerate every edge into one pre-reserved contiguous
-  // vector, then sort an index permutation by canonical color and slice
-  // the runs into classes — no per-edge node allocation, no tree walk.
-  const std::size_t num_edges = 2u * static_cast<std::size_t>(l_max + 1) *
-                                static_cast<std::size_t>(n) *
-                                static_cast<std::size_t>(n > 0 ? n - 1 : 0);
-  g.edges.reserve(num_edges);
-  for (int i = 0; i < n; ++i) {
+  for (int i = row_begin; i < row_end; ++i) {
     const i64 ci = primaries[static_cast<std::size_t>(i)];
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
@@ -90,49 +76,185 @@ ColorGraph build_color_graph(const std::vector<i64>& primaries,
           // ξ == 0 would mean cj is a shift of ci — impossible between
           // distinct primaries — so every edge carries a real color.
           MRPF_CHECK(xi != 0, "color graph: zero differential");
-          g.edges.push_back(make_edge(i, j, l, pred_negate, xi));
+          *out++ = make_edge(i, j, l, pred_negate, xi);
         }
       }
     }
   }
+}
 
-  // (color, edge index) keyed grouping; ties on index keep each class's
-  // edge list in enumeration order, exactly like the map-based reference.
-  std::vector<std::pair<i64, int>> keyed;
-  keyed.reserve(g.edges.size());
-  for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
-    keyed.emplace_back(g.edges[ei].color, static_cast<int>(ei));
-  }
-  std::sort(keyed.begin(), keyed.end());
-
-  // Slice the sorted runs into classes. The sorted permutation *is* the
-  // concatenated per-class edge list, so class_edges is one bulk copy and
-  // each class only records slice bounds — no per-class allocation.
-  g.class_edges.reserve(keyed.size());
-  g.class_coverable.reserve(keyed.size());
-  for (const auto& [color, ei] : keyed) g.class_edges.push_back(ei);
-  for (std::size_t lo = 0; lo < keyed.size();) {
+/// Slices the color-sorted (color, edge-index) permutation into classes:
+/// boundary scan, per-class cost, bulk class_edges copy, and the deduped
+/// coverable-target pool. `pool` (nullable) parallelizes the per-class
+/// work; the output is identical either way because every class is
+/// processed independently and compaction runs in class order.
+void slice_classes(ColorGraph& g, const std::vector<std::pair<i64, int>>& keyed,
+                   const ColorGraphOptions& options, ThreadPool* pool) {
+  const std::size_t e = keyed.size();
+  g.class_edges.resize(e);
+  // Boundary scan: one class per maximal run of equal colors.
+  g.classes.clear();
+  for (std::size_t lo = 0; lo < e;) {
     std::size_t hi = lo;
-    while (hi < keyed.size() && keyed[hi].first == keyed[lo].first) ++hi;
+    while (hi < e && keyed[hi].first == keyed[lo].first) ++hi;
     ColorClass cls;
     cls.color = keyed[lo].first;
-    cls.cost = number::nonzero_digits(cls.color, options.rep);
     cls.edges_begin = static_cast<int>(lo);
     cls.edges_end = static_cast<int>(hi);
-    cls.cov_begin = static_cast<int>(g.class_coverable.size());
-    for (std::size_t k = lo; k < hi; ++k) {
-      g.class_coverable.push_back(
-          g.edges[static_cast<std::size_t>(keyed[k].second)].to);
-    }
-    const auto cov_first = g.class_coverable.begin() + cls.cov_begin;
-    std::sort(cov_first, g.class_coverable.end());
-    g.class_coverable.erase(
-        std::unique(cov_first, g.class_coverable.end()),
-        g.class_coverable.end());
-    cls.cov_end = static_cast<int>(g.class_coverable.size());
     g.classes.push_back(cls);
     lo = hi;
   }
+
+  // Per-class work: cost, the edge-id slice, and the deduped target list.
+  // Targets land in a scratch pool at the class's edges_begin offset (an
+  // exact upper bound on the deduped size), then compact in class order.
+  std::vector<int> scratch(e);
+  std::vector<int> cov_count(g.classes.size());
+  const auto fill_class = [&](std::size_t c) {
+    ColorClass& cls = g.classes[c];
+    cls.cost = number::nonzero_digits(cls.color, options.rep);
+    const std::size_t lo = static_cast<std::size_t>(cls.edges_begin);
+    const std::size_t hi = static_cast<std::size_t>(cls.edges_end);
+    for (std::size_t k = lo; k < hi; ++k) {
+      g.class_edges[k] = keyed[k].second;
+      scratch[k] = g.edges[static_cast<std::size_t>(keyed[k].second)].to;
+    }
+    std::sort(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+              scratch.begin() + static_cast<std::ptrdiff_t>(hi));
+    const auto last =
+        std::unique(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+                    scratch.begin() + static_cast<std::ptrdiff_t>(hi));
+    cov_count[c] = static_cast<int>(
+        last - (scratch.begin() + static_cast<std::ptrdiff_t>(lo)));
+  };
+  if (pool != nullptr && pool->size() > 1 && g.classes.size() > 1) {
+    // Contiguous class blocks, one parallel index per block: coarse grain,
+    // deterministic because every class writes only its own slice.
+    const std::size_t blocks =
+        std::min<std::size_t>(g.classes.size(),
+                              static_cast<std::size_t>(pool->size()) * 4);
+    pool->parallel_for(blocks, [&](std::size_t b) {
+      const std::size_t lo = g.classes.size() * b / blocks;
+      const std::size_t hi = g.classes.size() * (b + 1) / blocks;
+      for (std::size_t c = lo; c < hi; ++c) fill_class(c);
+    });
+  } else {
+    for (std::size_t c = 0; c < g.classes.size(); ++c) fill_class(c);
+  }
+
+  // Compaction: exclusive prefix sum of deduped sizes, then bulk copies.
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < g.classes.size(); ++c) {
+    g.classes[c].cov_begin = static_cast<int>(total);
+    total += static_cast<std::size_t>(cov_count[c]);
+    g.classes[c].cov_end = static_cast<int>(total);
+  }
+  g.class_coverable.resize(total);
+  for (std::size_t c = 0; c < g.classes.size(); ++c) {
+    const ColorClass& cls = g.classes[c];
+    std::copy_n(scratch.begin() + cls.edges_begin,
+                cls.num_coverable(),
+                g.class_coverable.begin() + cls.cov_begin);
+  }
+}
+
+}  // namespace
+
+int ColorGraph::class_of(i64 color) const {
+  const auto it = std::lower_bound(
+      classes.begin(), classes.end(), color,
+      [](const ColorClass& cls, i64 c) { return cls.color < c; });
+  if (it == classes.end() || it->color != color) return -1;
+  return static_cast<int>(it - classes.begin());
+}
+
+ColorGraph build_color_graph(const std::vector<i64>& primaries,
+                             const ColorGraphOptions& options,
+                             ThreadPool* pool) {
+  ColorGraph g;
+  g.vertices = primaries;
+  const int n = static_cast<int>(primaries.size());
+  const int l_max = prepare(primaries, options);
+  g.l_max = l_max;
+
+  // Flat scheme: enumerate every edge into one exactly-sized contiguous
+  // vector, sort an index permutation by canonical color, and slice the
+  // runs into classes — no per-edge node allocation, no tree walk. With a
+  // pool, rows shard across workers: row i contributes exactly
+  // 2·(l_max+1)·(n−1) edges, so every shard writes a disjoint slice at a
+  // closed-form offset and the merged order equals the serial order.
+  const std::size_t row_stride = 2u * static_cast<std::size_t>(l_max + 1) *
+                                 static_cast<std::size_t>(n > 0 ? n - 1 : 0);
+  const std::size_t num_edges = static_cast<std::size_t>(n) * row_stride;
+  g.edges.resize(num_edges);
+  const bool sharded =
+      pool != nullptr && pool->size() > 1 && n > 1 && num_edges >= 1024;
+  const std::size_t shards =
+      sharded ? std::min<std::size_t>(static_cast<std::size_t>(n),
+                                      static_cast<std::size_t>(pool->size()) * 4)
+              : 1;
+  if (sharded) {
+    pool->parallel_for(shards, [&](std::size_t s) {
+      const int r0 = static_cast<int>(static_cast<std::size_t>(n) * s / shards);
+      const int r1 =
+          static_cast<int>(static_cast<std::size_t>(n) * (s + 1) / shards);
+      enumerate_rows(primaries, l_max, r0, r1,
+                     g.edges.data() + static_cast<std::size_t>(r0) * row_stride);
+    });
+  } else {
+    enumerate_rows(primaries, l_max, 0, n, g.edges.data());
+  }
+
+  // (color, edge index) keyed grouping; ties on index keep each class's
+  // edge list in enumeration order, exactly like the map-based reference.
+  // Keys are unique (the index), so the sorted permutation is the same
+  // total order no matter how — or on how many shards — it was sorted.
+  std::vector<std::pair<i64, int>> keyed(num_edges);
+  const auto fill_keys = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t ei = lo; ei < hi; ++ei) {
+      keyed[ei] = {g.edges[ei].color, static_cast<int>(ei)};
+    }
+  };
+  if (sharded) {
+    pool->parallel_for(shards, [&](std::size_t s) {
+      const std::size_t lo = num_edges * s / shards;
+      const std::size_t hi = num_edges * (s + 1) / shards;
+      fill_keys(lo, hi);
+      std::sort(keyed.begin() + static_cast<std::ptrdiff_t>(lo),
+                keyed.begin() + static_cast<std::ptrdiff_t>(hi));
+    });
+    // Ordered merge: pairwise inplace_merge rounds over the sorted blocks.
+    // Disjoint pairs merge in parallel; the block boundaries depend only
+    // on (num_edges, shards) and the final order is the unique sorted one.
+    std::vector<std::size_t> bounds;
+    for (std::size_t s = 0; s <= shards; ++s) {
+      bounds.push_back(num_edges * s / shards);
+    }
+    while (bounds.size() > 2) {
+      std::vector<std::size_t> next_bounds;
+      const std::size_t pairs = (bounds.size() - 1) / 2;
+      pool->parallel_for(pairs, [&](std::size_t p) {
+        const std::size_t lo = bounds[2 * p];
+        const std::size_t mid = bounds[2 * p + 1];
+        const std::size_t hi = bounds[2 * p + 2];
+        std::inplace_merge(keyed.begin() + static_cast<std::ptrdiff_t>(lo),
+                           keyed.begin() + static_cast<std::ptrdiff_t>(mid),
+                           keyed.begin() + static_cast<std::ptrdiff_t>(hi));
+      });
+      for (std::size_t b = 0; b < bounds.size(); b += 2) {
+        next_bounds.push_back(bounds[b]);
+      }
+      if (next_bounds.back() != bounds.back()) {
+        next_bounds.push_back(bounds.back());
+      }
+      bounds = std::move(next_bounds);
+    }
+  } else {
+    fill_keys(0, num_edges);
+    std::sort(keyed.begin(), keyed.end());
+  }
+
+  slice_classes(g, keyed, options, sharded ? pool : nullptr);
   return g;
 }
 

@@ -15,6 +15,10 @@
 #include "mrpf/common/bits.hpp"
 #include "mrpf/number/repr.hpp"
 
+namespace mrpf {
+class ThreadPool;
+}
+
 namespace mrpf::core {
 
 struct SidcEdge {
@@ -78,8 +82,17 @@ struct ColorGraphOptions {
 /// sort an index permutation by canonical color, slice the runs into
 /// contiguous classes. Allocation-light and cache-friendly; the hot path
 /// of every `mrp_optimize` call.
+///
+/// With a non-null `pool`, construction shards internally: row blocks of
+/// the edge enumeration write disjoint slices at closed-form offsets, the
+/// color permutation is block-sorted and merged in order, and the
+/// per-class cost/coverable work fans out over class blocks. Every shard
+/// writes only its own slice and the merge order is the unique sorted
+/// order, so the result is field-for-field identical to the serial build
+/// for every pool size (and to the map reference).
 ColorGraph build_color_graph(const std::vector<i64>& primaries,
-                             const ColorGraphOptions& options = {});
+                             const ColorGraphOptions& options = {},
+                             ThreadPool* pool = nullptr);
 
 /// The seed implementation's std::map-based grouping (per-color tree node
 /// and dynamically grown edge list), kept for differential tests and as

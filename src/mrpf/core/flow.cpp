@@ -35,33 +35,37 @@ SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
                            const MrpOptions& options) {
   SchemeResult out;
   out.scheme = scheme;
+  StageSample lowering;
   switch (scheme) {
     case Scheme::kSimple: {
       out.multiplier_adders = baseline::simple_adder_cost(bank, options.rep);
+      const StageStopwatch watch(lowering);
       out.block = baseline::build_simple_block(bank, options.rep);
-      return out;
+      break;
     }
     case Scheme::kCse: {
       cse::CseOptions cse_opts;
       cse_opts.rep = number::NumberRep::kCsd;  // Hartley CSE is CSD-based
       out.cse = cse::hartley_cse(bank, cse_opts);
       out.multiplier_adders = out.cse->adder_count();
+      const StageStopwatch watch(lowering);
       out.block = cse::build_multiplier_block(*out.cse);
-      return out;
+      break;
     }
     case Scheme::kDiffMst: {
       const baseline::DiffMstResult plan =
           baseline::diff_mst_optimize(bank, options.rep);
       out.multiplier_adders = plan.adders;
+      const StageStopwatch watch(lowering);
       out.block = baseline::build_diff_mst_block(bank, options.rep);
-      return out;
+      break;
     }
     case Scheme::kRagn: {
       baseline::RagnResult plan =
           baseline::ragn_optimize(bank, number::NumberRep::kCsd);
       out.multiplier_adders = plan.adders;
       out.block = std::move(plan.block);
-      return out;
+      break;
     }
     case Scheme::kMrp:
     case Scheme::kMrpCse: {
@@ -69,33 +73,47 @@ SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
       opts.cse_on_seed = (scheme == Scheme::kMrpCse);
       out.mrp = mrp_optimize(bank, opts);
       out.multiplier_adders = out.mrp->total_adders();
+      const StageStopwatch watch(lowering);
       out.block = build_mrp_block(bank, *out.mrp, opts);
-      return out;
+      break;
     }
+    default:
+      throw Error("optimize_bank: unknown scheme");
   }
-  throw Error("optimize_bank: unknown scheme");
+  out.lowering_ns = lowering.ns;
+  return out;
 }
 
 std::vector<SchemeResult> optimize_bank_batch(
     const std::vector<std::vector<i64>>& banks, Scheme scheme,
     const MrpOptions& options) {
   std::vector<SchemeResult> results(banks.size());
+  ThreadPool pool;  // one pool for every stage of the batch
   if (scheme == Scheme::kMrp || scheme == Scheme::kMrpCse) {
-    // Fan the MRP solves out first, then lower each block; both stages are
-    // index-owned writes, so the batch is deterministic.
+    // Fan the MRP solves out first (inner color-graph/set-cover stages
+    // share the same pool through opts.pool — nesting is safe and workers
+    // that run out of solves steal inner shards), then lower each block.
+    // Both stages are index-owned writes, so the batch is deterministic.
     MrpOptions opts = options;
     opts.cse_on_seed = (scheme == Scheme::kMrpCse);
-    std::vector<MrpResult> solved = mrp_optimize_batch(banks, opts);
-    ThreadPool pool;
+    opts.pool = &pool;
+    std::vector<MrpResult> solved(banks.size());
+    pool.parallel_for(banks.size(), [&](std::size_t i) {
+      solved[i] = mrp_optimize(banks[i], opts);
+    });
     pool.parallel_for(banks.size(), [&](std::size_t i) {
       results[i].scheme = scheme;
       results[i].mrp = std::move(solved[i]);
       results[i].multiplier_adders = results[i].mrp->total_adders();
-      results[i].block = build_mrp_block(banks[i], *results[i].mrp, opts);
+      StageSample lowering;
+      {
+        const StageStopwatch watch(lowering);
+        results[i].block = build_mrp_block(banks[i], *results[i].mrp, opts);
+      }
+      results[i].lowering_ns = lowering.ns;
     });
     return results;
   }
-  ThreadPool pool;
   pool.parallel_for(banks.size(), [&](std::size_t i) {
     results[i] = optimize_bank(banks[i], scheme, options);
   });

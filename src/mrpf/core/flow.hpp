@@ -36,6 +36,9 @@ struct SchemeResult {
   arch::MultiplierBlock block;
   std::optional<MrpResult> mrp;        // kMrp / kMrpCse
   std::optional<cse::CseResult> cse;   // kCse
+  /// Wall ns spent lowering the optimized plan into the verified block
+  /// (the MRP stage-A breakdown itself travels in mrp->timers).
+  double lowering_ns = 0.0;
 };
 
 /// Optimizes a constant bank (no folding applied here).

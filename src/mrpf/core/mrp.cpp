@@ -215,45 +215,68 @@ MrpResult mrp_optimize(const std::vector<i64>& constants,
              "mrp: recursive_levels out of range");
 
   MrpResult r;
-  r.bank = extract_primaries(constants);
-  r.vertices = r.bank.primaries;
+  const auto t_begin = std::chrono::steady_clock::now();
+  const auto finish_total = [&r, t_begin] {
+    r.timers.total_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t_begin)
+            .count());
+  };
+  {
+    const StageStopwatch watch(r.timers.primaries);
+    r.bank = extract_primaries(constants);
+    r.vertices = r.bank.primaries;
+  }
   const int n = static_cast<int>(r.vertices.size());
+  r.timers.primaries.items = static_cast<std::uint64_t>(n);
   r.vertex_depth.assign(static_cast<std::size_t>(n), -1);
-  if (n == 0) return r;  // all-zero bank: nothing to compute
+  if (n == 0) {  // all-zero bank: nothing to compute
+    finish_total();
+    return r;
+  }
 
   // --- Stage A steps 3–5: color graph and greedy WMSC. ---
   const ColorGraphOptions cg_opts{options.l_max, options.rep};
-  const ColorGraph cg = options.use_reference_engine
-                            ? build_color_graph_reference(r.vertices, cg_opts)
-                            : build_color_graph(r.vertices, cg_opts);
+  ColorGraph cg;
+  {
+    const StageStopwatch watch(r.timers.color_graph);
+    cg = options.use_reference_engine
+             ? build_color_graph_reference(r.vertices, cg_opts)
+             : build_color_graph(r.vertices, cg_opts, options.pool);
+  }
+  r.timers.color_graph.items = static_cast<std::uint64_t>(cg.edges.size());
   // tie_key = color value: DESIGN.md's "ties: lower cost, then smaller
   // value" rule, explicit instead of leaning on class ordering. The hot
   // path borrows each class's coverable slice straight out of the color
   // graph (zero per-set allocations); the reference engine keeps the seed
   // scheme of copying every element list into an owning CoverSet.
   graph::SetCoverResult cover;
-  if (options.use_reference_engine) {
-    std::vector<graph::CoverSet> sets;
-    sets.reserve(cg.classes.size());
-    for (const ColorClass& cls : cg.classes) {
-      const auto cov = cg.coverable_ids(cls);
-      sets.push_back({{cov.begin(), cov.end()},
-                      static_cast<double>(cls.cost),
-                      cls.color});
+  {
+    const StageStopwatch watch(r.timers.set_cover);
+    if (options.use_reference_engine) {
+      std::vector<graph::CoverSet> sets;
+      sets.reserve(cg.classes.size());
+      for (const ColorClass& cls : cg.classes) {
+        const auto cov = cg.coverable_ids(cls);
+        sets.push_back({{cov.begin(), cov.end()},
+                        static_cast<double>(cls.cost),
+                        cls.color});
+      }
+      cover = graph::greedy_weighted_set_cover_reference(
+          n, sets, graph::paper_benefit(options.beta));
+    } else {
+      std::vector<graph::CoverSetView> sets;
+      sets.reserve(cg.classes.size());
+      for (const ColorClass& cls : cg.classes) {
+        sets.push_back({cg.class_coverable.data() + cls.cov_begin,
+                        cls.num_coverable(), static_cast<double>(cls.cost),
+                        cls.color});
+      }
+      cover = graph::greedy_weighted_set_cover(
+          n, sets, graph::paper_benefit(options.beta), options.pool);
     }
-    cover = graph::greedy_weighted_set_cover_reference(
-        n, sets, graph::paper_benefit(options.beta));
-  } else {
-    std::vector<graph::CoverSetView> sets;
-    sets.reserve(cg.classes.size());
-    for (const ColorClass& cls : cg.classes) {
-      sets.push_back({cg.class_coverable.data() + cls.cov_begin,
-                      cls.num_coverable(), static_cast<double>(cls.cost),
-                      cls.color});
-    }
-    cover = graph::greedy_weighted_set_cover(
-        n, sets, graph::paper_benefit(options.beta));
   }
+  r.timers.set_cover.items = static_cast<std::uint64_t>(cg.classes.size());
   for (const int si : cover.chosen) {
     r.solution_colors.push_back(
         cg.classes[static_cast<std::size_t>(si)].color);
@@ -285,13 +308,17 @@ MrpResult mrp_optimize(const std::vector<i64>& constants,
   const int depth_limit = options.depth_limit > 0
                               ? options.depth_limit
                               : std::numeric_limits<int>::max() - 1;
-  if (options.use_reference_engine) {
-    grow_trees_reference(sub, r.vertices, depth_limit, depth, parent_edge,
-                         r.roots, r.root_is_free);
-  } else {
-    grow_trees_incremental(sub, r.vertices, depth_limit, depth, parent_edge,
+  {
+    const StageStopwatch watch(r.timers.tree_growth);
+    if (options.use_reference_engine) {
+      grow_trees_reference(sub, r.vertices, depth_limit, depth, parent_edge,
                            r.roots, r.root_is_free);
+    } else {
+      grow_trees_incremental(sub, r.vertices, depth_limit, depth,
+                             parent_edge, r.roots, r.root_is_free);
+    }
   }
+  r.timers.tree_growth.items = static_cast<std::uint64_t>(r.roots.size());
 
   // --- Record tree edges, parents before children. ---
   std::vector<int> by_depth;
@@ -315,38 +342,53 @@ MrpResult mrp_optimize(const std::vector<i64>& constants,
   r.overhead_adders = static_cast<int>(r.tree_edges.size());
 
   // --- SEED set and its network cost. ---
-  std::vector<i64> seed = r.solution_colors;
-  for (const int root : r.roots) {
-    seed.push_back(r.vertices[static_cast<std::size_t>(root)]);
-  }
-  std::sort(seed.begin(), seed.end());
-  seed.erase(std::unique(seed.begin(), seed.end()), seed.end());
-  r.seed_values = std::move(seed);
+  {
+    const StageStopwatch watch(r.timers.seed_synthesis);
+    std::vector<i64> seed = r.solution_colors;
+    for (const int root : r.roots) {
+      seed.push_back(r.vertices[static_cast<std::size_t>(root)]);
+    }
+    std::sort(seed.begin(), seed.end());
+    seed.erase(std::unique(seed.begin(), seed.end()), seed.end());
+    r.seed_values = std::move(seed);
 
-  if (options.recursive_levels > 0 && !r.seed_values.empty()) {
-    MrpOptions nested = options;
-    nested.recursive_levels = options.recursive_levels - 1;
-    r.seed_recursive = std::make_unique<MrpResult>(
-        mrp_optimize(r.seed_values, nested));
-    r.seed_adders = r.seed_recursive->total_adders();
-  } else if (options.cse_on_seed) {
-    cse::CseOptions cse_opts;
-    cse_opts.rep = number::NumberRep::kCsd;
-    r.seed_cse = cse::hartley_cse(r.seed_values, cse_opts);
-    r.seed_adders = r.seed_cse->adder_count();
-  } else {
-    for (const i64 v : r.seed_values) {
-      r.seed_adders += number::multiplier_adders(v, options.rep);
+    if (options.recursive_levels > 0 && !r.seed_values.empty()) {
+      MrpOptions nested = options;
+      nested.recursive_levels = options.recursive_levels - 1;
+      r.seed_recursive = std::make_unique<MrpResult>(
+          mrp_optimize(r.seed_values, nested));
+      r.seed_adders = r.seed_recursive->total_adders();
+    } else if (options.cse_on_seed) {
+      cse::CseOptions cse_opts;
+      cse_opts.rep = number::NumberRep::kCsd;
+      r.seed_cse = cse::hartley_cse(r.seed_values, cse_opts);
+      r.seed_adders = r.seed_cse->adder_count();
+    } else {
+      for (const i64 v : r.seed_values) {
+        r.seed_adders += number::multiplier_adders(v, options.rep);
+      }
     }
   }
+  r.timers.seed_synthesis.items =
+      static_cast<std::uint64_t>(r.seed_values.size());
+  finish_total();
   return r;
 }
 
 std::vector<MrpResult> mrp_optimize_batch(const std::vector<MrpBatchJob>& jobs) {
+  // Outer grain: one index per solve. Inner grain: every solve hands the
+  // same pool down through options.pool, so the sharded color-graph and
+  // set-cover stages of a large solve are stolen by workers that have run
+  // out of solves — the pool is nesting-safe and never oversubscribed.
+  // Each worker writes only results[i], and the inner stages are
+  // shard-count-independent, so the batch stays bit-identical to a serial
+  // loop for every thread count.
   std::vector<MrpResult> results(jobs.size());
   ThreadPool pool;
   pool.parallel_for(jobs.size(), [&](std::size_t i) {
-    results[i] = mrp_optimize(jobs[i].bank, jobs[i].options);
+    MrpOptions opts = jobs[i].options;
+    opts.pool = &pool;
+    results[i] = mrp_optimize(jobs[i].bank, opts);
   });
   return results;
 }
@@ -355,8 +397,10 @@ std::vector<MrpResult> mrp_optimize_batch(
     const std::vector<std::vector<i64>>& banks, const MrpOptions& options) {
   std::vector<MrpResult> results(banks.size());
   ThreadPool pool;
+  MrpOptions opts = options;
+  opts.pool = &pool;
   pool.parallel_for(banks.size(), [&](std::size_t i) {
-    results[i] = mrp_optimize(banks[i], options);
+    results[i] = mrp_optimize(banks[i], opts);
   });
   return results;
 }

@@ -11,8 +11,13 @@
 
 #include "mrpf/core/color_graph.hpp"
 #include "mrpf/core/sidc.hpp"
+#include "mrpf/core/stage_timers.hpp"
 #include "mrpf/cse/hartley.hpp"
 #include "mrpf/number/repr.hpp"
+
+namespace mrpf {
+class ThreadPool;
+}
 
 namespace mrpf::core {
 
@@ -35,6 +40,14 @@ struct MrpOptions {
   /// Differential testing and perf baselines only — the result is
   /// bit-identical either way, just slower.
   bool use_reference_engine = false;
+  /// Intra-solve parallelism: when non-null, the color-graph build and the
+  /// set-cover seeding shard their work across this pool. The result is
+  /// bit-identical to pool == nullptr for every pool size (see
+  /// color_graph.hpp / set_cover.hpp); only wall time changes. Nested use
+  /// is safe — mrp_optimize_batch hands its own fan-out pool down here and
+  /// the pool runs nested loops inline with work stealing. Borrowed, never
+  /// owned; must outlive the call.
+  ThreadPool* pool = nullptr;
 };
 
 /// One committed computation-order edge: child = σ·(parent<<L) ± ξ.
@@ -73,6 +86,11 @@ struct MrpResult {
   std::optional<cse::CseResult> seed_cse;
   /// Present when options.recursive_levels > 0.
   std::unique_ptr<MrpResult> seed_recursive;
+
+  /// Per-stage wall time + item counts of this solve (always collected;
+  /// excluded from bit-identity comparisons — it is observability, not
+  /// part of the solution).
+  StageTimers timers;
 };
 
 /// Runs MRP stage A + tree construction over a constant bank (typically

@@ -1,0 +1,56 @@
+// Per-solve stage observability for the MRP pipeline.
+//
+// Every mrp_optimize call records wall time and an item count for each
+// stage-A phase into the MrpResult it returns, so a perf regression shows
+// up *per stage per solve* in bench/perf_mrp_sweep's BENCH_mrp.json
+// trajectory instead of being buried in one aggregate number. Collection
+// is always on: the cost is a handful of steady_clock reads per solve,
+// invisible next to the stages themselves, and the timers never influence
+// any algorithmic decision — results stay bit-identical with or without
+// readers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mrpf::core {
+
+/// One timed stage: wall nanoseconds plus how many items it processed
+/// (edges, classes, roots, … — see the per-stage comments below), so a
+/// trajectory diff can tell "stage got slower" from "workload got bigger".
+struct StageSample {
+  double ns = 0.0;
+  std::uint64_t items = 0;
+};
+
+/// The stage-A breakdown of one solve, in pipeline order.
+struct StageTimers {
+  StageSample primaries;       // items: primary vertices extracted
+  StageSample color_graph;     // items: SIDC edges enumerated
+  StageSample set_cover;       // items: color classes (cover sets) scored
+  StageSample tree_growth;     // items: roots selected
+  StageSample seed_synthesis;  // items: SEED values costed
+  double total_ns = 0.0;       // whole mrp_optimize call
+};
+
+/// Scoped stage stopwatch: records elapsed ns into `sample` on
+/// destruction; the caller fills `items` at its convenience.
+class StageStopwatch {
+ public:
+  explicit StageStopwatch(StageSample& sample)
+      : sample_(sample), start_(std::chrono::steady_clock::now()) {}
+  ~StageStopwatch() {
+    sample_.ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  StageStopwatch(const StageStopwatch&) = delete;
+  StageStopwatch& operator=(const StageStopwatch&) = delete;
+
+ private:
+  StageSample& sample_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mrpf::core

@@ -1,10 +1,12 @@
 #include "mrpf/graph/set_cover.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <span>
 
 #include "mrpf/common/error.hpp"
+#include "mrpf/common/parallel.hpp"
 
 namespace mrpf::graph {
 
@@ -29,6 +31,10 @@ void validate(int num_elements, const std::vector<Set>& sets,
 }
 
 /// a "less" than b == a is a strictly worse greedy pick than b.
+/// `f` must be finite: a NaN benefit would break strict weak ordering
+/// (NaN != NaN is true yet neither side orders first) and silently corrupt
+/// the heap, so every scoring site checks `score()` below instead of
+/// calling the benefit function raw.
 struct HeapEntry {
   double f = 0.0;
   double cost = 0.0;
@@ -43,6 +49,14 @@ struct HeapEntry {
     return index > o.index;
   }
 };
+
+/// benefit(freq, cost) with the finiteness guard all scoring goes through.
+double score(const BenefitFn& benefit, int freq, double cost) {
+  const double f = benefit(freq, cost);
+  MRPF_CHECK(std::isfinite(f),
+             "set cover: benefit function returned a non-finite value");
+  return f;
+}
 
 }  // namespace
 
@@ -62,9 +76,12 @@ BenefitFn ratio_benefit() {
 namespace {
 
 /// Shared lazy-greedy core over owning CoverSets or borrowed CoverSetViews.
+/// `pool` (nullable) parallelizes the seeding-time benefit scoring; the
+/// selection loop is identical either way because the seeded entries are
+/// slot-indexed (one per set, in set order) before the heap is built.
 template <typename Set>
 SetCoverResult lazy_greedy(int num_elements, const std::vector<Set>& sets,
-                           const BenefitFn& benefit) {
+                           const BenefitFn& benefit, ThreadPool* pool) {
   validate(num_elements, sets, benefit);
 
   SetCoverResult r;
@@ -83,12 +100,41 @@ SetCoverResult lazy_greedy(int num_elements, const std::vector<Set>& sets,
     }
   }
 
-  std::priority_queue<HeapEntry> heap;
-  for (std::size_t si = 0; si < sets.size(); ++si) {
-    if (freq[si] == 0) continue;
-    heap.push({benefit(freq[si], sets[si].cost), sets[si].cost,
-               sets[si].tie_key, static_cast<int>(si), freq[si]});
+  // Seed scoring: one HeapEntry slot per set, scored independently — the
+  // per-class cost/benefit pass that dominates seeding on large color
+  // graphs — then one bulk heapify. freq == 0 slots keep index -1 and are
+  // compacted away in set order, so the heap contents (and therefore the
+  // pop sequence, whose comparator totally orders distinct sets by
+  // (f, cost, tie_key, index)) never depend on the thread count. The
+  // benefit function must tolerate concurrent calls when a pool is given;
+  // both built-in rules are pure.
+  std::vector<HeapEntry> seeds(sets.size());
+  const auto score_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t si = lo; si < hi; ++si) {
+      if (freq[si] == 0) {
+        seeds[si].index = -1;
+        continue;
+      }
+      seeds[si] = {score(benefit, freq[si], sets[si].cost), sets[si].cost,
+                   sets[si].tie_key, static_cast<int>(si), freq[si]};
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && sets.size() >= 1024) {
+    const std::size_t blocks = std::min<std::size_t>(
+        sets.size(), static_cast<std::size_t>(pool->size()) * 4);
+    pool->parallel_for(blocks, [&](std::size_t b) {
+      score_range(sets.size() * b / blocks, sets.size() * (b + 1) / blocks);
+    });
+  } else {
+    score_range(0, sets.size());
   }
+  std::vector<HeapEntry> live;
+  live.reserve(seeds.size());
+  for (const HeapEntry& s : seeds) {
+    if (s.index >= 0) live.push_back(s);
+  }
+  std::priority_queue<HeapEntry> heap(std::less<HeapEntry>(),
+                                      std::move(live));
 
   std::vector<bool> used(sets.size(), false);
   while (uncovered > 0 && !heap.empty()) {
@@ -101,7 +147,7 @@ SetCoverResult lazy_greedy(int num_elements, const std::vector<Set>& sets,
       // the true frequency — monotone benefit means the fresh key is never
       // larger, so the heap order over fresh entries stays exact.
       if (freq[si] > 0) {
-        heap.push({benefit(freq[si], top.cost), top.cost, top.tie_key,
+        heap.push({score(benefit, freq[si], top.cost), top.cost, top.tie_key,
                    top.index, freq[si]});
       }
       continue;
@@ -127,14 +173,15 @@ SetCoverResult lazy_greedy(int num_elements, const std::vector<Set>& sets,
 
 SetCoverResult greedy_weighted_set_cover(int num_elements,
                                          const std::vector<CoverSet>& sets,
-                                         const BenefitFn& benefit) {
-  return lazy_greedy(num_elements, sets, benefit);
+                                         const BenefitFn& benefit,
+                                         ThreadPool* pool) {
+  return lazy_greedy(num_elements, sets, benefit, pool);
 }
 
 SetCoverResult greedy_weighted_set_cover(
     int num_elements, const std::vector<CoverSetView>& sets,
-    const BenefitFn& benefit) {
-  return lazy_greedy(num_elements, sets, benefit);
+    const BenefitFn& benefit, ThreadPool* pool) {
+  return lazy_greedy(num_elements, sets, benefit, pool);
 }
 
 SetCoverResult greedy_weighted_set_cover_reference(
@@ -158,7 +205,7 @@ SetCoverResult greedy_weighted_set_cover_reference(
         freq += (r.covered_by[static_cast<std::size_t>(e)] == -1);
       }
       if (freq == 0) continue;
-      const double f = benefit(freq, sets[si].cost);
+      const double f = score(benefit, freq, sets[si].cost);
       const auto& b = best == -1 ? sets[si] : sets[static_cast<std::size_t>(best)];
       const bool better =
           best == -1 || f > best_f ||

@@ -22,6 +22,10 @@
 
 #include "mrpf/common/bits.hpp"
 
+namespace mrpf {
+class ThreadPool;
+}
+
 namespace mrpf::graph {
 
 struct CoverSet {
@@ -70,17 +74,26 @@ struct SetCoverResult {
 /// then lower set index (deterministic). Elements that belong to no set
 /// stay uncovered and make `complete` false. Returns the identical chosen
 /// sequence as the reference implementation for any benefit function that
-/// is non-decreasing in live_frequency.
+/// is non-decreasing in live_frequency. A benefit that returns a
+/// non-finite value (NaN would silently break the heap's strict weak
+/// ordering) throws mrpf::Error at scoring time instead.
+///
+/// With a non-null `pool`, the seeding pass — scoring benefit(freq, cost)
+/// for every set, the dominant cost on large instances — fans out over set
+/// blocks and the heap is built in one bulk heapify; the selection
+/// sequence is identical for every pool size. `benefit` must then be safe
+/// to invoke concurrently (both built-in rules are pure).
 SetCoverResult greedy_weighted_set_cover(int num_elements,
                                          const std::vector<CoverSet>& sets,
-                                         const BenefitFn& benefit);
+                                         const BenefitFn& benefit,
+                                         ThreadPool* pool = nullptr);
 
 /// Same algorithm over borrowed element slices (the allocation-free form
 /// used by the MRP hot path). Chosen sequence is identical to the owning
 /// overload on the equivalent input.
 SetCoverResult greedy_weighted_set_cover(
     int num_elements, const std::vector<CoverSetView>& sets,
-    const BenefitFn& benefit);
+    const BenefitFn& benefit, ThreadPool* pool = nullptr);
 
 /// Original O(rounds · Σ|sets|) rescan loop, same selection rule.
 SetCoverResult greedy_weighted_set_cover_reference(

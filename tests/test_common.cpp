@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "mrpf/common/bits.hpp"
@@ -170,10 +172,106 @@ TEST(ThreadPool, DefaultThreadCountReadsEnvironment) {
   EXPECT_EQ(default_thread_count(), 3);
   ::setenv("MRPF_THREADS", "9999", 1);  // clamped
   EXPECT_EQ(default_thread_count(), 512);
-  ::setenv("MRPF_THREADS", "garbage", 1);  // ignored -> hardware default
+  ::setenv("MRPF_THREADS", "garbage", 1);  // rejected -> hardware default
   EXPECT_GE(default_thread_count(), 1);
   ::unsetenv("MRPF_THREADS");
   EXPECT_GE(default_thread_count(), 1);
+}
+
+TEST(ThreadPool, MalformedThreadEnvWarnsOnceAndFallsBack) {
+  // Grammar: decimal digits only, value >= 1 (values above 512 clamp).
+  // Every malformed form falls back to the hardware default and the
+  // warning fires at most once per process — exactly once if no earlier
+  // test tripped it already.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hardware_default = hw > 0 ? static_cast<int>(hw) : 1;
+  const bool warned_before = detail::thread_env_warning_fired();
+  ::testing::internal::CaptureStderr();
+  for (const char* bad : {"4x", "0", "-2", "", "  4", "+4", "4 "}) {
+    ::setenv("MRPF_THREADS", bad, 1);
+    EXPECT_EQ(default_thread_count(), hardware_default)
+        << "MRPF_THREADS=\"" << bad << '"';
+  }
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(detail::thread_env_warning_fired());
+  std::size_t warnings = 0;
+  const std::string needle = "ignoring malformed MRPF_THREADS";
+  for (std::size_t pos = err.find(needle); pos != std::string::npos;
+       pos = err.find(needle, pos + 1)) {
+    ++warnings;
+  }
+  EXPECT_EQ(warnings, warned_before ? 0u : 1u) << err;
+  // Well-formed values still parse after the warning.
+  ::setenv("MRPF_THREADS", "2", 1);
+  EXPECT_EQ(default_thread_count(), 2);
+  ::unsetenv("MRPF_THREADS");
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Regression: publishing a loop from inside a running job used to wait
+  // for `idle_workers_ == all`, which could never be reached — every
+  // worker was busy inside the outer loop. Nested publication now drains
+  // inline on the calling worker while idle workers steal shares. Two
+  // levels of nesting at 4 threads, all on one pool.
+  ThreadPool pool(4);
+  const std::size_t outer = 8, mid = 6, inner = 5;
+  std::vector<std::atomic<int>> hits(outer * mid * inner);
+  pool.parallel_for(outer, [&](std::size_t i) {
+    pool.parallel_for(mid, [&](std::size_t j) {
+      pool.parallel_for(inner, [&](std::size_t k) {
+        ++hits[(i * mid + j) * inner + k];
+      });
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  // The pool stays reusable after nested jobs.
+  std::atomic<int> total{0};
+  pool.parallel_for(17, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 17);
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesToTheNestedPublisher) {
+  ThreadPool pool(4);
+  std::atomic<int> outer_failures{0};
+  EXPECT_THROW(
+      pool.parallel_for(6,
+                        [&](std::size_t i) {
+                          try {
+                            pool.parallel_for(8, [&](std::size_t j) {
+                              if (j == 3) {
+                                throw std::runtime_error("inner boom");
+                              }
+                            });
+                          } catch (const std::runtime_error&) {
+                            ++outer_failures;
+                            if (i == 0) throw;  // also fail the outer loop
+                          }
+                        }),
+      std::runtime_error);
+  // Every inner loop rethrew to its own publisher...
+  EXPECT_EQ(outer_failures.load(), 6);
+  // ...and a clean run still works afterwards.
+  std::atomic<int> total{0};
+  pool.parallel_for(9, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 9);
+}
+
+TEST(ThreadPool, SharedPoolIsProcessWideAndReentrant) {
+  // The free parallel_for routes through one lazily-built process pool, so
+  // hot paths never pay thread-spawn cost per call; it is the same object
+  // on every call and nested use is safe.
+  ThreadPool& a = shared_thread_pool();
+  ThreadPool& b = shared_thread_pool();
+  EXPECT_EQ(&a, &b);
+  std::vector<int> out(64, -1);
+  parallel_for(out.size(), [&](std::size_t i) {
+    parallel_for(1, [&](std::size_t) { out[i] = static_cast<int>(i); });
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
 }
 
 }  // namespace

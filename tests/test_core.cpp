@@ -11,9 +11,10 @@
 #include "mrpf/common/error.hpp"
 #include "mrpf/core/build.hpp"
 #include "mrpf/core/color_graph.hpp"
+#include "mrpf/common/parallel.hpp"
+#include "mrpf/common/rng.hpp"
 #include "mrpf/core/mrp.hpp"
 #include "mrpf/core/sidc.hpp"
-#include "mrpf/common/rng.hpp"
 
 namespace mrpf::core {
 namespace {
@@ -422,6 +423,130 @@ TEST(Mrp, BatchIsDeterministicAcrossThreadCounts) {
   ASSERT_EQ(one.size(), four.size());
   for (std::size_t i = 0; i < one.size(); ++i) {
     expect_same_mrp_result(one[i], four[i]);
+  }
+}
+
+/// Field-for-field equality of two color graphs (every edge, class, and
+/// pool entry), shared by the reference-differential and pooled-build
+/// tests.
+void expect_same_color_graph(const ColorGraph& a, const ColorGraph& b) {
+  ASSERT_EQ(a.vertices, b.vertices);
+  ASSERT_EQ(a.l_max, b.l_max);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t e = 0; e < a.edges.size(); ++e) {
+    const SidcEdge& x = a.edges[e];
+    const SidcEdge& y = b.edges[e];
+    ASSERT_TRUE(x.from == y.from && x.to == y.to && x.l == y.l &&
+                x.pred_negate == y.pred_negate && x.xi == y.xi &&
+                x.color == y.color && x.color_shift == y.color_shift &&
+                x.color_negate == y.color_negate)
+        << "edge " << e;
+  }
+  ASSERT_EQ(a.class_edges, b.class_edges);
+  ASSERT_EQ(a.class_coverable, b.class_coverable);
+  ASSERT_EQ(a.classes.size(), b.classes.size());
+  for (std::size_t c = 0; c < a.classes.size(); ++c) {
+    const ColorClass& x = a.classes[c];
+    const ColorClass& y = b.classes[c];
+    ASSERT_TRUE(x.color == y.color && x.cost == y.cost &&
+                x.edges_begin == y.edges_begin && x.edges_end == y.edges_end &&
+                x.cov_begin == y.cov_begin && x.cov_end == y.cov_end)
+        << "class " << c;
+  }
+}
+
+TEST(ColorGraph, OverflowBoundaryIsExact) {
+  // bit_width_abs(p) + l_max == 62 is the largest legal configuration
+  // (ci << l_max still fits i64, and ξ = cj − σ·(ci << l) stays inside
+  // 2^63 — here with large *negative* differentials, since cj is tiny
+  // against ci << l). == 63 must trip the MRPF_CHECK in both builders.
+  const i64 wide = (i64{1} << 57) + 1;  // bit width 58
+  ColorGraphOptions opts;
+  // Sign-magnitude cost is a plain popcount with no range limit; the
+  // CSD/SPT digit recoding additionally requires |color| < 2^61, which a
+  // 62-bit differential exceeds — the boundary under test here is the
+  // graph's own shift-overflow check, so pick the rep that reaches it.
+  opts.rep = NumberRep::kSignMagnitude;
+  opts.l_max = 4;  // 58 + 4 == 62: legal
+  const ColorGraph flat = build_color_graph({3, wide}, opts);
+  const ColorGraph ref = build_color_graph_reference({3, wide}, opts);
+  expect_same_color_graph(flat, ref);
+  // The extreme edge exists and its differential is the expected huge
+  // negative value 3 − (wide << 4), decomposed without overflow.
+  const i64 extreme = 3 - (wide << 4);
+  bool found = false;
+  for (const SidcEdge& e : flat.edges) found = found || e.xi == extreme;
+  EXPECT_TRUE(found);
+
+  opts.l_max = 5;  // 58 + 5 == 63: must throw, in both builders
+  EXPECT_THROW(build_color_graph({3, wide}, opts), Error);
+  EXPECT_THROW(build_color_graph_reference({3, wide}, opts), Error);
+
+  // Negative (and even) primaries are rejected outright — the overflow
+  // check never sees them.
+  opts.l_max = 1;
+  EXPECT_THROW(build_color_graph({-3, 5}, opts), Error);
+  EXPECT_THROW(build_color_graph_reference({-3, 5}, opts), Error);
+}
+
+TEST(ColorGraph, PooledBuildMatchesSerialForEveryPoolSize) {
+  // The sharded build (row-blocked enumeration, block-sorted merge,
+  // parallel class slicing) must be field-for-field identical to the
+  // serial flat build — and therefore to the map reference — for any pool
+  // size. Primaries are sized so the sharded path actually engages
+  // (>= 1024 edges).
+  Rng rng(0x5AAD);
+  for (const int threads : {2, 3, 8}) {
+    ThreadPool pool(threads);
+    for (int trial = 0; trial < 6; ++trial) {
+      const std::vector<i64> primaries = [&] {
+        std::set<i64> vals;
+        while (vals.size() < 24u) vals.insert(rng.next_int(1, 4095) | 1);
+        return std::vector<i64>{vals.begin(), vals.end()};
+      }();
+      ColorGraphOptions opts;
+      opts.rep = trial % 2 == 0 ? NumberRep::kSpt : NumberRep::kSignMagnitude;
+      const ColorGraph serial = build_color_graph(primaries, opts);
+      const ColorGraph pooled = build_color_graph(primaries, opts, &pool);
+      ASSERT_GE(pooled.edges.size(), 1024u);
+      expect_same_color_graph(pooled, serial);
+    }
+  }
+}
+
+TEST(Mrp, PooledSolveMatchesSerialAndRecordsStageTimers) {
+  // An intra-solve pool must not change a single field of the result, and
+  // every solve must carry its per-stage breakdown (ns can be 0 on a
+  // coarse clock, items are exact).
+  ThreadPool pool(4);
+  Rng rng(0x7001);
+  std::vector<std::vector<i64>> banks = {kPaperExample};
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<i64> bank;
+    for (int t = 0; t < 40; ++t) bank.push_back(rng.next_int(-32767, 32767));
+    banks.push_back(std::move(bank));
+  }
+  for (const std::vector<i64>& bank : banks) {
+    MrpOptions serial_opts;
+    MrpOptions pooled_opts;
+    pooled_opts.pool = &pool;
+    const MrpResult serial = mrp_optimize(bank, serial_opts);
+    const MrpResult pooled = mrp_optimize(bank, pooled_opts);
+    expect_same_mrp_result(serial, pooled);
+    for (const MrpResult* r : {&serial, &pooled}) {
+      EXPECT_GT(r->timers.primaries.items, 0u);
+      EXPECT_GT(r->timers.color_graph.items, 0u);
+      EXPECT_GT(r->timers.set_cover.items, 0u);
+      EXPECT_GT(r->timers.total_ns, 0.0);
+    }
+    // The two runs carry identical item counts stage for stage — timing
+    // differs, the measured work does not.
+    EXPECT_EQ(serial.timers.primaries.items, pooled.timers.primaries.items);
+    EXPECT_EQ(serial.timers.color_graph.items, pooled.timers.color_graph.items);
+    EXPECT_EQ(serial.timers.set_cover.items, pooled.timers.set_cover.items);
+    EXPECT_EQ(serial.timers.tree_growth.items, pooled.timers.tree_growth.items);
+    EXPECT_EQ(serial.timers.seed_synthesis.items,
+              pooled.timers.seed_synthesis.items);
   }
 }
 

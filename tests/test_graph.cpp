@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <limits>
 
 #include "mrpf/common/error.hpp"
+#include "mrpf/common/parallel.hpp"
 #include "mrpf/common/rng.hpp"
 #include "mrpf/graph/apsp.hpp"
 #include "mrpf/graph/bfs.hpp"
@@ -193,11 +196,13 @@ TEST(SetCover, TieKeyBreaksBenefitAndCostTies) {
   const std::vector<CoverSet> sets = {{{0, 1}, 1.0, 9},
                                       {{0, 1}, 1.0, 3},
                                       {{2}, 1.0, 5}};
-  for (const auto& solve :
-       {greedy_weighted_set_cover_reference,
-        static_cast<SetCoverResult (*)(int, const std::vector<CoverSet>&,
-                                       const BenefitFn&)>(
-            greedy_weighted_set_cover)}) {
+  using Solver = std::function<SetCoverResult(
+      int, const std::vector<CoverSet>&, const BenefitFn&)>;
+  for (const Solver& solve :
+       {Solver(greedy_weighted_set_cover_reference),
+        Solver([](int n, const std::vector<CoverSet>& s, const BenefitFn& b) {
+          return greedy_weighted_set_cover(n, s, b);
+        })}) {
     const SetCoverResult r = solve(3, sets, paper_benefit(0.5));
     ASSERT_EQ(r.chosen.size(), 2u);
     EXPECT_EQ(r.chosen[0], 1);  // tie_key 3 beats tie_key 9
@@ -249,6 +254,69 @@ TEST(SetCover, LazyMatchesReferenceOnRandomInstances) {
       EXPECT_EQ(lazy.total_cost, ref.total_cost) << "seed " << seed;
       EXPECT_EQ(lazy_views.chosen, ref.chosen) << "seed " << seed;
       EXPECT_EQ(lazy_views.covered_by, ref.covered_by) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SetCover, NanBenefitFailsLoudly) {
+  // A NaN benefit breaks HeapEntry's strict weak ordering (NaN != NaN is
+  // true yet neither orders first), which used to silently corrupt the
+  // heap. Scoring now rejects non-finite values up front, in every
+  // implementation and overload.
+  const BenefitFn nan_benefit = [](int, double) {
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  const BenefitFn inf_benefit = [](int, double) {
+    return std::numeric_limits<double>::infinity();
+  };
+  const std::vector<CoverSet> sets = {{{0, 1}, 1.0, 1}, {{1, 2}, 1.0, 2}};
+  std::vector<CoverSetView> views;
+  for (const CoverSet& s : sets) {
+    views.push_back({s.elements.data(), static_cast<int>(s.elements.size()),
+                     s.cost, s.tie_key});
+  }
+  EXPECT_THROW(greedy_weighted_set_cover(3, sets, nan_benefit), Error);
+  EXPECT_THROW(greedy_weighted_set_cover(3, views, nan_benefit), Error);
+  EXPECT_THROW(greedy_weighted_set_cover_reference(3, sets, nan_benefit),
+               Error);
+  EXPECT_THROW(greedy_weighted_set_cover(3, sets, inf_benefit), Error);
+  // ...and with a pool, the throw still surfaces from the parallel seeding.
+  ThreadPool pool(4);
+  std::vector<CoverSet> many;
+  for (int i = 0; i < 2048; ++i) many.push_back({{i % 3}, 1.0, i});
+  EXPECT_THROW(greedy_weighted_set_cover(3, many, nan_benefit, &pool), Error);
+}
+
+TEST(SetCover, PooledSeedingMatchesSerial) {
+  // The parallel seeding pass must not change a single pick: the heap is
+  // seeded slot-indexed and heapified in bulk, so the selection sequence
+  // is thread-count-independent. Instances are sized past the 1024-set
+  // parallel threshold so the pool path actually engages.
+  ThreadPool pool(4);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0xA24BAED4963EE407ULL);
+    const int n = 40;
+    std::vector<CoverSet> sets;
+    for (int si = 0; si < 3000; ++si) {
+      CoverSet s;
+      const int len = 1 + static_cast<int>(rng.next_below(4));
+      for (int k = 0; k < len; ++k) {
+        s.elements.push_back(static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(n))));
+      }
+      s.cost = static_cast<double>(rng.next_int(0, 6)) / 2.0;
+      s.tie_key = rng.next_int(0, 9);
+      sets.push_back(std::move(s));
+    }
+    for (const BenefitFn& benefit : {paper_benefit(0.5), ratio_benefit()}) {
+      const SetCoverResult serial =
+          greedy_weighted_set_cover(n, sets, benefit);
+      const SetCoverResult pooled =
+          greedy_weighted_set_cover(n, sets, benefit, &pool);
+      EXPECT_EQ(pooled.chosen, serial.chosen) << "seed " << seed;
+      EXPECT_EQ(pooled.covered_by, serial.covered_by) << "seed " << seed;
+      EXPECT_EQ(pooled.complete, serial.complete) << "seed " << seed;
+      EXPECT_EQ(pooled.total_cost, serial.total_cost) << "seed " << seed;
     }
   }
 }
