@@ -1,0 +1,277 @@
+// Solve-cache replay bench: cold-vs-warm throughput over the catalog plus
+// deterministic MRP-equivalent variants of every bank (shifted, negated,
+// permuted, zero-padded — the workload a filter-design sweep actually
+// produces, where many requests collapse to the same canonical solve).
+//
+// Measures: cold batch (empty cache: full solves + inserts), warm batch
+// (pure lookups + rehydration), second-pass hit rate, and a persistence
+// round-trip (save, reload, serve from disk-warmed cache). Also checks the
+// corruption path end-to-end: a flipped byte in the store must degrade to
+// a cold-but-correct session, never to wrong data. Writes
+// BENCH_cache.json.
+//
+// `--ci` reduces the workload and gates hard on: every result bit-identical
+// to the uncached solve, 100% second-pass hit rate, warm >= 5x cold, and
+// corrupt-store fallback correctness.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mrpf/cache/persist.hpp"
+#include "mrpf/cache/session.hpp"
+#include "mrpf/cache/solve_cache.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/core/mrp.hpp"
+
+namespace {
+
+using namespace mrpf;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kWordlength = 16;
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// An MRP-equivalent bank: per-value power-of-two shift and sign flip,
+/// injected zeros, then a deterministic permutation.
+std::vector<i64> equivalent_variant(const std::vector<i64>& bank, Rng& rng) {
+  std::vector<i64> out;
+  for (const i64 v : bank) {
+    const int shift = static_cast<int>(rng.next_int(0, 2));
+    i64 t = v * (i64{1} << shift);
+    if (rng.next_int(0, 1) == 1) t = -t;
+    out.push_back(t);
+    if (rng.next_int(0, 5) == 0) out.push_back(0);
+  }
+  for (std::size_t i = out.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.next_int(0, static_cast<i64>(i) - 1));
+    std::swap(out[i - 1], out[j]);
+  }
+  return out;
+}
+
+bool same_result(const core::MrpResult& a, const core::MrpResult& b) {
+  if (a.bank.primaries != b.bank.primaries ||
+      a.bank.refs.size() != b.bank.refs.size() ||
+      a.vertices != b.vertices ||
+      a.solution_colors != b.solution_colors || a.roots != b.roots ||
+      a.root_is_free != b.root_is_free ||
+      a.vertex_depth != b.vertex_depth ||
+      a.tree_height != b.tree_height || a.seed_values != b.seed_values ||
+      a.seed_adders != b.seed_adders ||
+      a.overhead_adders != b.overhead_adders ||
+      a.tree_edges.size() != b.tree_edges.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.bank.refs.size(); ++i) {
+    const core::PrimaryBank::Ref& x = a.bank.refs[i];
+    const core::PrimaryBank::Ref& y = b.bank.refs[i];
+    if (x.vertex != y.vertex || x.shift != y.shift || x.negate != y.negate) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.tree_edges.size(); ++i) {
+    const core::TreeEdge& x = a.tree_edges[i];
+    const core::TreeEdge& y = b.tree_edges[i];
+    if (x.depth != y.depth || x.edge.from != y.edge.from ||
+        x.edge.to != y.edge.to || x.edge.l != y.edge.l ||
+        x.edge.pred_negate != y.edge.pred_negate || x.edge.xi != y.edge.xi ||
+        x.edge.color != y.edge.color ||
+        x.edge.color_shift != y.edge.color_shift ||
+        x.edge.color_negate != y.edge.color_negate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ci_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--ci") ci_mode = true;
+  }
+  const int catalog =
+      ci_mode ? std::min(4, filter::catalog_size()) : filter::catalog_size();
+  const int variants_per_bank = ci_mode ? 2 : 3;
+
+  bench::print_header(
+      ci_mode
+          ? "Solve cache replay smoke (--ci) — reduced catalog + variants"
+          : "Solve cache replay — catalog + equivalent variants, W=16, SPT");
+
+  core::MrpOptions opts;
+  opts.rep = number::NumberRep::kSpt;
+
+  // Workload: every catalog bank followed by deterministic equivalent
+  // variants — (1 + variants_per_bank) requests per canonical solve.
+  Rng rng(0x5EED5);
+  std::vector<std::vector<i64>> banks;
+  for (int i = 0; i < catalog; ++i) {
+    banks.push_back(bench::folded_bank(i, kWordlength, /*maximal=*/true));
+    for (int v = 0; v < variants_per_bank; ++v) {
+      banks.push_back(equivalent_variant(banks[banks.size() - 1 -
+                                               static_cast<std::size_t>(v)],
+                                         rng));
+    }
+  }
+  const std::size_t solves = banks.size();
+
+  // Uncached baseline (also the correctness reference).
+  std::vector<core::MrpResult> fresh;
+  const double fresh_t0 = now_ns();
+  fresh = core::mrp_optimize_batch(banks, opts);
+  const double fresh_ns = now_ns() - fresh_t0;
+
+  // Cold pass: empty cache, full solves + dedup grouping + inserts.
+  cache::SolveCache solve_cache;
+  core::MrpOptions cached_opts = opts;
+  cached_opts.cache = &solve_cache;
+  const double cold_t0 = now_ns();
+  const std::vector<core::MrpResult> cold =
+      core::mrp_optimize_batch(banks, cached_opts);
+  const double cold_ns = now_ns() - cold_t0;
+  const cache::CacheStats cold_stats = solve_cache.stats();
+
+  // Warm pass: everything should be served from the cache.
+  const double warm_t0 = now_ns();
+  const std::vector<core::MrpResult> warm =
+      core::mrp_optimize_batch(banks, cached_opts);
+  const double warm_ns = now_ns() - warm_t0;
+  const cache::CacheStats warm_stats = solve_cache.stats();
+  const u64 warm_hits = warm_stats.hits - cold_stats.hits;
+  const u64 warm_misses = warm_stats.misses - cold_stats.misses;
+  const double hit_rate =
+      static_cast<double>(warm_hits) /
+      static_cast<double>(warm_hits + warm_misses > 0 ? warm_hits + warm_misses
+                                                      : 1);
+  const double warm_speedup = warm_ns > 0 ? cold_ns / warm_ns : 0.0;
+
+  // Persistence round-trip: save, reload into a fresh cache, serve the
+  // whole workload without a single live solve.
+  const std::string store_path = ci_mode ? "BENCH_cache_ci.replay.mrpc"
+                                         : "BENCH_cache.replay.mrpc";
+  bool persist_ok = cache::save_solve_cache(solve_cache, store_path);
+  cache::SolveCache reloaded;
+  persist_ok = persist_ok && cache::load_solve_cache(reloaded, store_path);
+  core::MrpOptions reloaded_opts = opts;
+  reloaded_opts.cache = &reloaded;
+  const double disk_t0 = now_ns();
+  const std::vector<core::MrpResult> from_disk =
+      core::mrp_optimize_batch(banks, reloaded_opts);
+  const double disk_warm_ns = now_ns() - disk_t0;
+  const bool disk_all_hits = reloaded.stats().misses == 0;
+
+  // Corruption fallback: flip a byte mid-store; the session must come up
+  // cold (load rejected wholesale) and still produce correct solves.
+  bool corrupt_handled = false;
+  {
+    std::ifstream in(store_path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    if (!bytes.empty()) {
+      bytes[bytes.size() / 2] ^= 0x5A;
+      std::ofstream(store_path, std::ios::binary | std::ios::trunc)
+          .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      cache::SolveCacheSession session(store_path, /*ignore_env=*/true);
+      corrupt_handled = !session.warm() &&
+                        session.cache() != nullptr &&
+                        session.cache()->stats().entries == 0;
+      if (corrupt_handled) {
+        core::MrpOptions corrupt_opts = opts;
+        corrupt_opts.cache = session.cache();
+        const core::MrpResult check =
+            core::mrp_optimize(banks[0], corrupt_opts);
+        corrupt_handled = same_result(check, fresh[0]);
+      }
+    }
+  }
+  std::remove(store_path.c_str());
+
+  bool identical = cold.size() == fresh.size() && warm.size() == fresh.size();
+  for (std::size_t i = 0; identical && i < fresh.size(); ++i) {
+    identical = same_result(cold[i], fresh[i]) &&
+                same_result(warm[i], fresh[i]) &&
+                same_result(from_disk[i], fresh[i]);
+  }
+
+  std::printf("workload    : %zu requests (%d catalog banks x %d variants "
+              "+ originals)\n",
+              solves, catalog, variants_per_bank);
+  std::printf("uncached    : %10.0f ns\n", fresh_ns);
+  std::printf("cold        : %10.0f ns (%llu live solves, %llu dedup hits)\n",
+              cold_ns, static_cast<unsigned long long>(cold_stats.misses),
+              static_cast<unsigned long long>(cold_stats.hits));
+  std::printf("warm        : %10.0f ns (%.2fx vs cold, hit rate %.1f%%)\n",
+              warm_ns, warm_speedup, 100.0 * hit_rate);
+  std::printf("disk-warmed : %10.0f ns (store round-trip %s, all hits %s)\n",
+              disk_warm_ns, persist_ok ? "ok" : "FAILED",
+              disk_all_hits ? "yes" : "NO");
+  std::printf("correctness : cached==fresh %s, corrupt-store fallback %s\n",
+              identical ? "yes" : "NO", corrupt_handled ? "ok" : "FAILED");
+
+  const char* json_name =
+      ci_mode ? "BENCH_cache_ci.json" : "BENCH_cache.json";
+  FILE* out = std::fopen(json_name, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_name);
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"bench\": \"perf_cache_replay\",\n"
+      "  \"workload\": {\"catalog_filters\": %d, \"variants_per_bank\": %d,"
+      " \"wordlength\": %d, \"requests\": %zu},\n"
+      "  \"ci_mode\": %s,\n"
+      "  \"uncached_ns\": %.0f,\n"
+      "  \"cold_ns\": %.0f,\n"
+      "  \"warm_ns\": %.0f,\n"
+      "  \"disk_warm_ns\": %.0f,\n"
+      "  \"warm_speedup\": %.3f,\n"
+      "  \"second_pass_hit_rate\": %.4f,\n"
+      "  \"cold\": {\"hits\": %llu, \"misses\": %llu, \"inserts\": %llu,"
+      " \"entries\": %llu, \"bytes\": %llu},\n"
+      "  \"persist_round_trip\": %s,\n"
+      "  \"corrupt_store_fallback\": %s,\n"
+      "  \"bit_identical_cached_fresh\": %s\n"
+      "}\n",
+      catalog, variants_per_bank, kWordlength, solves,
+      ci_mode ? "true" : "false", fresh_ns, cold_ns, warm_ns, disk_warm_ns,
+      warm_speedup, hit_rate,
+      static_cast<unsigned long long>(cold_stats.hits),
+      static_cast<unsigned long long>(cold_stats.misses),
+      static_cast<unsigned long long>(cold_stats.inserts),
+      static_cast<unsigned long long>(cold_stats.entries),
+      static_cast<unsigned long long>(cold_stats.bytes),
+      persist_ok ? "true" : "false", corrupt_handled ? "true" : "false",
+      identical ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_name);
+
+  bool ok = identical && corrupt_handled && persist_ok && disk_all_hits;
+  if (ci_mode) {
+    if (hit_rate < 1.0) {
+      std::fprintf(stderr, "CI gate: second pass hit rate %.4f < 1.0\n",
+                   hit_rate);
+      ok = false;
+    }
+    if (warm_speedup < 5.0) {
+      std::fprintf(stderr, "CI gate: warm speedup %.2fx < 5x\n",
+                   warm_speedup);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

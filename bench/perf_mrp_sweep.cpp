@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "mrpf/cache/persist.hpp"
+#include "mrpf/cache/solve_cache.hpp"
 #include "mrpf/common/parallel.hpp"
 #include "mrpf/core/color_graph.hpp"
 #include "mrpf/core/mrp.hpp"
@@ -56,6 +58,17 @@ double time_ns(Fn&& fn) {
 }
 
 bool same_result(const core::MrpResult& a, const core::MrpResult& b) {
+  if (a.bank.primaries != b.bank.primaries ||
+      a.bank.refs.size() != b.bank.refs.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.bank.refs.size(); ++i) {
+    const core::PrimaryBank::Ref& x = a.bank.refs[i];
+    const core::PrimaryBank::Ref& y = b.bank.refs[i];
+    if (x.vertex != y.vertex || x.shift != y.shift || x.negate != y.negate) {
+      return false;
+    }
+  }
   if (a.vertices != b.vertices || a.solution_colors != b.solution_colors ||
       a.roots != b.roots || a.root_is_free != b.root_is_free ||
       a.vertex_depth != b.vertex_depth || a.tree_height != b.tree_height ||
@@ -209,9 +222,47 @@ int main(int argc, char** argv) {
   const double e2e_parallel_ns = time_ns(
       [&] { parallel_results = core::mrp_optimize_batch(banks, opts); });
 
+  // --- Solve cache: a cold batch populates the cache, a warm batch must
+  // be all hits; both must stay bit-identical to the uncached solves, and
+  // the same must hold after a save/load round-trip through the persistent
+  // store. Cold is one-shot (a second rep would be warm); warm gets the
+  // usual best-of-reps.
+  cache::SolveCache solve_cache;
+  core::MrpOptions cached_opts = opts;
+  cached_opts.cache = &solve_cache;
+  std::vector<core::MrpResult> cache_cold_results;
+  const double cache_cold_t0 = now_ns();
+  cache_cold_results = core::mrp_optimize_batch(banks, cached_opts);
+  const double cache_cold_ns = now_ns() - cache_cold_t0;
+  const u64 misses_after_cold = solve_cache.stats().misses;
+  std::vector<core::MrpResult> cache_warm_results;
+  const double cache_warm_ns = time_ns([&] {
+    cache_warm_results = core::mrp_optimize_batch(banks, cached_opts);
+  });
+  const cache::CacheStats cache_stats = solve_cache.stats();
+  const bool warm_all_hits = cache_stats.misses == misses_after_cold;
+  const double warm_speedup = cache_warm_ns > 0
+                                  ? cache_cold_ns / cache_warm_ns
+                                  : 0.0;
+
+  const std::string store_path =
+      ci_mode ? "BENCH_mrp_ci.cache.mrpc" : "BENCH_mrp.cache.mrpc";
+  bool persist_ok = cache::save_solve_cache(solve_cache, store_path);
+  cache::SolveCache reloaded;
+  persist_ok = persist_ok && cache::load_solve_cache(reloaded, store_path);
+  core::MrpOptions reloaded_opts = opts;
+  reloaded_opts.cache = &reloaded;
+  const std::vector<core::MrpResult> persisted_results =
+      core::mrp_optimize_batch(banks, reloaded_opts);
+  const bool persisted_all_hits = reloaded.stats().misses == 0;
+  std::remove(store_path.c_str());
+
   // --- Bit-identical: serial vs pooled vs parallel vs reference engine.
   const bool identical = all_same(serial_results, parallel_results);
   const bool intra_identical = all_same(serial_results, pooled_results);
+  const bool cache_identical = all_same(serial_results, cache_cold_results) &&
+                               all_same(serial_results, cache_warm_results) &&
+                               all_same(serial_results, persisted_results);
   bool ref_identical = true;
   for (std::size_t i = 0; ref_identical && i < banks.size(); ++i) {
     ref_identical =
@@ -269,9 +320,20 @@ int main(int argc, char** argv) {
               solves_per_sec, e2e_speedup_vs_ref, e2e_speedup_serial_vs_ref,
               thread_speedup, intra_speedup);
   std::printf("identical   : serial==parallel %s, serial==intra %s, "
-              "new==reference %s\n",
+              "new==reference %s, cached==fresh %s\n",
               identical ? "yes" : "NO", intra_identical ? "yes" : "NO",
-              ref_identical ? "yes" : "NO");
+              ref_identical ? "yes" : "NO", cache_identical ? "yes" : "NO");
+  std::printf(
+      "solve cache : cold %10.0f ns | warm %10.0f ns | %.2fx warm speedup | "
+      "%llu hits / %llu misses / %llu entries (%.1f KiB) | warm all-hits %s "
+      "| persisted round-trip %s\n",
+      cache_cold_ns, cache_warm_ns, warm_speedup,
+      static_cast<unsigned long long>(cache_stats.hits),
+      static_cast<unsigned long long>(cache_stats.misses),
+      static_cast<unsigned long long>(cache_stats.entries),
+      static_cast<double>(cache_stats.bytes) / 1024.0,
+      warm_all_hits ? "yes" : "NO",
+      persist_ok && persisted_all_hits ? "yes" : "NO");
   std::printf("targets     : cg+cover algorithmic %.2fx (>=1.5 wanted), "
               "end-to-end %.2fx (>=3 wanted)\n",
               algo_speedup, e2e_speedup_vs_ref);
@@ -320,6 +382,34 @@ int main(int argc, char** argv) {
         i + 1 < serial_results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(
+      out,
+      "  \"cache\": {\n"
+      "    \"hits\": %llu,\n"
+      "    \"misses\": %llu,\n"
+      "    \"inserts\": %llu,\n"
+      "    \"evictions\": %llu,\n"
+      "    \"entries\": %llu,\n"
+      "    \"bytes\": %llu,\n"
+      "    \"lookup_ns\": %.0f,\n"
+      "    \"insert_ns\": %.0f,\n"
+      "    \"cold_ns\": %.0f,\n"
+      "    \"warm_ns\": %.0f,\n"
+      "    \"warm_speedup\": %.3f,\n"
+      "    \"second_pass_hit_rate\": %.3f,\n"
+      "    \"persist_round_trip\": %s,\n"
+      "    \"bit_identical_cached_fresh\": %s\n"
+      "  },\n",
+      static_cast<unsigned long long>(cache_stats.hits),
+      static_cast<unsigned long long>(cache_stats.misses),
+      static_cast<unsigned long long>(cache_stats.inserts),
+      static_cast<unsigned long long>(cache_stats.evictions),
+      static_cast<unsigned long long>(cache_stats.entries),
+      static_cast<unsigned long long>(cache_stats.bytes),
+      cache_stats.lookup_ns, cache_stats.insert_ns, cache_cold_ns,
+      cache_warm_ns, warm_speedup, warm_all_hits ? 1.0 : 0.0,
+      persist_ok && persisted_all_hits ? "true" : "false",
+      cache_identical ? "true" : "false");
   std::fprintf(out,
                "  \"end_to_end\": {\n"
                "    \"serial_ns\": %.0f,\n"
@@ -346,7 +436,20 @@ int main(int argc, char** argv) {
   std::fclose(out);
   std::printf("wrote %s\n", json_name);
 
-  bool ok = identical && intra_identical && ref_identical;
+  bool ok = identical && intra_identical && ref_identical && cache_identical;
+  if (ci_mode) {
+    // Cache gates: the second (warm) pass must be 100% hits, and the
+    // persisted store must reload and serve the whole catalog from cache.
+    if (!warm_all_hits) {
+      std::fprintf(stderr, "CI gate: warm cache pass was not 100%% hits\n");
+      ok = false;
+    }
+    if (!persist_ok || !persisted_all_hits) {
+      std::fprintf(stderr,
+                   "CI gate: persisted cache store failed to round-trip\n");
+      ok = false;
+    }
+  }
   if (ci_mode) {
     // Bit-identity is gated unconditionally (checked above). The speedup
     // gate needs real cores: on a single-hardware-thread host extra

@@ -1,0 +1,56 @@
+#include "mrpf/cache/fingerprint.hpp"
+
+#include <bit>
+
+namespace mrpf::cache {
+
+CanonicalBank canonicalize(const std::vector<i64>& bank) {
+  // extract_primaries is the canonicalization (drop zeros, odd part of the
+  // absolute value, sort, dedup) and its refs are the back-transform; the
+  // fingerprint layer only adds the hash on top.
+  core::PrimaryBank pb = core::extract_primaries(bank);
+  CanonicalBank cb;
+  cb.values = std::move(pb.primaries);
+  cb.refs = std::move(pb.refs);
+  cb.content_hash = canonical_content_hash(cb.values);
+  return cb;
+}
+
+u64 canonical_content_hash(const std::vector<i64>& canonical_values) {
+  u64 h = kFnvOffset;
+  for (const i64 v : canonical_values) {
+    h = fnv1a64_word(static_cast<u64>(v), h);
+  }
+  return fnv1a64_word(static_cast<u64>(canonical_values.size()), h);
+}
+
+SolveOptionsTag options_tag(const core::MrpOptions& options) {
+  SolveOptionsTag tag;
+  tag.beta_bits = std::bit_cast<u64>(options.beta);
+  tag.l_max = options.l_max;
+  tag.depth_limit = options.depth_limit;
+  tag.rep = static_cast<std::uint8_t>(options.rep);
+  tag.cse_on_seed = options.cse_on_seed ? 1 : 0;
+  tag.recursive_levels = static_cast<std::uint8_t>(options.recursive_levels);
+  return tag;
+}
+
+u64 solve_key(const CanonicalBank& canonical,
+              const core::MrpOptions& options) {
+  return solve_key(canonical.content_hash, options_tag(options));
+}
+
+u64 solve_key(u64 content_hash, const SolveOptionsTag& tag) {
+  u64 h = fnv1a64_word(tag.beta_bits, content_hash);
+  h = fnv1a64_word((static_cast<u64>(static_cast<std::uint32_t>(tag.l_max))
+                    << 32) |
+                       static_cast<std::uint32_t>(tag.depth_limit),
+                   h);
+  h = fnv1a64_word((static_cast<u64>(tag.rep) << 16) |
+                       (static_cast<u64>(tag.cse_on_seed) << 8) |
+                       tag.recursive_levels,
+                   h);
+  return h;
+}
+
+}  // namespace mrpf::cache

@@ -1,0 +1,74 @@
+// Canonical coefficient fingerprints for the solve cache.
+//
+// The MRP transformation is invariant under the bank equivalence group:
+// dropping zeros, negating coefficients, shifting them by powers of two,
+// permuting them and duplicating them all leave the primary-vertex set —
+// and therefore every field of the solve except the per-coefficient
+// back-references — unchanged (paper §3.1: every constant is ±(p << s)
+// with p odd and positive, and only the distinct p survive into stage A).
+// Canonicalization reduces a bank to that invariant: drop zeros, take the
+// odd part of the absolute value, sort, dedup. The per-coefficient
+// back-transform (vertex index, shift, sign) is exactly what rehydrating a
+// cached canonical solve for the original vector needs, and is the same
+// data core::extract_primaries computes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mrpf/common/hash.hpp"
+#include "mrpf/core/mrp.hpp"
+#include "mrpf/core/sidc.hpp"
+
+namespace mrpf::cache {
+
+/// The canonical form of a coefficient bank under the MRP equivalence
+/// group, plus everything needed to map a cached canonical solve back onto
+/// the original vector.
+struct CanonicalBank {
+  /// Sorted, unique, odd, positive — identical for every equivalent bank
+  /// (== core::extract_primaries(bank).primaries).
+  std::vector<i64> values;
+  /// Per original coefficient: c == ±(values[vertex] << shift), vertex -1
+  /// for the constant 0 (== core::extract_primaries(bank).refs).
+  std::vector<core::PrimaryBank::Ref> refs;
+  /// FNV-1a over the canonical words and their count. Equal for every
+  /// equivalent bank; collisions across inequivalent banks are possible
+  /// (64-bit), which is why SolveCache verifies `values` on every lookup.
+  u64 content_hash = 0;
+};
+
+CanonicalBank canonicalize(const std::vector<i64>& bank);
+
+/// The MrpOptions fields that select a distinct solve. pool, cache,
+/// cache_path and use_reference_engine are excluded: they change wall
+/// time, never a result field (bit-identity is asserted by the PR-1/PR-2
+/// differential tests). Stored alongside each cache entry so a lookup
+/// match is exact, not just hash-equal.
+struct SolveOptionsTag {
+  u64 beta_bits = 0;  // bit pattern of MrpOptions::beta (exact compare)
+  std::int32_t l_max = 0;
+  std::int32_t depth_limit = 0;
+  std::uint8_t rep = 0;
+  std::uint8_t cse_on_seed = 0;
+  std::uint8_t recursive_levels = 0;
+
+  bool operator==(const SolveOptionsTag&) const = default;
+};
+
+SolveOptionsTag options_tag(const core::MrpOptions& options);
+
+/// content_hash of an already-canonical value vector (the persistence load
+/// path re-derives hashes instead of trusting the file).
+u64 canonical_content_hash(const std::vector<i64>& canonical_values);
+
+/// 64-bit solve fingerprint: content_hash of the canonical bank mixed with
+/// the options tag. Two (bank, options) pairs with equal keys are intended
+/// to share one cache entry; SolveCache still verifies the canonical words
+/// and tag before trusting a hit.
+u64 solve_key(u64 content_hash, const SolveOptionsTag& tag);
+u64 solve_key(const CanonicalBank& canonical,
+              const core::MrpOptions& options);
+
+}  // namespace mrpf::cache

@@ -1,0 +1,189 @@
+#include "mrpf/cache/persist.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/hash.hpp"
+#include "mrpf/io/result_serde.hpp"
+
+namespace mrpf::cache {
+
+namespace {
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int b = 0; b < 4; ++b) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+}
+
+void append_u64(std::vector<std::uint8_t>& out, u64 v) {
+  for (int b = 0; b < 8; ++b) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+}
+
+void append_tag(std::vector<std::uint8_t>& out, const SolveOptionsTag& tag) {
+  append_u64(out, tag.beta_bits);
+  append_u32(out, static_cast<std::uint32_t>(tag.l_max));
+  append_u32(out, static_cast<std::uint32_t>(tag.depth_limit));
+  out.push_back(tag.rep);
+  out.push_back(tag.cse_on_seed);
+  out.push_back(tag.recursive_levels);
+  out.push_back(0);  // pad
+}
+
+struct ByteReader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool need(std::size_t n) const { return n <= size - pos; }
+  std::uint8_t u8() { return data[pos++]; }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) {
+      v |= static_cast<std::uint32_t>(data[pos + b]) << (8 * b);
+    }
+    pos += 4;
+    return v;
+  }
+  u64 u64v() {
+    u64 v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<u64>(data[pos + b]) << (8 * b);
+    }
+    pos += 8;
+    return v;
+  }
+};
+
+}  // namespace
+
+bool save_solve_cache(const SolveCache& cache, const std::string& path) {
+  std::vector<std::uint8_t> buffer;
+  append_u64(buffer, kCacheFileMagic);
+  append_u32(buffer, kCacheFileVersion);
+  append_u32(buffer, 0);  // reserved
+  const std::size_t count_pos = buffer.size();
+  append_u64(buffer, 0);  // entry count, patched below
+  u64 count = 0;
+  cache.for_each([&buffer, &count](const SolveCache::StoredSolve& entry) {
+    append_tag(buffer, entry.tag);
+    append_u64(buffer, entry.canonical->size());
+    for (const i64 v : *entry.canonical) {
+      append_u64(buffer, static_cast<u64>(v));
+    }
+    io::serialize_result(*entry.result, buffer);
+    ++count;
+  });
+  for (int b = 0; b < 8; ++b) {
+    buffer[count_pos + static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>(count >> (8 * b));
+  }
+  append_u64(buffer, fnv1a64(buffer.data(), buffer.size()));
+
+  // Temp-then-rename so a crash mid-write leaves either the old store or
+  // none — never a torn file that the loader would have to reject.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(buffer.data()),
+              static_cast<std::streamsize>(buffer.size()));
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool load_solve_cache(SolveCache& cache, const std::string& path) {
+  std::vector<std::uint8_t> buffer;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) return false;
+    const std::streamsize size = in.tellg();
+    if (size < 32) return false;  // header + checksum minimum
+    buffer.resize(static_cast<std::size_t>(size));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(buffer.data()), size);
+    if (!in) return false;
+  }
+
+  // Whole-file checksum first: all-or-nothing, so a partially valid
+  // prefix of a corrupt file can never leak entries into the cache.
+  ByteReader r{buffer.data(), buffer.size() - 8};
+  const u64 stored_checksum =
+      [&buffer] {
+        ByteReader tail{buffer.data(), buffer.size()};
+        tail.pos = buffer.size() - 8;
+        return tail.u64v();
+      }();
+  if (fnv1a64(buffer.data(), buffer.size() - 8) != stored_checksum) {
+    return false;
+  }
+  if (!r.need(24)) return false;
+  if (r.u64v() != kCacheFileMagic) return false;
+  if (r.u32() != kCacheFileVersion) return false;
+  r.u32();  // reserved
+  if (!r.need(8)) return false;
+  const u64 count = r.u64v();
+
+  // Parse everything into staging before touching the cache.
+  struct Staged {
+    SolveOptionsTag tag;
+    std::vector<i64> canonical;
+    core::MrpResult result;
+  };
+  std::vector<Staged> staged;
+  try {
+    for (u64 e = 0; e < count; ++e) {
+      Staged s;
+      if (!r.need(19)) return false;
+      s.tag.beta_bits = r.u64v();
+      s.tag.l_max = static_cast<std::int32_t>(r.u32());
+      s.tag.depth_limit = static_cast<std::int32_t>(r.u32());
+      s.tag.rep = r.u8();
+      s.tag.cse_on_seed = r.u8();
+      s.tag.recursive_levels = r.u8();
+      r.u8();  // pad
+      if (!r.need(8)) return false;
+      const u64 n = r.u64v();
+      if (n > (r.size - r.pos) / 8) return false;
+      s.canonical.resize(static_cast<std::size_t>(n));
+      for (u64 i = 0; i < n; ++i) {
+        s.canonical[static_cast<std::size_t>(i)] =
+            static_cast<i64>(r.u64v());
+      }
+      s.result = io::deserialize_result(r.data, r.size, r.pos);
+      staged.push_back(std::move(s));
+    }
+  } catch (const Error&) {
+    return false;  // malformed result frame
+  }
+  if (r.pos != r.size) return false;  // trailing bytes before the checksum
+
+  // Dry-run validation first so a checksum-valid but semantically invalid
+  // (e.g. handcrafted) store rejects without touching the cache at all.
+  for (const Staged& s : staged) {
+    if (!is_canonical_solve(s.canonical, s.result)) return false;
+  }
+  for (Staged& s : staged) {
+    const bool ok = cache.insert_canonical(s.tag, std::move(s.canonical),
+                                           std::move(s.result));
+    MRPF_CHECK(ok, "solve cache: validated entry rejected on insert");
+  }
+  return true;
+}
+
+}  // namespace mrpf::cache

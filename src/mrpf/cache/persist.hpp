@@ -1,0 +1,39 @@
+// Persistent on-disk store for the solve cache.
+//
+// File layout (little-endian):
+//
+//   u64 magic "MRPFCSH1"   u32 format version   u32 reserved (0)
+//   u64 entry_count
+//   entry_count × [ options tag | canonical vector | result_serde frame ]
+//   u64 fnv1a64 checksum over every preceding byte
+//
+// Loading is all-or-nothing and trust-nothing: bad magic, an unknown
+// version, a checksum mismatch, a truncated entry, a non-canonical vector
+// or a result that is not the canonical solve of its vector all reject the
+// *whole file* — load_solve_cache returns false and the cache is left
+// untouched, so a corrupt or stale store silently degrades to a cold
+// cache, never to wrong data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mrpf/cache/solve_cache.hpp"
+
+namespace mrpf::cache {
+
+inline constexpr u64 kCacheFileMagic = 0x31485343'4650524DULL;  // "MRPFCSH1"
+inline constexpr std::uint32_t kCacheFileVersion = 1;
+
+/// Serializes every cache entry to `path` (atomically enough for the
+/// flow: written to a temp sibling, then renamed). Returns false on I/O
+/// failure.
+bool save_solve_cache(const SolveCache& cache, const std::string& path);
+
+/// Loads `path` into `cache`. Returns false — leaving `cache` unchanged —
+/// if the file is missing, truncated, corrupt, or written by a different
+/// format version. Entries go through SolveCache::insert_canonical, so
+/// normal LRU budgeting applies.
+bool load_solve_cache(SolveCache& cache, const std::string& path);
+
+}  // namespace mrpf::cache

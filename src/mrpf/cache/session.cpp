@@ -1,0 +1,83 @@
+#include "mrpf/cache/session.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "mrpf/cache/persist.hpp"
+
+namespace mrpf::cache {
+
+namespace {
+
+bool equals_ignore_case(const std::string& s, const char* lower) {
+  std::size_t i = 0;
+  for (; s[i] != '\0' && lower[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) != lower[i]) {
+      return false;
+    }
+  }
+  return s[i] == '\0' && lower[i] == '\0';
+}
+
+void warn_malformed_once(const char* value) {
+  static std::once_flag flag;
+  std::call_once(flag, [value] {
+    std::fprintf(stderr,
+                 "mrpf: ignoring malformed MRPF_CACHE value \"%s\" "
+                 "(expected \"off\", \"0\", or a capacity in MiB)\n",
+                 value);
+  });
+}
+
+}  // namespace
+
+CacheEnvConfig parse_cache_env(const char* value, bool* malformed) {
+  if (malformed != nullptr) *malformed = false;
+  CacheEnvConfig config;
+  if (value == nullptr || value[0] == '\0') return config;
+  const std::string s(value);
+  if (s == "0" || equals_ignore_case(s, "off")) {
+    config.disabled = true;
+    return config;
+  }
+  char* end = nullptr;
+  const long long mib = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || mib <= 0) {
+    if (malformed != nullptr) *malformed = true;
+    return config;
+  }
+  // Clamp to [1 MiB, 64 GiB]; absurd values are almost certainly typos
+  // but a clamp keeps the knob forgiving.
+  const long long clamped = mib > 65536 ? 65536 : mib;
+  config.max_bytes = static_cast<std::size_t>(clamped) << 20;
+  return config;
+}
+
+SolveCacheSession::SolveCacheSession(std::string path, bool ignore_env,
+                                     const SolveCacheConfig& config)
+    : path_(std::move(path)) {
+  SolveCacheConfig effective = config;
+  if (!ignore_env) {
+    const char* env = std::getenv("MRPF_CACHE");
+    bool malformed = false;
+    const CacheEnvConfig env_config = parse_cache_env(env, &malformed);
+    if (malformed) warn_malformed_once(env);
+    if (env_config.disabled) return;  // cache_ stays null
+    if (env_config.max_bytes != 0) effective.max_bytes = env_config.max_bytes;
+  }
+  cache_ = std::make_unique<SolveCache>(effective);
+  if (!path_.empty()) {
+    warm_ = load_solve_cache(*cache_, path_);
+  }
+}
+
+bool SolveCacheSession::save() const {
+  if (cache_ == nullptr || path_.empty()) return true;
+  return save_solve_cache(*cache_, path_);
+}
+
+}  // namespace mrpf::cache

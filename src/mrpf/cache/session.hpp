@@ -1,0 +1,62 @@
+// Lifecycle wrapper tying a SolveCache to its on-disk store.
+//
+// A session owns one SolveCache, warms it from `path` at construction
+// (silently starting cold if the file is missing, corrupt, or stale), and
+// writes it back on save(). The MRPF_CACHE environment variable is the
+// operator override: `0` or `off` disables caching entirely (cache()
+// returns nullptr), a positive integer overrides the capacity in MiB, and
+// anything else warns once on stderr and falls back to defaults.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mrpf/cache/solve_cache.hpp"
+
+namespace mrpf::cache {
+
+/// Parsed MRPF_CACHE environment override.
+struct CacheEnvConfig {
+  bool disabled = false;
+  /// Capacity override in bytes; 0 means "no override, use the default".
+  std::size_t max_bytes = 0;
+};
+
+/// Parses an MRPF_CACHE-style value ("0"/"off"/"OFF" disable; positive
+/// decimal integer = capacity in MiB, clamped to [1, 65536]). Returns
+/// defaults and sets *malformed (when non-null) if the value parses as
+/// none of these.
+CacheEnvConfig parse_cache_env(const char* value, bool* malformed = nullptr);
+
+class SolveCacheSession {
+ public:
+  /// Opens a session backed by `path` (may be empty for a purely
+  /// in-memory session). Honors MRPF_CACHE unless `ignore_env` is set —
+  /// tests pass true to pin behavior regardless of the environment.
+  explicit SolveCacheSession(std::string path, bool ignore_env = false,
+                             const SolveCacheConfig& config = {});
+
+  SolveCacheSession(const SolveCacheSession&) = delete;
+  SolveCacheSession& operator=(const SolveCacheSession&) = delete;
+  SolveCacheSession(SolveCacheSession&&) = default;
+  SolveCacheSession& operator=(SolveCacheSession&&) = default;
+
+  /// The hook to hand to MrpOptions::cache; nullptr when MRPF_CACHE
+  /// disabled the session (callers then just solve fresh).
+  SolveCache* cache() { return cache_.get(); }
+  const SolveCache* cache() const { return cache_.get(); }
+
+  /// True when the backing file existed and loaded cleanly.
+  bool warm() const { return warm_; }
+
+  /// Persists the cache back to the path. No-op (returning true) for
+  /// disabled or pathless sessions; false on I/O failure.
+  bool save() const;
+
+ private:
+  std::string path_;
+  std::unique_ptr<SolveCache> cache_;
+  bool warm_ = false;
+};
+
+}  // namespace mrpf::cache

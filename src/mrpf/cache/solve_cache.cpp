@@ -1,0 +1,242 @@
+#include "mrpf/cache/solve_cache.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::cache {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+u64 elapsed_ns(Clock::time_point start) {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - start)
+                              .count());
+}
+
+std::size_t cse_bytes(const cse::CseResult& cse) {
+  std::size_t bytes = sizeof(cse);
+  bytes += cse.subexpressions.size() * sizeof(cse::Subexpression);
+  bytes += cse.constants.size() * sizeof(i64);
+  for (const auto& expr : cse.expressions) {
+    bytes += sizeof(expr) + expr.size() * sizeof(cse::Term);
+  }
+  return bytes;
+}
+
+/// Identity back-references of a canonical vector: values[i] == values[i]
+/// << 0, positive — what extract_primaries yields for the canonical bank.
+std::vector<core::PrimaryBank::Ref> identity_refs(std::size_t n) {
+  std::vector<core::PrimaryBank::Ref> refs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    refs[i] = {static_cast<int>(i), 0, false};
+  }
+  return refs;
+}
+
+bool is_identity_refs(const std::vector<core::PrimaryBank::Ref>& refs) {
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (refs[i].vertex != static_cast<int>(i) || refs[i].shift != 0 ||
+        refs[i].negate) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_canonical_vector(const std::vector<i64>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] <= 0 || values[i] % 2 == 0) return false;
+    if (i > 0 && values[i - 1] >= values[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_canonical_solve(const std::vector<i64>& canonical,
+                        const core::MrpResult& result) {
+  if (!is_canonical_vector(canonical)) return false;
+  if (result.vertices != canonical || result.bank.primaries != canonical) {
+    return false;
+  }
+  return result.bank.refs.size() == canonical.size() &&
+         is_identity_refs(result.bank.refs);
+}
+
+std::size_t approx_result_bytes(const core::MrpResult& result) {
+  std::size_t bytes = sizeof(result);
+  bytes += result.bank.primaries.size() * sizeof(i64);
+  bytes += result.bank.refs.size() * sizeof(core::PrimaryBank::Ref);
+  bytes += result.vertices.size() * sizeof(i64);
+  bytes += result.solution_colors.size() * sizeof(i64);
+  bytes += result.seed_values.size() * sizeof(i64);
+  bytes += result.roots.size() * sizeof(int);
+  bytes += result.vertex_depth.size() * sizeof(int);
+  bytes += result.root_is_free.size();
+  bytes += result.tree_edges.size() * sizeof(core::TreeEdge);
+  if (result.seed_cse.has_value()) bytes += cse_bytes(*result.seed_cse);
+  if (result.seed_recursive != nullptr) {
+    bytes += approx_result_bytes(*result.seed_recursive);
+  }
+  return bytes;
+}
+
+SolveCache::SolveCache(const SolveCacheConfig& config)
+    : config_{std::max<std::size_t>(config.max_bytes, 1),
+              std::max(config.shards, 1)},
+      shards_(static_cast<std::size_t>(std::max(config.shards, 1))) {}
+
+bool SolveCache::try_get(const std::vector<i64>& bank,
+                         const core::MrpOptions& options,
+                         core::MrpResult& out) {
+  const auto start = Clock::now();
+  CanonicalBank cb = canonicalize(bank);
+  if (cb.values.empty()) return false;  // trivial solve, cheaper than a hit
+  const SolveOptionsTag tag = options_tag(options);
+  const u64 key = cache::solve_key(cb.content_hash, tag);
+  Shard& shard = shard_of(key);
+  bool hit = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    // Verify, never trust the hash: a different canonical vector or
+    // options tag under the same 64-bit key is a miss.
+    if (it != shard.index.end() && it->second->tag == tag &&
+        it->second->canonical == cb.values) {
+      shard.lru.splice(shard.lru.end(), shard.lru, it->second);  // touch
+      out = it->second->result.clone();
+      hit = true;
+    }
+  }
+  if (hit) {
+    // Rehydrate: the stored solve is canonical (identity refs); only the
+    // per-coefficient back-transform depends on the original vector.
+    out.bank.refs = std::move(cb.refs);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  lookup_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
+  return hit;
+}
+
+void SolveCache::put(const std::vector<i64>& bank,
+                     const core::MrpOptions& options,
+                     const core::MrpResult& result) {
+  const auto start = Clock::now();
+  CanonicalBank cb = canonicalize(bank);
+  if (cb.values.empty()) return;
+  MRPF_CHECK(result.vertices == cb.values,
+             "solve cache: result does not belong to this bank");
+  Entry entry;
+  entry.tag = options_tag(options);
+  entry.key = cache::solve_key(cb.content_hash, entry.tag);
+  entry.canonical = std::move(cb.values);
+  entry.result = result.clone();
+  entry.result.bank.refs = identity_refs(entry.canonical.size());
+  entry.bytes = approx_result_bytes(entry.result) +
+                entry.canonical.size() * sizeof(i64) + sizeof(Entry);
+  insert_entry(std::move(entry));
+  insert_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
+}
+
+u64 SolveCache::solve_key(const std::vector<i64>& bank,
+                          const core::MrpOptions& options) const {
+  return cache::solve_key(canonicalize(bank), options);
+}
+
+bool SolveCache::insert_canonical(const SolveOptionsTag& tag,
+                                  std::vector<i64> canonical,
+                                  core::MrpResult result) {
+  // The load path validates instead of trusting the file: the vector must
+  // be canonical and the result must be *its* canonical solve.
+  if (!is_canonical_solve(canonical, result)) return false;
+  Entry entry;
+  entry.tag = tag;
+  entry.key = cache::solve_key(canonical_content_hash(canonical), tag);
+  entry.canonical = std::move(canonical);
+  entry.result = std::move(result);
+  entry.bytes = approx_result_bytes(entry.result) +
+                entry.canonical.size() * sizeof(i64) + sizeof(Entry);
+  insert_entry(std::move(entry));
+  return true;
+}
+
+void SolveCache::insert_entry(Entry&& entry) {
+  Shard& shard = shard_of(entry.key);
+  const std::size_t budget = config_.max_bytes / shards_.size();
+  u64 evicted = 0;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(entry.key);
+    if (it != shard.index.end()) {
+      // Same key already cached (a racing worker solved it first, or a
+      // true 64-bit collision): newest wins, footprint re-accounted.
+      shard.bytes -= it->second->bytes;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    shard.bytes += entry.bytes;
+    const u64 key = entry.key;
+    shard.lru.push_back(std::move(entry));
+    shard.index[key] = std::prev(shard.lru.end());
+    while (shard.bytes > budget && shard.lru.size() > 1) {
+      const Entry& oldest = shard.lru.front();
+      shard.bytes -= oldest.bytes;
+      shard.index.erase(oldest.key);
+      shard.lru.pop_front();
+      ++evicted;
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted > 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+CacheStats SolveCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.lookup_ns =
+      static_cast<double>(lookup_ns_.load(std::memory_order_relaxed));
+  s.insert_ns =
+      static_cast<double>(insert_ns_.load(std::memory_order_relaxed));
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    s.entries += shard.lru.size();
+    s.bytes += shard.bytes;
+  }
+  return s;
+}
+
+void SolveCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+void SolveCache::for_each(
+    const std::function<void(const StoredSolve&)>& fn) const {
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& entry : shard.lru) {
+      StoredSolve view;
+      view.key = entry.key;
+      view.tag = entry.tag;
+      view.canonical = &entry.canonical;
+      view.result = &entry.result;
+      fn(view);
+    }
+  }
+}
+
+}  // namespace mrpf::cache

@@ -1,0 +1,137 @@
+// Sharded in-memory LRU cache of canonical MRP solves.
+//
+// Keyed by the 64-bit solve fingerprint (fingerprint.hpp), N-way sharded
+// with one mutex and one intrusive LRU list per shard, so the PR-2 batch
+// runners can hammer it from every worker with no global lock. Entries
+// store the *canonical* solve (identity back-references); a hit deep-copies
+// it and swaps in the requester's own back-transform, which makes the
+// rehydrated result field-for-field identical to a fresh solve of the
+// original bank. Lookups verify the stored canonical words and options tag
+// — a 64-bit key collision degrades to a miss, never to wrong data.
+//
+// Counters (hit/miss/insert/evict plus wall ns, StageTimers-style) are
+// process-cheap atomics; bench/perf_mrp_sweep exports a stats() snapshot
+// into BENCH_mrp.json.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mrpf/cache/fingerprint.hpp"
+#include "mrpf/core/mrp.hpp"
+
+namespace mrpf::cache {
+
+/// Monotonic counters plus a point-in-time size snapshot.
+struct CacheStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 inserts = 0;
+  u64 evictions = 0;
+  u64 entries = 0;       // snapshot
+  u64 bytes = 0;         // snapshot (approximate footprint)
+  double lookup_ns = 0;  // total wall ns inside try_get
+  double insert_ns = 0;  // total wall ns inside put
+};
+
+struct SolveCacheConfig {
+  /// Approximate total footprint budget, split evenly across shards. Each
+  /// shard always keeps its most recent entry, even when oversized.
+  std::size_t max_bytes = std::size_t{256} << 20;
+  /// Number of independent (mutex, LRU, index) shards; clamped to >= 1.
+  int shards = 16;
+};
+
+class SolveCache final : public core::SolveCacheHook {
+ public:
+  explicit SolveCache(const SolveCacheConfig& config = {});
+  ~SolveCache() override = default;
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  // core::SolveCacheHook
+  bool try_get(const std::vector<i64>& bank, const core::MrpOptions& options,
+               core::MrpResult& out) override;
+  void put(const std::vector<i64>& bank, const core::MrpOptions& options,
+           const core::MrpResult& result) override;
+  u64 solve_key(const std::vector<i64>& bank,
+                const core::MrpOptions& options) const override;
+
+  CacheStats stats() const;
+  void clear();
+
+  std::size_t max_bytes() const { return config_.max_bytes; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// One entry as seen by the persistence layer (borrowed views — valid
+  /// only inside the for_each callback, which runs under the shard lock).
+  struct StoredSolve {
+    u64 key = 0;
+    SolveOptionsTag tag;
+    const std::vector<i64>* canonical = nullptr;
+    const core::MrpResult* result = nullptr;
+  };
+
+  /// Visits every entry, shard by shard, oldest first within a shard.
+  void for_each(const std::function<void(const StoredSolve&)>& fn) const;
+
+  /// Direct canonical insertion (persistence load path). Returns false —
+  /// and stores nothing — unless `canonical` is a valid canonical vector
+  /// and `result` is a canonical solve of it (vertices match, identity
+  /// back-references). Counts as an insert, not a miss.
+  bool insert_canonical(const SolveOptionsTag& tag, std::vector<i64> canonical,
+                        core::MrpResult result);
+
+ private:
+  struct Entry {
+    u64 key = 0;
+    SolveOptionsTag tag;
+    std::vector<i64> canonical;
+    core::MrpResult result;  // canonical: identity bank back-references
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = oldest, back = most recent
+    std::unordered_map<u64, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_of(u64 key) {
+    return shards_[static_cast<std::size_t>((key >> 17) ^ key) %
+                   shards_.size()];
+  }
+  /// Inserts under the shard lock, then evicts oldest-first down to the
+  /// per-shard budget (always keeping at least one entry).
+  void insert_entry(Entry&& entry);
+
+  SolveCacheConfig config_;
+  std::vector<Shard> shards_;
+
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+  std::atomic<u64> inserts_{0};
+  std::atomic<u64> evictions_{0};
+  std::atomic<u64> lookup_ns_{0};
+  std::atomic<u64> insert_ns_{0};
+};
+
+/// Approximate heap footprint of a solve result (used for LRU budgeting;
+/// deliberately cheap, not exact).
+std::size_t approx_result_bytes(const core::MrpResult& result);
+
+/// True iff `canonical` is a valid canonical vector (sorted, unique, odd,
+/// positive) and `result` is its canonical solve (matching vertices,
+/// identity back-references) — the precondition of insert_canonical. The
+/// persistence loader dry-runs this over a whole file before inserting
+/// anything, so a rejected file leaves the cache untouched.
+bool is_canonical_solve(const std::vector<i64>& canonical,
+                        const core::MrpResult& result);
+
+}  // namespace mrpf::cache

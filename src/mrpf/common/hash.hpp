@@ -1,0 +1,36 @@
+// FNV-1a 64-bit hashing, shared by the solve-cache fingerprints
+// (cache/fingerprint.hpp) and the binary serde checksums
+// (io/result_serde.cpp, cache/persist.cpp). Byte-oriented and fed
+// explicit little-endian words, so the digests are identical on every
+// platform.
+#pragma once
+
+#include <cstddef>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf {
+
+inline constexpr u64 kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr u64 kFnvPrime = 0x100000001b3ULL;
+
+inline u64 fnv1a64(const void* data, std::size_t size, u64 seed = kFnvOffset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  u64 h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Feeds one 64-bit word, little-endian, into a running FNV-1a state.
+constexpr u64 fnv1a64_word(u64 word, u64 state) noexcept {
+  for (int b = 0; b < 8; ++b) {
+    state ^= (word >> (8 * b)) & 0xffu;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+}  // namespace mrpf

@@ -1,10 +1,12 @@
 #include "mrpf/core/flow.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "mrpf/baseline/diff_mst.hpp"
 #include "mrpf/baseline/ragn.hpp"
 #include "mrpf/baseline/simple.hpp"
+#include "mrpf/cache/session.hpp"
 #include "mrpf/common/error.hpp"
 #include "mrpf/common/parallel.hpp"
 #include "mrpf/core/build.hpp"
@@ -12,6 +14,25 @@
 #include "mrpf/filter/symmetric.hpp"
 
 namespace mrpf::core {
+
+namespace {
+
+/// Flow-level cache_path wiring: when the caller named a store file but
+/// did not supply a live cache hook, open a session around the solve(s).
+/// The returned session (when engaged) owns the hook now installed in
+/// `opts`; the caller saves it after solving. MRPF_CACHE=off makes the
+/// session hand out a null hook, which simply means "solve fresh".
+std::optional<cache::SolveCacheSession> open_cache_session(MrpOptions& opts) {
+  std::optional<cache::SolveCacheSession> session;
+  if (opts.cache == nullptr && !opts.cache_path.empty()) {
+    session.emplace(opts.cache_path);
+    opts.cache = session->cache();
+    opts.cache_path.clear();
+  }
+  return session;
+}
+
+}  // namespace
 
 std::string to_string(Scheme scheme) {
   switch (scheme) {
@@ -71,7 +92,9 @@ SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
     case Scheme::kMrpCse: {
       MrpOptions opts = options;
       opts.cse_on_seed = (scheme == Scheme::kMrpCse);
+      const auto session = open_cache_session(opts);
       out.mrp = mrp_optimize(bank, opts);
+      if (session.has_value()) session->save();
       out.multiplier_adders = out.mrp->total_adders();
       const StageStopwatch watch(lowering);
       out.block = build_mrp_block(bank, *out.mrp, opts);
@@ -97,10 +120,12 @@ std::vector<SchemeResult> optimize_bank_batch(
     MrpOptions opts = options;
     opts.cse_on_seed = (scheme == Scheme::kMrpCse);
     opts.pool = &pool;
-    std::vector<MrpResult> solved(banks.size());
-    pool.parallel_for(banks.size(), [&](std::size_t i) {
-      solved[i] = mrp_optimize(banks[i], opts);
-    });
+    const auto session = open_cache_session(opts);
+    // mrp_optimize_batch reuses opts.pool and, when a cache is live,
+    // groups equivalent banks onto one worker so each fingerprint is
+    // solved at most once per batch.
+    std::vector<MrpResult> solved = mrp_optimize_batch(banks, opts);
+    if (session.has_value()) session->save();
     pool.parallel_for(banks.size(), [&](std::size_t i) {
       results[i].scheme = scheme;
       results[i].mrp = std::move(solved[i]);

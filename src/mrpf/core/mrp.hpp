@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mrpf/core/color_graph.hpp"
@@ -20,6 +21,8 @@ class ThreadPool;
 }
 
 namespace mrpf::core {
+
+class SolveCacheHook;
 
 struct MrpOptions {
   number::NumberRep rep = number::NumberRep::kSpt;
@@ -48,6 +51,21 @@ struct MrpOptions {
   /// the pool runs nested loops inline with work stealing. Borrowed, never
   /// owned; must outlive the call.
   ThreadPool* pool = nullptr;
+  /// Cross-solve memoization: when non-null, mrp_optimize first asks the
+  /// cache for a solve of an equivalent bank (same canonical fingerprint —
+  /// see cache/fingerprint.hpp) and, on a miss, offers the fresh result
+  /// back for reuse. A rehydrated hit is field-for-field identical to the
+  /// fresh solve (timers excepted — they travel from the original solve),
+  /// so results never depend on cache state. Must be thread-safe (the
+  /// batch runners share it across workers). Borrowed, never owned.
+  SolveCacheHook* cache = nullptr;
+  /// Flow-level persistent cache: when non-empty (and `cache` is null),
+  /// core::optimize_bank / optimize_bank_batch open a cache::SolveCache,
+  /// load this file if it exists and is valid (corrupt or version-stale
+  /// files are rejected and ignored, never trusted), run with it, and save
+  /// it back. MRPF_CACHE=0/off disables this; MRPF_CACHE=<MiB> resizes the
+  /// in-memory budget (see cache/session.hpp).
+  std::string cache_path;
 };
 
 /// One committed computation-order edge: child = σ·(parent<<L) ± ξ.
@@ -91,6 +109,38 @@ struct MrpResult {
   /// excluded from bit-identity comparisons — it is observability, not
   /// part of the solution).
   StageTimers timers;
+
+  /// Deep copy (MrpResult is move-only because of seed_recursive). Every
+  /// field is duplicated, including nested recursive levels, seed_cse and
+  /// timers — the copy compares field-for-field equal to the original.
+  MrpResult clone() const;
+};
+
+/// Cross-solve cache interface consumed by mrp_optimize / the batch
+/// runners. The concrete implementation (cache::SolveCache — canonical
+/// fingerprinting, sharded in-memory LRU, optional persistent store) lives
+/// in src/mrpf/cache; core only depends on this abstract hook so the
+/// dependency points cache → core. All methods must be thread-safe.
+class SolveCacheHook {
+ public:
+  virtual ~SolveCacheHook() = default;
+
+  /// If a solve of an MRP-equivalent bank is cached, rehydrates it for
+  /// `bank` into `out` (field-for-field identical to a fresh
+  /// mrp_optimize(bank, options)) and returns true.
+  virtual bool try_get(const std::vector<i64>& bank,
+                       const MrpOptions& options, MrpResult& out) = 0;
+
+  /// Offers a freshly computed solve for reuse (the cache stores the
+  /// canonical form; `result` is not modified).
+  virtual void put(const std::vector<i64>& bank, const MrpOptions& options,
+                   const MrpResult& result) = 0;
+
+  /// Canonical solve key of (bank, options): equal keys ⇔ the solves can
+  /// share one cache entry. The batch runners group jobs by this key so
+  /// equivalent banks dedup to one live solve per batch.
+  virtual u64 solve_key(const std::vector<i64>& bank,
+                        const MrpOptions& options) const = 0;
 };
 
 /// Runs MRP stage A + tree construction over a constant bank (typically
@@ -105,9 +155,14 @@ struct MrpBatchJob {
 };
 
 /// Fans independent solves out across a thread pool (thread count from
-/// MRPF_THREADS, see common/parallel.hpp). Every result slot is written
-/// only by the worker that claimed it, so results[i] is bit-identical to
-/// a serial mrp_optimize(banks[i], options) regardless of thread count.
+/// MRPF_THREADS, see common/parallel.hpp; options.pool is reused as the
+/// fan-out pool when non-null). Every result slot is written only by the
+/// worker that claimed it, so results[i] is bit-identical to a serial
+/// mrp_optimize(banks[i], options) regardless of thread count. With
+/// options.cache set, jobs sharing a solve fingerprint are grouped onto
+/// one worker, so each equivalence class is solved live at most once per
+/// batch — the rest rehydrate from the cache, which preserves the
+/// bit-identity guarantee because cached == fresh.
 std::vector<MrpResult> mrp_optimize_batch(
     const std::vector<std::vector<i64>>& banks,
     const MrpOptions& options = {});

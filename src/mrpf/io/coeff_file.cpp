@@ -1,6 +1,8 @@
 #include "mrpf/io/coeff_file.hpp"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -36,6 +38,62 @@ std::vector<double> parse_coefficients(const std::string& text) {
   return values;
 }
 
+std::vector<i64> parse_integer_coefficients(const std::string& text) {
+  std::vector<i64> values;
+  std::stringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::stringstream ls(line);
+    std::string token;
+    if (!(ls >> token)) continue;  // blank / comment-only line
+    std::string rest;
+    MRPF_CHECK(
+        !(ls >> rest),
+        str_format("coefficient file: trailing junk on line %d", line_no));
+
+    // Exact decimal integer first: strtoll reports overflow via ERANGE
+    // where a double round-trip would silently round to a nearby value.
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() + token.size()) {
+      MRPF_CHECK(errno != ERANGE,
+                 str_format(
+                     "coefficient file: integer out of range on line %d: "
+                     "'%s'",
+                     line_no, token.c_str()));
+      values.push_back(static_cast<i64>(v));
+      continue;
+    }
+
+    // Float spelling (e.g. "5.0", "1e3"): accepted only while doubles are
+    // still exact integers, so no value is ever silently truncated.
+    errno = 0;
+    end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    MRPF_CHECK(end == token.c_str() + token.size() && errno != ERANGE &&
+                   std::isfinite(d),
+               str_format("coefficient file: unparsable value on line %d: "
+                          "'%s'",
+                          line_no, token.c_str()));
+    MRPF_CHECK(d == std::nearbyint(d),
+               str_format("coefficient file: expected integer on line %d: "
+                          "'%s'",
+                          line_no, token.c_str()));
+    MRPF_CHECK(std::fabs(d) <= 9007199254740992.0,  // 2^53
+               str_format(
+                   "coefficient file: integer out of range on line %d: "
+                   "'%s'",
+                   line_no, token.c_str()));
+    values.push_back(static_cast<i64>(d));
+  }
+  return values;
+}
+
 namespace {
 
 std::string read_file(const std::string& path) {
@@ -54,15 +112,7 @@ std::vector<double> read_coefficients(const std::string& path) {
 }
 
 std::vector<i64> read_integer_coefficients(const std::string& path) {
-  const std::vector<double> raw = parse_coefficients(read_file(path));
-  std::vector<i64> values;
-  values.reserve(raw.size());
-  for (const double v : raw) {
-    MRPF_CHECK(v == std::nearbyint(v),
-               "coefficient file: expected integer coefficients");
-    values.push_back(static_cast<i64>(v));
-  }
-  return values;
+  return parse_integer_coefficients(read_file(path));
 }
 
 namespace {

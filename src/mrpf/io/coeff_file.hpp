@@ -13,6 +13,13 @@ namespace mrpf::io {
 /// Parses coefficient text (not a path — see read_* for files).
 std::vector<double> parse_coefficients(const std::string& text);
 
+/// Strict integer variant: each value must parse exactly as a decimal
+/// integer in i64 range (a float spelling is accepted only when it is
+/// integral and at most 2^53, where doubles are still exact). Overflowing
+/// or garbage tokens raise a line-numbered Error — never a silently
+/// truncated value.
+std::vector<i64> parse_integer_coefficients(const std::string& text);
+
 std::vector<double> read_coefficients(const std::string& path);
 std::vector<i64> read_integer_coefficients(const std::string& path);
 

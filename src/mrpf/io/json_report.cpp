@@ -1,5 +1,7 @@
 #include "mrpf/io/json_report.hpp"
 
+#include <cmath>
+
 #include "mrpf/arch/cost_model.hpp"
 #include "mrpf/common/format.hpp"
 
@@ -29,17 +31,60 @@ std::string json_int_array(const std::vector<int>& values) {
 
 }  // namespace
 
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  return str_format("%.3f", v);
+}
+
 std::string to_json(const core::SchemeResult& result, int input_bits) {
   std::string out = "{";
-  out += str_format("\"scheme\":\"%s\",",
-                    core::to_string(result.scheme).c_str());
+  out += "\"scheme\":" + json_quote(core::to_string(result.scheme)) + ",";
   out += str_format("\"multiplier_adders\":%d,", result.multiplier_adders);
   out += str_format("\"graph_adders\":%d,",
                     result.block.graph.num_adders());
   out += str_format("\"depth\":%d,", result.block.graph.max_depth());
-  out += str_format(
-      "\"cla_area\":%.3f,",
-      arch::multiplier_block_area(result.block.graph, input_bits));
+  out += "\"cla_area\":" +
+         json_double(
+             arch::multiplier_block_area(result.block.graph, input_bits)) +
+         ",";
   out += "\"constants\":" + json_array(result.block.constants);
   if (result.mrp.has_value()) {
     out += ",\"mrp\":" + to_json(*result.mrp);

@@ -16,4 +16,12 @@ std::string to_json(const core::SchemeResult& result, int input_bits);
 /// Full MRP breakdown: vertices, colors, roots, trees, SEED, costs.
 std::string to_json(const core::MrpResult& result);
 
+/// `s` as a quoted JSON string: backslash, quote, and control characters
+/// escaped (RFC 8259); everything else passes through byte-for-byte.
+std::string json_quote(const std::string& s);
+
+/// A double as a JSON value: `null` for NaN/±Inf (JSON has no non-finite
+/// numbers), fixed 3-decimal notation otherwise.
+std::string json_double(double v);
+
 }  // namespace mrpf::io

@@ -1,0 +1,323 @@
+#include "mrpf/io/result_serde.hpp"
+
+#include <bit>
+#include <memory>
+#include <utility>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/hash.hpp"
+
+namespace mrpf::io {
+
+namespace {
+
+// Nested seed_recursive levels are bounded (MrpOptions caps
+// recursive_levels at 8); a file claiming more is corrupt by definition.
+constexpr int kMaxRecursionDepth = 16;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int b = 0; b < 4; ++b) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    }
+  }
+  void u64v(u64 v) {
+    for (int b = 0; b < 8; ++b) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    }
+  }
+  void i32(int v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64v(i64 v) { u64v(static_cast<u64>(v)); }
+  void f64(double v) { u64v(std::bit_cast<u64>(v)); }
+
+  void i64_array(const std::vector<i64>& values) {
+    u64v(values.size());
+    for (const i64 v : values) i64v(v);
+  }
+  void int_array(const std::vector<int>& values) {
+    u64v(values.size());
+    for (const int v : values) i32(v);
+  }
+  void bool_array(const std::vector<bool>& values) {
+    u64v(values.size());
+    for (const bool v : values) u8(v ? 1 : 0);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + b]) << (8 * b);
+    }
+    pos_ += 4;
+    return v;
+  }
+  u64 u64v() {
+    need(8);
+    u64 v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<u64>(data_[pos_ + b]) << (8 * b);
+    }
+    pos_ += 8;
+    return v;
+  }
+  int i32() { return static_cast<int>(u32()); }
+  i64 i64v() { return static_cast<i64>(u64v()); }
+  double f64() { return std::bit_cast<double>(u64v()); }
+
+  /// An element count about to drive an allocation: each element occupies
+  /// at least `min_elem_bytes` in the stream, so a count the remaining
+  /// bytes cannot hold is corrupt — reject before allocating.
+  std::size_t count(std::size_t min_elem_bytes) {
+    const u64 n = u64v();
+    MRPF_CHECK(min_elem_bytes == 0 || n <= remaining() / min_elem_bytes,
+               "result_serde: corrupt element count");
+    return static_cast<std::size_t>(n);
+  }
+
+  std::vector<i64> i64_array() {
+    const std::size_t n = count(8);
+    std::vector<i64> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = i64v();
+    return values;
+  }
+  std::vector<int> int_array() {
+    const std::size_t n = count(4);
+    std::vector<int> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = i32();
+    return values;
+  }
+  std::vector<bool> bool_array() {
+    const std::size_t n = count(1);
+    std::vector<bool> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = u8() != 0;
+    return values;
+  }
+
+ private:
+  void need(std::size_t n) {
+    MRPF_CHECK(n <= remaining(), "result_serde: truncated payload");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+void write_sample(Writer& w, const core::StageSample& s) {
+  w.f64(s.ns);
+  w.u64v(s.items);
+}
+
+core::StageSample read_sample(Reader& r) {
+  core::StageSample s;
+  s.ns = r.f64();
+  s.items = r.u64v();
+  return s;
+}
+
+void write_result_payload(Writer& w, const core::MrpResult& result,
+                          int depth) {
+  MRPF_CHECK(depth < kMaxRecursionDepth,
+             "result_serde: recursion too deep to serialize");
+  w.i64_array(result.bank.primaries);
+  w.u64v(result.bank.refs.size());
+  for (const core::PrimaryBank::Ref& ref : result.bank.refs) {
+    w.i32(ref.vertex);
+    w.i32(ref.shift);
+    w.u8(ref.negate ? 1 : 0);
+  }
+  w.i64_array(result.vertices);
+  w.i64_array(result.solution_colors);
+  w.int_array(result.roots);
+  w.bool_array(result.root_is_free);
+  w.u64v(result.tree_edges.size());
+  for (const core::TreeEdge& te : result.tree_edges) {
+    w.i32(te.edge.from);
+    w.i32(te.edge.to);
+    w.i32(te.edge.l);
+    w.u8(te.edge.pred_negate ? 1 : 0);
+    w.i64v(te.edge.xi);
+    w.i64v(te.edge.color);
+    w.i32(te.edge.color_shift);
+    w.u8(te.edge.color_negate ? 1 : 0);
+    w.i32(te.depth);
+  }
+  w.int_array(result.vertex_depth);
+  w.i32(result.tree_height);
+  w.i64_array(result.seed_values);
+  w.i32(result.seed_adders);
+  w.i32(result.overhead_adders);
+
+  w.u8(result.seed_cse.has_value() ? 1 : 0);
+  if (result.seed_cse.has_value()) {
+    const cse::CseResult& c = *result.seed_cse;
+    w.u64v(c.subexpressions.size());
+    for (const cse::Subexpression& sub : c.subexpressions) {
+      w.i32(sub.pattern.sym_a);
+      w.i32(sub.pattern.sym_b);
+      w.i32(sub.pattern.rel_shift);
+      w.u8(sub.pattern.rel_negate ? 1 : 0);
+      w.i64v(sub.value);
+    }
+    w.u64v(c.expressions.size());
+    for (const std::vector<cse::Term>& expr : c.expressions) {
+      w.u64v(expr.size());
+      for (const cse::Term& t : expr) {
+        w.i32(t.symbol);
+        w.i32(t.shift);
+        w.u8(t.negate ? 1 : 0);
+      }
+    }
+    w.i64_array(c.constants);
+  }
+
+  w.u8(result.seed_recursive != nullptr ? 1 : 0);
+  if (result.seed_recursive != nullptr) {
+    write_result_payload(w, *result.seed_recursive, depth + 1);
+  }
+
+  write_sample(w, result.timers.primaries);
+  write_sample(w, result.timers.color_graph);
+  write_sample(w, result.timers.set_cover);
+  write_sample(w, result.timers.tree_growth);
+  write_sample(w, result.timers.seed_synthesis);
+  w.f64(result.timers.total_ns);
+}
+
+core::MrpResult read_result_payload(Reader& r, int depth) {
+  MRPF_CHECK(depth < kMaxRecursionDepth,
+             "result_serde: corrupt recursion depth");
+  core::MrpResult result;
+  result.bank.primaries = r.i64_array();
+  const std::size_t num_refs = r.count(9);
+  result.bank.refs.resize(num_refs);
+  for (std::size_t i = 0; i < num_refs; ++i) {
+    result.bank.refs[i].vertex = r.i32();
+    result.bank.refs[i].shift = r.i32();
+    result.bank.refs[i].negate = r.u8() != 0;
+  }
+  result.vertices = r.i64_array();
+  result.solution_colors = r.i64_array();
+  result.roots = r.int_array();
+  result.root_is_free = r.bool_array();
+  const std::size_t num_edges = r.count(35);
+  result.tree_edges.resize(num_edges);
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    core::TreeEdge& te = result.tree_edges[i];
+    te.edge.from = r.i32();
+    te.edge.to = r.i32();
+    te.edge.l = r.i32();
+    te.edge.pred_negate = r.u8() != 0;
+    te.edge.xi = r.i64v();
+    te.edge.color = r.i64v();
+    te.edge.color_shift = r.i32();
+    te.edge.color_negate = r.u8() != 0;
+    te.depth = r.i32();
+  }
+  result.vertex_depth = r.int_array();
+  result.tree_height = r.i32();
+  result.seed_values = r.i64_array();
+  result.seed_adders = r.i32();
+  result.overhead_adders = r.i32();
+
+  if (r.u8() != 0) {
+    cse::CseResult c;
+    const std::size_t num_subs = r.count(21);
+    c.subexpressions.resize(num_subs);
+    for (std::size_t i = 0; i < num_subs; ++i) {
+      c.subexpressions[i].pattern.sym_a = r.i32();
+      c.subexpressions[i].pattern.sym_b = r.i32();
+      c.subexpressions[i].pattern.rel_shift = r.i32();
+      c.subexpressions[i].pattern.rel_negate = r.u8() != 0;
+      c.subexpressions[i].value = r.i64v();
+    }
+    const std::size_t num_exprs = r.count(8);
+    c.expressions.resize(num_exprs);
+    for (std::size_t i = 0; i < num_exprs; ++i) {
+      const std::size_t num_terms = r.count(9);
+      c.expressions[i].resize(num_terms);
+      for (std::size_t t = 0; t < num_terms; ++t) {
+        c.expressions[i][t].symbol = r.i32();
+        c.expressions[i][t].shift = r.i32();
+        c.expressions[i][t].negate = r.u8() != 0;
+      }
+    }
+    c.constants = r.i64_array();
+    result.seed_cse = std::move(c);
+  }
+
+  if (r.u8() != 0) {
+    result.seed_recursive =
+        std::make_unique<core::MrpResult>(read_result_payload(r, depth + 1));
+  }
+
+  result.timers.primaries = read_sample(r);
+  result.timers.color_graph = read_sample(r);
+  result.timers.set_cover = read_sample(r);
+  result.timers.tree_growth = read_sample(r);
+  result.timers.seed_synthesis = read_sample(r);
+  result.timers.total_ns = r.f64();
+  return result;
+}
+
+}  // namespace
+
+void serialize_result(const core::MrpResult& result,
+                      std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> payload;
+  {
+    Writer w(payload);
+    write_result_payload(w, result, 0);
+  }
+  Writer frame(out);
+  frame.u32(kResultSerdeMagic);
+  frame.u32(kResultSerdeVersion);
+  frame.u64v(payload.size());
+  frame.u64v(fnv1a64(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+core::MrpResult deserialize_result(const std::uint8_t* data,
+                                   std::size_t size, std::size_t& pos) {
+  MRPF_CHECK(pos <= size, "result_serde: frame offset out of range");
+  Reader header(data + pos, size - pos);
+  MRPF_CHECK(header.remaining() >= 24, "result_serde: truncated frame");
+  MRPF_CHECK(header.u32() == kResultSerdeMagic, "result_serde: bad magic");
+  MRPF_CHECK(header.u32() == kResultSerdeVersion,
+             "result_serde: unsupported version");
+  const u64 payload_len = header.u64v();
+  const u64 checksum = header.u64v();
+  MRPF_CHECK(payload_len <= header.remaining(),
+             "result_serde: truncated payload");
+  const std::uint8_t* payload = data + pos + 24;
+  MRPF_CHECK(fnv1a64(payload, static_cast<std::size_t>(payload_len)) ==
+                 checksum,
+             "result_serde: checksum mismatch");
+  Reader r(payload, static_cast<std::size_t>(payload_len));
+  core::MrpResult result = read_result_payload(r, 0);
+  MRPF_CHECK(r.remaining() == 0, "result_serde: trailing bytes in payload");
+  pos += 24 + static_cast<std::size_t>(payload_len);
+  return result;
+}
+
+}  // namespace mrpf::io

@@ -1,0 +1,502 @@
+// Solve-cache subsystem tests: canonical fingerprint invariance under the
+// MRP equivalence group, field-for-field rehydration identity, batch
+// dedup and thread-count determinism, LRU accounting, binary result
+// serde round-trips, and trust-nothing persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mrpf/cache/fingerprint.hpp"
+#include "mrpf/cache/persist.hpp"
+#include "mrpf/cache/session.hpp"
+#include "mrpf/cache/solve_cache.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/hash.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/core/flow.hpp"
+#include "mrpf/core/mrp.hpp"
+#include "mrpf/io/result_serde.hpp"
+
+#include "mrp_equality.hpp"
+
+namespace mrpf::cache {
+namespace {
+
+using core::MrpOptions;
+using core::MrpResult;
+
+// The asymmetric 8-tap example of §3.5.
+const std::vector<i64> kPaperExample = {7, 66, 17, 9, 27, 41, 57, 11};
+
+/// A bank equivalent to `bank` under the MRP group: per-value power-of-two
+/// shifts and sign flips, injected zeros and shift-class duplicates, and a
+/// random permutation. Canonicalization must be invariant under all of it.
+std::vector<i64> equivalent_variant(const std::vector<i64>& bank, Rng& rng) {
+  std::vector<i64> out;
+  for (const i64 v : bank) {
+    const int shift = static_cast<int>(rng.next_int(0, 3));
+    i64 t = v * (i64{1} << shift);
+    if (rng.next_int(0, 1) == 1) t = -t;
+    out.push_back(t);
+    if (rng.next_int(0, 3) == 0) out.push_back(0);
+    if (rng.next_int(0, 3) == 0) out.push_back(v);
+  }
+  for (std::size_t i = out.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.next_int(0, static_cast<i64>(i) - 1));
+    std::swap(out[i - 1], out[j]);
+  }
+  return out;
+}
+
+/// Mostly 12-bit values with a sprinkle of wide (~2^big_log2) ones. The
+/// fingerprint tests push big_log2 to 40; solver-driven tests stay at 30
+/// so primary width + auto l_max (≤ 24) clears the i64 overflow guard.
+std::vector<i64> random_bank(Rng& rng, int big_log2, int min_taps = 2,
+                             int max_taps = 14) {
+  const int taps = static_cast<int>(rng.next_int(min_taps, max_taps));
+  std::vector<i64> bank;
+  for (int t = 0; t < taps; ++t) {
+    if (rng.next_int(0, 7) == 0) {
+      bank.push_back(
+          rng.next_int(-(i64{1} << big_log2), i64{1} << big_log2));
+    } else {
+      bank.push_back(rng.next_int(-2047, 2047));
+    }
+  }
+  return bank;
+}
+
+std::string temp_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "mrpf_" + name + ".mrpc";
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(static_cast<bool>(out)) << path;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Fingerprint, CanonicalizationInvariantUnderEquivalence) {
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<i64> bank = random_bank(rng, 40);
+    const CanonicalBank base = canonicalize(bank);
+    for (int variant = 0; variant < 4; ++variant) {
+      const std::vector<i64> equiv = equivalent_variant(bank, rng);
+      const CanonicalBank cb = canonicalize(equiv);
+      ASSERT_EQ(cb.values, base.values);
+      ASSERT_EQ(cb.content_hash, base.content_hash);
+      ASSERT_EQ(cache::solve_key(cb, MrpOptions{}),
+                cache::solve_key(base, MrpOptions{}));
+      // The back-transform must reconstruct every original coefficient
+      // from its canonical primary.
+      ASSERT_EQ(cb.refs.size(), equiv.size());
+      for (std::size_t i = 0; i < equiv.size(); ++i) {
+        const core::PrimaryBank::Ref& ref = cb.refs[i];
+        if (equiv[i] == 0) {
+          EXPECT_EQ(ref.vertex, -1);
+          continue;
+        }
+        const i64 primary = cb.values[static_cast<std::size_t>(ref.vertex)];
+        const i64 rebuilt =
+            (ref.negate ? -1 : 1) * (primary << ref.shift);
+        EXPECT_EQ(rebuilt, equiv[i]) << "position " << i;
+      }
+    }
+  }
+}
+
+TEST(Fingerprint, OptionsChangeTheSolveKey) {
+  const CanonicalBank cb = canonicalize(kPaperExample);
+  const MrpOptions base;
+  const u64 key = cache::solve_key(cb, base);
+
+  MrpOptions opts = base;
+  opts.l_max = base.l_max + 1;
+  EXPECT_NE(cache::solve_key(cb, opts), key);
+
+  opts = base;
+  opts.beta = base.beta + 0.125;
+  EXPECT_NE(cache::solve_key(cb, opts), key);
+
+  opts = base;
+  opts.cse_on_seed = !base.cse_on_seed;
+  EXPECT_NE(cache::solve_key(cb, opts), key);
+
+  opts = base;
+  opts.recursive_levels = base.recursive_levels + 1;
+  EXPECT_NE(cache::solve_key(cb, opts), key);
+
+  // Execution-strategy knobs are excluded: they do not change the result.
+  opts = base;
+  opts.use_reference_engine = true;
+  opts.cache_path = "ignored";
+  EXPECT_EQ(cache::solve_key(cb, opts), key);
+}
+
+TEST(SolveCacheTest, HitRehydratesFieldForField) {
+  Rng rng(0xF00D);
+  std::vector<MrpOptions> variants(4);
+  variants[1].cse_on_seed = true;
+  variants[2].recursive_levels = 2;
+  variants[3].depth_limit = 3;
+  for (MrpOptions& opts : variants) {
+    SolveCache cache;
+    opts.cache = &cache;
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::vector<i64> bank =
+          trial == 0 ? kPaperExample : random_bank(rng, 30);
+      const std::vector<i64> equiv = equivalent_variant(bank, rng);
+      const MrpResult warmup = core::mrp_optimize(bank, opts);  // miss+put
+      const MrpResult cached = core::mrp_optimize(equiv, opts);  // hit
+
+      MrpOptions fresh_opts = opts;
+      fresh_opts.cache = nullptr;
+      const MrpResult fresh = core::mrp_optimize(equiv, fresh_opts);
+      expect_same_mrp_result(cached, fresh);
+    }
+    const CacheStats s = cache.stats();
+    // Exactly one hit per equivalent re-solve. Misses can exceed the
+    // trial count: recursive SEED levels consult the cache too, and each
+    // inner level is its own fingerprint.
+    EXPECT_EQ(s.hits, 8u);
+    EXPECT_GE(s.misses, 8u);
+    EXPECT_EQ(s.inserts, s.misses);
+  }
+}
+
+TEST(SolveCacheTest, DifferentOptionsTagIsAMiss) {
+  SolveCache cache;
+  MrpOptions opts;
+  opts.cache = &cache;
+  (void)core::mrp_optimize(kPaperExample, opts);
+  MrpOptions other = opts;
+  other.l_max = opts.l_max + 1;
+  (void)core::mrp_optimize(kPaperExample, other);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(SolveCacheTest, EmptyAndAllZeroBanksBypassTheCache) {
+  SolveCache cache;
+  MrpOptions opts;
+  opts.cache = &cache;
+  (void)core::mrp_optimize({}, opts);
+  (void)core::mrp_optimize({0, 0, 0}, opts);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.entries, 0u);
+}
+
+TEST(SolveCacheTest, LruEvictsOldestUnderTinyBudget) {
+  SolveCacheConfig config;
+  config.max_bytes = 1;  // far below one entry: every insert evicts
+  config.shards = 1;
+  SolveCache cache(config);
+  MrpOptions opts;
+  opts.cache = &cache;
+  (void)core::mrp_optimize({7, 66, 17}, opts);
+  (void)core::mrp_optimize({9, 27, 41}, opts);
+  (void)core::mrp_optimize({57, 11}, opts);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.inserts, 3u);
+  EXPECT_EQ(s.evictions, 2u);  // each insert displaces the previous entry
+  EXPECT_EQ(s.entries, 1u);    // the budget floor: always keep one
+  // The survivor is the most recent solve.
+  MrpResult out;
+  EXPECT_TRUE(cache.try_get({57, 11}, MrpOptions{}, out));
+  EXPECT_FALSE(cache.try_get({7, 66, 17}, MrpOptions{}, out));
+}
+
+TEST(SolveCacheTest, BatchDedupsEquivalentBanksToOneLiveSolve) {
+  Rng rng(0xDEDU);
+  const std::vector<i64> bank_a = kPaperExample;
+  const std::vector<i64> bank_b = {3, 5, 19, 21};
+  std::vector<std::vector<i64>> banks = {
+      bank_a, equivalent_variant(bank_a, rng), bank_b,
+      equivalent_variant(bank_a, rng), equivalent_variant(bank_b, rng)};
+
+  MrpOptions plain;
+  std::vector<MrpResult> expected;
+  for (const auto& bank : banks) {
+    expected.push_back(core::mrp_optimize(bank, plain));
+  }
+
+  SolveCache cache;
+  MrpOptions opts;
+  opts.cache = &cache;
+  const std::vector<MrpResult> got = core::mrp_optimize_batch(banks, opts);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_same_mrp_result(got[i], expected[i]);
+  }
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 2u);  // one live solve per equivalence class
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.inserts, 2u);
+}
+
+TEST(SolveCacheTest, CachedBatchIsDeterministicAcrossThreadCounts) {
+  Rng rng(0xBEEF);
+  std::vector<std::vector<i64>> banks;
+  for (int trial = 0; trial < 4; ++trial) {
+    banks.push_back(random_bank(rng, 30));
+    banks.push_back(equivalent_variant(banks.back(), rng));
+  }
+  MrpOptions plain;
+  std::vector<MrpResult> expected;
+  for (const auto& bank : banks) {
+    expected.push_back(core::mrp_optimize(bank, plain));
+  }
+  for (const char* threads : {"1", "2", "8"}) {
+    ::setenv("MRPF_THREADS", threads, 1);
+    SolveCache cache;
+    MrpOptions opts;
+    opts.cache = &cache;
+    const std::vector<MrpResult> got = core::mrp_optimize_batch(banks, opts);
+    ::unsetenv("MRPF_THREADS");
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_same_mrp_result(got[i], expected[i]);
+    }
+  }
+}
+
+MrpResult rich_solve() {
+  // cse_on_seed + recursive levels populate the optional fields, so the
+  // round-trip covers every branch of the serializer.
+  MrpOptions opts;
+  opts.cse_on_seed = true;
+  opts.recursive_levels = 2;
+  return core::mrp_optimize(kPaperExample, opts);
+}
+
+void expect_same_timers(const core::StageTimers& a,
+                        const core::StageTimers& b) {
+  const auto same = [](const core::StageSample& x,
+                       const core::StageSample& y) {
+    return x.ns == y.ns && x.items == y.items;
+  };
+  EXPECT_TRUE(same(a.primaries, b.primaries));
+  EXPECT_TRUE(same(a.color_graph, b.color_graph));
+  EXPECT_TRUE(same(a.set_cover, b.set_cover));
+  EXPECT_TRUE(same(a.tree_growth, b.tree_growth));
+  EXPECT_TRUE(same(a.seed_synthesis, b.seed_synthesis));
+  EXPECT_EQ(a.total_ns, b.total_ns);
+}
+
+TEST(ResultSerde, RoundTripIsExact) {
+  for (const bool rich : {false, true}) {
+    const MrpResult original =
+        rich ? rich_solve() : core::mrp_optimize(kPaperExample, {});
+    std::vector<std::uint8_t> bytes;
+    io::serialize_result(original, bytes);
+    std::size_t pos = 0;
+    const MrpResult restored =
+        io::deserialize_result(bytes.data(), bytes.size(), pos);
+    EXPECT_EQ(pos, bytes.size());
+    expect_same_mrp_result(restored, original);
+    expect_same_timers(restored.timers, original.timers);
+  }
+}
+
+TEST(ResultSerde, RejectsCorruptionEverywhere) {
+  const MrpResult original = rich_solve();
+  std::vector<std::uint8_t> bytes;
+  io::serialize_result(original, bytes);
+
+  // Flip one byte at a spread of positions: header, lengths, checksum,
+  // payload. Every corruption must throw, never mis-decode.
+  for (std::size_t at = 0; at < bytes.size();
+       at += 1 + bytes.size() / 97) {
+    std::vector<std::uint8_t> bad = bytes;
+    bad[at] ^= 0x5A;
+    std::size_t pos = 0;
+    EXPECT_THROW((void)io::deserialize_result(bad.data(), bad.size(), pos),
+                 Error)
+        << "flipped byte " << at;
+  }
+  // Truncations, including mid-header.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{10}, std::size_t{24},
+        bytes.size() / 2, bytes.size() - 1}) {
+    std::size_t pos = 0;
+    EXPECT_THROW((void)io::deserialize_result(bytes.data(), keep, pos),
+                 Error)
+        << "truncated to " << keep;
+  }
+}
+
+TEST(ResultSerde, RejectsVersionBump) {
+  const MrpResult original = core::mrp_optimize(kPaperExample, {});
+  std::vector<std::uint8_t> bytes;
+  io::serialize_result(original, bytes);
+  bytes[4] ^= 0x01;  // version field, directly after the magic
+  std::size_t pos = 0;
+  EXPECT_THROW((void)io::deserialize_result(bytes.data(), bytes.size(), pos),
+               Error);
+}
+
+TEST(Persist, SaveLoadRoundTripServesHits) {
+  const std::string path = temp_path("roundtrip");
+  MrpOptions opts;
+  {
+    SolveCache cache;
+    opts.cache = &cache;
+    (void)core::mrp_optimize(kPaperExample, opts);
+    (void)core::mrp_optimize({3, 5, 19, 21}, opts);
+    ASSERT_TRUE(save_solve_cache(cache, path));
+  }
+  SolveCache warm;
+  ASSERT_TRUE(load_solve_cache(warm, path));
+  EXPECT_EQ(warm.stats().entries, 2u);
+
+  opts.cache = &warm;
+  const MrpResult cached = core::mrp_optimize(kPaperExample, opts);
+  EXPECT_EQ(warm.stats().hits, 1u);
+  EXPECT_EQ(warm.stats().misses, 0u);
+  MrpOptions plain;
+  expect_same_mrp_result(cached, core::mrp_optimize(kPaperExample, plain));
+  std::remove(path.c_str());
+}
+
+TEST(Persist, RejectsCorruptFilesWholesale) {
+  const std::string path = temp_path("corrupt");
+  {
+    SolveCache cache;
+    MrpOptions opts;
+    opts.cache = &cache;
+    (void)core::mrp_optimize(kPaperExample, opts);
+    (void)core::mrp_optimize({3, 5, 19, 21}, opts);
+    ASSERT_TRUE(save_solve_cache(cache, path));
+  }
+  const std::vector<std::uint8_t> good = read_bytes(path);
+  for (std::size_t at = 0; at < good.size(); at += 1 + good.size() / 61) {
+    std::vector<std::uint8_t> bad = good;
+    bad[at] ^= 0xA5;
+    write_bytes(path, bad);
+    SolveCache cache;
+    EXPECT_FALSE(load_solve_cache(cache, path)) << "flipped byte " << at;
+    EXPECT_EQ(cache.stats().entries, 0u) << "flipped byte " << at;
+  }
+  // Truncated file.
+  write_bytes(path, std::vector<std::uint8_t>(good.begin(),
+                                              good.begin() + 16));
+  SolveCache cache;
+  EXPECT_FALSE(load_solve_cache(cache, path));
+  // Missing file.
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_solve_cache(cache, path));
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(Persist, RejectsVersionBumpEvenWithRecomputedChecksum) {
+  const std::string path = temp_path("version");
+  {
+    SolveCache cache;
+    MrpOptions opts;
+    opts.cache = &cache;
+    (void)core::mrp_optimize(kPaperExample, opts);
+    ASSERT_TRUE(save_solve_cache(cache, path));
+  }
+  std::vector<std::uint8_t> bytes = read_bytes(path);
+  bytes[8] += 1;  // file-format version, directly after the u64 magic
+  const u64 checksum = fnv1a64(bytes.data(), bytes.size() - 8);
+  for (int b = 0; b < 8; ++b) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>(checksum >> (8 * b));
+  }
+  write_bytes(path, bytes);
+  SolveCache cache;
+  EXPECT_FALSE(load_solve_cache(cache, path));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Session, HonorsMrpfCacheEnv) {
+  bool malformed = false;
+  EXPECT_TRUE(parse_cache_env("0", &malformed).disabled);
+  EXPECT_TRUE(parse_cache_env("off", &malformed).disabled);
+  EXPECT_TRUE(parse_cache_env("OFF", &malformed).disabled);
+  EXPECT_FALSE(malformed);
+  EXPECT_EQ(parse_cache_env("8", &malformed).max_bytes,
+            std::size_t{8} << 20);
+  EXPECT_FALSE(malformed);
+  EXPECT_EQ(parse_cache_env("999999999", &malformed).max_bytes,
+            std::size_t{65536} << 20);  // clamped
+  EXPECT_FALSE(malformed);
+  EXPECT_EQ(parse_cache_env(nullptr, &malformed).max_bytes, 0u);
+  EXPECT_FALSE(malformed);
+  (void)parse_cache_env("banana", &malformed);
+  EXPECT_TRUE(malformed);
+  (void)parse_cache_env("-3", &malformed);
+  EXPECT_TRUE(malformed);
+
+  ::setenv("MRPF_CACHE", "off", 1);
+  SolveCacheSession disabled("");
+  EXPECT_EQ(disabled.cache(), nullptr);
+  EXPECT_TRUE(disabled.save());
+
+  ::setenv("MRPF_CACHE", "4", 1);
+  SolveCacheSession sized("");
+  ASSERT_NE(sized.cache(), nullptr);
+  EXPECT_EQ(sized.cache()->max_bytes(), std::size_t{4} << 20);
+  ::unsetenv("MRPF_CACHE");
+}
+
+TEST(Flow, CachePathWiresWarmSolves) {
+  const std::string path = temp_path("flow");
+  MrpOptions opts;
+  opts.cache_path = path;
+
+  const core::SchemeResult cold =
+      core::optimize_bank(kPaperExample, core::Scheme::kMrpCse, opts);
+  ASSERT_TRUE(std::ifstream(path).good()) << "store not written";
+
+  const core::SchemeResult warm =
+      core::optimize_bank(kPaperExample, core::Scheme::kMrpCse, opts);
+  ASSERT_TRUE(warm.mrp.has_value());
+  expect_same_mrp_result(*warm.mrp, *cold.mrp);
+  EXPECT_EQ(warm.multiplier_adders, cold.multiplier_adders);
+
+  // Corrupting the store degrades to a cold (fresh) solve, same result.
+  std::vector<std::uint8_t> bytes = read_bytes(path);
+  bytes[bytes.size() / 2] ^= 0xFF;
+  write_bytes(path, bytes);
+  const core::SchemeResult recovered =
+      core::optimize_bank(kPaperExample, core::Scheme::kMrpCse, opts);
+  expect_same_mrp_result(*recovered.mrp, *cold.mrp);
+
+  // Batch front-end with MRPF_CACHE disabled: cache_path is a no-op.
+  ::setenv("MRPF_CACHE", "off", 1);
+  const auto batch = core::optimize_bank_batch(
+      {kPaperExample, {3, 5, 19, 21}}, core::Scheme::kMrp, opts);
+  ::unsetenv("MRPF_CACHE");
+  ASSERT_EQ(batch.size(), 2u);
+  MrpOptions plain;
+  expect_same_mrp_result(*batch[0].mrp,
+                         core::mrp_optimize(kPaperExample, plain));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mrpf::cache

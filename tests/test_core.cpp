@@ -16,6 +16,8 @@
 #include "mrpf/core/mrp.hpp"
 #include "mrpf/core/sidc.hpp"
 
+#include "mrp_equality.hpp"
+
 namespace mrpf::core {
 namespace {
 
@@ -356,28 +358,6 @@ TEST(ColorGraph, FlatMatchesMapReferenceFieldForField) {
                   a.cov_end == b.cov_end)
           << "class " << c;
     }
-  }
-}
-
-/// Deep equality over everything MrpResult records about a solve.
-void expect_same_mrp_result(const MrpResult& a, const MrpResult& b) {
-  EXPECT_EQ(a.vertices, b.vertices);
-  EXPECT_EQ(a.solution_colors, b.solution_colors);
-  EXPECT_EQ(a.roots, b.roots);
-  EXPECT_EQ(a.root_is_free, b.root_is_free);
-  EXPECT_EQ(a.vertex_depth, b.vertex_depth);
-  EXPECT_EQ(a.tree_height, b.tree_height);
-  EXPECT_EQ(a.seed_values, b.seed_values);
-  EXPECT_EQ(a.seed_adders, b.seed_adders);
-  EXPECT_EQ(a.overhead_adders, b.overhead_adders);
-  ASSERT_EQ(a.tree_edges.size(), b.tree_edges.size());
-  for (std::size_t i = 0; i < a.tree_edges.size(); ++i) {
-    const TreeEdge& x = a.tree_edges[i];
-    const TreeEdge& y = b.tree_edges[i];
-    EXPECT_TRUE(x.depth == y.depth && x.edge.from == y.edge.from &&
-                x.edge.to == y.edge.to && x.edge.l == y.edge.l &&
-                x.edge.xi == y.edge.xi)
-        << "tree edge " << i;
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "mrpf/common/error.hpp"
 #include "mrpf/core/flow.hpp"
@@ -48,6 +49,64 @@ TEST(CoeffFile, IntegerRoundTripAndStrictness) {
   std::ofstream(path) << "1.5\n";
   EXPECT_THROW(read_integer_coefficients(path), Error);
   std::remove(path.c_str());
+}
+
+TEST(CoeffFile, IntegerParserReportsOverflowWithLineNumbers) {
+  // One past i64 max: a double-based parser would silently round this to
+  // 2^63 and truncate; the strict parser must refuse, naming the line.
+  try {
+    parse_integer_coefficients("7\n66\n9223372036854775808\n");
+    FAIL() << "overflowing token accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(parse_integer_coefficients("99999999999999999999999\n"),
+               Error);
+  EXPECT_THROW(parse_integer_coefficients("-9223372036854775809\n"), Error);
+  // Integral-looking float spellings above 2^53 are no longer exact.
+  EXPECT_THROW(parse_integer_coefficients("1e17\n"), Error);
+  EXPECT_THROW(parse_integer_coefficients("12x\n"), Error);
+  EXPECT_THROW(parse_integer_coefficients("nan\n"), Error);
+  EXPECT_THROW(parse_integer_coefficients("7 8\n"), Error);
+
+  // i64 extremes and exact float spellings stay accepted.
+  const auto v = parse_integer_coefficients(
+      "9223372036854775807\n-9223372036854775808\n5.0\n1e3\n# note\n\n");
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], std::numeric_limits<i64>::max());
+  EXPECT_EQ(v[1], std::numeric_limits<i64>::min());
+  EXPECT_EQ(v[2], 5);
+  EXPECT_EQ(v[3], 1000);
+}
+
+TEST(CoeffFile, MalformedFixtureIsRejectedWithItsLine) {
+  const std::string path = temp_path("coeff_malformed.txt");
+  std::ofstream(path) << "7\n66\n184467440737095516150\n11\n";
+  try {
+    read_integer_coefficients(path);
+    FAIL() << "malformed fixture accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JsonReport, QuoteEscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("tab\tnl\ncr\r"), "\"tab\\tnl\\ncr\\r\"");
+  EXPECT_EQ(json_quote(std::string("nul\x01", 4)), "\"nul\\u0001\"");
+  EXPECT_EQ(json_quote("b\bf\f"), "\"b\\bf\\f\"");
+}
+
+TEST(JsonReport, NonFiniteDoublesEmitNull) {
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(1.5), "1.500");
 }
 
 TEST(JsonReport, SchemeResultHasAllFields) {

@@ -53,6 +53,7 @@ using namespace mrpf;
                "  --rep spt|sm                MRP number representation\n"
                "  --coeffs c0,c1,...          skip design, optimize bank\n"
                "  --coeffs-file FILE          read an integer bank from FILE\n"
+               "  --cache FILE                persistent solve cache store\n"
                "  --json FILE                 write a JSON report to FILE\n"
                "  --verilog FILE              write Verilog to FILE\n"
                "  --input-bits N              data width (default 12)\n");
@@ -151,6 +152,8 @@ int main(int argc, char** argv) {
       explicit_coeffs = parse_ints(value());
     } else if (arg == "--coeffs-file") {
       explicit_coeffs = io::read_integer_coefficients(value());
+    } else if (arg == "--cache") {
+      mrp_opts.cache_path = value();
     } else if (arg == "--json") {
       json_path = value();
     } else if (arg == "--verilog") {
