@@ -41,7 +41,9 @@ struct ByteReader {
   std::size_t size;
   std::size_t pos = 0;
 
-  bool need(std::size_t n) const { return n <= size - pos; }
+  // `pos <= size` first: `size - pos` underflows once a read overruns, and
+  // an underflowed guard would wave every later bounds check through.
+  bool need(std::size_t n) const { return pos <= size && n <= size - pos; }
   std::uint8_t u8() { return data[pos++]; }
   std::uint32_t u32() {
     std::uint32_t v = 0;
@@ -149,7 +151,7 @@ bool load_solve_cache(SolveCache& cache, const std::string& path) {
   try {
     for (u64 e = 0; e < count; ++e) {
       Staged s;
-      if (!r.need(19)) return false;
+      if (!r.need(20)) return false;  // tag: u64 + 2x u32 + 4x u8
       s.tag.beta_bits = r.u64v();
       s.tag.l_max = static_cast<std::int32_t>(r.u32());
       s.tag.depth_limit = static_cast<std::int32_t>(r.u32());

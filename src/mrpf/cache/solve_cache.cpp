@@ -96,7 +96,14 @@ bool SolveCache::try_get(const std::vector<i64>& bank,
                          core::MrpResult& out) {
   const auto start = Clock::now();
   CanonicalBank cb = canonicalize(bank);
-  if (cb.values.empty()) return false;  // trivial solve, cheaper than a hit
+  if (cb.values.empty()) {
+    // Trivial (empty/all-zero) bank: solving is cheaper than caching, but
+    // the lookup still happened — account for it so hits + misses +
+    // trivial always equals the lookup count and lookup_ns stays honest.
+    trivial_.fetch_add(1, std::memory_order_relaxed);
+    lookup_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
+    return false;
+  }
   const SolveOptionsTag tag = options_tag(options);
   const u64 key = cache::solve_key(cb.content_hash, tag);
   Shard& shard = shard_of(key);
@@ -201,6 +208,7 @@ CacheStats SolveCache::stats() const {
   CacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.trivial = trivial_.load(std::memory_order_relaxed);
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.lookup_ns =

@@ -31,6 +31,7 @@ namespace mrpf::cache {
 struct CacheStats {
   u64 hits = 0;
   u64 misses = 0;
+  u64 trivial = 0;  // lookups for empty/all-zero banks (never cached)
   u64 inserts = 0;
   u64 evictions = 0;
   u64 entries = 0;       // snapshot
@@ -116,6 +117,7 @@ class SolveCache final : public core::SolveCacheHook {
 
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
+  std::atomic<u64> trivial_{0};
   std::atomic<u64> inserts_{0};
   std::atomic<u64> evictions_{0};
   std::atomic<u64> lookup_ns_{0};

@@ -205,6 +205,9 @@ TEST(SolveCacheTest, EmptyAndAllZeroBanksBypassTheCache) {
   EXPECT_EQ(s.hits, 0u);
   EXPECT_EQ(s.misses, 0u);
   EXPECT_EQ(s.entries, 0u);
+  // Bypassed, not unaccounted: each trivial-bank lookup shows up in the
+  // dedicated counter so hits + misses + trivial == lookup count.
+  EXPECT_GE(s.trivial, 2u);
 }
 
 TEST(SolveCacheTest, LruEvictsOldestUnderTinyBudget) {
@@ -407,6 +410,44 @@ TEST(Persist, RejectsCorruptFilesWholesale) {
   std::remove(path.c_str());
   EXPECT_FALSE(load_solve_cache(cache, path));
   EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(Persist, RejectsChecksumValidTruncations) {
+  // A truncated store whose checksum is recomputed over the shorter file is
+  // internally consistent, so rejection must come from the loader's bounds
+  // checks alone. Sweep prefix lengths, pinning the options-tag boundary
+  // (header + 19 of the 20 tag bytes) that once underflowed
+  // ByteReader::need into out-of-bounds reads and an unbounded resize.
+  const std::string path = temp_path("truncate");
+  {
+    SolveCache cache;
+    MrpOptions opts;
+    opts.cache = &cache;
+    (void)core::mrp_optimize(kPaperExample, opts);
+    (void)core::mrp_optimize({3, 5, 19, 21}, opts);
+    ASSERT_TRUE(save_solve_cache(cache, path));
+  }
+  const std::vector<std::uint8_t> good = read_bytes(path);
+  const std::size_t payload = good.size() - 8;  // sans trailing checksum
+  const std::size_t header = 24;  // magic + version + reserved + count
+  std::vector<std::size_t> keeps = {header + 18, header + 19, header + 20,
+                                    header + 21};
+  for (std::size_t keep = 0; keep < payload; keep += 1 + payload / 73) {
+    keeps.push_back(keep);
+  }
+  for (const std::size_t keep : keeps) {
+    std::vector<std::uint8_t> bad(
+        good.begin(), good.begin() + static_cast<std::ptrdiff_t>(keep));
+    const u64 checksum = fnv1a64(bad.data(), bad.size());
+    for (int b = 0; b < 8; ++b) {
+      bad.push_back(static_cast<std::uint8_t>(checksum >> (8 * b)));
+    }
+    write_bytes(path, bad);
+    SolveCache cache;
+    EXPECT_FALSE(load_solve_cache(cache, path)) << "kept " << keep;
+    EXPECT_EQ(cache.stats().entries, 0u) << "kept " << keep;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(Persist, RejectsVersionBumpEvenWithRecomputedChecksum) {
