@@ -2,65 +2,137 @@
 // catalog filter (W=14, uniform) — the widest single view of where MRPF
 // sits among simple, DECOR [10], differential-MST [5], Hartley CSE [3],
 // MSD-CSE, RAG-n and MRPF(+CSE). Extends the paper's two-way comparisons.
-// The two MRP columns come from one core::mrp_optimize_batch call (per-job
-// options), the baseline columns fan out per filter over the same pool.
+//
+// The six unified schemes (simple, cse, diff-mst, rag-n, mrpf, mrpf+cse)
+// run through core::optimize_bank_batch — one SchemeDriver pipeline with a
+// live solve cache per scheme, a cold pass and a warm pass — so the zoo
+// doubles as the per-scheme pipeline benchmark. DECOR and MSD-CSE are not
+// flow schemes and keep their direct calls. Emits BENCH_schemes.json
+// (per-scheme adders, optimize/lowering ns, cache hits/misses).
+//
+// `--ci` reduces the catalog and gates only on deterministic properties:
+// a 100% warm-pass hit rate per scheme and cross-checked simple/cse
+// columns.
 #include <array>
+#include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "mrpf/baseline/decor.hpp"
-#include "mrpf/baseline/diff_mst.hpp"
-#include "mrpf/baseline/ragn.hpp"
 #include "mrpf/baseline/simple.hpp"
+#include "mrpf/cache/solve_cache.hpp"
 #include "mrpf/common/parallel.hpp"
-#include "mrpf/core/mrp.hpp"
+#include "mrpf/core/scheme.hpp"
 #include "mrpf/cse/msd_cse.hpp"
 
-int main() {
-  using namespace mrpf;
+namespace {
+
+using namespace mrpf;
+using Clock = std::chrono::steady_clock;
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+struct SchemeRun {
+  std::vector<core::SchemeResult> results;
+  double cold_ns = 0;
+  double warm_ns = 0;
+  double optimize_ns = 0;  // summed driver-optimize stage over the batch
+  double lowering_ns = 0;  // summed shared-lowering stage over the batch
+  u64 warm_hits = 0;
+  u64 warm_misses = 0;
+  int total_adders = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ci_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--ci") ci_mode = true;
+  }
   bench::print_header(
-      "Baseline zoo — multiplier-block adders, W=14 uniform, folded banks");
+      ci_mode ? "Baseline zoo smoke (--ci) — reduced catalog, W=14 uniform"
+              : "Baseline zoo — multiplier-block adders, W=14 uniform, "
+                "folded banks");
 
   const auto rep = number::NumberRep::kSpt;
-  const int nf = filter::catalog_size();
+  const int nf =
+      ci_mode ? std::min(4, filter::catalog_size()) : filter::catalog_size();
   std::vector<std::vector<i64>> banks;
-  for (int i = 0; i < nf; ++i) banks.push_back(bench::folded_bank(i, 14, false));
-
-  // MRPF and MRPF+CSE as one batch: jobs 2i and 2i+1 per filter.
-  std::vector<core::MrpBatchJob> jobs;
   for (int i = 0; i < nf; ++i) {
+    banks.push_back(bench::folded_bank(i, 14, false));
+  }
+
+  // One unified-pipeline batch per scheme, cold then warm: the warm pass
+  // must be pure cache service (every request a hit), and its results are
+  // identical by the cache's rehydration contract.
+  std::array<SchemeRun, core::kNumSchemes> runs;
+  for (const core::Scheme scheme : core::all_schemes()) {
+    SchemeRun& run = runs[static_cast<std::size_t>(scheme)];
+    cache::SolveCache cache;
     core::MrpOptions opts;
     opts.rep = rep;
-    jobs.push_back({banks[static_cast<std::size_t>(i)], opts});
-    opts.cse_on_seed = true;
-    jobs.push_back({banks[static_cast<std::size_t>(i)], opts});
+    opts.cache = &cache;
+    const double cold_t0 = now_ns();
+    run.results = core::optimize_bank_batch(banks, scheme, opts);
+    run.cold_ns = now_ns() - cold_t0;
+    const cache::CacheStats cold_stats = cache.stats();
+    const double warm_t0 = now_ns();
+    const std::vector<core::SchemeResult> warm =
+        core::optimize_bank_batch(banks, scheme, opts);
+    run.warm_ns = now_ns() - warm_t0;
+    const cache::CacheStats warm_stats = cache.stats();
+    run.warm_hits = warm_stats.hits - cold_stats.hits;
+    run.warm_misses = warm_stats.misses - cold_stats.misses;
+    for (const core::SchemeResult& r : run.results) {
+      run.total_adders += r.multiplier_adders;
+      run.optimize_ns += r.plan.timers.optimize.ns;
+      run.lowering_ns += r.plan.timers.lowering.ns;
+    }
   }
-  const std::vector<core::MrpResult> mrp_solved = core::mrp_optimize_batch(jobs);
 
-  // Baseline columns per filter: simple, decor, dmst, cse, msd-cse, rag-n.
-  std::vector<std::array<int, 6>> base(static_cast<std::size_t>(nf));
+  // DECOR and MSD-CSE per filter: the two baselines outside the unified
+  // scheme set. MSD-CSE also cross-checks the flow cse column (its
+  // csd_adders is exactly the plain CSD-CSE cost).
+  std::vector<std::array<int, 3>> extra(static_cast<std::size_t>(nf));
   parallel_for(static_cast<std::size_t>(nf), [&](std::size_t i) {
     const std::vector<i64>& bank = banks[i];
     const cse::MsdCseResult msd = cse::msd_cse(bank);
-    base[i] = {baseline::simple_adder_cost(bank, rep),
-               baseline::decor_adder_cost(
-                   bank, baseline::decor_best_order(bank, 3, rep), rep),
-               baseline::diff_mst_optimize(bank, rep).adders,
-               msd.csd_adders,
-               msd.cse.adder_count(),
-               baseline::ragn_optimize(bank).adders};
+    extra[i] = {baseline::decor_adder_cost(
+                    bank, baseline::decor_best_order(bank, 3, rep), rep),
+                msd.csd_adders, msd.cse.adder_count()};
   });
+
+  const auto scheme_adders = [&runs](core::Scheme s, int i) {
+    return runs[static_cast<std::size_t>(s)]
+        .results[static_cast<std::size_t>(i)]
+        .multiplier_adders;
+  };
 
   std::printf("%-5s %7s %7s %7s %7s %7s %7s %7s %7s\n", "name", "simple",
               "decor", "dmst", "cse", "msdcse", "rag-n", "mrpf", "mrp+c");
 
+  bool columns_consistent = true;
   double totals[8] = {0};
   for (int i = 0; i < nf; ++i) {
-    const auto& b = base[static_cast<std::size_t>(i)];
-    const int row[8] = {
-        b[0], b[1], b[2], b[3], b[4], b[5],
-        mrp_solved[static_cast<std::size_t>(2 * i)].total_adders(),
-        mrp_solved[static_cast<std::size_t>(2 * i + 1)].total_adders()};
+    const auto& e = extra[static_cast<std::size_t>(i)];
+    const int row[8] = {scheme_adders(core::Scheme::kSimple, i), e[0],
+                        scheme_adders(core::Scheme::kDiffMst, i), e[1],
+                        e[2], scheme_adders(core::Scheme::kRagn, i),
+                        scheme_adders(core::Scheme::kMrp, i),
+                        scheme_adders(core::Scheme::kMrpCse, i)};
+    // Cross-checks between the unified pipeline and the direct calls.
+    columns_consistent =
+        columns_consistent &&
+        row[0] == baseline::simple_adder_cost(
+                      banks[static_cast<std::size_t>(i)], rep) &&
+        scheme_adders(core::Scheme::kCse, i) == e[1];
     std::printf("%-5s", filter::catalog_spec(i).name.c_str());
     for (int c = 0; c < 8; ++c) {
       std::printf(" %7d", row[c]);
@@ -73,6 +145,20 @@ int main() {
   for (int c = 0; c < 8; ++c) std::printf(" %7.0f", totals[c]);
   std::printf("\n");
 
+  bool warm_all_hits = true;
+  std::printf("\nper-scheme pipeline (cold batch -> warm cache replay):\n");
+  for (const core::Scheme scheme : core::all_schemes()) {
+    const SchemeRun& run = runs[static_cast<std::size_t>(scheme)];
+    warm_all_hits = warm_all_hits && run.warm_misses == 0;
+    std::printf(
+        "  %-9s adders %5d  optimize %10.0f ns  lowering %9.0f ns  "
+        "cold %10.0f ns  warm %9.0f ns  warm hits/misses %llu/%llu\n",
+        core::to_string(scheme).c_str(), run.total_adders, run.optimize_ns,
+        run.lowering_ns, run.cold_ns, run.warm_ns,
+        static_cast<unsigned long long>(run.warm_hits),
+        static_cast<unsigned long long>(run.warm_misses));
+  }
+
   bench::print_paper_note(
       "the paper compares MRPF against simple and CSE only; DECOR and "
       "diff-MST are its cited prior work, RAG-n/MSD-CSE are stronger "
@@ -83,5 +169,56 @@ int main() {
       totals[1] / totals[0], totals[2] / totals[0], totals[3] / totals[0],
       totals[4] / totals[0], totals[5] / totals[0], totals[6] / totals[0],
       totals[7] / totals[0]);
+
+  const char* json_name =
+      ci_mode ? "BENCH_schemes_ci.json" : "BENCH_schemes.json";
+  FILE* out = std::fopen(json_name, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_name);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"baseline_zoo\",\n"
+               "  \"workload\": {\"catalog_filters\": %d, \"wordlength\": 14,"
+               " \"quantization\": \"uniform\"},\n"
+               "  \"ci_mode\": %s,\n"
+               "  \"schemes\": {\n",
+               nf, ci_mode ? "true" : "false");
+  for (int s = 0; s < core::kNumSchemes; ++s) {
+    const core::Scheme scheme =
+        core::all_schemes()[static_cast<std::size_t>(s)];
+    const SchemeRun& run = runs[static_cast<std::size_t>(s)];
+    std::fprintf(out,
+                 "    \"%s\": {\"adders\": %d, \"optimize_ns\": %.0f,"
+                 " \"lowering_ns\": %.0f, \"cold_ns\": %.0f,"
+                 " \"warm_ns\": %.0f, \"cache_hits\": %llu,"
+                 " \"cache_misses\": %llu}%s\n",
+                 core::to_string(scheme).c_str(), run.total_adders,
+                 run.optimize_ns, run.lowering_ns, run.cold_ns, run.warm_ns,
+                 static_cast<unsigned long long>(run.warm_hits),
+                 static_cast<unsigned long long>(run.warm_misses),
+                 s + 1 < core::kNumSchemes ? "," : "");
+  }
+  std::fprintf(out,
+               "  },\n"
+               "  \"columns_consistent\": %s,\n"
+               "  \"warm_pass_all_hits\": %s\n"
+               "}\n",
+               columns_consistent ? "true" : "false",
+               warm_all_hits ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_name);
+
+  if (!columns_consistent) {
+    std::fprintf(stderr,
+                 "gate: unified-pipeline columns disagree with direct "
+                 "baseline calls\n");
+    return 1;
+  }
+  if (!warm_all_hits) {
+    std::fprintf(stderr, "gate: warm pass missed the cache\n");
+    return 1;
+  }
   return 0;
 }

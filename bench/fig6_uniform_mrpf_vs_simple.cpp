@@ -4,11 +4,12 @@
 // the simple implementation's. The paper reports ≈60 % average reduction
 // and ≈0.3 adders per multiplication per tap at W=16 for filters with
 // more than 20 taps. All catalog × W solves are independent, so they fan
-// out through core::mrp_optimize_batch (MRPF_THREADS).
+// out through the unified SchemeDriver batch front-end
+// (core::optimize_bank_batch, MRPF_THREADS) — both columns through the
+// same pipeline.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "mrpf/baseline/simple.hpp"
 #include "mrpf/core/mrp.hpp"
 
 int main() {
@@ -24,8 +25,10 @@ int main() {
       banks.push_back(bench::folded_bank(i, w, /*maximal=*/false));
     }
   }
-  const std::vector<core::MrpResult> solved =
-      core::mrp_optimize_batch(banks, opts);
+  const std::vector<core::SchemeResult> solved =
+      core::optimize_bank_batch(banks, core::Scheme::kMrp, opts);
+  const std::vector<core::SchemeResult> simple_solved =
+      core::optimize_bank_batch(banks, core::Scheme::kSimple, opts);
 
   std::printf("%-5s", "name");
   for (const int w : bench::kWordlengths) std::printf("     W=%-3d", w);
@@ -40,13 +43,13 @@ int main() {
   for (int i = 0; i < filter::catalog_size(); ++i) {
     std::printf("%-5s", filter::catalog_spec(i).name.c_str());
     for (const int w : bench::kWordlengths) {
-      const core::MrpResult& mrp = solved[job];
-      const int simple = baseline::simple_adder_cost(banks[job], opts.rep);
+      const core::SchemeResult& mrp = solved[job];
+      const int simple = simple_solved[job].multiplier_adders;
       ++job;
-      const double ratio = simple > 0
-                               ? static_cast<double>(mrp.total_adders()) /
-                                     static_cast<double>(simple)
-                               : 1.0;
+      const double ratio =
+          simple > 0 ? static_cast<double>(mrp.multiplier_adders) /
+                           static_cast<double>(simple)
+                     : 1.0;
       std::printf("   %7.3f", ratio);
       ratio_sum += ratio;
       ++ratio_count;
@@ -55,7 +58,7 @@ int main() {
         // spread over the filter's taps (the paper counts the full,
         // unfolded tap count of the symmetric filter).
         adders_per_tap_w16 +=
-            static_cast<double>(mrp.seed_adders) /
+            static_cast<double>(mrp.plan.mrp->seed_adders) /
             static_cast<double>(filter::catalog_spec(i).num_taps);
         ++large_filters;
       }

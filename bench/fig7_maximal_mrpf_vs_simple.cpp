@@ -2,12 +2,12 @@
 // SPT coefficients. Maximal scaling densifies every coefficient's digit
 // pattern, so complexity rises for everyone; the paper reports ≈60 %
 // reduction at W ∈ {8,12} dropping to ≈40 % at W ∈ {16,20}. The catalog ×
-// W sweep fans out through core::mrp_optimize_batch (MRPF_THREADS).
+// W sweep fans out through the unified SchemeDriver batch front-end
+// (core::optimize_bank_batch, MRPF_THREADS).
 #include <cstdio>
 #include <map>
 
 #include "bench_util.hpp"
-#include "mrpf/baseline/simple.hpp"
 #include "mrpf/core/mrp.hpp"
 
 int main() {
@@ -23,8 +23,10 @@ int main() {
       banks.push_back(bench::folded_bank(i, w, /*maximal=*/true));
     }
   }
-  const std::vector<core::MrpResult> solved =
-      core::mrp_optimize_batch(banks, opts);
+  const std::vector<core::SchemeResult> solved =
+      core::optimize_bank_batch(banks, core::Scheme::kMrp, opts);
+  const std::vector<core::SchemeResult> simple_solved =
+      core::optimize_bank_batch(banks, core::Scheme::kSimple, opts);
 
   std::printf("%-5s", "name");
   for (const int w : bench::kWordlengths) std::printf("     W=%-3d", w);
@@ -35,13 +37,13 @@ int main() {
   for (int i = 0; i < filter::catalog_size(); ++i) {
     std::printf("%-5s", filter::catalog_spec(i).name.c_str());
     for (const int w : bench::kWordlengths) {
-      const core::MrpResult& mrp = solved[job];
-      const int simple = baseline::simple_adder_cost(banks[job], opts.rep);
+      const core::SchemeResult& mrp = solved[job];
+      const int simple = simple_solved[job].multiplier_adders;
       ++job;
-      const double ratio = simple > 0
-                               ? static_cast<double>(mrp.total_adders()) /
-                                     static_cast<double>(simple)
-                               : 1.0;
+      const double ratio =
+          simple > 0 ? static_cast<double>(mrp.multiplier_adders) /
+                           static_cast<double>(simple)
+                     : 1.0;
       std::printf("   %7.3f", ratio);
       ratio_sum_by_w[w] += ratio;
     }

@@ -2,15 +2,13 @@
 // Every data point is MRPF+CSE's multiplier-block adders normalized by
 // the CSE baseline's; the paper reports 17 % (uniform) and 15 % (maximal)
 // average improvement over CSE, and 66 % / 74 % over simple. The MRPF+CSE
-// solves fan out through core::mrp_optimize_batch and the CSE baselines
-// through the same thread pool (MRPF_THREADS).
+// solves, the CSE baselines and the simple reference all fan out through
+// the unified SchemeDriver batch front-end (core::optimize_bank_batch,
+// MRPF_THREADS).
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "mrpf/baseline/simple.hpp"
-#include "mrpf/common/parallel.hpp"
 #include "mrpf/core/mrp.hpp"
-#include "mrpf/cse/hartley.hpp"
 
 namespace {
 
@@ -28,19 +26,18 @@ Averages run_scaling(bool maximal) {
 
   core::MrpOptions opts;
   opts.rep = number::NumberRep::kSpt;
-  opts.cse_on_seed = true;
   std::vector<std::vector<i64>> banks;
   for (int i = 0; i < filter::catalog_size(); ++i) {
     for (const int w : bench::kWordlengths) {
       banks.push_back(bench::folded_bank(i, w, maximal));
     }
   }
-  const std::vector<core::MrpResult> solved =
-      core::mrp_optimize_batch(banks, opts);
-  std::vector<int> cse_adders(banks.size());
-  parallel_for(banks.size(), [&](std::size_t j) {
-    cse_adders[j] = cse::hartley_cse(banks[j]).adder_count();
-  });
+  const std::vector<core::SchemeResult> solved =
+      core::optimize_bank_batch(banks, core::Scheme::kMrpCse, opts);
+  const std::vector<core::SchemeResult> cse_solved =
+      core::optimize_bank_batch(banks, core::Scheme::kCse, opts);
+  const std::vector<core::SchemeResult> simple_solved =
+      core::optimize_bank_batch(banks, core::Scheme::kSimple, opts);
 
   double cse_ratio_sum = 0.0;
   double simple_ratio_sum = 0.0;
@@ -49,20 +46,20 @@ Averages run_scaling(bool maximal) {
   for (int i = 0; i < filter::catalog_size(); ++i) {
     std::printf("%-5s", filter::catalog_spec(i).name.c_str());
     for (std::size_t wi = 0; wi < bench::kWordlengths.size(); ++wi) {
-      const core::MrpResult& mrp = solved[job];
-      const int simple = baseline::simple_adder_cost(banks[job], opts.rep);
+      const core::SchemeResult& mrp = solved[job];
+      const int cse_adders = cse_solved[job].multiplier_adders;
+      const int simple = simple_solved[job].multiplier_adders;
 
       const double vs_cse =
-          cse_adders[job] > 0
-              ? static_cast<double>(mrp.total_adders()) /
-                    static_cast<double>(cse_adders[job])
-              : 1.0;
+          cse_adders > 0 ? static_cast<double>(mrp.multiplier_adders) /
+                               static_cast<double>(cse_adders)
+                         : 1.0;
       std::printf("   %7.3f", vs_cse);
       cse_ratio_sum += vs_cse;
-      simple_ratio_sum += simple > 0
-                              ? static_cast<double>(mrp.total_adders()) /
-                                    static_cast<double>(simple)
-                              : 1.0;
+      simple_ratio_sum +=
+          simple > 0 ? static_cast<double>(mrp.multiplier_adders) /
+                           static_cast<double>(simple)
+                     : 1.0;
       ++count;
       ++job;
     }

@@ -10,11 +10,18 @@
 // a cold-but-correct session, never to wrong data. Writes
 // BENCH_cache.json.
 //
+// A second section replays the whole catalog through the unified
+// SchemeDriver flow (core::optimize_bank_batch) for every scheme — the
+// cache now serves all six, not just MRP — and reports per-scheme
+// second-pass hit rates.
+//
 // `--ci` reduces the workload and gates hard on deterministic properties
 // only: every result bit-identical to the uncached solve, 100% second-pass
-// hit rate, and corrupt-store fallback correctness. The warm-over-cold
+// hit rate (including, per scheme, for every non-MRP scheme in the flow
+// replay), and corrupt-store fallback correctness. The warm-over-cold
 // speedup is a wall-clock ratio — noisy on shared runners and on the small
 // --ci workload — so it is reported (here and in the JSON) but never gated.
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -27,6 +34,7 @@
 #include "mrpf/cache/solve_cache.hpp"
 #include "mrpf/common/rng.hpp"
 #include "mrpf/core/mrp.hpp"
+#include "mrpf/core/scheme.hpp"
 
 namespace {
 
@@ -208,6 +216,50 @@ int main(int argc, char** argv) {
                 same_result(from_disk[i], fresh[i]);
   }
 
+  // Flow replay: the same catalog banks through the unified SchemeDriver
+  // pipeline, every scheme, cold pass then warm pass against one live
+  // cache. The warm pass must be pure cache service for every scheme; the
+  // --ci gate below pins the non-MRP schemes at a 100% rate (the MRP
+  // schemes hold it too and are reported, but their counters also cover
+  // the solver's internal memoization layer, so the field-for-field gate
+  // for them lives in test_scheme_driver).
+  struct FlowReplay {
+    double cold_ns = 0;
+    double warm_ns = 0;
+    u64 warm_hits = 0;
+    u64 warm_misses = 0;
+    double hit_rate = 0;
+  };
+  std::array<FlowReplay, core::kNumSchemes> flow;
+  {
+    std::vector<std::vector<i64>> flow_banks;
+    for (int i = 0; i < catalog; ++i) {
+      flow_banks.push_back(bench::folded_bank(i, 12, /*maximal=*/false));
+    }
+    for (const core::Scheme scheme : core::all_schemes()) {
+      FlowReplay& r = flow[static_cast<std::size_t>(scheme)];
+      cache::SolveCache flow_cache;
+      core::MrpOptions flow_opts;
+      flow_opts.rep = number::NumberRep::kSpt;
+      flow_opts.cache = &flow_cache;
+      const double t0 = now_ns();
+      (void)core::optimize_bank_batch(flow_banks, scheme, flow_opts);
+      r.cold_ns = now_ns() - t0;
+      const cache::CacheStats cold_s = flow_cache.stats();
+      const double t1 = now_ns();
+      (void)core::optimize_bank_batch(flow_banks, scheme, flow_opts);
+      r.warm_ns = now_ns() - t1;
+      const cache::CacheStats warm_s = flow_cache.stats();
+      r.warm_hits = warm_s.hits - cold_s.hits;
+      r.warm_misses = warm_s.misses - cold_s.misses;
+      const u64 lookups = r.warm_hits + r.warm_misses;
+      r.hit_rate = lookups > 0
+                       ? static_cast<double>(r.warm_hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
+  }
+
   std::printf("workload    : %zu requests (%d catalog banks x %d variants "
               "+ originals)\n",
               solves, catalog, variants_per_bank);
@@ -222,6 +274,16 @@ int main(int argc, char** argv) {
               disk_all_hits ? "yes" : "NO");
   std::printf("correctness : cached==fresh %s, corrupt-store fallback %s\n",
               identical ? "yes" : "NO", corrupt_handled ? "ok" : "FAILED");
+  std::printf("flow replay : per-scheme second-pass hit rates (W=12):\n");
+  for (const core::Scheme scheme : core::all_schemes()) {
+    const FlowReplay& r = flow[static_cast<std::size_t>(scheme)];
+    std::printf("  %-9s cold %10.0f ns  warm %9.0f ns  hits/misses "
+                "%llu/%llu (%.1f%%)\n",
+                core::to_string(scheme).c_str(), r.cold_ns, r.warm_ns,
+                static_cast<unsigned long long>(r.warm_hits),
+                static_cast<unsigned long long>(r.warm_misses),
+                100.0 * r.hit_rate);
+  }
 
   const char* json_name =
       ci_mode ? "BENCH_cache_ci.json" : "BENCH_cache.json";
@@ -247,8 +309,8 @@ int main(int argc, char** argv) {
       " \"entries\": %llu, \"bytes\": %llu},\n"
       "  \"persist_round_trip\": %s,\n"
       "  \"corrupt_store_fallback\": %s,\n"
-      "  \"bit_identical_cached_fresh\": %s\n"
-      "}\n",
+      "  \"bit_identical_cached_fresh\": %s,\n"
+      "  \"flow_schemes\": {\n",
       catalog, variants_per_bank, kWordlength, solves,
       ci_mode ? "true" : "false", fresh_ns, cold_ns, warm_ns, disk_warm_ns,
       warm_speedup, hit_rate,
@@ -259,6 +321,20 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(cold_stats.bytes),
       persist_ok ? "true" : "false", corrupt_handled ? "true" : "false",
       identical ? "true" : "false");
+  for (int s = 0; s < core::kNumSchemes; ++s) {
+    const core::Scheme scheme =
+        core::all_schemes()[static_cast<std::size_t>(s)];
+    const FlowReplay& r = flow[static_cast<std::size_t>(s)];
+    std::fprintf(out,
+                 "    \"%s\": {\"cold_ns\": %.0f, \"warm_ns\": %.0f,"
+                 " \"hits\": %llu, \"misses\": %llu,"
+                 " \"second_pass_hit_rate\": %.4f}%s\n",
+                 core::to_string(scheme).c_str(), r.cold_ns, r.warm_ns,
+                 static_cast<unsigned long long>(r.warm_hits),
+                 static_cast<unsigned long long>(r.warm_misses), r.hit_rate,
+                 s + 1 < core::kNumSchemes ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", json_name);
 
@@ -268,6 +344,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "CI gate: second pass hit rate %.4f < 1.0\n",
                    hit_rate);
       ok = false;
+    }
+    for (const core::Scheme scheme : core::all_schemes()) {
+      if (scheme == core::Scheme::kMrp || scheme == core::Scheme::kMrpCse) {
+        continue;  // reported above; gated field-for-field in the tests
+      }
+      const FlowReplay& r = flow[static_cast<std::size_t>(scheme)];
+      if (r.hit_rate < 1.0) {
+        std::fprintf(stderr,
+                     "CI gate: %s flow second-pass hit rate %.4f < 1.0\n",
+                     core::to_string(scheme).c_str(), r.hit_rate);
+        ok = false;
+      }
     }
     // Wall-clock speedup is informational only: on a noisy shared runner
     // (or the reduced --ci workload, where cold_ns is already small) the

@@ -18,7 +18,7 @@ int main() {
   std::puts("== MRP transformation of the paper's 8-tap example ==\n");
   core::SchemeResult mrp =
       core::optimize_bank(coefficients, core::Scheme::kMrp);
-  std::fputs(core::describe(*mrp.mrp).c_str(), stdout);
+  std::fputs(core::describe(*mrp.plan.mrp).c_str(), stdout);
 
   std::puts("\n== Scheme comparison (multiplier-block adders) ==");
   for (const auto scheme :

@@ -2,7 +2,13 @@
 
 #include <bit>
 
+#include "mrpf/core/scheme_driver.hpp"
+
 namespace mrpf::cache {
+
+bool uses_mrp_canonical_form(core::Scheme scheme) {
+  return scheme == core::Scheme::kMrp || scheme == core::Scheme::kMrpCse;
+}
 
 CanonicalBank canonicalize(const std::vector<i64>& bank) {
   // extract_primaries is the canonicalization (drop zeros, odd part of the
@@ -12,6 +18,14 @@ CanonicalBank canonicalize(const std::vector<i64>& bank) {
   CanonicalBank cb;
   cb.values = std::move(pb.primaries);
   cb.refs = std::move(pb.refs);
+  cb.content_hash = canonical_content_hash(cb.values);
+  return cb;
+}
+
+CanonicalBank canonicalize(core::Scheme scheme, const std::vector<i64>& bank) {
+  if (uses_mrp_canonical_form(scheme)) return canonicalize(bank);
+  CanonicalBank cb;
+  cb.values = bank;  // identity group: only exact repeats share an entry
   cb.content_hash = canonical_content_hash(cb.values);
   return cb;
 }
@@ -32,6 +46,16 @@ SolveOptionsTag options_tag(const core::MrpOptions& options) {
   tag.rep = static_cast<std::uint8_t>(options.rep);
   tag.cse_on_seed = options.cse_on_seed ? 1 : 0;
   tag.recursive_levels = static_cast<std::uint8_t>(options.recursive_levels);
+  tag.scheme = static_cast<std::uint8_t>(
+      options.cse_on_seed ? core::Scheme::kMrpCse : core::Scheme::kMrp);
+  return tag;
+}
+
+SolveOptionsTag options_tag(core::Scheme scheme,
+                            const core::MrpOptions& options) {
+  SolveOptionsTag tag =
+      options_tag(core::scheme_driver(scheme).canonical_options(options));
+  tag.scheme = static_cast<std::uint8_t>(scheme);
   return tag;
 }
 
@@ -40,13 +64,20 @@ u64 solve_key(const CanonicalBank& canonical,
   return solve_key(canonical.content_hash, options_tag(options));
 }
 
+u64 solve_key(core::Scheme scheme, const std::vector<i64>& bank,
+              const core::MrpOptions& options) {
+  return solve_key(canonicalize(scheme, bank).content_hash,
+                   options_tag(scheme, options));
+}
+
 u64 solve_key(u64 content_hash, const SolveOptionsTag& tag) {
   u64 h = fnv1a64_word(tag.beta_bits, content_hash);
   h = fnv1a64_word((static_cast<u64>(static_cast<std::uint32_t>(tag.l_max))
                     << 32) |
                        static_cast<std::uint32_t>(tag.depth_limit),
                    h);
-  h = fnv1a64_word((static_cast<u64>(tag.rep) << 16) |
+  h = fnv1a64_word((static_cast<u64>(tag.scheme) << 24) |
+                       (static_cast<u64>(tag.rep) << 16) |
                        (static_cast<u64>(tag.cse_on_seed) << 8) |
                        tag.recursive_levels,
                    h);

@@ -1,16 +1,28 @@
 // Canonical coefficient fingerprints for the solve cache.
 //
-// The MRP transformation is invariant under the bank equivalence group:
-// dropping zeros, negating coefficients, shifting them by powers of two,
-// permuting them and duplicating them all leave the primary-vertex set —
-// and therefore every field of the solve except the per-coefficient
-// back-references — unchanged (paper §3.1: every constant is ±(p << s)
-// with p odd and positive, and only the distinct p survive into stage A).
-// Canonicalization reduces a bank to that invariant: drop zeros, take the
-// odd part of the absolute value, sort, dedup. The per-coefficient
-// back-transform (vertex index, shift, sign) is exactly what rehydrating a
-// cached canonical solve for the original vector needs, and is the same
-// data core::extract_primaries computes.
+// Canonicalization is per scheme, because each scheme has its own bank
+// equivalence group:
+//
+//  - kMrp / kMrpCse: the MRP transformation is invariant under dropping
+//    zeros, negating coefficients, shifting them by powers of two,
+//    permuting and duplicating them — all leave the primary-vertex set,
+//    and therefore every field of the solve except the per-coefficient
+//    back-references, unchanged (paper §3.1: every constant is ±(p << s)
+//    with p odd and positive, and only the distinct p survive into stage
+//    A). Canonicalization reduces a bank to that invariant: drop zeros,
+//    take the odd part of the absolute value, sort, dedup. The
+//    per-coefficient back-transform (vertex index, shift, sign) is exactly
+//    what rehydrating a cached canonical solve for the original vector
+//    needs, and is the same data core::extract_primaries computes.
+//
+//  - every other scheme: the identity group. Simple and CSE costs count
+//    duplicate coefficients; diff-MST edge weights are not
+//    shift-invariant; RAG-n depends on the exact multiset. So the
+//    canonical form is the bank verbatim and only exact repeats share an
+//    entry — sound for any scheme, just less sharing.
+//
+// Alongside the bank, the fingerprint hashes a scheme+options tag, so
+// every scheme keys its own namespace in one shared cache.
 #pragma once
 
 #include <cstddef>
@@ -23,15 +35,18 @@
 
 namespace mrpf::cache {
 
-/// The canonical form of a coefficient bank under the MRP equivalence
+/// The canonical form of a coefficient bank under a scheme's equivalence
 /// group, plus everything needed to map a cached canonical solve back onto
 /// the original vector.
 struct CanonicalBank {
-  /// Sorted, unique, odd, positive — identical for every equivalent bank
-  /// (== core::extract_primaries(bank).primaries).
+  /// MRP schemes: sorted, unique, odd, positive — identical for every
+  /// equivalent bank (== core::extract_primaries(bank).primaries).
+  /// Other schemes: the bank verbatim.
   std::vector<i64> values;
-  /// Per original coefficient: c == ±(values[vertex] << shift), vertex -1
-  /// for the constant 0 (== core::extract_primaries(bank).refs).
+  /// MRP schemes only — per original coefficient: c == ±(values[vertex]
+  /// << shift), vertex -1 for the constant 0 (==
+  /// core::extract_primaries(bank).refs). Empty for identity-group
+  /// schemes (no transform to undo).
   std::vector<core::PrimaryBank::Ref> refs;
   /// FNV-1a over the canonical words and their count. Equal for every
   /// equivalent bank; collisions across inequivalent banks are possible
@@ -39,13 +54,23 @@ struct CanonicalBank {
   u64 content_hash = 0;
 };
 
+/// MRP-group canonicalization (kMrp/kMrpCse).
 CanonicalBank canonicalize(const std::vector<i64>& bank);
 
-/// The MrpOptions fields that select a distinct solve. pool, cache,
-/// cache_path and use_reference_engine are excluded: they change wall
-/// time, never a result field (bit-identity is asserted by the PR-1/PR-2
-/// differential tests). Stored alongside each cache entry so a lookup
-/// match is exact, not just hash-equal.
+/// Scheme-dispatching canonicalization: the MRP group for kMrp/kMrpCse,
+/// the identity group (bank verbatim, no refs) for every other scheme.
+CanonicalBank canonicalize(core::Scheme scheme, const std::vector<i64>& bank);
+
+/// True when the scheme's equivalence group folds banks onto the MRP
+/// primary-vertex canonical form (and cached taps need the refs
+/// back-transform on rehydration).
+bool uses_mrp_canonical_form(core::Scheme scheme);
+
+/// The scheme plus the MrpOptions fields that select a distinct solve.
+/// pool, cache, cache_path and use_reference_engine are excluded: they
+/// change wall time, never a result field (bit-identity is asserted by
+/// the PR-1/PR-2 differential tests). Stored alongside each cache entry
+/// so a lookup match is exact, not just hash-equal.
 struct SolveOptionsTag {
   u64 beta_bits = 0;  // bit pattern of MrpOptions::beta (exact compare)
   std::int32_t l_max = 0;
@@ -53,22 +78,34 @@ struct SolveOptionsTag {
   std::uint8_t rep = 0;
   std::uint8_t cse_on_seed = 0;
   std::uint8_t recursive_levels = 0;
+  std::uint8_t scheme = 0;  // core::Scheme of the plan (cache namespace)
 
   bool operator==(const SolveOptionsTag&) const = default;
 };
 
+/// Tag of an MrpOptions-level (mrp_optimize) solve: the scheme is derived
+/// from cse_on_seed, every other field is taken verbatim.
 SolveOptionsTag options_tag(const core::MrpOptions& options);
+
+/// Tag of a flow-level solve: options are normalized through the scheme's
+/// driver (knobs the scheme ignores reset, knobs it forces pinned — see
+/// SchemeDriver::canonical_options) before tagging, so irrelevant knob
+/// changes never fragment the cache.
+SolveOptionsTag options_tag(core::Scheme scheme,
+                            const core::MrpOptions& options);
 
 /// content_hash of an already-canonical value vector (the persistence load
 /// path re-derives hashes instead of trusting the file).
 u64 canonical_content_hash(const std::vector<i64>& canonical_values);
 
 /// 64-bit solve fingerprint: content_hash of the canonical bank mixed with
-/// the options tag. Two (bank, options) pairs with equal keys are intended
-/// to share one cache entry; SolveCache still verifies the canonical words
-/// and tag before trusting a hit.
+/// the scheme+options tag. Two (bank, scheme, options) triples with equal
+/// keys are intended to share one cache entry; SolveCache still verifies
+/// the canonical words and tag before trusting a hit.
 u64 solve_key(u64 content_hash, const SolveOptionsTag& tag);
 u64 solve_key(const CanonicalBank& canonical,
+              const core::MrpOptions& options);
+u64 solve_key(core::Scheme scheme, const std::vector<i64>& bank,
               const core::MrpOptions& options);
 
 }  // namespace mrpf::cache

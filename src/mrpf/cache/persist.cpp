@@ -33,7 +33,7 @@ void append_tag(std::vector<std::uint8_t>& out, const SolveOptionsTag& tag) {
   out.push_back(tag.rep);
   out.push_back(tag.cse_on_seed);
   out.push_back(tag.recursive_levels);
-  out.push_back(0);  // pad
+  out.push_back(tag.scheme);  // the former pad byte — tag stays 20 bytes
 }
 
 struct ByteReader {
@@ -79,7 +79,7 @@ bool save_solve_cache(const SolveCache& cache, const std::string& path) {
     for (const i64 v : *entry.canonical) {
       append_u64(buffer, static_cast<u64>(v));
     }
-    io::serialize_result(*entry.result, buffer);
+    io::serialize_plan(*entry.plan, buffer);
     ++count;
   });
   for (int b = 0; b < 8; ++b) {
@@ -145,7 +145,7 @@ bool load_solve_cache(SolveCache& cache, const std::string& path) {
   struct Staged {
     SolveOptionsTag tag;
     std::vector<i64> canonical;
-    core::MrpResult result;
+    core::SynthPlan plan;
   };
   std::vector<Staged> staged;
   try {
@@ -158,7 +158,7 @@ bool load_solve_cache(SolveCache& cache, const std::string& path) {
       s.tag.rep = r.u8();
       s.tag.cse_on_seed = r.u8();
       s.tag.recursive_levels = r.u8();
-      r.u8();  // pad
+      s.tag.scheme = r.u8();
       if (!r.need(8)) return false;
       const u64 n = r.u64v();
       if (n > (r.size - r.pos) / 8) return false;
@@ -167,22 +167,22 @@ bool load_solve_cache(SolveCache& cache, const std::string& path) {
         s.canonical[static_cast<std::size_t>(i)] =
             static_cast<i64>(r.u64v());
       }
-      s.result = io::deserialize_result(r.data, r.size, r.pos);
+      s.plan = io::deserialize_plan(r.data, r.size, r.pos);
       staged.push_back(std::move(s));
     }
   } catch (const Error&) {
-    return false;  // malformed result frame
+    return false;  // malformed plan frame
   }
   if (r.pos != r.size) return false;  // trailing bytes before the checksum
 
   // Dry-run validation first so a checksum-valid but semantically invalid
   // (e.g. handcrafted) store rejects without touching the cache at all.
   for (const Staged& s : staged) {
-    if (!is_canonical_solve(s.canonical, s.result)) return false;
+    if (!is_canonical_plan(s.tag, s.canonical, s.plan)) return false;
   }
   for (Staged& s : staged) {
     const bool ok = cache.insert_canonical(s.tag, std::move(s.canonical),
-                                           std::move(s.result));
+                                           std::move(s.plan));
     MRPF_CHECK(ok, "solve cache: validated entry rejected on insert");
   }
   return true;

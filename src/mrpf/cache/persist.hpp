@@ -4,15 +4,17 @@
 //
 //   u64 magic "MRPFCSH1"   u32 format version   u32 reserved (0)
 //   u64 entry_count
-//   entry_count × [ options tag | canonical vector | result_serde frame ]
+//   entry_count × [ scheme+options tag | canonical vector |
+//                   result_serde plan frame ]
 //   u64 fnv1a64 checksum over every preceding byte
 //
 // Loading is all-or-nothing and trust-nothing: bad magic, an unknown
 // version, a checksum mismatch, a truncated entry, a non-canonical vector
-// or a result that is not the canonical solve of its vector all reject the
+// or a plan that is not the canonical plan of its vector all reject the
 // *whole file* — load_solve_cache returns false and the cache is left
 // untouched, so a corrupt or stale store silently degrades to a cold
-// cache, never to wrong data.
+// cache, never to wrong data. Version 1 files (PR-3's MrpResult-only
+// format) fail the version check and are rejected cleanly.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +25,7 @@
 namespace mrpf::cache {
 
 inline constexpr u64 kCacheFileMagic = 0x31485343'4650524DULL;  // "MRPFCSH1"
-inline constexpr std::uint32_t kCacheFileVersion = 1;
+inline constexpr std::uint32_t kCacheFileVersion = 2;
 
 /// Serializes every cache entry to `path` (atomically enough for the
 /// flow: written to a temp sibling, then renamed). Returns false on I/O

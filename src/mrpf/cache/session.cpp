@@ -1,36 +1,21 @@
 #include "mrpf/cache/session.hpp"
 
-#include <cctype>
-#include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "mrpf/cache/persist.hpp"
+#include "mrpf/common/env.hpp"
 
 namespace mrpf::cache {
 
 namespace {
 
-bool equals_ignore_case(const std::string& s, const char* lower) {
-  std::size_t i = 0;
-  for (; s[i] != '\0' && lower[i] != '\0'; ++i) {
-    if (std::tolower(static_cast<unsigned char>(s[i])) != lower[i]) {
-      return false;
-    }
-  }
-  return s[i] == '\0' && lower[i] == '\0';
-}
-
 void warn_malformed_once(const char* value) {
-  static std::once_flag flag;
-  std::call_once(flag, [value] {
-    std::fprintf(stderr,
-                 "mrpf: ignoring malformed MRPF_CACHE value \"%s\" "
-                 "(expected \"off\", \"0\", or a capacity in MiB)\n",
-                 value);
-  });
+  env::warn_once("MRPF_CACHE",
+                 "mrpf: ignoring malformed MRPF_CACHE value \"" +
+                     std::string(value) +
+                     "\" (expected \"off\", \"0\", or a capacity in MiB)");
 }
 
 }  // namespace
@@ -39,21 +24,18 @@ CacheEnvConfig parse_cache_env(const char* value, bool* malformed) {
   if (malformed != nullptr) *malformed = false;
   CacheEnvConfig config;
   if (value == nullptr || value[0] == '\0') return config;
-  const std::string s(value);
-  if (s == "0" || equals_ignore_case(s, "off")) {
+  if (std::string(value) == "0" || env::equals_ignore_case(value, "off")) {
     config.disabled = true;
     return config;
   }
-  char* end = nullptr;
-  const long long mib = std::strtoll(s.c_str(), &end, 10);
-  if (end != s.c_str() + s.size() || mib <= 0) {
+  // Shared env-knob grammar; capacity clamps to [1 MiB, 64 GiB] — absurd
+  // values are almost certainly typos but a clamp keeps the knob forgiving.
+  const env::ParsedInt mib = env::parse_positive_int(value, 65536);
+  if (!mib.well_formed) {
     if (malformed != nullptr) *malformed = true;
     return config;
   }
-  // Clamp to [1 MiB, 64 GiB]; absurd values are almost certainly typos
-  // but a clamp keeps the knob forgiving.
-  const long long clamped = mib > 65536 ? 65536 : mib;
-  config.max_bytes = static_cast<std::size_t>(clamped) << 20;
+  config.max_bytes = static_cast<std::size_t>(mib.value) << 20;
   return config;
 }
 

@@ -56,16 +56,100 @@ bool is_canonical_vector(const std::vector<i64>& values) {
   return true;
 }
 
+/// Empty or all-zero: solving is cheaper than caching.
+bool is_trivial_bank(const std::vector<i64>& values) {
+  return std::all_of(values.begin(), values.end(),
+                     [](i64 v) { return v == 0; });
+}
+
+/// The canonical form of a plan for storage. MRP schemes: re-index the
+/// per-coefficient taps onto the canonical vertices (undoing each
+/// coefficient's shift/sign back-reference) and reset the provenance to
+/// identity refs — exactly the plan a fresh solve of the canonical bank
+/// itself produces. Identity-group schemes: the plan verbatim.
+core::SynthPlan canonical_plan_of(core::Scheme scheme, const CanonicalBank& cb,
+                                  const core::SynthPlan& plan) {
+  core::SynthPlan out = plan.clone();
+  if (!uses_mrp_canonical_form(scheme)) return out;
+  out.taps.assign(cb.values.size(), arch::Tap{});
+  std::vector<char> filled(cb.values.size(), 0);
+  for (std::size_t i = 0; i < cb.refs.size(); ++i) {
+    const core::PrimaryBank::Ref& ref = cb.refs[i];
+    if (ref.vertex < 0) continue;
+    const auto v = static_cast<std::size_t>(ref.vertex);
+    if (filled[v] != 0) continue;
+    arch::Tap tap = plan.taps[i];
+    tap.shift -= ref.shift;
+    tap.negate = tap.negate != ref.negate;
+    tap.constant = cb.values[v];
+    out.taps[v] = tap;
+    filled[v] = 1;
+  }
+  for (const char f : filled) {
+    MRPF_CHECK(f != 0, "solve cache: bank does not cover every vertex");
+  }
+  if (out.mrp.has_value()) {
+    out.mrp->bank.refs = identity_refs(cb.values.size());
+  }
+  return out;
+}
+
+/// Inverse of canonical_plan_of: maps a canonical MRP plan back onto the
+/// requester's bank through its back-references — the same transform
+/// core::build_mrp_block applies, so the rehydrated plan is
+/// field-for-field identical to a fresh solve of `bank`.
+void rehydrate_mrp_plan(const std::vector<i64>& bank, CanonicalBank&& cb,
+                        core::SynthPlan& plan) {
+  std::vector<arch::Tap> taps(bank.size());
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    const core::PrimaryBank::Ref& ref = cb.refs[i];
+    if (ref.vertex < 0) {
+      taps[i] = arch::Tap{-1, 0, false, 0};
+      continue;
+    }
+    arch::Tap tap = plan.taps[static_cast<std::size_t>(ref.vertex)];
+    tap.shift += ref.shift;
+    tap.negate = tap.negate != ref.negate;
+    tap.constant = bank[i];
+    taps[i] = tap;
+  }
+  plan.taps = std::move(taps);
+  if (plan.mrp.has_value()) plan.mrp->bank.refs = std::move(cb.refs);
+}
+
 }  // namespace
 
-bool is_canonical_solve(const std::vector<i64>& canonical,
-                        const core::MrpResult& result) {
-  if (!is_canonical_vector(canonical)) return false;
-  if (result.vertices != canonical || result.bank.primaries != canonical) {
+bool is_canonical_plan(const SolveOptionsTag& tag,
+                       const std::vector<i64>& canonical,
+                       const core::SynthPlan& plan) {
+  if (tag.scheme >= static_cast<std::uint8_t>(core::kNumSchemes)) return false;
+  const auto scheme = static_cast<core::Scheme>(tag.scheme);
+  if (plan.scheme != scheme) return false;
+  if (is_trivial_bank(canonical)) return false;  // never cached
+  if (plan.taps.size() != canonical.size()) return false;
+  if (uses_mrp_canonical_form(scheme)) {
+    if (!is_canonical_vector(canonical)) return false;
+    if (!plan.mrp.has_value() || plan.cse.has_value()) return false;
+    const core::MrpResult& mrp = *plan.mrp;
+    if (mrp.vertices != canonical || mrp.bank.primaries != canonical) {
+      return false;
+    }
+    if (mrp.bank.refs.size() != canonical.size() ||
+        !is_identity_refs(mrp.bank.refs)) {
+      return false;
+    }
+  } else {
+    if (plan.mrp.has_value()) return false;
+    if (plan.cse.has_value() != (scheme == core::Scheme::kCse)) return false;
+  }
+  // Structural validation by construction: the ops must replay into a
+  // graph and the taps must verifiably multiply by the canonical bank.
+  try {
+    core::lower_plan(canonical, plan);
+  } catch (const Error&) {
     return false;
   }
-  return result.bank.refs.size() == canonical.size() &&
-         is_identity_refs(result.bank.refs);
+  return true;
 }
 
 std::size_t approx_result_bytes(const core::MrpResult& result) {
@@ -86,17 +170,38 @@ std::size_t approx_result_bytes(const core::MrpResult& result) {
   return bytes;
 }
 
+std::size_t approx_plan_bytes(const core::SynthPlan& plan) {
+  std::size_t bytes = sizeof(plan);
+  bytes += plan.ops.size() * sizeof(arch::AdderOp);
+  bytes += plan.taps.size() * sizeof(arch::Tap);
+  if (plan.mrp.has_value()) bytes += approx_result_bytes(*plan.mrp);
+  if (plan.cse.has_value()) bytes += cse_bytes(*plan.cse);
+  return bytes;
+}
+
 SolveCache::SolveCache(const SolveCacheConfig& config)
     : config_{std::max<std::size_t>(config.max_bytes, 1),
               std::max(config.shards, 1)},
       shards_(static_cast<std::size_t>(std::max(config.shards, 1))) {}
 
-bool SolveCache::try_get(const std::vector<i64>& bank,
-                         const core::MrpOptions& options,
-                         core::MrpResult& out) {
+void SolveCache::count_lookup(core::Scheme scheme, bool hit) {
+  const auto s = static_cast<std::size_t>(scheme);
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    scheme_hits_[s].fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    scheme_misses_[s].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool SolveCache::try_get_plan(const std::vector<i64>& bank,
+                              core::Scheme scheme,
+                              const core::MrpOptions& options,
+                              core::SynthPlan& out) {
   const auto start = Clock::now();
-  CanonicalBank cb = canonicalize(bank);
-  if (cb.values.empty()) {
+  CanonicalBank cb = canonicalize(scheme, bank);
+  if (is_trivial_bank(cb.values)) {
     // Trivial (empty/all-zero) bank: solving is cheaper than caching, but
     // the lookup still happened — account for it so hits + misses +
     // trivial always equals the lookup count and lookup_ns stays honest.
@@ -104,7 +209,7 @@ bool SolveCache::try_get(const std::vector<i64>& bank,
     lookup_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
     return false;
   }
-  const SolveOptionsTag tag = options_tag(options);
+  const SolveOptionsTag tag = options_tag(scheme, options);
   const u64 key = cache::solve_key(cb.content_hash, tag);
   Shard& shard = shard_of(key);
   bool hit = false;
@@ -116,59 +221,78 @@ bool SolveCache::try_get(const std::vector<i64>& bank,
     if (it != shard.index.end() && it->second->tag == tag &&
         it->second->canonical == cb.values) {
       shard.lru.splice(shard.lru.end(), shard.lru, it->second);  // touch
-      out = it->second->result.clone();
+      out = it->second->plan.clone();
       hit = true;
     }
   }
-  if (hit) {
-    // Rehydrate: the stored solve is canonical (identity refs); only the
-    // per-coefficient back-transform depends on the original vector.
-    out.bank.refs = std::move(cb.refs);
-    hits_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+  if (hit && uses_mrp_canonical_form(scheme)) {
+    // Rehydrate: the stored plan is canonical (per-vertex taps, identity
+    // refs); only the per-coefficient back-transform depends on the
+    // original vector. Identity-group plans are exact as stored.
+    rehydrate_mrp_plan(bank, std::move(cb), out);
   }
+  count_lookup(scheme, hit);
   lookup_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
   return hit;
 }
 
-void SolveCache::put(const std::vector<i64>& bank,
-                     const core::MrpOptions& options,
-                     const core::MrpResult& result) {
+void SolveCache::put_plan(const std::vector<i64>& bank, core::Scheme scheme,
+                          const core::MrpOptions& options,
+                          const core::SynthPlan& plan) {
   const auto start = Clock::now();
-  CanonicalBank cb = canonicalize(bank);
-  if (cb.values.empty()) return;
-  MRPF_CHECK(result.vertices == cb.values,
-             "solve cache: result does not belong to this bank");
+  CanonicalBank cb = canonicalize(scheme, bank);
+  if (is_trivial_bank(cb.values)) return;
+  MRPF_CHECK(plan.scheme == scheme,
+             "solve cache: plan scheme does not match the offer");
+  MRPF_CHECK(plan.taps.size() == bank.size(),
+             "solve cache: plan does not belong to this bank");
+  if (uses_mrp_canonical_form(scheme)) {
+    MRPF_CHECK(plan.mrp.has_value() && plan.mrp->vertices == cb.values,
+               "solve cache: result does not belong to this bank");
+  }
+  const SolveOptionsTag tag = options_tag(scheme, options);
+  const u64 key = cache::solve_key(cb.content_hash, tag);
+  {
+    // Idempotent re-offer: the flow layer and mrp_optimize's internal
+    // memoization can both publish the same solve — the second offer is
+    // a no-op (and not an insert), so counters stay one-insert-per-miss.
+    Shard& shard = shard_of(key);
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end() && it->second->tag == tag &&
+        it->second->canonical == cb.values) {
+      return;
+    }
+  }
   Entry entry;
-  entry.tag = options_tag(options);
-  entry.key = cache::solve_key(cb.content_hash, entry.tag);
+  entry.tag = tag;
+  entry.key = key;
+  entry.plan = canonical_plan_of(scheme, cb, plan);
   entry.canonical = std::move(cb.values);
-  entry.result = result.clone();
-  entry.result.bank.refs = identity_refs(entry.canonical.size());
-  entry.bytes = approx_result_bytes(entry.result) +
+  entry.bytes = approx_plan_bytes(entry.plan) +
                 entry.canonical.size() * sizeof(i64) + sizeof(Entry);
   insert_entry(std::move(entry));
   insert_ns_.fetch_add(elapsed_ns(start), std::memory_order_relaxed);
 }
 
-u64 SolveCache::solve_key(const std::vector<i64>& bank,
-                          const core::MrpOptions& options) const {
-  return cache::solve_key(canonicalize(bank), options);
+u64 SolveCache::plan_key(const std::vector<i64>& bank, core::Scheme scheme,
+                         const core::MrpOptions& options) const {
+  return cache::solve_key(scheme, bank, options);
 }
 
 bool SolveCache::insert_canonical(const SolveOptionsTag& tag,
                                   std::vector<i64> canonical,
-                                  core::MrpResult result) {
+                                  core::SynthPlan plan) {
   // The load path validates instead of trusting the file: the vector must
-  // be canonical and the result must be *its* canonical solve.
-  if (!is_canonical_solve(canonical, result)) return false;
+  // obey the scheme's canonical form and the plan must be *its* canonical
+  // plan (replayable through the shared lowering path).
+  if (!is_canonical_plan(tag, canonical, plan)) return false;
   Entry entry;
   entry.tag = tag;
   entry.key = cache::solve_key(canonical_content_hash(canonical), tag);
   entry.canonical = std::move(canonical);
-  entry.result = std::move(result);
-  entry.bytes = approx_result_bytes(entry.result) +
+  entry.plan = std::move(plan);
+  entry.bytes = approx_plan_bytes(entry.plan) +
                 entry.canonical.size() * sizeof(i64) + sizeof(Entry);
   insert_entry(std::move(entry));
   return true;
@@ -215,6 +339,10 @@ CacheStats SolveCache::stats() const {
       static_cast<double>(lookup_ns_.load(std::memory_order_relaxed));
   s.insert_ns =
       static_cast<double>(insert_ns_.load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < scheme_hits_.size(); ++i) {
+    s.scheme_hits[i] = scheme_hits_[i].load(std::memory_order_relaxed);
+    s.scheme_misses[i] = scheme_misses_[i].load(std::memory_order_relaxed);
+  }
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mu);
     s.entries += shard.lru.size();
@@ -241,7 +369,7 @@ void SolveCache::for_each(
       view.key = entry.key;
       view.tag = entry.tag;
       view.canonical = &entry.canonical;
-      view.result = &entry.result;
+      view.plan = &entry.plan;
       fn(view);
     }
   }

@@ -1,19 +1,24 @@
-// Sharded in-memory LRU cache of canonical MRP solves.
+// Sharded in-memory LRU cache of canonical synthesis plans — one cache,
+// every scheme.
 //
-// Keyed by the 64-bit solve fingerprint (fingerprint.hpp), N-way sharded
-// with one mutex and one intrusive LRU list per shard, so the PR-2 batch
-// runners can hammer it from every worker with no global lock. Entries
-// store the *canonical* solve (identity back-references); a hit deep-copies
-// it and swaps in the requester's own back-transform, which makes the
-// rehydrated result field-for-field identical to a fresh solve of the
-// original bank. Lookups verify the stored canonical words and options tag
-// — a 64-bit key collision degrades to a miss, never to wrong data.
+// Keyed by the 64-bit solve fingerprint (fingerprint.hpp — canonical bank
+// + scheme + options tag), N-way sharded with one mutex and one intrusive
+// LRU list per shard, so the PR-2 batch runners can hammer it from every
+// worker with no global lock. Entries store the *canonical* plan (for the
+// MRP schemes: taps per canonical vertex, identity back-references); a hit
+// deep-copies it and swaps in the requester's own back-transform, which
+// makes the rehydrated plan field-for-field identical to a fresh driver
+// optimize of the original bank. Lookups verify the stored canonical words
+// and options tag — a 64-bit key collision degrades to a miss, never to
+// wrong data.
 //
-// Counters (hit/miss/insert/evict plus wall ns, StageTimers-style) are
-// process-cheap atomics; bench/perf_mrp_sweep exports a stats() snapshot
-// into BENCH_mrp.json.
+// Counters (hit/miss/insert/evict, per-scheme hit/miss, plus wall ns,
+// StageTimers-style) are process-cheap atomics; bench/perf_mrp_sweep and
+// bench/baseline_zoo export stats() snapshots into BENCH_mrp.json /
+// BENCH_schemes.json.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <functional>
@@ -24,6 +29,7 @@
 
 #include "mrpf/cache/fingerprint.hpp"
 #include "mrpf/core/mrp.hpp"
+#include "mrpf/core/synth_plan.hpp"
 
 namespace mrpf::cache {
 
@@ -36,8 +42,11 @@ struct CacheStats {
   u64 evictions = 0;
   u64 entries = 0;       // snapshot
   u64 bytes = 0;         // snapshot (approximate footprint)
-  double lookup_ns = 0;  // total wall ns inside try_get
-  double insert_ns = 0;  // total wall ns inside put
+  double lookup_ns = 0;  // total wall ns inside try_get_plan
+  double insert_ns = 0;  // total wall ns inside put_plan
+  /// Per-scheme breakdown of hits/misses, indexed by core::Scheme value.
+  std::array<u64, core::kNumSchemes> scheme_hits{};
+  std::array<u64, core::kNumSchemes> scheme_misses{};
 };
 
 struct SolveCacheConfig {
@@ -57,12 +66,14 @@ class SolveCache final : public core::SolveCacheHook {
   SolveCache& operator=(const SolveCache&) = delete;
 
   // core::SolveCacheHook
-  bool try_get(const std::vector<i64>& bank, const core::MrpOptions& options,
-               core::MrpResult& out) override;
-  void put(const std::vector<i64>& bank, const core::MrpOptions& options,
-           const core::MrpResult& result) override;
-  u64 solve_key(const std::vector<i64>& bank,
-                const core::MrpOptions& options) const override;
+  bool try_get_plan(const std::vector<i64>& bank, core::Scheme scheme,
+                    const core::MrpOptions& options,
+                    core::SynthPlan& out) override;
+  void put_plan(const std::vector<i64>& bank, core::Scheme scheme,
+                const core::MrpOptions& options,
+                const core::SynthPlan& plan) override;
+  u64 plan_key(const std::vector<i64>& bank, core::Scheme scheme,
+               const core::MrpOptions& options) const override;
 
   CacheStats stats() const;
   void clear();
@@ -76,25 +87,24 @@ class SolveCache final : public core::SolveCacheHook {
     u64 key = 0;
     SolveOptionsTag tag;
     const std::vector<i64>* canonical = nullptr;
-    const core::MrpResult* result = nullptr;
+    const core::SynthPlan* plan = nullptr;
   };
 
   /// Visits every entry, shard by shard, oldest first within a shard.
   void for_each(const std::function<void(const StoredSolve&)>& fn) const;
 
   /// Direct canonical insertion (persistence load path). Returns false —
-  /// and stores nothing — unless `canonical` is a valid canonical vector
-  /// and `result` is a canonical solve of it (vertices match, identity
-  /// back-references). Counts as an insert, not a miss.
+  /// and stores nothing — unless (tag, canonical, plan) passes
+  /// is_canonical_plan. Counts as an insert, not a miss.
   bool insert_canonical(const SolveOptionsTag& tag, std::vector<i64> canonical,
-                        core::MrpResult result);
+                        core::SynthPlan plan);
 
  private:
   struct Entry {
     u64 key = 0;
     SolveOptionsTag tag;
     std::vector<i64> canonical;
-    core::MrpResult result;  // canonical: identity bank back-references
+    core::SynthPlan plan;  // canonical form (see file comment)
     std::size_t bytes = 0;
   };
   struct Shard {
@@ -111,6 +121,7 @@ class SolveCache final : public core::SolveCacheHook {
   /// Inserts under the shard lock, then evicts oldest-first down to the
   /// per-shard budget (always keeping at least one entry).
   void insert_entry(Entry&& entry);
+  void count_lookup(core::Scheme scheme, bool hit);
 
   SolveCacheConfig config_;
   std::vector<Shard> shards_;
@@ -122,18 +133,25 @@ class SolveCache final : public core::SolveCacheHook {
   std::atomic<u64> evictions_{0};
   std::atomic<u64> lookup_ns_{0};
   std::atomic<u64> insert_ns_{0};
+  std::array<std::atomic<u64>, core::kNumSchemes> scheme_hits_{};
+  std::array<std::atomic<u64>, core::kNumSchemes> scheme_misses_{};
 };
 
-/// Approximate heap footprint of a solve result (used for LRU budgeting;
-/// deliberately cheap, not exact).
+/// Approximate heap footprint of a solve result / plan (used for LRU
+/// budgeting; deliberately cheap, not exact).
 std::size_t approx_result_bytes(const core::MrpResult& result);
+std::size_t approx_plan_bytes(const core::SynthPlan& plan);
 
-/// True iff `canonical` is a valid canonical vector (sorted, unique, odd,
-/// positive) and `result` is its canonical solve (matching vertices,
-/// identity back-references) — the precondition of insert_canonical. The
-/// persistence loader dry-runs this over a whole file before inserting
-/// anything, so a rejected file leaves the cache untouched.
-bool is_canonical_solve(const std::vector<i64>& canonical,
-                        const core::MrpResult& result);
+/// True iff (tag, canonical, plan) is a valid canonical cache entry: the
+/// scheme is in range and matches the plan's provenance (mrp present iff
+/// an MRP scheme with matching canonical vertices and identity
+/// back-references; cse present iff kCse), `canonical` obeys the scheme's
+/// canonical form, and the plan's ops+taps replay through the shared
+/// lowering path into a block that verifiably multiplies by `canonical`.
+/// The persistence loader dry-runs this over a whole file before
+/// inserting anything, so a rejected file leaves the cache untouched.
+bool is_canonical_plan(const SolveOptionsTag& tag,
+                       const std::vector<i64>& canonical,
+                       const core::SynthPlan& plan);
 
 }  // namespace mrpf::cache

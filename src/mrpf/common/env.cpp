@@ -1,0 +1,64 @@
+#include "mrpf/common/env.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+#include <set>
+
+namespace mrpf::env {
+
+namespace {
+
+std::mutex& warn_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::set<std::string>& warned_keys() {
+  static std::set<std::string> keys;
+  return keys;
+}
+
+}  // namespace
+
+ParsedInt parse_positive_int(const char* value, long long clamp_max) {
+  ParsedInt out;
+  if (value == nullptr || value[0] == '\0') return out;
+  long long parsed = 0;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return out;
+    // Cap accumulation well above every knob's clamp so absurdly long digit
+    // strings can't overflow `long long` before the clamp applies.
+    if (parsed <= clamp_max) parsed = parsed * 10 + (*p - '0');
+  }
+  if (parsed < 1) return out;
+  out.well_formed = true;
+  out.value = parsed > clamp_max ? clamp_max : parsed;
+  return out;
+}
+
+bool equals_ignore_case(const char* value, const char* lower) {
+  if (value == nullptr) return false;
+  std::size_t i = 0;
+  for (; value[i] != '\0' && lower[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(value[i])) != lower[i]) {
+      return false;
+    }
+  }
+  return value[i] == '\0' && lower[i] == '\0';
+}
+
+void warn_once(const char* key, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lk(warn_mutex());
+    if (!warned_keys().insert(key).second) return;
+  }
+  std::fprintf(stderr, "%s\n", message.c_str());
+}
+
+bool warning_fired(const char* key) {
+  std::lock_guard<std::mutex> lk(warn_mutex());
+  return warned_keys().count(key) != 0;
+}
+
+}  // namespace mrpf::env

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+namespace mrpf::env {
+
+/// Result of parsing an environment knob with the shared strict grammar.
+struct ParsedInt {
+  bool well_formed = false;  ///< Value matched the grammar.
+  long long value = 0;       ///< Parsed (and clamped) value when well-formed.
+};
+
+/// Shared grammar for MRPF_* integer knobs: one or more decimal digits,
+/// value >= 1. No sign, no whitespace, no suffix. Values above `clamp_max`
+/// clamp to `clamp_max`. A null/empty/garbage string is not well-formed.
+ParsedInt parse_positive_int(const char* value, long long clamp_max);
+
+/// Case-insensitive comparison against an all-lowercase literal — used for
+/// the "off" spelling of disable knobs.
+bool equals_ignore_case(const char* value, const char* lower);
+
+/// Emits `message` on stderr at most once per process per `key`.
+/// Subsequent calls for the same key are silent, so a knob misspelled in the
+/// environment warns once rather than once per solve.
+void warn_once(const char* key, const std::string& message);
+
+/// True once warn_once() has fired for `key` — lets tests assert the
+/// one-time-warning semantics without capturing stderr.
+bool warning_fired(const char* key);
+
+}  // namespace mrpf::env

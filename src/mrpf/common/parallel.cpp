@@ -1,14 +1,14 @@
 #include "mrpf/common/parallel.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "mrpf/common/env.hpp"
 
 namespace mrpf {
 
 namespace {
-
-std::atomic<bool> g_thread_env_warned{false};
 
 int hardware_default() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -18,38 +18,24 @@ int hardware_default() {
 }  // namespace
 
 namespace detail {
-bool thread_env_warning_fired() {
-  return g_thread_env_warned.load(std::memory_order_relaxed);
-}
+bool thread_env_warning_fired() { return env::warning_fired("MRPF_THREADS"); }
 }  // namespace detail
 
 int default_thread_count() {
-  const char* env = std::getenv("MRPF_THREADS");
-  if (env == nullptr) return hardware_default();
+  const char* value = std::getenv("MRPF_THREADS");
+  if (value == nullptr) return hardware_default();
 
-  // Accepted grammar: one or more decimal digits, value >= 1. No sign, no
-  // whitespace, no suffix. Values above 512 clamp to 512.
-  bool well_formed = (*env != '\0');
-  long value = 0;
-  for (const char* p = env; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') {
-      well_formed = false;
-      break;
-    }
-    if (value < 100000) value = value * 10 + (*p - '0');
-  }
-  if (well_formed && value >= 1) {
-    return value > 512 ? 512 : static_cast<int>(value);
-  }
+  // Shared env-knob grammar: decimal digits, value >= 1, clamped to 512.
+  const env::ParsedInt parsed = env::parse_positive_int(value, 512);
+  if (parsed.well_formed) return static_cast<int>(parsed.value);
 
   const int hw = hardware_default();
-  if (!g_thread_env_warned.exchange(true, std::memory_order_relaxed)) {
-    std::fprintf(stderr,
-                 "mrpf: ignoring malformed MRPF_THREADS=\"%s\" — expected a "
-                 "decimal integer >= 1 (e.g. MRPF_THREADS=4; values above "
-                 "512 are clamped); falling back to %d hardware thread%s\n",
-                 env, hw, hw == 1 ? "" : "s");
-  }
+  env::warn_once(
+      "MRPF_THREADS",
+      "mrpf: ignoring malformed MRPF_THREADS=\"" + std::string(value) +
+          "\" — expected a decimal integer >= 1 (e.g. MRPF_THREADS=4; "
+          "values above 512 are clamped); falling back to " +
+          std::to_string(hw) + (hw == 1 ? " hardware thread" : " hardware threads"));
   return hw;
 }
 

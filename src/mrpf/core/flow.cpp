@@ -2,15 +2,13 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 
-#include "mrpf/baseline/diff_mst.hpp"
-#include "mrpf/baseline/ragn.hpp"
-#include "mrpf/baseline/simple.hpp"
 #include "mrpf/cache/session.hpp"
 #include "mrpf/common/error.hpp"
 #include "mrpf/common/parallel.hpp"
-#include "mrpf/core/build.hpp"
-#include "mrpf/cse/build.hpp"
+#include "mrpf/core/scheme_driver.hpp"
 #include "mrpf/filter/symmetric.hpp"
 
 namespace mrpf::core {
@@ -32,116 +30,98 @@ std::optional<cache::SolveCacheSession> open_cache_session(MrpOptions& opts) {
   return session;
 }
 
-}  // namespace
-
-std::string to_string(Scheme scheme) {
-  switch (scheme) {
-    case Scheme::kSimple:
-      return "simple";
-    case Scheme::kCse:
-      return "cse";
-    case Scheme::kDiffMst:
-      return "diff-mst";
-    case Scheme::kRagn:
-      return "rag-n";
-    case Scheme::kMrp:
-      return "mrpf";
-    case Scheme::kMrpCse:
-      return "mrpf+cse";
+/// One (bank, scheme, options) synthesis through the unified pipeline:
+/// cache probe → driver optimize (publishing the fresh plan) → the one
+/// shared lowering path. `options` must already be the driver's canonical
+/// options. On a hit the plan's optimize/stage timers travel from the
+/// original solve; the lowering sample is always from this call.
+SchemeResult solve_and_lower(const std::vector<i64>& bank,
+                             const SchemeDriver& driver,
+                             const MrpOptions& options) {
+  const Scheme scheme = driver.scheme();
+  SchemeResult out;
+  out.scheme = scheme;
+  SynthPlan plan;
+  bool cached = false;
+  if (options.cache != nullptr) {
+    cached = options.cache->try_get_plan(bank, scheme, options, plan);
   }
-  return "?";
+  if (!cached) {
+    StageSample optimize;
+    {
+      const StageStopwatch watch(optimize);
+      plan = driver.optimize(bank, options);
+    }
+    optimize.items = static_cast<std::uint64_t>(bank.size());
+    plan.timers.optimize = optimize;
+    if (options.cache != nullptr) {
+      options.cache->put_plan(bank, scheme, options, plan);
+    }
+  }
+  StageSample lowering;
+  {
+    const StageStopwatch watch(lowering);
+    out.block = lower_plan(bank, plan);
+  }
+  lowering.items = static_cast<std::uint64_t>(plan.ops.size());
+  plan.timers.lowering = lowering;
+  out.multiplier_adders = plan.analytic_adders;
+  out.plan = std::move(plan);
+  return out;
 }
+
+}  // namespace
 
 SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
                            const MrpOptions& options) {
-  SchemeResult out;
-  out.scheme = scheme;
-  StageSample lowering;
-  switch (scheme) {
-    case Scheme::kSimple: {
-      out.multiplier_adders = baseline::simple_adder_cost(bank, options.rep);
-      const StageStopwatch watch(lowering);
-      out.block = baseline::build_simple_block(bank, options.rep);
-      break;
-    }
-    case Scheme::kCse: {
-      cse::CseOptions cse_opts;
-      cse_opts.rep = number::NumberRep::kCsd;  // Hartley CSE is CSD-based
-      out.cse = cse::hartley_cse(bank, cse_opts);
-      out.multiplier_adders = out.cse->adder_count();
-      const StageStopwatch watch(lowering);
-      out.block = cse::build_multiplier_block(*out.cse);
-      break;
-    }
-    case Scheme::kDiffMst: {
-      const baseline::DiffMstResult plan =
-          baseline::diff_mst_optimize(bank, options.rep);
-      out.multiplier_adders = plan.adders;
-      const StageStopwatch watch(lowering);
-      out.block = baseline::build_diff_mst_block(bank, options.rep);
-      break;
-    }
-    case Scheme::kRagn: {
-      baseline::RagnResult plan =
-          baseline::ragn_optimize(bank, number::NumberRep::kCsd);
-      out.multiplier_adders = plan.adders;
-      out.block = std::move(plan.block);
-      break;
-    }
-    case Scheme::kMrp:
-    case Scheme::kMrpCse: {
-      MrpOptions opts = options;
-      opts.cse_on_seed = (scheme == Scheme::kMrpCse);
-      const auto session = open_cache_session(opts);
-      out.mrp = mrp_optimize(bank, opts);
-      if (session.has_value()) session->save();
-      out.multiplier_adders = out.mrp->total_adders();
-      const StageStopwatch watch(lowering);
-      out.block = build_mrp_block(bank, *out.mrp, opts);
-      break;
-    }
-    default:
-      throw Error("optimize_bank: unknown scheme");
-  }
-  out.lowering_ns = lowering.ns;
+  const SchemeDriver& driver = scheme_driver(scheme);
+  MrpOptions eff = driver.canonical_options(options);
+  const auto session = open_cache_session(eff);
+  SchemeResult out = solve_and_lower(bank, driver, eff);
+  if (session.has_value()) session->save();
   return out;
 }
 
 std::vector<SchemeResult> optimize_bank_batch(
     const std::vector<std::vector<i64>>& banks, Scheme scheme,
     const MrpOptions& options) {
+  const SchemeDriver& driver = scheme_driver(scheme);
   std::vector<SchemeResult> results(banks.size());
   ThreadPool pool;  // one pool for every stage of the batch
-  if (scheme == Scheme::kMrp || scheme == Scheme::kMrpCse) {
-    // Fan the MRP solves out first (inner color-graph/set-cover stages
-    // share the same pool through opts.pool — nesting is safe and workers
-    // that run out of solves steal inner shards), then lower each block.
-    // Both stages are index-owned writes, so the batch is deterministic.
-    MrpOptions opts = options;
-    opts.cse_on_seed = (scheme == Scheme::kMrpCse);
-    opts.pool = &pool;
-    const auto session = open_cache_session(opts);
-    // mrp_optimize_batch reuses opts.pool and, when a cache is live,
-    // groups equivalent banks onto one worker so each fingerprint is
-    // solved at most once per batch.
-    std::vector<MrpResult> solved = mrp_optimize_batch(banks, opts);
-    if (session.has_value()) session->save();
-    pool.parallel_for(banks.size(), [&](std::size_t i) {
-      results[i].scheme = scheme;
-      results[i].mrp = std::move(solved[i]);
-      results[i].multiplier_adders = results[i].mrp->total_adders();
-      StageSample lowering;
-      {
-        const StageStopwatch watch(lowering);
-        results[i].block = build_mrp_block(banks[i], *results[i].mrp, opts);
-      }
-      results[i].lowering_ns = lowering.ns;
-    });
-    return results;
+  MrpOptions eff = driver.canonical_options(options);
+  // Inner stages (the MRP color-graph/set-cover shards) reuse the fan-out
+  // pool — nesting is safe and workers that run out of solves steal inner
+  // shards. Schemes without intra-solve parallelism simply ignore it.
+  eff.pool = &pool;
+  const auto session = open_cache_session(eff);
+
+  // With a cache live, group jobs by solve fingerprint so each
+  // equivalence class is solved live at most once per batch — group
+  // members after the first rehydrate from the cache, which preserves
+  // bit-identity because cached == fresh. Groups run in parallel, members
+  // sequentially, and every result slot is written only by the worker
+  // that owns its group, so the batch is deterministic for every thread
+  // count.
+  std::vector<std::vector<std::size_t>> groups;
+  if (eff.cache != nullptr) {
+    std::unordered_map<u64, std::size_t> group_of;
+    groups.reserve(banks.size());
+    for (std::size_t i = 0; i < banks.size(); ++i) {
+      const u64 key = eff.cache->plan_key(banks[i], scheme, eff);
+      const auto [it, fresh] = group_of.try_emplace(key, groups.size());
+      if (fresh) groups.emplace_back();
+      groups[it->second].push_back(i);
+    }
+  } else {
+    groups.resize(banks.size());
+    for (std::size_t i = 0; i < banks.size(); ++i) groups[i].push_back(i);
   }
-  pool.parallel_for(banks.size(), [&](std::size_t i) {
-    results[i] = optimize_bank(banks[i], scheme, options);
+  pool.parallel_for(groups.size(), [&](std::size_t g) {
+    for (const std::size_t i : groups[g]) {
+      results[i] = solve_and_lower(banks[i], driver, eff);
+    }
   });
+  if (session.has_value()) session->save();
   return results;
 }
 

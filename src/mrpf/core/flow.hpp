@@ -3,51 +3,45 @@
 // API the examples and benches drive.
 #pragma once
 
-#include <optional>
-#include <string>
 #include <vector>
 
 #include "mrpf/arch/tdf.hpp"
 #include "mrpf/core/mrp.hpp"
-#include "mrpf/cse/hartley.hpp"
+#include "mrpf/core/scheme.hpp"
+#include "mrpf/core/synth_plan.hpp"
 #include "mrpf/number/quantize.hpp"
 
 namespace mrpf::core {
 
-enum class Scheme {
-  kSimple,   // per-tap shift-add multipliers (the paper's baseline)
-  kCse,      // Hartley CSE over the whole bank (the paper's CSE baseline)
-  kDiffMst,  // differential coefficients + MST (prior work [5])
-  kRagn,     // RAG-n-style graph MCM heuristic (literature baseline)
-  kMrp,      // MRPF (this paper)
-  kMrpCse,   // MRPF with CSE applied to the SEED network (Fig. 8)
-};
-
-std::string to_string(Scheme scheme);
-
-/// Optimization outcome over one constant bank (move-only: MrpResult owns
-/// its recursive SEED levels).
+/// Optimization outcome over one constant bank (move-only: the plan's MRP
+/// provenance owns its recursive SEED levels).
 struct SchemeResult {
   Scheme scheme = Scheme::kSimple;
-  /// The paper's complexity metric: multiplier-block adders, analytic.
+  /// The paper's complexity metric: multiplier-block adders, analytic
+  /// (== plan.analytic_adders).
   int multiplier_adders = 0;
-  /// Verified physical block over the bank (graph adders can be lower than
-  /// the analytic count when values share structure incidentally).
+  /// Verified physical block over the bank, lowered from `plan` through
+  /// the one shared lowering path (graph adders can be lower than the
+  /// analytic count when values share structure incidentally).
   arch::MultiplierBlock block;
-  std::optional<MrpResult> mrp;        // kMrp / kMrpCse
-  std::optional<cse::CseResult> cse;   // kCse
-  /// Wall ns spent lowering the optimized plan into the verified block
-  /// (the MRP stage-A breakdown itself travels in mrp->timers).
-  double lowering_ns = 0.0;
+  /// The scheme-agnostic plan the block was lowered from: ops, taps,
+  /// provenance (plan.mrp for kMrp/kMrpCse, plan.cse for kCse) and the
+  /// unified stage timers (plan.timers.optimize / .lowering for every
+  /// scheme; the MRP stage-A breakdown in the remaining samples).
+  SynthPlan plan;
 };
 
-/// Optimizes a constant bank (no folding applied here).
+/// Optimizes a constant bank (no folding applied here). Dispatches
+/// through the SchemeDriver registry: cache probe (options.cache /
+/// options.cache_path — every scheme is cached, not just MRP), driver
+/// optimize on a miss, shared lowering.
 SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
                            const MrpOptions& options = {});
 
-/// Batch front-end over independent banks: MRP solves fan out through
-/// core::mrp_optimize_batch (thread count from MRPF_THREADS), every other
-/// scheme through the same thread pool. results[i] is identical to a
+/// Batch front-end over independent banks: solves fan out through one
+/// thread pool (thread count from MRPF_THREADS) for every scheme, with
+/// jobs grouped by solve fingerprint when a cache is live so equivalent
+/// banks dedup to one live solve per batch. results[i] is identical to a
 /// serial optimize_bank(banks[i], ...) regardless of thread count.
 std::vector<SchemeResult> optimize_bank_batch(
     const std::vector<std::vector<i64>>& banks, Scheme scheme,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "mrpf/core/color_graph.hpp"
+#include "mrpf/core/scheme.hpp"
 #include "mrpf/core/sidc.hpp"
 #include "mrpf/core/stage_timers.hpp"
 #include "mrpf/cse/hartley.hpp"
@@ -116,31 +117,47 @@ struct MrpResult {
   MrpResult clone() const;
 };
 
-/// Cross-solve cache interface consumed by mrp_optimize / the batch
-/// runners. The concrete implementation (cache::SolveCache — canonical
-/// fingerprinting, sharded in-memory LRU, optional persistent store) lives
-/// in src/mrpf/cache; core only depends on this abstract hook so the
-/// dependency points cache → core. All methods must be thread-safe.
+struct SynthPlan;  // core/synth_plan.hpp
+
+/// Cross-solve cache interface consumed by the flow layer, mrp_optimize
+/// and the batch runners. Entries are scheme-tagged SynthPlans, so every
+/// scheme shares one cache. The concrete implementation
+/// (cache::SolveCache — canonical fingerprinting, sharded in-memory LRU,
+/// optional persistent store) lives in src/mrpf/cache; core only depends
+/// on this abstract hook so the dependency points cache → core. All
+/// methods must be thread-safe.
 class SolveCacheHook {
  public:
   virtual ~SolveCacheHook() = default;
 
-  /// If a solve of an MRP-equivalent bank is cached, rehydrates it for
-  /// `bank` into `out` (field-for-field identical to a fresh
-  /// mrp_optimize(bank, options)) and returns true.
-  virtual bool try_get(const std::vector<i64>& bank,
-                       const MrpOptions& options, MrpResult& out) = 0;
+  /// If a plan for an equivalent (bank, scheme, options) solve is cached,
+  /// rehydrates it for `bank` into `out` (field-for-field identical to a
+  /// fresh driver optimize, timers excepted) and returns true.
+  virtual bool try_get_plan(const std::vector<i64>& bank, Scheme scheme,
+                            const MrpOptions& options, SynthPlan& out) = 0;
 
-  /// Offers a freshly computed solve for reuse (the cache stores the
-  /// canonical form; `result` is not modified).
-  virtual void put(const std::vector<i64>& bank, const MrpOptions& options,
-                   const MrpResult& result) = 0;
+  /// Offers a freshly computed plan for reuse (the cache stores the
+  /// canonical form; `plan` is not modified). Re-offering a plan already
+  /// cached under the same key is a no-op, so the flow layer and
+  /// mrp_optimize's internal memoization can both publish one solve.
+  virtual void put_plan(const std::vector<i64>& bank, Scheme scheme,
+                        const MrpOptions& options, const SynthPlan& plan) = 0;
 
-  /// Canonical solve key of (bank, options): equal keys ⇔ the solves can
-  /// share one cache entry. The batch runners group jobs by this key so
-  /// equivalent banks dedup to one live solve per batch.
-  virtual u64 solve_key(const std::vector<i64>& bank,
-                        const MrpOptions& options) const = 0;
+  /// Canonical solve key of (bank, scheme, options): equal keys ⇔ the
+  /// solves can share one cache entry. The batch runners group jobs by
+  /// this key so equivalent banks dedup to one live solve per batch.
+  virtual u64 plan_key(const std::vector<i64>& bank, Scheme scheme,
+                       const MrpOptions& options) const = 0;
+
+  /// MrpResult-level convenience used by mrp_optimize's internal
+  /// memoization (including recursive SEED solves). Wraps the plan-level
+  /// interface: the scheme is derived from options.cse_on_seed and the
+  /// MrpResult travels inside a SynthPlan (see core/synth_plan.cpp).
+  bool try_get(const std::vector<i64>& bank, const MrpOptions& options,
+               MrpResult& out);
+  void put(const std::vector<i64>& bank, const MrpOptions& options,
+           const MrpResult& result);
+  u64 solve_key(const std::vector<i64>& bank, const MrpOptions& options) const;
 };
 
 /// Runs MRP stage A + tree construction over a constant bank (typically

@@ -1,0 +1,38 @@
+#include "mrpf/core/scheme.hpp"
+
+namespace mrpf::core {
+
+const std::array<Scheme, kNumSchemes>& all_schemes() {
+  static const std::array<Scheme, kNumSchemes> schemes = {
+      Scheme::kSimple, Scheme::kCse, Scheme::kDiffMst,
+      Scheme::kRagn,   Scheme::kMrp, Scheme::kMrpCse,
+  };
+  return schemes;
+}
+
+std::string to_string(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSimple:
+      return "simple";
+    case Scheme::kCse:
+      return "cse";
+    case Scheme::kDiffMst:
+      return "diff-mst";
+    case Scheme::kRagn:
+      return "rag-n";
+    case Scheme::kMrp:
+      return "mrpf";
+    case Scheme::kMrpCse:
+      return "mrpf+cse";
+  }
+  return "unknown";
+}
+
+std::optional<Scheme> parse_scheme(std::string_view name) {
+  for (const Scheme scheme : all_schemes()) {
+    if (name == to_string(scheme)) return scheme;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mrpf::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mrpf::core {
+
+/// Multiplier-block synthesis schemes compared in the paper (Figs. 6-8,
+/// Table 1). Every scheme is implemented as a SchemeDriver producing the
+/// shared SynthPlan IR; see core/scheme_driver.hpp.
+enum class Scheme {
+  kSimple,   ///< Independent shift-add synthesis per coefficient.
+  kCse,      ///< Hartley common-subexpression elimination on CSD forms.
+  kDiffMst,  ///< Differential-coefficient minimum spanning tree.
+  kRagn,     ///< Reduced adder graph (RAG-n heuristic).
+  kMrp,      ///< MRP color-class transformation (the paper's method).
+  kMrpCse,   ///< MRP with CSE applied to the SEED network.
+};
+
+/// Number of schemes in the registry; Scheme values are 0..kNumSchemes-1.
+inline constexpr int kNumSchemes = 6;
+
+/// All schemes in enum order — the canonical iteration order for
+/// registries, benches, and per-scheme counters.
+const std::array<Scheme, kNumSchemes>& all_schemes();
+
+/// Canonical CLI/JSON spelling of a scheme. Round-trips with
+/// parse_scheme(): parse_scheme(to_string(s)) == s for every scheme.
+std::string to_string(Scheme scheme);
+
+/// Parses a canonical scheme spelling; std::nullopt for unknown names.
+std::optional<Scheme> parse_scheme(std::string_view name);
+
+}  // namespace mrpf::core

@@ -1,0 +1,139 @@
+#include "mrpf/core/scheme_driver.hpp"
+
+#include <utility>
+
+#include "mrpf/baseline/diff_mst.hpp"
+#include "mrpf/baseline/ragn.hpp"
+#include "mrpf/baseline/simple.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/cse/build.hpp"
+
+namespace mrpf::core {
+
+namespace {
+
+/// Resets every MRP-only knob; the baselines read at most options.rep.
+MrpOptions baseline_options(const MrpOptions& options) {
+  MrpOptions o = options;
+  o.beta = 0.5;
+  o.l_max = -1;
+  o.depth_limit = 0;
+  o.recursive_levels = 0;
+  o.cse_on_seed = false;
+  return o;
+}
+
+class SimpleDriver final : public SchemeDriver {
+ public:
+  Scheme scheme() const override { return Scheme::kSimple; }
+  MrpOptions canonical_options(const MrpOptions& options) const override {
+    return baseline_options(options);
+  }
+  SynthPlan optimize(const std::vector<i64>& bank,
+                     const MrpOptions& options) const override {
+    return plan_from_block(Scheme::kSimple,
+                           baseline::simple_adder_cost(bank, options.rep),
+                           baseline::build_simple_block(bank, options.rep));
+  }
+};
+
+class CseDriver final : public SchemeDriver {
+ public:
+  Scheme scheme() const override { return Scheme::kCse; }
+  MrpOptions canonical_options(const MrpOptions& options) const override {
+    MrpOptions o = baseline_options(options);
+    o.rep = number::NumberRep::kCsd;  // Hartley CSE is CSD-based
+    return o;
+  }
+  SynthPlan optimize(const std::vector<i64>& bank,
+                     const MrpOptions& /*options*/) const override {
+    cse::CseOptions cse_opts;
+    cse_opts.rep = number::NumberRep::kCsd;
+    cse::CseResult result = cse::hartley_cse(bank, cse_opts);
+    SynthPlan plan = plan_from_block(Scheme::kCse, result.adder_count(),
+                                     cse::build_multiplier_block(result));
+    plan.cse = std::move(result);
+    return plan;
+  }
+};
+
+class DiffMstDriver final : public SchemeDriver {
+ public:
+  Scheme scheme() const override { return Scheme::kDiffMst; }
+  MrpOptions canonical_options(const MrpOptions& options) const override {
+    return baseline_options(options);
+  }
+  SynthPlan optimize(const std::vector<i64>& bank,
+                     const MrpOptions& options) const override {
+    const baseline::DiffMstResult result =
+        baseline::diff_mst_optimize(bank, options.rep);
+    return plan_from_block(Scheme::kDiffMst, result.adders,
+                           baseline::build_diff_mst_block(bank, options.rep));
+  }
+};
+
+class RagnDriver final : public SchemeDriver {
+ public:
+  Scheme scheme() const override { return Scheme::kRagn; }
+  MrpOptions canonical_options(const MrpOptions& options) const override {
+    MrpOptions o = baseline_options(options);
+    o.rep = number::NumberRep::kCsd;
+    return o;
+  }
+  SynthPlan optimize(const std::vector<i64>& bank,
+                     const MrpOptions& /*options*/) const override {
+    const baseline::RagnResult result =
+        baseline::ragn_optimize(bank, number::NumberRep::kCsd);
+    return plan_from_block(Scheme::kRagn, result.adders, result.block);
+  }
+};
+
+class MrpDriver final : public SchemeDriver {
+ public:
+  explicit MrpDriver(bool cse_on_seed) : cse_on_seed_(cse_on_seed) {}
+  Scheme scheme() const override {
+    return cse_on_seed_ ? Scheme::kMrpCse : Scheme::kMrp;
+  }
+  MrpOptions canonical_options(const MrpOptions& options) const override {
+    MrpOptions o = options;
+    o.cse_on_seed = cse_on_seed_;
+    return o;
+  }
+  SynthPlan optimize(const std::vector<i64>& bank,
+                     const MrpOptions& options) const override {
+    MrpOptions opts = canonical_options(options);
+    const MrpResult result = mrp_optimize(bank, opts);
+    return make_mrp_plan(bank, result, opts);
+  }
+
+ private:
+  bool cse_on_seed_;
+};
+
+}  // namespace
+
+const SchemeDriver& scheme_driver(Scheme scheme) {
+  static const SimpleDriver simple;
+  static const CseDriver cse;
+  static const DiffMstDriver diff_mst;
+  static const RagnDriver ragn;
+  static const MrpDriver mrp(false);
+  static const MrpDriver mrp_cse(true);
+  switch (scheme) {
+    case Scheme::kSimple:
+      return simple;
+    case Scheme::kCse:
+      return cse;
+    case Scheme::kDiffMst:
+      return diff_mst;
+    case Scheme::kRagn:
+      return ragn;
+    case Scheme::kMrp:
+      return mrp;
+    case Scheme::kMrpCse:
+      return mrp_cse;
+  }
+  throw Error("scheme_driver: unknown scheme");
+}
+
+}  // namespace mrpf::core

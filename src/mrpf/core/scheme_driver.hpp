@@ -1,0 +1,43 @@
+// The scheme registry: one driver per synthesis scheme, each mapping a
+// coefficient bank to the shared SynthPlan IR. core::optimize_bank and
+// optimize_bank_batch dispatch through this table — no per-scheme switch
+// on the optimize/lower/cost path — so a new scheme (ILP, e-graph, …) is
+// a drop-in driver that gets caching, batching, timing and RTL export for
+// free.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/core/mrp.hpp"
+#include "mrpf/core/scheme.hpp"
+#include "mrpf/core/synth_plan.hpp"
+
+namespace mrpf::core {
+
+class SchemeDriver {
+ public:
+  virtual ~SchemeDriver() = default;
+
+  /// The scheme this driver implements (its cache namespace).
+  virtual Scheme scheme() const = 0;
+
+  /// Normalizes the result-relevant option fields for this scheme: knobs
+  /// the scheme ignores (e.g. depth_limit for kSimple) reset to defaults,
+  /// knobs the scheme forces (e.g. CSD for kCse/kRagn, cse_on_seed for
+  /// the MRP pair) are pinned. The solve cache fingerprints the
+  /// normalized options, so irrelevant knob changes never fragment the
+  /// cache; session fields (pool, cache, cache_path, reference-engine
+  /// toggle) pass through untouched.
+  virtual MrpOptions canonical_options(const MrpOptions& options) const = 0;
+
+  /// Optimizes the bank into a plan. Deterministic: the plan (timers
+  /// excepted) depends only on (bank, canonical options), never on
+  /// pool size or cache state.
+  virtual SynthPlan optimize(const std::vector<i64>& bank,
+                             const MrpOptions& options) const = 0;
+};
+
+/// The registry: one immutable driver per scheme, in enum order.
+const SchemeDriver& scheme_driver(Scheme scheme);
+
+}  // namespace mrpf::core

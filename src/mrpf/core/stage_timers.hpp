@@ -23,13 +23,18 @@ struct StageSample {
   std::uint64_t items = 0;
 };
 
-/// The stage-A breakdown of one solve, in pipeline order.
+/// The per-solve breakdown, in pipeline order. The five stage-A samples
+/// are MRP-specific (zero for other schemes); `optimize` and `lowering`
+/// are recorded by the flow layer for every scheme, so BENCH_mrp.json and
+/// BENCH_schemes.json report the same shape across schemes.
 struct StageTimers {
   StageSample primaries;       // items: primary vertices extracted
   StageSample color_graph;     // items: SIDC edges enumerated
   StageSample set_cover;       // items: color classes (cover sets) scored
   StageSample tree_growth;     // items: roots selected
   StageSample seed_synthesis;  // items: SEED values costed
+  StageSample optimize;        // whole driver optimize; items: bank size
+  StageSample lowering;        // plan -> verified block; items: plan ops
   double total_ns = 0.0;       // whole mrp_optimize call
 };
 

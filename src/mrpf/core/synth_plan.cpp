@@ -1,0 +1,95 @@
+#include "mrpf/core/synth_plan.hpp"
+
+#include <utility>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/core/build.hpp"
+
+namespace mrpf::core {
+
+namespace {
+
+/// The scheme an MrpOptions-level solve belongs to — mrp_optimize's
+/// internal memoization (including recursive SEED solves) distinguishes
+/// plain MRP from MRP+CSE only through cse_on_seed.
+Scheme mrp_scheme_of(const MrpOptions& options) {
+  return options.cse_on_seed ? Scheme::kMrpCse : Scheme::kMrp;
+}
+
+}  // namespace
+
+SynthPlan SynthPlan::clone() const {
+  SynthPlan out;
+  out.scheme = scheme;
+  out.analytic_adders = analytic_adders;
+  out.ops = ops;
+  out.taps = taps;
+  if (mrp.has_value()) out.mrp = mrp->clone();
+  out.cse = cse;
+  out.timers = timers;
+  return out;
+}
+
+arch::MultiplierBlock lower_plan(const std::vector<i64>& bank,
+                                 const SynthPlan& plan) {
+  MRPF_CHECK(plan.taps.size() == bank.size(),
+             "lower_plan: tap count does not match the bank");
+  arch::MultiplierBlock block;
+  for (const arch::AdderOp& op : plan.ops) {
+    block.graph.add_op(op.a, op.shift_a, op.b, op.shift_b, op.subtract);
+  }
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    MRPF_CHECK(plan.taps[i].constant == bank[i],
+               "lower_plan: tap constant does not match the bank");
+  }
+  block.taps = plan.taps;
+  block.constants = bank;
+  block.verify({1, -1, 2, 9, -100, 2047});
+  return block;
+}
+
+SynthPlan plan_from_block(Scheme scheme, int analytic_adders,
+                          const arch::MultiplierBlock& block) {
+  SynthPlan plan;
+  plan.scheme = scheme;
+  plan.analytic_adders = analytic_adders;
+  const int nodes = block.graph.num_nodes();
+  plan.ops.reserve(static_cast<std::size_t>(nodes > 0 ? nodes - 1 : 0));
+  for (int node = 1; node < nodes; ++node) {
+    plan.ops.push_back(block.graph.op(node));
+  }
+  plan.taps = block.taps;
+  return plan;
+}
+
+SynthPlan make_mrp_plan(const std::vector<i64>& bank, const MrpResult& result,
+                        const MrpOptions& options) {
+  SynthPlan plan = plan_from_block(mrp_scheme_of(options),
+                                   result.total_adders(),
+                                   build_mrp_block(bank, result, options));
+  plan.mrp = result.clone();
+  plan.timers = result.timers;
+  return plan;
+}
+
+bool SolveCacheHook::try_get(const std::vector<i64>& bank,
+                             const MrpOptions& options, MrpResult& out) {
+  SynthPlan plan;
+  if (!try_get_plan(bank, mrp_scheme_of(options), options, plan)) return false;
+  if (!plan.mrp.has_value()) return false;
+  out = std::move(*plan.mrp);
+  return true;
+}
+
+void SolveCacheHook::put(const std::vector<i64>& bank,
+                         const MrpOptions& options, const MrpResult& result) {
+  put_plan(bank, mrp_scheme_of(options), options,
+           make_mrp_plan(bank, result, options));
+}
+
+u64 SolveCacheHook::solve_key(const std::vector<i64>& bank,
+                              const MrpOptions& options) const {
+  return plan_key(bank, mrp_scheme_of(options), options);
+}
+
+}  // namespace mrpf::core

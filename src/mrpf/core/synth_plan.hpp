@@ -1,0 +1,75 @@
+// The scheme-agnostic synthesis IR: every SchemeDriver optimizes a
+// coefficient bank into a SynthPlan — an adder-graph-level plan (ops with
+// shifts/signs, per-coefficient taps, provenance, analytic adder count,
+// unified StageTimers) — and one shared lowering path (lower_plan) replays
+// it into a verified arch::MultiplierBlock. The plan, not the block, is
+// what the solve cache stores and io/result_serde serializes, so caching,
+// batching, timing and RTL export work identically for every scheme.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/core/mrp.hpp"
+#include "mrpf/core/scheme.hpp"
+#include "mrpf/cse/hartley.hpp"
+
+namespace mrpf::core {
+
+/// Adder-graph-level plan for one coefficient bank (move-only: the MRP
+/// provenance owns its recursive SEED levels).
+struct SynthPlan {
+  /// Which driver produced this plan (provenance tag; also the cache
+  /// namespace the plan lives in).
+  Scheme scheme = Scheme::kSimple;
+
+  /// The paper's complexity metric: multiplier-block adders, analytic
+  /// (graph adders can be lower when values share structure incidentally).
+  int analytic_adders = 0;
+
+  /// Adder ops in graph order: ops[k] defines graph node k+1 (node 0 is
+  /// the input x). Replaying them through arch::AdderGraph::add_op
+  /// reconstructs the graph exactly.
+  std::vector<arch::AdderOp> ops;
+
+  /// Per-coefficient output taps: taps[i] realizes bank[i]·x.
+  std::vector<arch::Tap> taps;
+
+  /// Scheme-specific provenance: present iff the scheme produces it
+  /// (kMrp/kMrpCse → mrp, kCse → cse). Carried so reports, JSON and the
+  /// paper-figure benches keep their per-scheme detail through the
+  /// uniform pipeline.
+  std::optional<MrpResult> mrp;
+  std::optional<cse::CseResult> cse;
+
+  /// Unified per-solve timers: the MRP stage-A samples (zero for other
+  /// schemes) plus the flow-level optimize/lowering samples every scheme
+  /// records. Observability only — excluded from equality comparisons.
+  StageTimers timers;
+
+  /// Deep copy (SynthPlan is move-only because of mrp->seed_recursive).
+  SynthPlan clone() const;
+};
+
+/// The one shared lowering path: replays the plan's ops into an
+/// arch::AdderGraph, attaches the taps, and verifies the block multiplies
+/// bit-exactly (throws mrpf::Error on any inconsistency — malformed ops,
+/// tap/bank mismatch, failed verification).
+arch::MultiplierBlock lower_plan(const std::vector<i64>& bank,
+                                 const SynthPlan& plan);
+
+/// Captures an already-built block as a plan (the builder back-ends all
+/// produce blocks today; this adapts them to the IR losslessly —
+/// lower_plan(bank, plan_from_block(...)) reconstructs an identical
+/// block).
+SynthPlan plan_from_block(Scheme scheme, int analytic_adders,
+                          const arch::MultiplierBlock& block);
+
+/// Wraps a finished MRP solve as a plan for `bank`: builds the block via
+/// build_mrp_block, captures it, and attaches the MrpResult provenance
+/// (cloned) plus its stage timers.
+SynthPlan make_mrp_plan(const std::vector<i64>& bank, const MrpResult& result,
+                        const MrpOptions& options);
+
+}  // namespace mrpf::core

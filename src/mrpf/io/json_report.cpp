@@ -85,9 +85,11 @@ std::string to_json(const core::SchemeResult& result, int input_bits) {
          json_double(
              arch::multiplier_block_area(result.block.graph, input_bits)) +
          ",";
-  out += "\"constants\":" + json_array(result.block.constants);
-  if (result.mrp.has_value()) {
-    out += ",\"mrp\":" + to_json(*result.mrp);
+  out += "\"constants\":" + json_array(result.block.constants) + ",";
+  out += str_format("\"optimize_ns\":%.0f,", result.plan.timers.optimize.ns);
+  out += str_format("\"lowering_ns\":%.0f", result.plan.timers.lowering.ns);
+  if (result.plan.mrp.has_value()) {
+    out += ",\"mrp\":" + to_json(*result.plan.mrp);
   }
   out += "}";
   return out;

@@ -128,11 +128,82 @@ void write_sample(Writer& w, const core::StageSample& s) {
   w.u64v(s.items);
 }
 
+void write_timers(Writer& w, const core::StageTimers& t) {
+  write_sample(w, t.primaries);
+  write_sample(w, t.color_graph);
+  write_sample(w, t.set_cover);
+  write_sample(w, t.tree_growth);
+  write_sample(w, t.seed_synthesis);
+  write_sample(w, t.optimize);
+  write_sample(w, t.lowering);
+  w.f64(t.total_ns);
+}
+
+void write_cse_payload(Writer& w, const cse::CseResult& c) {
+  w.u64v(c.subexpressions.size());
+  for (const cse::Subexpression& sub : c.subexpressions) {
+    w.i32(sub.pattern.sym_a);
+    w.i32(sub.pattern.sym_b);
+    w.i32(sub.pattern.rel_shift);
+    w.u8(sub.pattern.rel_negate ? 1 : 0);
+    w.i64v(sub.value);
+  }
+  w.u64v(c.expressions.size());
+  for (const std::vector<cse::Term>& expr : c.expressions) {
+    w.u64v(expr.size());
+    for (const cse::Term& t : expr) {
+      w.i32(t.symbol);
+      w.i32(t.shift);
+      w.u8(t.negate ? 1 : 0);
+    }
+  }
+  w.i64_array(c.constants);
+}
+
 core::StageSample read_sample(Reader& r) {
   core::StageSample s;
   s.ns = r.f64();
   s.items = r.u64v();
   return s;
+}
+
+core::StageTimers read_timers(Reader& r) {
+  core::StageTimers t;
+  t.primaries = read_sample(r);
+  t.color_graph = read_sample(r);
+  t.set_cover = read_sample(r);
+  t.tree_growth = read_sample(r);
+  t.seed_synthesis = read_sample(r);
+  t.optimize = read_sample(r);
+  t.lowering = read_sample(r);
+  t.total_ns = r.f64();
+  return t;
+}
+
+cse::CseResult read_cse_payload(Reader& r) {
+  cse::CseResult c;
+  const std::size_t num_subs = r.count(21);
+  c.subexpressions.resize(num_subs);
+  for (std::size_t i = 0; i < num_subs; ++i) {
+    c.subexpressions[i].pattern.sym_a = r.i32();
+    c.subexpressions[i].pattern.sym_b = r.i32();
+    c.subexpressions[i].pattern.rel_shift = r.i32();
+    c.subexpressions[i].pattern.rel_negate = r.u8() != 0;
+    c.subexpressions[i].value = r.i64v();
+  }
+  const std::size_t num_exprs = r.count(8);
+  c.expressions.resize(num_exprs);
+  for (std::size_t i = 0; i < num_exprs; ++i) {
+    const std::size_t num_terms = r.count(9);
+    c.expressions[i].resize(num_terms);
+    for (std::size_t t = 0; t < num_terms; ++t) {
+      c.expressions[i][t].symbol = r.i32();
+      c.expressions[i][t].shift = r.i32();
+      c.expressions[i][t].negate = r.u8() != 0;
+    }
+  }
+  c.constants = r.i64_array();
+  return c;
 }
 
 void write_result_payload(Writer& w, const core::MrpResult& result,
@@ -169,39 +240,14 @@ void write_result_payload(Writer& w, const core::MrpResult& result,
   w.i32(result.overhead_adders);
 
   w.u8(result.seed_cse.has_value() ? 1 : 0);
-  if (result.seed_cse.has_value()) {
-    const cse::CseResult& c = *result.seed_cse;
-    w.u64v(c.subexpressions.size());
-    for (const cse::Subexpression& sub : c.subexpressions) {
-      w.i32(sub.pattern.sym_a);
-      w.i32(sub.pattern.sym_b);
-      w.i32(sub.pattern.rel_shift);
-      w.u8(sub.pattern.rel_negate ? 1 : 0);
-      w.i64v(sub.value);
-    }
-    w.u64v(c.expressions.size());
-    for (const std::vector<cse::Term>& expr : c.expressions) {
-      w.u64v(expr.size());
-      for (const cse::Term& t : expr) {
-        w.i32(t.symbol);
-        w.i32(t.shift);
-        w.u8(t.negate ? 1 : 0);
-      }
-    }
-    w.i64_array(c.constants);
-  }
+  if (result.seed_cse.has_value()) write_cse_payload(w, *result.seed_cse);
 
   w.u8(result.seed_recursive != nullptr ? 1 : 0);
   if (result.seed_recursive != nullptr) {
     write_result_payload(w, *result.seed_recursive, depth + 1);
   }
 
-  write_sample(w, result.timers.primaries);
-  write_sample(w, result.timers.color_graph);
-  write_sample(w, result.timers.set_cover);
-  write_sample(w, result.timers.tree_growth);
-  write_sample(w, result.timers.seed_synthesis);
-  w.f64(result.timers.total_ns);
+  write_timers(w, result.timers);
 }
 
 core::MrpResult read_result_payload(Reader& r, int depth) {
@@ -240,54 +286,80 @@ core::MrpResult read_result_payload(Reader& r, int depth) {
   result.seed_adders = r.i32();
   result.overhead_adders = r.i32();
 
-  if (r.u8() != 0) {
-    cse::CseResult c;
-    const std::size_t num_subs = r.count(21);
-    c.subexpressions.resize(num_subs);
-    for (std::size_t i = 0; i < num_subs; ++i) {
-      c.subexpressions[i].pattern.sym_a = r.i32();
-      c.subexpressions[i].pattern.sym_b = r.i32();
-      c.subexpressions[i].pattern.rel_shift = r.i32();
-      c.subexpressions[i].pattern.rel_negate = r.u8() != 0;
-      c.subexpressions[i].value = r.i64v();
-    }
-    const std::size_t num_exprs = r.count(8);
-    c.expressions.resize(num_exprs);
-    for (std::size_t i = 0; i < num_exprs; ++i) {
-      const std::size_t num_terms = r.count(9);
-      c.expressions[i].resize(num_terms);
-      for (std::size_t t = 0; t < num_terms; ++t) {
-        c.expressions[i][t].symbol = r.i32();
-        c.expressions[i][t].shift = r.i32();
-        c.expressions[i][t].negate = r.u8() != 0;
-      }
-    }
-    c.constants = r.i64_array();
-    result.seed_cse = std::move(c);
-  }
+  if (r.u8() != 0) result.seed_cse = read_cse_payload(r);
 
   if (r.u8() != 0) {
     result.seed_recursive =
         std::make_unique<core::MrpResult>(read_result_payload(r, depth + 1));
   }
 
-  result.timers.primaries = read_sample(r);
-  result.timers.color_graph = read_sample(r);
-  result.timers.set_cover = read_sample(r);
-  result.timers.tree_growth = read_sample(r);
-  result.timers.seed_synthesis = read_sample(r);
-  result.timers.total_ns = r.f64();
+  result.timers = read_timers(r);
   return result;
+}
+
+void write_plan_payload(Writer& w, const core::SynthPlan& plan) {
+  w.u8(static_cast<std::uint8_t>(plan.scheme));
+  w.i32(plan.analytic_adders);
+  w.u64v(plan.ops.size());
+  for (const arch::AdderOp& op : plan.ops) {
+    w.i32(op.a);
+    w.i32(op.b);
+    w.i32(op.shift_a);
+    w.i32(op.shift_b);
+    w.u8(op.subtract ? 1 : 0);
+  }
+  w.u64v(plan.taps.size());
+  for (const arch::Tap& tap : plan.taps) {
+    w.i32(tap.node);
+    w.i32(tap.shift);
+    w.u8(tap.negate ? 1 : 0);
+    w.i64v(tap.constant);
+  }
+  w.u8(plan.mrp.has_value() ? 1 : 0);
+  if (plan.mrp.has_value()) write_result_payload(w, *plan.mrp, 0);
+  w.u8(plan.cse.has_value() ? 1 : 0);
+  if (plan.cse.has_value()) write_cse_payload(w, *plan.cse);
+  write_timers(w, plan.timers);
+}
+
+core::SynthPlan read_plan_payload(Reader& r) {
+  core::SynthPlan plan;
+  const std::uint8_t scheme = r.u8();
+  MRPF_CHECK(scheme < static_cast<std::uint8_t>(core::kNumSchemes),
+             "result_serde: unknown scheme");
+  plan.scheme = static_cast<core::Scheme>(scheme);
+  plan.analytic_adders = r.i32();
+  const std::size_t num_ops = r.count(17);
+  plan.ops.resize(num_ops);
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    plan.ops[i].a = r.i32();
+    plan.ops[i].b = r.i32();
+    plan.ops[i].shift_a = r.i32();
+    plan.ops[i].shift_b = r.i32();
+    plan.ops[i].subtract = r.u8() != 0;
+  }
+  const std::size_t num_taps = r.count(17);
+  plan.taps.resize(num_taps);
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    plan.taps[i].node = r.i32();
+    plan.taps[i].shift = r.i32();
+    plan.taps[i].negate = r.u8() != 0;
+    plan.taps[i].constant = r.i64v();
+  }
+  if (r.u8() != 0) plan.mrp = read_result_payload(r, 0);
+  if (r.u8() != 0) plan.cse = read_cse_payload(r);
+  plan.timers = read_timers(r);
+  return plan;
 }
 
 }  // namespace
 
-void serialize_result(const core::MrpResult& result,
-                      std::vector<std::uint8_t>& out) {
+void serialize_plan(const core::SynthPlan& plan,
+                    std::vector<std::uint8_t>& out) {
   std::vector<std::uint8_t> payload;
   {
     Writer w(payload);
-    write_result_payload(w, result, 0);
+    write_plan_payload(w, plan);
   }
   Writer frame(out);
   frame.u32(kResultSerdeMagic);
@@ -297,8 +369,8 @@ void serialize_result(const core::MrpResult& result,
   out.insert(out.end(), payload.begin(), payload.end());
 }
 
-core::MrpResult deserialize_result(const std::uint8_t* data,
-                                   std::size_t size, std::size_t& pos) {
+core::SynthPlan deserialize_plan(const std::uint8_t* data, std::size_t size,
+                                 std::size_t& pos) {
   MRPF_CHECK(pos <= size, "result_serde: frame offset out of range");
   Reader header(data + pos, size - pos);
   MRPF_CHECK(header.remaining() >= 24, "result_serde: truncated frame");
@@ -314,10 +386,10 @@ core::MrpResult deserialize_result(const std::uint8_t* data,
                  checksum,
              "result_serde: checksum mismatch");
   Reader r(payload, static_cast<std::size_t>(payload_len));
-  core::MrpResult result = read_result_payload(r, 0);
+  core::SynthPlan plan = read_plan_payload(r);
   MRPF_CHECK(r.remaining() == 0, "result_serde: trailing bytes in payload");
   pos += 24 + static_cast<std::size_t>(payload_len);
-  return result;
+  return plan;
 }
 
 }  // namespace mrpf::io

@@ -1,38 +1,41 @@
-// Versioned binary serialization of core::MrpResult — the on-disk record
-// format of the solve cache (cache/persist.cpp).
+// Versioned binary serialization of core::SynthPlan — the on-disk record
+// format of the solve cache (cache/persist.cpp), covering every scheme.
 //
-// Each result is a self-contained little-endian frame:
+// Each plan is a self-contained little-endian frame:
 //
 //   u32 magic ("MRS1")  u32 version  u64 payload_len  u64 payload_fnv1a
 //   payload...
 //
-// and the payload encodes every MrpResult field (including nested
-// recursive SEED levels, seed CSE and the stage timers), so a round trip
-// is *exact* — deserialize(serialize(r)) compares field-for-field equal to
-// r, doubles bit-for-bit. Deserialization validates magic, version,
-// length, checksum and every internal count before allocating; anything
-// malformed throws mrpf::Error and is rejected, never trusted.
+// and the payload encodes every SynthPlan field — scheme, analytic adder
+// count, adder ops, taps, the optional MRP provenance (including nested
+// recursive SEED levels and seed CSE), the optional CSE provenance, and
+// the unified stage timers — so a round trip is *exact*:
+// deserialize(serialize(p)) compares field-for-field equal to p, doubles
+// bit-for-bit. Deserialization validates magic, version, length, checksum
+// and every internal count before allocating; anything malformed throws
+// mrpf::Error and is rejected, never trusted. Version 1 frames (PR-3's
+// MrpResult-only format) are rejected cleanly by the version check.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
-#include "mrpf/core/mrp.hpp"
+#include "mrpf/core/synth_plan.hpp"
 
 namespace mrpf::io {
 
 inline constexpr std::uint32_t kResultSerdeMagic = 0x3153524Du;  // "MRS1"
-inline constexpr std::uint32_t kResultSerdeVersion = 1;
+inline constexpr std::uint32_t kResultSerdeVersion = 2;
 
-/// Appends one framed result record to `out`.
-void serialize_result(const core::MrpResult& result,
-                      std::vector<std::uint8_t>& out);
+/// Appends one framed plan record to `out`.
+void serialize_plan(const core::SynthPlan& plan,
+                    std::vector<std::uint8_t>& out);
 
 /// Parses the framed record starting at data[pos] and advances pos past
 /// it. Throws mrpf::Error on truncation, bad magic, unknown version,
 /// checksum mismatch or any malformed payload.
-core::MrpResult deserialize_result(const std::uint8_t* data,
-                                   std::size_t size, std::size_t& pos);
+core::SynthPlan deserialize_plan(const std::uint8_t* data, std::size_t size,
+                                 std::size_t& pos);
 
 }  // namespace mrpf::io

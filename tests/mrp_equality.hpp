@@ -1,13 +1,15 @@
-// Shared deep-equality assertion over MrpResult — every field the solver
-// records, including the primary-bank back-references, the full per-edge
-// color data, the optional SEED CSE plan, and recursive SEED levels. Used
-// by the determinism tests (test_core) and the cache tests (test_cache),
-// where "cached == fresh" must mean field-for-field, not just cost.
+// Shared deep-equality assertions over MrpResult, SynthPlan, and lowered
+// multiplier blocks — every field the solver records, including the
+// primary-bank back-references, the full per-edge color data, the optional
+// SEED CSE plan, and recursive SEED levels. Used by the determinism tests
+// (test_core) and the cache tests (test_cache, test_scheme_driver), where
+// "cached == fresh" must mean field-for-field, not just cost.
 #pragma once
 
 #include <gtest/gtest.h>
 
 #include "mrpf/core/mrp.hpp"
+#include "mrpf/core/synth_plan.hpp"
 #include "mrpf/cse/hartley.hpp"
 
 namespace mrpf {
@@ -81,6 +83,60 @@ inline void expect_same_mrp_result(const core::MrpResult& a,
   if (a.seed_recursive != nullptr) {
     expect_same_mrp_result(*a.seed_recursive, *b.seed_recursive);
   }
+}
+
+/// Deep equality over a lowered multiplier block: graph ops, taps, and
+/// constants (the full physical architecture, not just the adder count).
+inline void expect_same_block(const arch::MultiplierBlock& a,
+                              const arch::MultiplierBlock& b) {
+  ASSERT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  for (int node = 1; node < a.graph.num_nodes(); ++node) {
+    const arch::AdderOp& x = a.graph.op(node);
+    const arch::AdderOp& y = b.graph.op(node);
+    EXPECT_TRUE(x.a == y.a && x.b == y.b && x.shift_a == y.shift_a &&
+                x.shift_b == y.shift_b && x.subtract == y.subtract)
+        << "op for node " << node;
+  }
+  ASSERT_EQ(a.taps.size(), b.taps.size());
+  for (std::size_t i = 0; i < a.taps.size(); ++i) {
+    const arch::Tap& x = a.taps[i];
+    const arch::Tap& y = b.taps[i];
+    EXPECT_TRUE(x.node == y.node && x.shift == y.shift &&
+                x.negate == y.negate && x.constant == y.constant)
+        << "tap " << i;
+  }
+  EXPECT_EQ(a.constants, b.constants);
+}
+
+/// Deep equality over a SynthPlan: scheme, analytic cost, the full op and
+/// tap lists, and the optional MRP/CSE provenance. Stage timers are
+/// deliberately excluded — they are wall-clock measurements, so a cached
+/// plan carries the original solve's timings while a fresh solve records
+/// its own.
+inline void expect_same_plan(const core::SynthPlan& a,
+                             const core::SynthPlan& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.analytic_adders, b.analytic_adders);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    const arch::AdderOp& x = a.ops[i];
+    const arch::AdderOp& y = b.ops[i];
+    EXPECT_TRUE(x.a == y.a && x.b == y.b && x.shift_a == y.shift_a &&
+                x.shift_b == y.shift_b && x.subtract == y.subtract)
+        << "op " << i;
+  }
+  ASSERT_EQ(a.taps.size(), b.taps.size());
+  for (std::size_t i = 0; i < a.taps.size(); ++i) {
+    const arch::Tap& x = a.taps[i];
+    const arch::Tap& y = b.taps[i];
+    EXPECT_TRUE(x.node == y.node && x.shift == y.shift &&
+                x.negate == y.negate && x.constant == y.constant)
+        << "tap " << i;
+  }
+  ASSERT_EQ(a.mrp.has_value(), b.mrp.has_value());
+  if (a.mrp.has_value()) expect_same_mrp_result(*a.mrp, *b.mrp);
+  ASSERT_EQ(a.cse.has_value(), b.cse.has_value());
+  if (a.cse.has_value()) expect_same_cse_result(*a.cse, *b.cse);
 }
 
 }  // namespace mrpf

@@ -284,13 +284,14 @@ TEST(SolveCacheTest, CachedBatchIsDeterministicAcrossThreadCounts) {
   }
 }
 
-MrpResult rich_solve() {
-  // cse_on_seed + recursive levels populate the optional fields, so the
+core::SynthPlan rich_plan() {
+  // mrpf+cse (cse_on_seed) plus recursive levels populates plan.mrp with
+  // its optional SEED CSE plan and a nested recursive level, so the
   // round-trip covers every branch of the serializer.
   MrpOptions opts;
-  opts.cse_on_seed = true;
   opts.recursive_levels = 2;
-  return core::mrp_optimize(kPaperExample, opts);
+  return core::optimize_bank(kPaperExample, core::Scheme::kMrpCse, opts)
+      .plan;
 }
 
 void expect_same_timers(const core::StageTimers& a,
@@ -304,28 +305,36 @@ void expect_same_timers(const core::StageTimers& a,
   EXPECT_TRUE(same(a.set_cover, b.set_cover));
   EXPECT_TRUE(same(a.tree_growth, b.tree_growth));
   EXPECT_TRUE(same(a.seed_synthesis, b.seed_synthesis));
+  EXPECT_TRUE(same(a.optimize, b.optimize));
+  EXPECT_TRUE(same(a.lowering, b.lowering));
   EXPECT_EQ(a.total_ns, b.total_ns);
 }
 
-TEST(ResultSerde, RoundTripIsExact) {
-  for (const bool rich : {false, true}) {
-    const MrpResult original =
-        rich ? rich_solve() : core::mrp_optimize(kPaperExample, {});
+TEST(ResultSerde, RoundTripIsExactForEveryPlanShape) {
+  // One plan per optional-field shape: bare ops+taps (simple), plan.cse
+  // (Hartley CSE), and the rich MRP plan with recursive SEED provenance.
+  std::vector<core::SynthPlan> plans;
+  plans.push_back(
+      core::optimize_bank(kPaperExample, core::Scheme::kSimple).plan);
+  plans.push_back(
+      core::optimize_bank(kPaperExample, core::Scheme::kCse).plan);
+  plans.push_back(rich_plan());
+  for (const core::SynthPlan& original : plans) {
     std::vector<std::uint8_t> bytes;
-    io::serialize_result(original, bytes);
+    io::serialize_plan(original, bytes);
     std::size_t pos = 0;
-    const MrpResult restored =
-        io::deserialize_result(bytes.data(), bytes.size(), pos);
+    const core::SynthPlan restored =
+        io::deserialize_plan(bytes.data(), bytes.size(), pos);
     EXPECT_EQ(pos, bytes.size());
-    expect_same_mrp_result(restored, original);
+    expect_same_plan(restored, original);
     expect_same_timers(restored.timers, original.timers);
   }
 }
 
 TEST(ResultSerde, RejectsCorruptionEverywhere) {
-  const MrpResult original = rich_solve();
+  const core::SynthPlan original = rich_plan();
   std::vector<std::uint8_t> bytes;
-  io::serialize_result(original, bytes);
+  io::serialize_plan(original, bytes);
 
   // Flip one byte at a spread of positions: header, lengths, checksum,
   // payload. Every corruption must throw, never mis-decode.
@@ -334,7 +343,7 @@ TEST(ResultSerde, RejectsCorruptionEverywhere) {
     std::vector<std::uint8_t> bad = bytes;
     bad[at] ^= 0x5A;
     std::size_t pos = 0;
-    EXPECT_THROW((void)io::deserialize_result(bad.data(), bad.size(), pos),
+    EXPECT_THROW((void)io::deserialize_plan(bad.data(), bad.size(), pos),
                  Error)
         << "flipped byte " << at;
   }
@@ -343,19 +352,26 @@ TEST(ResultSerde, RejectsCorruptionEverywhere) {
        {std::size_t{0}, std::size_t{10}, std::size_t{24},
         bytes.size() / 2, bytes.size() - 1}) {
     std::size_t pos = 0;
-    EXPECT_THROW((void)io::deserialize_result(bytes.data(), keep, pos),
+    EXPECT_THROW((void)io::deserialize_plan(bytes.data(), keep, pos),
                  Error)
         << "truncated to " << keep;
   }
 }
 
 TEST(ResultSerde, RejectsVersionBump) {
-  const MrpResult original = core::mrp_optimize(kPaperExample, {});
+  const core::SynthPlan original =
+      core::optimize_bank(kPaperExample, core::Scheme::kMrp).plan;
   std::vector<std::uint8_t> bytes;
-  io::serialize_result(original, bytes);
+  io::serialize_plan(original, bytes);
   bytes[4] ^= 0x01;  // version field, directly after the magic
   std::size_t pos = 0;
-  EXPECT_THROW((void)io::deserialize_result(bytes.data(), bytes.size(), pos),
+  EXPECT_THROW((void)io::deserialize_plan(bytes.data(), bytes.size(), pos),
+               Error);
+  // The previous on-disk version (v1, MrpResult frames) must reject
+  // cleanly too, not mis-decode: set the version field to 1 exactly.
+  bytes[4] = 1;
+  pos = 0;
+  EXPECT_THROW((void)io::deserialize_plan(bytes.data(), bytes.size(), pos),
                Error);
 }
 
@@ -515,8 +531,8 @@ TEST(Flow, CachePathWiresWarmSolves) {
 
   const core::SchemeResult warm =
       core::optimize_bank(kPaperExample, core::Scheme::kMrpCse, opts);
-  ASSERT_TRUE(warm.mrp.has_value());
-  expect_same_mrp_result(*warm.mrp, *cold.mrp);
+  ASSERT_TRUE(warm.plan.mrp.has_value());
+  expect_same_plan(warm.plan, cold.plan);
   EXPECT_EQ(warm.multiplier_adders, cold.multiplier_adders);
 
   // Corrupting the store degrades to a cold (fresh) solve, same result.
@@ -525,7 +541,7 @@ TEST(Flow, CachePathWiresWarmSolves) {
   write_bytes(path, bytes);
   const core::SchemeResult recovered =
       core::optimize_bank(kPaperExample, core::Scheme::kMrpCse, opts);
-  expect_same_mrp_result(*recovered.mrp, *cold.mrp);
+  expect_same_plan(recovered.plan, cold.plan);
 
   // Batch front-end with MRPF_CACHE disabled: cache_path is a no-op.
   ::setenv("MRPF_CACHE", "off", 1);
@@ -534,7 +550,8 @@ TEST(Flow, CachePathWiresWarmSolves) {
   ::unsetenv("MRPF_CACHE");
   ASSERT_EQ(batch.size(), 2u);
   MrpOptions plain;
-  expect_same_mrp_result(*batch[0].mrp,
+  ASSERT_TRUE(batch[0].plan.mrp.has_value());
+  expect_same_mrp_result(*batch[0].plan.mrp,
                          core::mrp_optimize(kPaperExample, plain));
   std::remove(path.c_str());
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "mrpf/common/bits.hpp"
+#include "mrpf/common/env.hpp"
 #include "mrpf/common/error.hpp"
 #include "mrpf/common/format.hpp"
 #include "mrpf/common/parallel.hpp"
@@ -205,6 +206,43 @@ TEST(ThreadPool, MalformedThreadEnvWarnsOnceAndFallsBack) {
   ::setenv("MRPF_THREADS", "2", 1);
   EXPECT_EQ(default_thread_count(), 2);
   ::unsetenv("MRPF_THREADS");
+}
+
+TEST(EnvKnobs, SharedGrammarAcceptsOnlyBareDecimals) {
+  // The one grammar behind MRPF_THREADS and MRPF_CACHE: decimal digits
+  // only, value >= 1, clamped to the caller's maximum.
+  EXPECT_TRUE(env::parse_positive_int("1", 512).well_formed);
+  EXPECT_EQ(env::parse_positive_int("1", 512).value, 1);
+  EXPECT_EQ(env::parse_positive_int("37", 512).value, 37);
+  EXPECT_EQ(env::parse_positive_int("512", 512).value, 512);
+  EXPECT_EQ(env::parse_positive_int("513", 512).value, 512);  // clamped
+  EXPECT_EQ(env::parse_positive_int("999999999999999999999", 512).value,
+            512);  // clamp survives values far past the i64 range
+  for (const char* bad : {"0", "-1", "+4", " 4", "4 ", "4x", "0x10", "four",
+                          "1e3", "3.5", "", "\t2"}) {
+    EXPECT_FALSE(env::parse_positive_int(bad, 512).well_formed)
+        << '"' << bad << '"';
+  }
+  EXPECT_FALSE(env::parse_positive_int(nullptr, 512).well_formed);
+}
+
+TEST(EnvKnobs, EqualsIgnoreCaseAndWarnOnce) {
+  EXPECT_TRUE(env::equals_ignore_case("off", "off"));
+  EXPECT_TRUE(env::equals_ignore_case("OFF", "off"));
+  EXPECT_TRUE(env::equals_ignore_case("Off", "off"));
+  EXPECT_FALSE(env::equals_ignore_case("of", "off"));
+  EXPECT_FALSE(env::equals_ignore_case("offf", "off"));
+  EXPECT_FALSE(env::equals_ignore_case(nullptr, "off"));
+
+  const char* key = "MRPF_TEST_KNOB";
+  EXPECT_FALSE(env::warning_fired(key));
+  ::testing::internal::CaptureStderr();
+  env::warn_once(key, "first");
+  env::warn_once(key, "second");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(env::warning_fired(key));
+  EXPECT_NE(err.find("first"), std::string::npos);
+  EXPECT_EQ(err.find("second"), std::string::npos);
 }
 
 TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {

@@ -54,9 +54,11 @@ TEST(Flow, EverySchemeProducesCostsAndVerifiedBlocks) {
       EXPECT_LE(r.multiplier_adders, simple_cost)
           << to_string(scheme) << " must not exceed simple";
     }
-    EXPECT_EQ(r.mrp.has_value(),
+    EXPECT_EQ(r.plan.mrp.has_value(),
               scheme == Scheme::kMrp || scheme == Scheme::kMrpCse);
-    EXPECT_EQ(r.cse.has_value(), scheme == Scheme::kCse);
+    EXPECT_EQ(r.plan.cse.has_value(), scheme == Scheme::kCse);
+    EXPECT_EQ(r.plan.scheme, scheme);
+    EXPECT_EQ(r.plan.analytic_adders, r.multiplier_adders);
   }
 }
 

@@ -124,8 +124,8 @@ TEST(Integration, FoldedOptimizationStillCoversFullFilter) {
 TEST(Integration, ReportsAreNonEmpty) {
   const std::vector<i64> bank = {7, 66, 17, 9, 27, 41, 57, 11};
   const auto mrp = core::optimize_bank(bank, Scheme::kMrp);
-  ASSERT_TRUE(mrp.mrp.has_value());
-  const std::string text = core::describe(*mrp.mrp);
+  ASSERT_TRUE(mrp.plan.mrp.has_value());
+  const std::string text = core::describe(*mrp.plan.mrp);
   EXPECT_NE(text.find("solution colors"), std::string::npos);
   EXPECT_NE(text.find("SEED"), std::string::npos);
   EXPECT_NE(core::describe(mrp, 12).find("mrpf"), std::string::npos);

@@ -15,7 +15,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -48,7 +47,8 @@ using namespace mrpf;
                "  --ripple dB --atten dB      spec targets\n"
                "  --wordlength W              coefficient bits (default 14)\n"
                "  --maximal                   maximal (per-tap) scaling\n"
-               "  --scheme simple|cse|diff-mst|rag-n|mrpf|mrpf+cse\n"
+               "  --scheme NAME               see --list-schemes\n"
+               "  --list-schemes              print scheme names and exit\n"
                "  --beta B --depth D          MRP options\n"
                "  --rep spt|sm                MRP number representation\n"
                "  --coeffs c0,c1,...          skip design, optimize bank\n"
@@ -74,17 +74,6 @@ std::vector<i64> parse_ints(const std::string& s) {
   std::string item;
   while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
   return out;
-}
-
-core::Scheme parse_scheme(const std::string& s) {
-  static const std::map<std::string, core::Scheme> schemes = {
-      {"simple", core::Scheme::kSimple},   {"cse", core::Scheme::kCse},
-      {"diff-mst", core::Scheme::kDiffMst}, {"rag-n", core::Scheme::kRagn},
-      {"mrpf", core::Scheme::kMrp},        {"mrpf+cse", core::Scheme::kMrpCse},
-  };
-  const auto it = schemes.find(s);
-  if (it == schemes.end()) usage("unknown scheme");
-  return it->second;
 }
 
 }  // namespace
@@ -138,7 +127,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--maximal") {
       maximal = true;
     } else if (arg == "--scheme") {
-      scheme = parse_scheme(value());
+      const std::string name = value();
+      const std::optional<core::Scheme> parsed = core::parse_scheme(name);
+      if (!parsed.has_value()) usage("unknown scheme (try --list-schemes)");
+      scheme = *parsed;
+    } else if (arg == "--list-schemes") {
+      for (const core::Scheme s : core::all_schemes()) {
+        std::printf("%s\n", core::to_string(s).c_str());
+      }
+      return 0;
     } else if (arg == "--beta") {
       mrp_opts.beta = std::atof(value().c_str());
     } else if (arg == "--depth") {
@@ -191,8 +188,8 @@ int main(int argc, char** argv) {
     const std::vector<i64> bank = core::optimization_bank(coefficients);
     const core::SchemeResult opt = core::optimize_bank(bank, scheme, mrp_opts);
     std::printf("%s\n", core::describe(opt, input_bits).c_str());
-    if (opt.mrp.has_value()) {
-      std::fputs(core::describe(*opt.mrp).c_str(), stdout);
+    if (opt.plan.mrp.has_value()) {
+      std::fputs(core::describe(*opt.plan.mrp).c_str(), stdout);
     }
     if (!json_path.empty()) {
       std::ofstream json_out(json_path);
