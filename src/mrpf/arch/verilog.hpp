@@ -25,9 +25,14 @@ std::string emit_tdf_filter(const TdfFilter& filter, int input_bits,
 int tdf_output_width(const TdfFilter& filter, int input_bits);
 
 /// Self-checking testbench for the module emitted by emit_tdf_filter:
-/// drives `stimulus`, compares y against the C++ model's output every
-/// cycle, reports PASS/FAIL via $display and finishes. Hand the pair
-/// (module, testbench) to any commercial/OSS Verilog simulator.
+/// drives `stimulus`, compares y (sign-extended to 64 bits, so a
+/// wider-than-y expectation can never be truncated into a false match)
+/// against the C++ model's output every cycle, reports PASS/FAIL via
+/// $display and finishes. Throws if any stimulus value exceeds the x port
+/// range or any expected output overflows the emitted y width — both
+/// would otherwise produce a testbench that fails (or silently passes)
+/// for the wrong reason. Hand the pair (module, testbench) to any
+/// commercial/OSS Verilog simulator.
 std::string emit_tdf_testbench(const TdfFilter& filter, int input_bits,
                                const std::string& module_name,
                                const std::vector<i64>& stimulus);

@@ -141,28 +141,39 @@ std::vector<int> alignment_of(const number::QuantizedCoefficients& q) {
   return align;
 }
 
+arch::TdfFilter expand_block_to_tdf(const std::vector<i64>& coefficients,
+                                    const std::vector<int>& align,
+                                    arch::MultiplierBlock block) {
+  MRPF_CHECK(!coefficients.empty(),
+             "expand_block_to_tdf: empty coefficient vector");
+  const std::size_t n = coefficients.size();
+  const std::size_t folded = block.taps.size();
+  MRPF_CHECK(folded == n || folded == (n + 1) / 2,
+             "expand_block_to_tdf: block does not cover the coefficients");
+
+  // Expand the folded block back onto every tap position.
+  arch::MultiplierBlock full;
+  full.graph = std::move(block.graph);
+  full.constants = coefficients;
+  full.taps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t folded_index = folded == n ? i : std::min(i, n - 1 - i);
+    arch::Tap tap = block.taps[folded_index];
+    MRPF_CHECK(tap.constant == coefficients[i],
+               "expand_block_to_tdf: folded tap does not match mirrored "
+               "coefficient");
+    full.taps.push_back(tap);
+  }
+  return arch::TdfFilter(coefficients, align, std::move(full));
+}
+
 arch::TdfFilter build_tdf(const std::vector<i64>& coefficients,
                           const std::vector<int>& align, Scheme scheme,
                           const MrpOptions& options) {
   MRPF_CHECK(!coefficients.empty(), "build_tdf: empty coefficient vector");
   const std::vector<i64> bank = optimization_bank(coefficients);
   SchemeResult opt = optimize_bank(bank, scheme, options);
-
-  // Expand the folded block back onto every tap position.
-  arch::MultiplierBlock full;
-  full.graph = std::move(opt.block.graph);
-  full.constants = coefficients;
-  const std::size_t n = coefficients.size();
-  full.taps.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t folded_index =
-        bank.size() == n ? i : std::min(i, n - 1 - i);
-    arch::Tap tap = opt.block.taps[folded_index];
-    MRPF_CHECK(tap.constant == coefficients[i],
-               "build_tdf: folded tap does not match mirrored coefficient");
-    full.taps.push_back(tap);
-  }
-  return arch::TdfFilter(coefficients, align, std::move(full));
+  return expand_block_to_tdf(coefficients, align, std::move(opt.block));
 }
 
 arch::TdfFilter build_tdf(const number::QuantizedCoefficients& q,

@@ -61,6 +61,17 @@ arch::TdfFilter build_tdf(const number::QuantizedCoefficients& q,
 /// Alignment shifts of a quantized bank (max scale − per-tap scale).
 std::vector<int> alignment_of(const number::QuantizedCoefficients& q);
 
+/// Expands a multiplier block built over optimization_bank(coefficients)
+/// back onto every tap position (mirroring taps for a folded symmetric
+/// vector) and wraps it into a TdfFilter. This is the tail of build_tdf,
+/// exposed so callers that already hold a lowered block — the verify
+/// fuzzing harness lowers plans it may have deliberately corrupted — go
+/// through the exact same expansion the production flow uses. Throws when
+/// the block's taps do not realize the coefficients.
+arch::TdfFilter expand_block_to_tdf(const std::vector<i64>& coefficients,
+                                    const std::vector<int>& align,
+                                    arch::MultiplierBlock block);
+
 /// The bank a scheme optimizes for a coefficient vector: the folded unique
 /// half when symmetric, the full vector otherwise.
 std::vector<i64> optimization_bank(const std::vector<i64>& coefficients);

@@ -25,6 +25,11 @@ void check_input(const std::vector<double>& h, int wordlength) {
   }
 }
 
+/// Largest supported per-coefficient scaling shift (see quantize.hpp):
+/// beyond this the alignment shift would not fit shift-add hardware (or
+/// i64 intermediate values) anyway.
+constexpr int kMaxScaleShift = 62;
+
 i64 round_clamped(double x, i64 limit) {
   const double r = std::nearbyint(x);
   return std::clamp(static_cast<i64>(r), -limit, limit);
@@ -88,15 +93,33 @@ QuantizedCoefficients quantize_maximal(const std::vector<double>& h,
       out.coeffs.push_back({0, 0});
       continue;
     }
-    // Find k ≥ 0 with |v|·scale·2^k ∈ [2^(W-2), 2^(W-1)).
+    // Closed form for the minimal k ≥ 0 with |v|·scale·2^k ∈
+    // [2^(W-2), 2^(W-1)): write |v|·scale = m·2^e with m ∈ [1, 2); then
+    // k = (W-2) − e lands m·2^(W-2) exactly in the target octave. ldexp is
+    // exact (power-of-two scaling), so no iterative-doubling drift.
+    const double mag = std::fabs(v) * scale;
     int k = 0;
-    double mag = std::fabs(v) * scale;
-    while (mag < half && k < 62) {
-      mag *= 2.0;
-      ++k;
+    if (mag < half) {
+      // mag > 0 by construction, but the |v|·scale product can underflow
+      // to zero for extreme ratios; ilogb(0) is undefined-ish (FP_ILOGB0),
+      // so route that straight to the cap.
+      k = mag > 0.0 ? (wordlength - 2) - std::ilogb(mag) : kMaxScaleShift + 1;
     }
-    out.coeffs.push_back({round_clamped(v * scale * std::ldexp(1.0, k), limit),
-                          k});
+    if (k > kMaxScaleShift) {
+      // Cap: a coefficient more than ~2^62 below the bank maximum cannot
+      // be brought to full scale within the supported shift budget. It
+      // contributes nothing representable at this wordlength, so it
+      // quantizes to an explicit zero (scale 0) instead of carrying a
+      // huge, meaningless alignment shift.
+      out.coeffs.push_back({0, 0});
+      continue;
+    }
+    const i64 value = round_clamped(v * scale * std::ldexp(1.0, k), limit);
+    if (value == 0) {
+      out.coeffs.push_back({0, 0});
+      continue;
+    }
+    out.coeffs.push_back({value, k});
   }
   return out;
 }

@@ -45,6 +45,13 @@ QuantizedCoefficients quantize_uniform(const std::vector<double>& h,
 /// Maximal scaling: every nonzero c_i is scaled by its own 2^{k_i} so that
 /// |c_i| ∈ [2^(W-2), 2^(W-1)). k_i is recorded in scale_log2 (relative to
 /// the uniform scale of the largest coefficient, so k_i ≥ 0).
+///
+/// Postcondition: every coefficient is either exactly {0, 0} or has
+/// |value| ∈ [2^(W-2), 2^(W-1)) with 0 ≤ scale_log2 ≤ 62. Coefficients
+/// whose magnitude is more than ~2^62 below the bank maximum cannot reach
+/// full scale within the supported shift budget — they quantize to an
+/// explicit {0, 0} (they contribute nothing representable at this
+/// wordlength) rather than carrying a clamped, meaningless shift.
 QuantizedCoefficients quantize_maximal(const std::vector<double>& h,
                                        int wordlength);
 

@@ -9,19 +9,22 @@ namespace mrpf::sim {
 
 std::string EquivalenceReport::to_string() const {
   if (equivalent) return "equivalent";
+  if (!note.empty()) return "not equivalent: " + note;
   return str_format("mismatch at sample %zu: expected %lld, got %lld",
                     first_mismatch, static_cast<long long>(expected),
                     static_cast<long long>(actual));
 }
 
-EquivalenceReport check_equivalence(const arch::TdfFilter& filter,
-                                    const std::vector<i64>& x) {
-  const std::vector<i64> want = dsp::fir_filter_exact(
-      filter.coefficients(), filter.alignment(), x);
-  const std::vector<i64> got = filter.run(x);
-
+EquivalenceReport compare_streams(const std::vector<i64>& want,
+                                  const std::vector<i64>& got) {
   EquivalenceReport r;
-  for (std::size_t i = 0; i < x.size(); ++i) {
+  if (want.size() != got.size()) {
+    r.equivalent = false;
+    r.note = str_format("output length mismatch: expected %zu samples, got %zu",
+                        want.size(), got.size());
+    return r;
+  }
+  for (std::size_t i = 0; i < want.size(); ++i) {
     if (want[i] != got[i]) {
       r.equivalent = false;
       r.first_mismatch = i;
@@ -32,6 +35,20 @@ EquivalenceReport check_equivalence(const arch::TdfFilter& filter,
   }
   r.equivalent = true;
   return r;
+}
+
+EquivalenceReport check_equivalence(const arch::TdfFilter& filter,
+                                    const std::vector<i64>& x) {
+  if (x.empty()) {
+    EquivalenceReport r;
+    r.equivalent = false;
+    r.note = "empty input stream (no samples compared)";
+    return r;
+  }
+  const std::vector<i64> want = dsp::fir_filter_exact(
+      filter.coefficients(), filter.alignment(), x);
+  const std::vector<i64> got = filter.run(x);
+  return compare_streams(want, got);
 }
 
 EquivalenceReport check_equivalence_suite(const arch::TdfFilter& filter,

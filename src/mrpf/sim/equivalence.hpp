@@ -14,12 +14,24 @@ struct EquivalenceReport {
   std::size_t first_mismatch = 0;  // sample index, valid when !equivalent
   i64 expected = 0;
   i64 actual = 0;
+  /// Non-empty when the check failed structurally (empty input stream,
+  /// output-length mismatch) rather than on a sample value — in that case
+  /// first_mismatch/expected/actual are meaningless.
+  std::string note;
 
   std::string to_string() const;
 };
 
+/// Sample-by-sample comparison of two output streams. A length mismatch is
+/// a failure (reported via `note`), never silently ignored; two empty
+/// streams compare equivalent (there is nothing to disagree on).
+EquivalenceReport compare_streams(const std::vector<i64>& want,
+                                  const std::vector<i64>& got);
+
 /// Runs the filter on x and compares every sample against
 /// dsp::fir_filter_exact over the same coefficients and alignment.
+/// An empty x is a failed check (note = "empty input stream"): no samples
+/// were compared, so it must not count as evidence of equivalence.
 EquivalenceReport check_equivalence(const arch::TdfFilter& filter,
                                     const std::vector<i64>& x);
 

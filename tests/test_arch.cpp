@@ -279,6 +279,62 @@ TEST(VerilogTest, TestbenchEmbedsStimulusAndExpectations) {
   EXPECT_THROW(emit_tdf_testbench(filter, 12, "fir", {}), Error);
 }
 
+TEST(VerilogTest, TestbenchComparesAtFullWidth) {
+  // Regression: the self-check used to truncate the expectation to the y
+  // width (y !== want[i][$bits(y)-1:0]), so an expectation overflowing y
+  // could alias back into a false match. The comparison now sign-extends
+  // y to 64 bits and compares whole values.
+  MultiplierBlock block = two_tap_block();
+  const TdfFilter filter({5, -3}, {}, std::move(block));
+  const std::string tb = emit_tdf_testbench(filter, 12, "fir", {1, -2, 100});
+  EXPECT_NE(tb.find("wire signed [63:0] y_ext;"), std::string::npos);
+  EXPECT_NE(tb.find("y_ext !== want[i]"), std::string::npos);
+  EXPECT_EQ(tb.find("$bits"), std::string::npos);
+  EXPECT_NE(tb.find("reg signed [63:0] want"), std::string::npos);
+}
+
+TEST(VerilogTest, TestbenchRejectsOutOfRangeStimulus) {
+  // A stimulus outside the x port range would be truncated by the DUT but
+  // not by the C++ expectation — the testbench must refuse to emit it.
+  MultiplierBlock block = two_tap_block();
+  const TdfFilter filter({5, -3}, {}, std::move(block));
+  EXPECT_THROW(emit_tdf_testbench(filter, 8, "fir", {1, 128}), Error);
+  EXPECT_THROW(emit_tdf_testbench(filter, 8, "fir", {-129}), Error);
+  // The exact range bounds are fine.
+  const std::string tb = emit_tdf_testbench(filter, 8, "fir", {127, -128});
+  EXPECT_NE(tb.find("stim[0] = 127"), std::string::npos);
+}
+
+TEST(VerilogTest, TestbenchNearOverflowExpectationsStayExact) {
+  // Near-overflow regression: worst-case inputs drive y to the top of its
+  // analytic width. Every expectation must satisfy the analytic bound
+  // (emission succeeds) and survive the 64-bit compare untruncated.
+  MultiplierBlock block;
+  block.constants = {1023, -1023};
+  block.taps.push_back(synthesize_constant(block.graph, 1023,
+                                           NumberRep::kCsd));
+  block.taps.push_back(synthesize_constant(block.graph, -1023,
+                                           NumberRep::kCsd));
+  const TdfFilter filter({1023, -1023}, {}, std::move(block));
+  const int input_bits = 12;
+  const i64 in_hi = (i64{1} << (input_bits - 1)) - 1;
+  const i64 in_lo = -(i64{1} << (input_bits - 1));
+  // Alternating full-scale extremes maximize |y| through the ±1023 taps.
+  const std::vector<i64> stimulus = {in_hi, in_lo, in_hi, in_lo, in_hi};
+  const std::vector<i64> want = filter.run(stimulus);
+  const std::string tb =
+      emit_tdf_testbench(filter, input_bits, "fir", stimulus);
+  const i64 y_hi =
+      (i64{1} << (tdf_output_width(filter, input_bits) - 1)) - 1;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_LE(want[i], y_hi);
+    // Every expectation is embedded exactly — no low-bits truncation.
+    EXPECT_NE(tb.find("want[" + std::to_string(i) + "] = " +
+                      std::to_string(want[i])),
+              std::string::npos);
+  }
+}
+
 TEST(VerilogTest, OutputWidthIsConsistentWithEmission) {
   MultiplierBlock block = two_tap_block();
   const TdfFilter filter({5, -3}, {}, std::move(block));

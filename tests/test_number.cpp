@@ -150,6 +150,42 @@ TEST(Quantize, RealizedValuesTrackOriginals) {
   }
 }
 
+TEST(Quantize, MaximalPostconditionEveryNonzeroInTargetOctave) {
+  // The documented postcondition: every realized magnitude is either
+  // exactly zero (with scale 0) or lands in [2^(W-2), 2^(W-1)).
+  const std::vector<double> h = {0.9,    -0.5,  0.25,     1e-3, -1e-7,
+                                 0.4999, 0.501, -0.24999, 1e-12, 0.125};
+  for (const int w : {2, 4, 8, 14, 24}) {
+    const QuantizedCoefficients q = quantize_maximal(h, w);
+    const i64 lo = i64{1} << (w - 2);
+    const i64 hi = i64{1} << (w - 1);
+    for (std::size_t i = 0; i < q.coeffs.size(); ++i) {
+      const auto& c = q.coeffs[i];
+      if (c.value == 0) {
+        EXPECT_EQ(c.scale_log2, 0) << "w=" << w << " i=" << i;
+        continue;
+      }
+      EXPECT_GE(std::llabs(c.value), lo) << "w=" << w << " i=" << i;
+      EXPECT_LT(std::llabs(c.value), hi) << "w=" << w << " i=" << i;
+      EXPECT_GE(c.scale_log2, 0) << "w=" << w << " i=" << i;
+      EXPECT_LE(c.scale_log2, 62) << "w=" << w << " i=" << i;
+    }
+  }
+}
+
+TEST(Quantize, MaximalCapsVanishinglySmallCoefficientsToZero) {
+  // 1e-300 sits ~996 binary orders below the max: far beyond the 62-shift
+  // budget, so it must quantize to the explicit zero, not to a coefficient
+  // with an absurd alignment shift (which would poison alignment_of).
+  const std::vector<double> h = {1.0, 1e-300, -4.9e-324};
+  const QuantizedCoefficients q = quantize_maximal(h, 12);
+  EXPECT_NE(q.coeffs[0].value, 0);
+  EXPECT_EQ(q.coeffs[1].value, 0);
+  EXPECT_EQ(q.coeffs[1].scale_log2, 0);
+  EXPECT_EQ(q.coeffs[2].value, 0);
+  EXPECT_EQ(q.coeffs[2].scale_log2, 0);
+}
+
 TEST(Quantize, RejectsBadInput) {
   EXPECT_THROW(quantize_uniform({}, 8), Error);
   EXPECT_THROW(quantize_uniform({0.0, 0.0}, 8), Error);

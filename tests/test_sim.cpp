@@ -82,6 +82,40 @@ TEST(Equivalence, ReportsFirstMismatch) {
   EXPECT_TRUE(check_equivalence(aligned, {1, 2, 3, 4}).equivalent);
 }
 
+TEST(Equivalence, EmptyInputIsAFailedCheckNotSilentPass) {
+  // Zero compared samples must never read as evidence of equivalence.
+  const arch::TdfFilter f = tiny_filter();
+  const EquivalenceReport r = check_equivalence(f, {});
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_FALSE(r.note.empty());
+  EXPECT_NE(r.to_string().find("empty input"), std::string::npos)
+      << r.to_string();
+}
+
+TEST(Equivalence, CompareStreamsGuardsSizes) {
+  // A length mismatch is a structural failure with a clear note, not an
+  // out-of-bounds read or a silent truncated comparison.
+  const EquivalenceReport mismatch = compare_streams({1, 2, 3}, {1, 2});
+  EXPECT_FALSE(mismatch.equivalent);
+  EXPECT_FALSE(mismatch.note.empty());
+
+  const EquivalenceReport shorter_want = compare_streams({1}, {1, 2});
+  EXPECT_FALSE(shorter_want.equivalent);
+
+  // Two empty streams have nothing to disagree on.
+  EXPECT_TRUE(compare_streams({}, {}).equivalent);
+
+  const EquivalenceReport equal = compare_streams({4, -5}, {4, -5});
+  EXPECT_TRUE(equal.equivalent);
+  EXPECT_TRUE(equal.note.empty());
+
+  const EquivalenceReport diff = compare_streams({4, -5, 6}, {4, 7, 6});
+  EXPECT_FALSE(diff.equivalent);
+  EXPECT_EQ(diff.first_mismatch, 1u);
+  EXPECT_EQ(diff.expected, -5);
+  EXPECT_EQ(diff.actual, 7);
+}
+
 TEST(Power, TogglesAccumulate) {
   const arch::TdfFilter f = tiny_filter();
   Rng rng(3);
