@@ -66,32 +66,45 @@ TdfFilter::TdfFilter(std::vector<i64> coefficients, std::vector<int> align,
   for (const int a : align_) {
     MRPF_CHECK(a >= 0 && a < 62, "TdfFilter: bad alignment shift");
   }
+  chain_.assign(coefficients_.size(), 0);
+}
+
+i64 TdfFilter::step_chain(std::vector<i64>& chain, i64 sample) const {
+  const std::size_t n_taps = coefficients_.size();
+  const std::vector<i64> values = block_.graph.evaluate(sample);
+  // r_k(n) = p_k(n) + r_{k+1}(n-1); update in place from the last tap
+  // downward, carrying each register's pre-update value so every step
+  // reads the previous cycle's chain (classic TDF timing).
+  i64 carry = 0;  // chain[k + 1] as it was before this time step
+  for (std::size_t k = n_taps; k-- > 0;) {
+    i128 p = static_cast<i128>(block_.product(k, values));
+    if (!align_.empty()) p <<= align_[k];
+    const i128 r = p + (k + 1 < n_taps ? static_cast<i128>(carry) : 0);
+    MRPF_CHECK(r <= std::numeric_limits<i64>::max() &&
+                   r >= std::numeric_limits<i64>::min(),
+               "TdfFilter: chain value overflows int64");
+    carry = chain[k];  // old r_k, read by tap k-1 next iteration
+    chain[k] = static_cast<i64>(r);
+  }
+  return chain[0];
 }
 
 std::vector<i64> TdfFilter::run(const std::vector<i64>& x) const {
-  const std::size_t n_taps = coefficients_.size();
-  std::vector<i64> chain(n_taps, 0);  // chain[k] = r_k registers
+  std::vector<i64> chain(coefficients_.size(), 0);  // chain[k] = r_k
   std::vector<i64> y;
   y.reserve(x.size());
+  for (const i64 sample : x) y.push_back(step_chain(chain, sample));
+  return y;
+}
 
-  for (const i64 sample : x) {
-    const std::vector<i64> values = block_.graph.evaluate(sample);
-    // r_k(n) = p_k(n) + r_{k+1}(n-1); evaluate from tap 0 upward using the
-    // previous cycle's chain values (classic TDF timing).
-    std::vector<i64> next(n_taps, 0);
-    for (std::size_t k = 0; k < n_taps; ++k) {
-      i128 p = static_cast<i128>(block_.product(k, values));
-      if (!align_.empty()) p <<= align_[k];
-      const i128 r =
-          p + (k + 1 < n_taps ? static_cast<i128>(chain[k + 1]) : 0);
-      MRPF_CHECK(r <= std::numeric_limits<i64>::max() &&
-                     r >= std::numeric_limits<i64>::min(),
-                 "TdfFilter: chain value overflows int64");
-      next[k] = static_cast<i64>(r);
-    }
-    chain = std::move(next);
-    y.push_back(chain[0]);
-  }
+void TdfFilter::reset() { chain_.assign(coefficients_.size(), 0); }
+
+i64 TdfFilter::step(i64 x) { return step_chain(chain_, x); }
+
+std::vector<i64> TdfFilter::push(const std::vector<i64>& x) {
+  std::vector<i64> y;
+  y.reserve(x.size());
+  for (const i64 sample : x) y.push_back(step_chain(chain_, sample));
   return y;
 }
 

@@ -44,7 +44,27 @@ class TdfFilter {
             MultiplierBlock block);
 
   /// Exact streaming filter: y[n] = Σ (c[k] << align[k]) · x[n-k].
+  /// Stateless — always starts from zeroed registers and leaves the
+  /// persistent streaming state (below) untouched.
   std::vector<i64> run(const std::vector<i64>& x) const;
+
+  /// --- Persistent streaming state -----------------------------------
+  /// The filter also carries explicit TDF chain state for incremental
+  /// use. State layout: one i64 register per tap, chain[k] = r_k of the
+  /// classic transposed-direct-form recurrence
+  ///     r_k(n) = p_k(n) + r_{k+1}(n-1),   y(n) = r_0(n),
+  /// where p_k(n) = (c[k] << align[k]) · x(n). A fresh filter starts
+  /// from all-zero registers, and reset() restores exactly that, so a
+  /// streaming restart never requires re-lowering the plan:
+  /// push(x) on a fresh or just-reset filter equals run(x).
+
+  /// Zeroes the chain registers (identical to fresh construction).
+  void reset();
+  /// Feeds one sample through the persistent chain state.
+  i64 step(i64 x);
+  /// step() over x; state persists across push calls, so consecutive
+  /// pushes of stream fragments reproduce run() on the concatenation.
+  std::vector<i64> push(const std::vector<i64>& x);
 
   TdfMetrics metrics() const;
   const MultiplierBlock& block() const { return block_; }
@@ -52,9 +72,14 @@ class TdfFilter {
   const std::vector<int>& alignment() const { return align_; }
 
  private:
+  /// One TDF time step over an explicit register file (shared by the
+  /// stateless run() and the persistent step()).
+  i64 step_chain(std::vector<i64>& chain, i64 sample) const;
+
   std::vector<i64> coefficients_;
   std::vector<int> align_;
   MultiplierBlock block_;
+  std::vector<i64> chain_;  // persistent streaming registers, one per tap
 };
 
 }  // namespace mrpf::arch

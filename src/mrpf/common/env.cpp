@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <set>
 
@@ -34,6 +35,38 @@ ParsedInt parse_positive_int(const char* value, long long clamp_max) {
   if (parsed < 1) return out;
   out.well_formed = true;
   out.value = parsed > clamp_max ? clamp_max : parsed;
+  return out;
+}
+
+ParsedExecMode parse_exec_mode(const char* value) {
+  ParsedExecMode out;
+  if (value == nullptr || value[0] == '\0') return out;
+  if (equals_ignore_case(value, "off")) {
+    out.well_formed = true;
+    out.mode = 0;
+    return out;
+  }
+  if (equals_ignore_case(value, "interp")) {
+    out.well_formed = true;
+    out.mode = 1;
+    return out;
+  }
+  if (equals_ignore_case(value, "vector")) {
+    out.well_formed = true;
+    out.mode = 2;
+    return out;
+  }
+  // "vector:N" — split at the first colon, then reuse the strict integer
+  // grammar for the lane count (clamped to 64 lanes).
+  const char* colon = std::strchr(value, ':');
+  if (colon == nullptr) return out;
+  const std::string word(value, static_cast<std::size_t>(colon - value));
+  if (!equals_ignore_case(word.c_str(), "vector")) return out;
+  const ParsedInt lanes = parse_positive_int(colon + 1, 64);
+  if (!lanes.well_formed) return out;
+  out.well_formed = true;
+  out.mode = 2;
+  out.lanes = static_cast<int>(lanes.value);
   return out;
 }
 

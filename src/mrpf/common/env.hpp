@@ -19,6 +19,23 @@ ParsedInt parse_positive_int(const char* value, long long clamp_max);
 /// the "off" spelling of disable knobs.
 bool equals_ignore_case(const char* value, const char* lower);
 
+/// Result of parsing the MRPF_EXEC execution-mode knob. `mode` is kept as
+/// a plain int so common/ stays free of exec/ types; exec::ExecMode mirrors
+/// the numbering.
+struct ParsedExecMode {
+  bool well_formed = false;  ///< Value matched the grammar below.
+  int mode = 2;              ///< 0 = off, 1 = interp, 2 = vector.
+  int lanes = 0;             ///< 0 = engine default; "vector:N" sets N.
+};
+
+/// Strict grammar for MRPF_EXEC: exactly "off", "interp", "vector", or
+/// "vector:N" (words case-insensitive). N follows the parse_positive_int
+/// grammar — one or more decimal digits, value >= 1 — and clamps to 64
+/// lanes. Anything else ("fast", "vector:", "vector:0", "vector:8x",
+/// trailing whitespace) is not well-formed; callers warn_once and fall
+/// back to the default so a typo can never silently change the engine.
+ParsedExecMode parse_exec_mode(const char* value);
+
 /// Emits `message` on stderr at most once per process per `key`.
 /// Subsequent calls for the same key are silent, so a knob misspelled in the
 /// environment warns once rather than once per solve.

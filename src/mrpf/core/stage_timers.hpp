@@ -35,8 +35,31 @@ struct StageTimers {
   StageSample seed_synthesis;  // items: SEED values costed
   StageSample optimize;        // whole driver optimize; items: bank size
   StageSample lowering;        // plan -> verified block; items: plan ops
+  StageSample exec_compile;    // plan -> ExecProgram; items: fused ops kept
+  StageSample exec_run;        // compiled execution; items: samples pushed
   double total_ns = 0.0;       // whole mrp_optimize call
 };
+
+/// Sums `from` into `into` sample by sample (ns and items, plus total_ns) —
+/// the aggregation the perf benches use to report per-stage totals across a
+/// catalog sweep. Every field only grows, so repeated accumulation yields
+/// monotone per-stage sums.
+inline void accumulate(StageTimers& into, const StageTimers& from) {
+  const auto add = [](StageSample& a, const StageSample& b) {
+    a.ns += b.ns;
+    a.items += b.items;
+  };
+  add(into.primaries, from.primaries);
+  add(into.color_graph, from.color_graph);
+  add(into.set_cover, from.set_cover);
+  add(into.tree_growth, from.tree_growth);
+  add(into.seed_synthesis, from.seed_synthesis);
+  add(into.optimize, from.optimize);
+  add(into.lowering, from.lowering);
+  add(into.exec_compile, from.exec_compile);
+  add(into.exec_run, from.exec_run);
+  into.total_ns += from.total_ns;
+}
 
 /// Scoped stage stopwatch: records elapsed ns into `sample` on
 /// destruction; the caller fills `items` at its convenience.

@@ -30,6 +30,30 @@ SynthPlan SynthPlan::clone() const {
   return out;
 }
 
+std::vector<bool> SynthPlan::live_ops() const {
+  // Node k+1 is defined by ops[k]; node 0 (the input) needs no op. Seed
+  // the worklist with every tapped adder node and walk operands backward —
+  // ops are topologically ordered, so one reverse sweep suffices.
+  std::vector<bool> live(ops.size(), false);
+  for (const arch::Tap& tap : taps) {
+    if (tap.node >= 1 && static_cast<std::size_t>(tap.node) <= ops.size()) {
+      live[static_cast<std::size_t>(tap.node) - 1] = true;
+    }
+  }
+  for (std::size_t k = ops.size(); k-- > 0;) {
+    if (!live[k]) continue;
+    if (ops[k].a >= 1) live[static_cast<std::size_t>(ops[k].a) - 1] = true;
+    if (ops[k].b >= 1) live[static_cast<std::size_t>(ops[k].b) - 1] = true;
+  }
+  return live;
+}
+
+std::size_t SynthPlan::live_tap_count() const {
+  std::size_t n = 0;
+  for (const arch::Tap& tap : taps) n += tap.node >= 0 ? 1 : 0;
+  return n;
+}
+
 arch::MultiplierBlock lower_plan(const std::vector<i64>& bank,
                                  const SynthPlan& plan) {
   MRPF_CHECK(plan.taps.size() == bank.size(),

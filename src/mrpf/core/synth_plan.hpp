@@ -50,6 +50,16 @@ struct SynthPlan {
 
   /// Deep copy (SynthPlan is move-only because of mrp->seed_recursive).
   SynthPlan clone() const;
+
+  /// Per-op liveness: live_ops()[k] is true iff ops[k]'s node is reachable
+  /// from some tap (schemes may emit helper nodes no tap ultimately reads;
+  /// the exec compiler drops them, and reports use this to tell analytic
+  /// cost from executed work).
+  std::vector<bool> live_ops() const;
+
+  /// Taps realizing a non-zero constant (zero taps are free wiring — no
+  /// hardware and no runtime work).
+  std::size_t live_tap_count() const;
 };
 
 /// The one shared lowering path: replays the plan's ops into an

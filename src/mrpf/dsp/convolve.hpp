@@ -19,8 +19,21 @@ std::vector<double> fir_filter(const std::vector<double>& h,
 /// Exact integer FIR with per-tap left alignment shifts (maximal scaling):
 /// y[n] = Σ (c[k] << align[k]) · x[n-k], accumulated in 128-bit and checked
 /// to fit int64. align may be empty (treated as all-zero).
+///
+/// The inner loop is split into a warm-up prologue (outputs whose history
+/// window is still partial) and a steady-state body with no per-sample
+/// bounds clamp and no per-tap empty-alignment branch, so this path is an
+/// honest naive-throughput baseline for the perf benches.
 std::vector<i64> fir_filter_exact(const std::vector<i64>& c,
                                   const std::vector<int>& align,
                                   const std::vector<i64>& x);
+
+/// The pre-hoist reference implementation of fir_filter_exact: per-sample
+/// window clamp and per-tap alignment branch inside the loop. Kept only as
+/// the differential baseline the hoisted path is tested against — never a
+/// production call site.
+std::vector<i64> fir_filter_exact_reference(const std::vector<i64>& c,
+                                            const std::vector<int>& align,
+                                            const std::vector<i64>& x);
 
 }  // namespace mrpf::dsp

@@ -1,0 +1,19 @@
+// The plan compiler: arch::TdfFilter (any scheme, post-lowering, folded
+// taps already expanded) -> ExecProgram. See program.hpp for what the
+// passes do; compile() is deterministic and never fails on a verified
+// filter — a plan whose magnitudes rule out unchecked int64 execution
+// simply reports a small max_input_bits and the caller falls back to the
+// checked interpreter.
+#pragma once
+
+#include "mrpf/arch/tdf.hpp"
+#include "mrpf/exec/program.hpp"
+
+namespace mrpf::exec {
+
+/// Compiles the filter's multiplier block + tap alignment into an
+/// execution program. Records timers.exec_compile (items = fused ops
+/// kept).
+ExecProgram compile(const arch::TdfFilter& filter);
+
+}  // namespace mrpf::exec

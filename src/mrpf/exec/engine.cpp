@@ -1,0 +1,152 @@
+#include "mrpf/exec/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/parallel.hpp"
+
+namespace mrpf::exec {
+
+namespace {
+
+constexpr int kMaxLanes = 64;
+
+double now_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+int default_lane_width(const ExecProgram& program) {
+  // 16 lanes fill a couple of AVX2/NEON vectors per op; fall back to 8
+  // when the slot file would spill past ~32 KiB of L1.
+  const int slots = std::max(1, program.n_slots);
+  return slots * 16 > 4096 ? 8 : 16;
+}
+
+ExecEngine::ExecEngine(const ExecProgram& program, int lanes)
+    : program_(&program) {
+  lanes_ = lanes > 0 ? lanes : default_lane_width(program);
+  lanes_ = std::min(std::max(lanes_, 1), kMaxLanes);
+  carry_ = program.n_taps > 0 ? program.n_taps - 1 : 0;
+  regs_.assign(static_cast<std::size_t>(std::max(1, program.n_slots)) *
+                   static_cast<std::size_t>(lanes_),
+               0);
+  acc_.assign(carry_ + static_cast<std::size_t>(lanes_) + 1, 0);
+}
+
+void ExecEngine::reset() { std::fill(acc_.begin(), acc_.end(), 0); }
+
+void ExecEngine::run_block(const i64* x, i64* y, std::size_t m) {
+  const int W = lanes_;
+  const std::size_t lanes = static_cast<std::size_t>(W);
+
+  // Load the input block; lanes past m carry zero so the full-width op
+  // loops below compute zero contributions for them (0 in, 0 out).
+  i64* in = regs_.data() +
+            static_cast<std::size_t>(program_->input_slot) * lanes;
+  std::memcpy(in, x, m * sizeof(i64));
+  if (m < lanes) std::memset(in + m, 0, (lanes - m) * sizeof(i64));
+
+  // Fused ops, lane-parallel. Wrap (unsigned) arithmetic: the compile-time
+  // width analysis guarantees every true value fits int64, and mod-2^64
+  // arithmetic agrees with exact arithmetic on values that fit.
+  for (const ExecOp& op : program_->ops) {
+    i64* d = regs_.data() + static_cast<std::size_t>(op.dst) * lanes;
+    const i64* a = regs_.data() + static_cast<std::size_t>(op.a) * lanes;
+    const i64* b = regs_.data() + static_cast<std::size_t>(op.b) * lanes;
+    const int sa = op.shift_a;
+    const int sb = op.shift_b;
+    if (op.subtract) {
+      for (int l = 0; l < W; ++l) {
+        d[l] = static_cast<i64>((static_cast<u64>(a[l]) << sa) -
+                                (static_cast<u64>(b[l]) << sb));
+      }
+    } else {
+      for (int l = 0; l < W; ++l) {
+        d[l] = static_cast<i64>((static_cast<u64>(a[l]) << sa) +
+                                (static_cast<u64>(b[l]) << sb));
+      }
+    }
+  }
+
+  // Reset the working region of the output window; acc_[0, carry_) holds
+  // partial sums pending from previous blocks.
+  std::fill(acc_.begin() + static_cast<std::ptrdiff_t>(carry_), acc_.end(),
+            0);
+
+  // Each fused tap adds its W products into the window at its delay
+  // offset: sample l's product for tap k lands on output (base + l + k).
+  for (const ExecTap& tap : program_->taps) {
+    i64* dst = acc_.data() + tap.position;
+    const i64* src = regs_.data() + static_cast<std::size_t>(tap.slot) * lanes;
+    const int sh = tap.shift;
+    if (sh >= 0) {
+      if (tap.negate) {
+        for (int l = 0; l < W; ++l) {
+          dst[l] = static_cast<i64>(static_cast<u64>(dst[l]) -
+                                    (static_cast<u64>(src[l]) << sh));
+        }
+      } else {
+        for (int l = 0; l < W; ++l) {
+          dst[l] = static_cast<i64>(static_cast<u64>(dst[l]) +
+                                    (static_cast<u64>(src[l]) << sh));
+        }
+      }
+    } else {
+      // Negative fused shift only drops always-zero LSBs (graph
+      // invariant), so the arithmetic right shift is exact division.
+      if (tap.negate) {
+        for (int l = 0; l < W; ++l) {
+          dst[l] = static_cast<i64>(static_cast<u64>(dst[l]) -
+                                    static_cast<u64>(src[l] >> -sh));
+        }
+      } else {
+        for (int l = 0; l < W; ++l) {
+          dst[l] = static_cast<i64>(static_cast<u64>(dst[l]) +
+                                    static_cast<u64>(src[l] >> -sh));
+        }
+      }
+    }
+  }
+
+  // Emit the m completed outputs and slide the carry window forward.
+  std::memcpy(y, acc_.data(), m * sizeof(i64));
+  std::memmove(acc_.data(), acc_.data() + m, carry_ * sizeof(i64));
+}
+
+void ExecEngine::run(const i64* x, i64* y, std::size_t n) {
+  const double t0 = now_ns();
+  timers_.exec_run.items += n;
+  const std::size_t lanes = static_cast<std::size_t>(lanes_);
+  while (n > 0) {
+    const std::size_t m = std::min(n, lanes);
+    run_block(x, y, m);
+    x += m;
+    y += m;
+    n -= m;
+  }
+  timers_.exec_run.ns += now_ns() - t0;
+}
+
+std::vector<std::vector<i64>> run_batch(
+    const ExecProgram& program, const std::vector<std::vector<i64>>& inputs,
+    int lanes, int threads) {
+  std::vector<std::vector<i64>> outputs(inputs.size());
+  parallel_for(
+      inputs.size(),
+      [&](std::size_t i) {
+        ExecEngine engine(program, lanes);
+        outputs[i].resize(inputs[i].size());
+        engine.run(inputs[i].data(), outputs[i].data(), inputs[i].size());
+      },
+      threads);
+  return outputs;
+}
+
+}  // namespace mrpf::exec

@@ -1,0 +1,75 @@
+#include "mrpf/exec/streaming.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "mrpf/common/env.hpp"
+#include "mrpf/exec/compile.hpp"
+
+namespace mrpf::exec {
+
+const char* to_string(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kOff:
+      return "off";
+    case ExecMode::kInterp:
+      return "interp";
+    case ExecMode::kVector:
+      return "vector";
+  }
+  return "?";
+}
+
+ExecConfig exec_config_from_env() {
+  ExecConfig config;
+  const char* raw = std::getenv("MRPF_EXEC");
+  if (raw == nullptr) return config;
+  const env::ParsedExecMode parsed = env::parse_exec_mode(raw);
+  if (!parsed.well_formed) {
+    env::warn_once("MRPF_EXEC",
+                   std::string("MRPF_EXEC: ignoring malformed value \"") +
+                       raw + "\" (want off|interp|vector|vector:N)");
+    return config;
+  }
+  config.mode = static_cast<ExecMode>(parsed.mode);
+  config.lanes = parsed.lanes;
+  return config;
+}
+
+StreamingFilter::StreamingFilter(arch::TdfFilter filter, ExecConfig config)
+    : filter_(std::move(filter)), config_(config) {
+  filter_.reset();
+  if (config_.mode == ExecMode::kOff) {
+    mode_ = ExecMode::kOff;
+    return;
+  }
+  program_ = compile(filter_);
+  if (config_.mode == ExecMode::kVector &&
+      config_.input_bits <= program_.max_input_bits) {
+    mode_ = ExecMode::kVector;
+    engine_ = std::make_unique<ExecEngine>(program_, config_.lanes);
+  } else {
+    mode_ = ExecMode::kInterp;
+  }
+}
+
+void StreamingFilter::reset() {
+  filter_.reset();
+  if (engine_) engine_->reset();
+}
+
+std::vector<i64> StreamingFilter::push(const std::vector<i64>& x) {
+  if (mode_ != ExecMode::kVector) return filter_.push(x);
+  std::vector<i64> y(x.size());
+  engine_->run(x.data(), y.data(), x.size());
+  return y;
+}
+
+core::StageTimers StreamingFilter::timers() const {
+  core::StageTimers out = program_.timers;
+  if (engine_) core::accumulate(out, engine_->timers());
+  return out;
+}
+
+}  // namespace mrpf::exec

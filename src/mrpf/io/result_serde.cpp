@@ -136,6 +136,8 @@ void write_timers(Writer& w, const core::StageTimers& t) {
   write_sample(w, t.seed_synthesis);
   write_sample(w, t.optimize);
   write_sample(w, t.lowering);
+  write_sample(w, t.exec_compile);
+  write_sample(w, t.exec_run);
   w.f64(t.total_ns);
 }
 
@@ -176,6 +178,8 @@ core::StageTimers read_timers(Reader& r) {
   t.seed_synthesis = read_sample(r);
   t.optimize = read_sample(r);
   t.lowering = read_sample(r);
+  t.exec_compile = read_sample(r);
+  t.exec_run = read_sample(r);
   t.total_ns = r.f64();
   return t;
 }

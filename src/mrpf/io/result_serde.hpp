@@ -26,7 +26,7 @@
 namespace mrpf::io {
 
 inline constexpr std::uint32_t kResultSerdeMagic = 0x3153524Du;  // "MRS1"
-inline constexpr std::uint32_t kResultSerdeVersion = 2;
+inline constexpr std::uint32_t kResultSerdeVersion = 3;
 
 /// Appends one framed plan record to `out`.
 void serialize_plan(const core::SynthPlan& plan,

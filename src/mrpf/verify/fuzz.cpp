@@ -12,6 +12,7 @@
 #include "mrpf/common/format.hpp"
 #include "mrpf/common/rng.hpp"
 #include "mrpf/core/scheme_driver.hpp"
+#include "mrpf/exec/streaming.hpp"
 #include "mrpf/io/json_report.hpp"
 #include "mrpf/io/result_serde.hpp"
 #include "mrpf/rtl/parser.hpp"
@@ -269,6 +270,24 @@ std::optional<std::string> block_mismatch(const arch::MultiplierBlock& a,
   return std::nullopt;
 }
 
+/// First index where two equally-long streams differ; nullopt when equal.
+std::optional<std::string> stream_mismatch(const std::vector<i64>& expect,
+                                           const std::vector<i64>& got,
+                                           const char* what) {
+  if (expect.size() != got.size()) {
+    return str_format("%s produced %zu samples, expected %zu", what,
+                      got.size(), expect.size());
+  }
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    if (expect[i] != got[i]) {
+      return str_format("%s diverges at sample %zu: %lld vs %lld", what, i,
+                        static_cast<long long>(got[i]),
+                        static_cast<long long>(expect[i]));
+    }
+  }
+  return std::nullopt;
+}
+
 std::string join_i64(const std::vector<i64>& v) {
   std::string out;
   for (std::size_t i = 0; i < v.size(); ++i) {
@@ -300,7 +319,8 @@ std::string json_i64_array(const std::vector<i64>& v) {
 
 const std::array<Oracle, kNumOracles>& all_oracles() {
   static const std::array<Oracle, kNumOracles> oracles = {
-      Oracle::kCost, Oracle::kSim, Oracle::kRtl, Oracle::kSerde};
+      Oracle::kCost, Oracle::kSim, Oracle::kRtl, Oracle::kSerde,
+      Oracle::kExec};
   return oracles;
 }
 
@@ -314,6 +334,8 @@ std::string to_string(Oracle oracle) {
       return "rtl";
     case Oracle::kSerde:
       return "serde";
+    case Oracle::kExec:
+      return "exec";
   }
   return "unknown";
 }
@@ -605,6 +627,47 @@ CaseResult run_case(const FuzzCase& c, const FuzzConfig& config) {
               core::lower_plan(bank, round_trip);
           if (auto m = block_mismatch(original, rehydrated)) {
             fail(oracle, "serde round-trip: " + *m);
+          }
+          break;
+        }
+        case Oracle::kExec: {
+          const arch::TdfFilter& f = lowered_filter();
+          Rng rng(stimulus_seed ^ 0xE6ECE6ECE6ECE6ECULL);
+          const std::vector<i64> x =
+              sim::uniform_stream(rng, config.sim_samples, c.input_bits);
+          const std::vector<i64> expect = f.run(x);
+
+          exec::ExecConfig ec;
+          ec.input_bits = c.input_bits;
+          // Lane widths 3..16 cross the block boundary at varying offsets.
+          ec.lanes = static_cast<int>(3 + rng.next_below(14));
+          exec::StreamingFilter sf(f, ec);
+
+          // Whole-stream push on a fresh filter.
+          if (auto m = stream_mismatch(expect, sf.push(x), "exec push")) {
+            fail(oracle, *m);
+            break;
+          }
+
+          // Reset-replay in uneven chunks: state carried across push
+          // boundaries must reproduce the same stream.
+          sf.reset();
+          std::vector<i64> chunked;
+          chunked.reserve(x.size());
+          std::size_t at = 0;
+          while (at < x.size()) {
+            const std::size_t take = std::min<std::size_t>(
+                x.size() - at, 1 + rng.next_below(7));
+            const std::vector<i64> part(
+                x.begin() + static_cast<std::ptrdiff_t>(at),
+                x.begin() + static_cast<std::ptrdiff_t>(at + take));
+            const std::vector<i64> out = sf.push(part);
+            chunked.insert(chunked.end(), out.begin(), out.end());
+            at += take;
+          }
+          if (auto m =
+                  stream_mismatch(expect, chunked, "exec chunked push")) {
+            fail(oracle, *m);
           }
           break;
         }

@@ -6,7 +6,7 @@
 // The harness generates randomized coefficient banks (varied wordlengths,
 // signs, zeros, duplicates, near-limit magnitudes, symmetric vectors,
 // alignment shifts) crossed with randomized result-relevant MrpOptions and
-// scheme choices, runs each resulting SynthPlan through four independent
+// scheme choices, runs each resulting SynthPlan through five independent
 // oracles, and on any failure greedily shrinks the case to a minimal
 // reproducer with a printed replay command:
 //
@@ -19,6 +19,8 @@
 //          the C++ model, sample for sample
 //   serde  serialize -> deserialize -> field-for-field plan equality and
 //          re-lowered block equivalence
+//   exec   compiled exec::StreamingFilter (varied lane width, uneven push
+//          chunking, reset-replay) vs. TdfFilter::run, sample for sample
 //
 // Every case is replayable in isolation (tools/mrpf_fuzz --bank ...), and
 // the MRPF_FUZZ_INJECT hook deliberately corrupts one plan op so CI can
@@ -37,14 +39,15 @@
 
 namespace mrpf::verify {
 
-/// The four independent oracles, in execution order.
+/// The five independent oracles, in execution order.
 enum class Oracle {
   kCost,   ///< Analytic cost vs. independent op-replay recount.
   kSim,    ///< Lowered filter vs. exact convolution (three stimuli).
   kRtl,    ///< Emitted Verilog re-simulated vs. the C++ model.
   kSerde,  ///< Serde round-trip: field equality + re-lowered equivalence.
+  kExec,   ///< Compiled streaming engine vs. the interpreted model.
 };
-inline constexpr int kNumOracles = 4;
+inline constexpr int kNumOracles = 5;
 
 /// All oracles in enum order (canonical iteration order for counters).
 const std::array<Oracle, kNumOracles>& all_oracles();
@@ -114,7 +117,7 @@ struct FuzzConfig {
   /// a time budget); empty = all six.
   std::vector<core::Scheme> schemes;
   /// Enabled oracles, indexed by Oracle enum order.
-  std::array<bool, kNumOracles> oracles{true, true, true, true};
+  std::array<bool, kNumOracles> oracles{true, true, true, true, true};
   /// Corrupt every generated plan with this fault (kNone = fuzz honestly).
   FaultKind inject = FaultKind::kNone;
   /// Samples per stimulus for the sim oracle and the RTL oracle.

@@ -162,6 +162,49 @@ TEST(TdfTest, MetricsAreConsistent) {
   EXPECT_GE(m.multiplier_depth, 1);
 }
 
+TEST(TdfTest, StreamingPushMatchesRunAcrossChunking) {
+  MultiplierBlock block = two_tap_block();
+  TdfFilter filter({5, -3}, {}, std::move(block));
+  Rng rng(3);
+  std::vector<i64> x;
+  for (int i = 0; i < 97; ++i) x.push_back(rng.next_int(-1000, 1000));
+  const std::vector<i64> expect = filter.run(x);
+
+  // step() one sample at a time reproduces run() on the whole stream.
+  std::vector<i64> stepped;
+  for (const i64 v : x) stepped.push_back(filter.step(v));
+  EXPECT_EQ(stepped, expect);
+
+  // reset() restores the fresh state; push() in uneven fragments carries
+  // state across the boundaries.
+  filter.reset();
+  std::vector<i64> pushed;
+  std::size_t at = 0;
+  while (at < x.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(x.size() - at, 1 + rng.next_below(5));
+    const std::vector<i64> out = filter.push(std::vector<i64>(
+        x.begin() + static_cast<std::ptrdiff_t>(at),
+        x.begin() + static_cast<std::ptrdiff_t>(at + take)));
+    pushed.insert(pushed.end(), out.begin(), out.end());
+    at += take;
+  }
+  EXPECT_EQ(pushed, expect);
+}
+
+TEST(TdfTest, ResetEqualsFreshConstructionAndRunStaysStateless) {
+  MultiplierBlock block = two_tap_block();
+  TdfFilter filter({5, -3}, {}, std::move(block));
+  const std::vector<i64> x = {9, -4, 17, 2};
+  const std::vector<i64> fresh = filter.run(x);
+  // Pollute the persistent chain, then reset: push must match a fresh
+  // filter again, and the stateless run() was never affected.
+  filter.push({1000, -999, 123});
+  EXPECT_EQ(filter.run(x), fresh);
+  filter.reset();
+  EXPECT_EQ(filter.push(x), fresh);
+}
+
 TEST(TdfTest, ConstructorValidates) {
   EXPECT_THROW(TdfFilter({}, {}, MultiplierBlock{}), Error);
   MultiplierBlock block = two_tap_block();

@@ -226,6 +226,32 @@ TEST(EnvKnobs, SharedGrammarAcceptsOnlyBareDecimals) {
   EXPECT_FALSE(env::parse_positive_int(nullptr, 512).well_formed);
 }
 
+TEST(EnvKnobs, ExecModeGrammarIsStrict) {
+  // MRPF_EXEC: exactly off | interp | vector | vector:N, words
+  // case-insensitive, N in the parse_positive_int grammar clamped to 64.
+  EXPECT_TRUE(env::parse_exec_mode("off").well_formed);
+  EXPECT_EQ(env::parse_exec_mode("off").mode, 0);
+  EXPECT_EQ(env::parse_exec_mode("OFF").mode, 0);
+  EXPECT_EQ(env::parse_exec_mode("interp").mode, 1);
+  EXPECT_EQ(env::parse_exec_mode("Interp").mode, 1);
+  EXPECT_EQ(env::parse_exec_mode("vector").mode, 2);
+  EXPECT_EQ(env::parse_exec_mode("vector").lanes, 0);
+  EXPECT_EQ(env::parse_exec_mode("VECTOR:8").mode, 2);
+  EXPECT_EQ(env::parse_exec_mode("VECTOR:8").lanes, 8);
+  EXPECT_EQ(env::parse_exec_mode("vector:64").lanes, 64);
+  EXPECT_EQ(env::parse_exec_mode("vector:65").lanes, 64);  // clamped
+  for (const char* bad :
+       {"", "fast", "vec", "vector:", "vector:0", "vector:-2", "vector:8x",
+        "vector: 8", "vector:8 ", " vector", "vector ", "off:4", "interp:2",
+        "vector:3.5", "vectorr:4"}) {
+    EXPECT_FALSE(env::parse_exec_mode(bad).well_formed) << '"' << bad << '"';
+  }
+  EXPECT_FALSE(env::parse_exec_mode(nullptr).well_formed);
+  // Malformed values still carry the defaults the caller falls back to.
+  EXPECT_EQ(env::parse_exec_mode("bogus").mode, 2);
+  EXPECT_EQ(env::parse_exec_mode("bogus").lanes, 0);
+}
+
 TEST(EnvKnobs, EqualsIgnoreCaseAndWarnOnce) {
   EXPECT_TRUE(env::equals_ignore_case("off", "off"));
   EXPECT_TRUE(env::equals_ignore_case("OFF", "off"));

@@ -14,7 +14,9 @@
 #include "mrpf/common/parallel.hpp"
 #include "mrpf/common/rng.hpp"
 #include "mrpf/core/mrp.hpp"
+#include "mrpf/core/scheme_driver.hpp"
 #include "mrpf/core/sidc.hpp"
+#include "mrpf/core/synth_plan.hpp"
 
 #include "mrp_equality.hpp"
 
@@ -78,6 +80,34 @@ TEST(ColorGraph, ClassesCoverAllEdges) {
     }
   }
   EXPECT_EQ(edge_total, g.edges.size());
+}
+
+TEST(SynthPlanLiveness, MarksReachableOpsAndCountsNonZeroTaps) {
+  // A hand-built plan with one dangling op: node 2 is defined but never
+  // tapped and never feeds another op, so only ops 0 and 2 are live.
+  SynthPlan plan;
+  plan.ops.push_back({0, 0, 0, 3, false});   // node 1 = x + 8x
+  plan.ops.push_back({1, 0, 0, 0, false});   // node 2 = dangling
+  plan.ops.push_back({1, 0, 0, 1, true});    // node 3 = node1 - 2x
+  plan.taps.push_back({3, 0, false, 7});
+  plan.taps.push_back({-1, 0, false, 0});    // zero coefficient: no hardware
+  plan.taps.push_back({0, 2, false, 4});     // input tap keeps no op alive
+  const std::vector<bool> live = plan.live_ops();
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_TRUE(live[0]);
+  EXPECT_FALSE(live[1]);
+  EXPECT_TRUE(live[2]);
+  EXPECT_EQ(plan.live_tap_count(), 2u);
+
+  // Driver-produced plans never emit dangling ops: everything the
+  // optimizer schedules is reachable from some tap.
+  const SchemeDriver& driver = scheme_driver(Scheme::kMrp);
+  const SynthPlan real =
+      driver.optimize(kPaperExample, driver.canonical_options({}));
+  const std::vector<bool> real_live = real.live_ops();
+  EXPECT_TRUE(std::all_of(real_live.begin(), real_live.end(),
+                          [](bool b) { return b; }));
+  EXPECT_EQ(real.live_tap_count(), kPaperExample.size());
 }
 
 TEST(Mrp, PaperExampleCoversWithSmallColors) {

@@ -92,6 +92,36 @@ TEST(Convolve, ExactIntegerWithAlignment) {
   EXPECT_EQ(y[3], 6);
 }
 
+TEST(Convolve, ExactHoistedPathMatchesReferenceDifferentially) {
+  // The production fir_filter_exact splits warm-up from steady state; the
+  // retained pre-hoist reference keeps the per-sample clamp. Both must be
+  // identical on every shape: short streams that never leave warm-up,
+  // tap counts longer than the stream, alignment on and off.
+  Rng rng(29);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t taps = 1 + rng.next_below(12);
+    const std::size_t samples = rng.next_below(30);
+    std::vector<i64> c;
+    for (std::size_t k = 0; k < taps; ++k) {
+      c.push_back(rng.next_int(-4000, 4000));
+    }
+    std::vector<int> align;
+    if (rng.next_below(2) == 0) {
+      for (std::size_t k = 0; k < taps; ++k) {
+        align.push_back(static_cast<int>(rng.next_below(4)));
+      }
+    }
+    std::vector<i64> x;
+    for (std::size_t n = 0; n < samples; ++n) {
+      x.push_back(rng.next_int(-100000, 100000));
+    }
+    EXPECT_EQ(fir_filter_exact(c, align, x),
+              fir_filter_exact_reference(c, align, x))
+        << "trial " << trial << ": " << taps << " taps, " << samples
+        << " samples";
+  }
+}
+
 TEST(Convolve, ExactRejectsOverflowAndBadAlign) {
   EXPECT_THROW(
       fir_filter_exact({i64{1} << 40}, {}, {i64{1} << 40}), Error);

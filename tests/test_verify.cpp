@@ -1,4 +1,4 @@
-// The fuzz-verification harness: case generation, the four oracles, fault
+// The fuzz-verification harness: case generation, the five oracles, fault
 // injection, shrinking, replay commands, report accounting.
 #include <gtest/gtest.h>
 
@@ -82,10 +82,10 @@ TEST(FuzzInject, CostFaultIsInvisibleOutsideTheCostOracle) {
   FuzzCase c = generate_case(11, 3, {});
   c.inject = FaultKind::kAnalyticCost;
   FuzzConfig cost_only;
-  cost_only.oracles = {true, false, false, false};
+  cost_only.oracles = {true, false, false, false, false};
   EXPECT_FALSE(run_case(c, cost_only).passed);
   FuzzConfig others;
-  others.oracles = {false, true, true, true};
+  others.oracles = {false, true, true, true, true};
   EXPECT_TRUE(run_case(c, others).passed);
 }
 

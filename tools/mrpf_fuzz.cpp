@@ -1,8 +1,9 @@
 // mrpf_fuzz — differential fuzz-verification harness driver.
 //
 // Fuzz mode (default): randomized coefficient banks × schemes × options,
-// each plan checked by the four independent oracles (cost, sim, rtl,
-// serde); failures are shrunk to minimal reproducers with replay commands:
+// each plan checked by the five independent oracles (cost, sim, rtl,
+// serde, exec); failures are shrunk to minimal reproducers with replay
+// commands:
 //
 //   mrpf_fuzz --seed 7 --cases 500 [--time-budget MS]
 //             [--schemes mrpf,cse] [--oracles cost,sim] [--json FILE]
@@ -46,7 +47,7 @@ using namespace mrpf;
                "  --time-budget MS            stop after MS milliseconds\n"
                "  --schemes a,b,...           restrict schemes (default all)\n"
                "  --oracles a,b,...           restrict oracles "
-               "(cost,sim,rtl,serde)\n"
+               "(cost,sim,rtl,serde,exec)\n"
                "  --inject KIND               corrupt every plan "
                "(shift|subtract|tap|cost)\n"
                "  --json FILE                 write the run report to FILE\n"
@@ -163,7 +164,7 @@ int run_ci(const std::string& json_path) {
   const verify::FuzzReport injected = verify::run_fuzz(inject_config);
   if (injected.failures == 0) {
     std::fprintf(stderr,
-                 "ci: FAIL — injected fault escaped all four oracles\n");
+                 "ci: FAIL — injected fault escaped all five oracles\n");
     return 1;
   }
   const verify::FuzzFailure& f = injected.failure_detail.front();
@@ -221,7 +222,7 @@ int main(int argc, char** argv) {
         config.schemes.push_back(*s);
       }
     } else if (arg == "--oracles") {
-      config.oracles = {false, false, false, false};
+      config.oracles = {false, false, false, false, false};
       std::stringstream ss(value());
       std::string item;
       while (std::getline(ss, item, ',')) {

@@ -11,6 +11,8 @@
 // Or optimize an explicit coefficient bank:
 //
 //   mrpf_synth --coeffs 7,66,17,9,27,41,57,11 --scheme mrpf
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,14 +25,18 @@
 #include "mrpf/arch/cost_model.hpp"
 #include "mrpf/arch/verilog.hpp"
 #include "mrpf/common/error.hpp"
+#include "mrpf/common/rng.hpp"
 #include "mrpf/core/flow.hpp"
 #include "mrpf/core/report.hpp"
+#include "mrpf/exec/compile.hpp"
+#include "mrpf/exec/streaming.hpp"
 #include "mrpf/filter/design.hpp"
 #include "mrpf/io/coeff_file.hpp"
 #include "mrpf/io/json_report.hpp"
 #include "mrpf/filter/measure.hpp"
 #include "mrpf/number/quantize.hpp"
 #include "mrpf/sim/equivalence.hpp"
+#include "mrpf/sim/workload.hpp"
 
 namespace {
 
@@ -56,7 +62,9 @@ using namespace mrpf;
                "  --cache FILE                persistent solve cache store\n"
                "  --json FILE                 write a JSON report to FILE\n"
                "  --verilog FILE              write Verilog to FILE\n"
-               "  --input-bits N              data width (default 12)\n");
+               "  --input-bits N              data width (default 12)\n"
+               "  --exec-bench                compile the plan for the exec\n"
+               "                              engine and smoke-time it\n");
   std::exit(2);
 }
 
@@ -91,6 +99,7 @@ int main(int argc, char** argv) {
   std::optional<std::vector<i64>> explicit_coeffs;
   std::string verilog_path;
   std::string json_path;
+  bool exec_bench = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -155,6 +164,8 @@ int main(int argc, char** argv) {
       json_path = value();
     } else if (arg == "--verilog") {
       verilog_path = value();
+    } else if (arg == "--exec-bench") {
+      exec_bench = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(nullptr);
     } else {
@@ -207,6 +218,38 @@ int main(int argc, char** argv) {
         sim::check_equivalence_suite(tdf, input_bits);
     std::printf("verification: %s\n", eq.to_string().c_str());
     if (!eq.equivalent) return 1;
+
+    if (exec_bench) {
+      const exec::ExecProgram program = exec::compile(tdf);
+      const int bits = std::min(input_bits, program.max_input_bits);
+      Rng rng(0x5EED);
+      const std::vector<i64> x = sim::uniform_stream(rng, 1u << 14, bits);
+      const auto wall_ns = [](auto&& fn) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        return static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      };
+      std::vector<i64> expect;
+      const double interp_ns = wall_ns([&] { expect = tdf.run(x); });
+      // Streaming path so the MRPF_EXEC knob (mode / lane pin) is honored.
+      exec::ExecConfig config = exec::exec_config_from_env();
+      config.input_bits = bits;
+      exec::StreamingFilter sf(tdf, config);
+      std::vector<i64> y;
+      const double compiled_ns = wall_ns([&] { y = sf.push(x); });
+      const bool same = y == expect;
+      std::printf(
+          "exec bench  : %d->%zu ops, %d slots, %s x%d, B<=%d | %zu "
+          "samples: interp %.0f ns, compiled %.0f ns (%.2fx) | %s\n",
+          program.source_ops, program.ops.size(), program.n_slots,
+          exec::to_string(sf.mode()), sf.lanes(), program.max_input_bits,
+          x.size(), interp_ns, compiled_ns, interp_ns / compiled_ns,
+          same ? "bit-identical" : "MISMATCH");
+      if (!same) return 1;
+    }
 
     if (!verilog_path.empty()) {
       std::ofstream out(verilog_path);
