@@ -1,5 +1,8 @@
 #include "mrpf/cache/persist.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -89,8 +92,16 @@ bool save_solve_cache(const SolveCache& cache, const std::string& path) {
   append_u64(buffer, fnv1a64(buffer.data(), buffer.size()));
 
   // Temp-then-rename so a crash mid-write leaves either the old store or
-  // none — never a torn file that the loader would have to reject.
-  const std::string tmp = path + ".tmp";
+  // none — never a torn file that the loader would have to reject. The
+  // temp name is unique per writer (pid + process-wide counter): two
+  // processes — or two daemon shutdown paths — sharing one MRPF_CACHE
+  // path used to race on a fixed `path + ".tmp"` sibling and could rename
+  // a half-written peer file into place; now each writer stages its own
+  // file and the final rename is the only shared step, which is atomic.
+  static std::atomic<u64> save_counter{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) + "." +
+                          std::to_string(save_counter.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return false;

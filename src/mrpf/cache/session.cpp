@@ -21,21 +21,14 @@ void warn_malformed_once(const char* value) {
 }  // namespace
 
 CacheEnvConfig parse_cache_env(const char* value, bool* malformed) {
-  if (malformed != nullptr) *malformed = false;
+  // One grammar, owned by common/env (shared with env::snapshot_knobs so
+  // the daemon's startup snapshot and this lazy per-session read can
+  // never diverge).
+  const env::ParsedCacheKnob parsed = env::parse_cache_knob(value);
+  if (malformed != nullptr) *malformed = !parsed.well_formed;
   CacheEnvConfig config;
-  if (value == nullptr || value[0] == '\0') return config;
-  if (std::string(value) == "0" || env::equals_ignore_case(value, "off")) {
-    config.disabled = true;
-    return config;
-  }
-  // Shared env-knob grammar; capacity clamps to [1 MiB, 64 GiB] — absurd
-  // values are almost certainly typos but a clamp keeps the knob forgiving.
-  const env::ParsedInt mib = env::parse_positive_int(value, 65536);
-  if (!mib.well_formed) {
-    if (malformed != nullptr) *malformed = true;
-    return config;
-  }
-  config.max_bytes = static_cast<std::size_t>(mib.value) << 20;
+  config.disabled = parsed.disabled;
+  config.max_bytes = parsed.max_bytes;
   return config;
 }
 

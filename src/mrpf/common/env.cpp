@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <set>
@@ -79,6 +80,64 @@ bool equals_ignore_case(const char* value, const char* lower) {
     }
   }
   return value[i] == '\0' && lower[i] == '\0';
+}
+
+ParsedCacheKnob parse_cache_knob(const char* value) {
+  ParsedCacheKnob out;
+  if (value == nullptr || value[0] == '\0') return out;
+  if (std::string(value) == "0" || equals_ignore_case(value, "off")) {
+    out.disabled = true;
+    return out;
+  }
+  // Capacity clamps to [1 MiB, 64 GiB] — absurd values are almost
+  // certainly typos but a clamp keeps the knob forgiving.
+  const ParsedInt mib = parse_positive_int(value, 65536);
+  if (!mib.well_formed) {
+    out.well_formed = false;
+    return out;
+  }
+  out.max_bytes = static_cast<std::size_t>(mib.value) << 20;
+  return out;
+}
+
+KnobSnapshot snapshot_knobs() {
+  KnobSnapshot s;
+  if (const char* v = std::getenv("MRPF_THREADS")) {
+    const ParsedInt p = parse_positive_int(v, 512);
+    if (p.well_formed) {
+      s.threads = static_cast<int>(p.value);
+    } else {
+      warn_once("MRPF_THREADS",
+                "mrpf: ignoring malformed MRPF_THREADS=\"" + std::string(v) +
+                    "\" — expected a decimal integer >= 1; using the "
+                    "hardware default");
+    }
+  }
+  if (const char* v = std::getenv("MRPF_CACHE")) {
+    const ParsedCacheKnob c = parse_cache_knob(v);
+    if (c.well_formed) {
+      s.cache_disabled = c.disabled;
+      s.cache_max_bytes = c.max_bytes;
+    } else {
+      warn_once("MRPF_CACHE",
+                "mrpf: ignoring malformed MRPF_CACHE value \"" +
+                    std::string(v) +
+                    "\" (expected \"off\", \"0\", or a capacity in MiB)");
+    }
+  }
+  if (const char* v = std::getenv("MRPF_EXEC")) {
+    const ParsedExecMode m = parse_exec_mode(v);
+    if (m.well_formed) {
+      s.exec_mode = m.mode;
+      s.exec_lanes = m.lanes;
+    } else {
+      warn_once("MRPF_EXEC",
+                "mrpf: ignoring malformed MRPF_EXEC value \"" +
+                    std::string(v) +
+                    "\" (expected off|interp|vector|vector:<lanes>)");
+    }
+  }
+  return s;
 }
 
 void warn_once(const char* key, const std::string& message) {

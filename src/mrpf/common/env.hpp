@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace mrpf::env {
@@ -35,6 +36,43 @@ struct ParsedExecMode {
 /// trailing whitespace) is not well-formed; callers warn_once and fall
 /// back to the default so a typo can never silently change the engine.
 ParsedExecMode parse_exec_mode(const char* value);
+
+/// Result of parsing the MRPF_CACHE knob with the shared grammar:
+/// "0"/"off" (case-insensitive) disable, a positive decimal integer is a
+/// capacity in MiB (clamped to [1, 65536]), null/empty means "defaults".
+/// Anything else is not well-formed (callers warn_once and keep defaults).
+struct ParsedCacheKnob {
+  bool well_formed = true;     ///< False only for a malformed value.
+  bool disabled = false;       ///< "0" or "off".
+  std::size_t max_bytes = 0;   ///< Capacity override in bytes; 0 = default.
+};
+
+ParsedCacheKnob parse_cache_knob(const char* value);
+
+/// One-shot snapshot of every MRPF_* runtime knob, taken with a single
+/// getenv pass per key. Long-running processes (the mrpf_serve daemon)
+/// snapshot once at startup and pass the struct down explicitly — the
+/// one-shot CLIs' pattern of re-reading the environment per solve is a
+/// latent bug in a server, where mid-run setenv from another thread is
+/// undefined behavior and per-request getenv races the warn-once state.
+struct KnobSnapshot {
+  /// MRPF_THREADS when set and well-formed; 0 = unset/malformed (resolve
+  /// to the hardware default at the use site).
+  int threads = 0;
+  /// MRPF_CACHE: disabled / capacity override (0 = keep default).
+  bool cache_disabled = false;
+  std::size_t cache_max_bytes = 0;
+  /// MRPF_EXEC: same numbering as ParsedExecMode (2 = vector default).
+  int exec_mode = 2;
+  int exec_lanes = 0;
+};
+
+/// Reads MRPF_THREADS, MRPF_CACHE and MRPF_EXEC once each, applying the
+/// shared strict grammars. Malformed values warn_once (same keys as the
+/// lazy per-call readers, so a process never warns twice for one knob)
+/// and leave the corresponding field at its default. Thread-safe:
+/// concurrent first calls are race-free.
+KnobSnapshot snapshot_knobs();
 
 /// Emits `message` on stderr at most once per process per `key`.
 /// Subsequent calls for the same key are silent, so a knob misspelled in the

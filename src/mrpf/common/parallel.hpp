@@ -27,10 +27,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace mrpf {
@@ -101,6 +104,95 @@ class ThreadPool {
   std::condition_variable cv_done_;
   std::vector<Job*> active_;  // jobs with unclaimed indices, LIFO
   bool stop_ = false;
+};
+
+/// Bounded multi-producer multi-consumer queue — the accept/dispatch
+/// spine of the synthesis daemon (serve/server.cpp), usable anywhere a
+/// produce-side backpressure boundary is needed.
+///
+/// Semantics:
+///   * push() blocks while the queue is full (backpressure, never
+///     unbounded growth) and returns false once the queue is closed;
+///   * pop() blocks while the queue is empty and returns nullopt only
+///     when the queue is closed *and* drained — items pushed before
+///     close() are always delivered;
+///   * close() is idempotent and wakes every blocked producer and
+///     consumer.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  bool push(T value) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_push_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    lk.unlock();
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+    }
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_pop_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    cv_push_.notify_one();
+    return value;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_push_.notify_all();
+    cv_pop_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+  /// Deepest the queue has ever been (backpressure observability).
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return high_water_;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_push_;
+  std::condition_variable cv_pop_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
 };
 
 /// Process-wide pool, lazily constructed on first use and sized from

@@ -37,7 +37,8 @@ std::optional<cache::SolveCacheSession> open_cache_session(MrpOptions& opts) {
 /// original solve; the lowering sample is always from this call.
 SchemeResult solve_and_lower(const std::vector<i64>& bank,
                              const SchemeDriver& driver,
-                             const MrpOptions& options) {
+                             const MrpOptions& options,
+                             SolveInfo* info = nullptr) {
   const Scheme scheme = driver.scheme();
   SchemeResult out;
   out.scheme = scheme;
@@ -46,6 +47,7 @@ SchemeResult solve_and_lower(const std::vector<i64>& bank,
   if (options.cache != nullptr) {
     cached = options.cache->try_get_plan(bank, scheme, options, plan);
   }
+  if (info != nullptr) info->cache_hit = cached;
   if (!cached) {
     StageSample optimize;
     {
@@ -74,10 +76,15 @@ SchemeResult solve_and_lower(const std::vector<i64>& bank,
 
 SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
                            const MrpOptions& options) {
+  return optimize_bank(bank, scheme, options, nullptr);
+}
+
+SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
+                           const MrpOptions& options, SolveInfo* info) {
   const SchemeDriver& driver = scheme_driver(scheme);
   MrpOptions eff = driver.canonical_options(options);
   const auto session = open_cache_session(eff);
-  SchemeResult out = solve_and_lower(bank, driver, eff);
+  SchemeResult out = solve_and_lower(bank, driver, eff, info);
   if (session.has_value()) session->save();
   return out;
 }

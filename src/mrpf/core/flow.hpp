@@ -38,6 +38,17 @@ struct SchemeResult {
 SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
                            const MrpOptions& options = {});
 
+/// How a solve was actually served — observability the synthesis daemon
+/// surfaces per response (never part of the result: cached == fresh).
+struct SolveInfo {
+  bool cache_hit = false;  ///< Plan rehydrated from options.cache.
+};
+
+/// optimize_bank with service provenance reported through `info`
+/// (ignored when null). Results are bit-identical to the 3-arg overload.
+SchemeResult optimize_bank(const std::vector<i64>& bank, Scheme scheme,
+                           const MrpOptions& options, SolveInfo* info);
+
 /// Batch front-end over independent banks: solves fan out through one
 /// thread pool (thread count from MRPF_THREADS) for every scheme, with
 /// jobs grouped by solve fingerprint when a cache is live so equivalent

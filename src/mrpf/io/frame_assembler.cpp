@@ -1,0 +1,117 @@
+#include "mrpf/io/frame_assembler.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "mrpf/common/hash.hpp"
+#include "mrpf/io/serde_util.hpp"
+
+namespace mrpf::io {
+
+void append_wire_frame(std::uint32_t type,
+                       const std::vector<std::uint8_t>& payload,
+                       std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
+  w.u32(kWireMagic);
+  w.u32(kWireVersion);
+  w.u32(type);
+  w.u32(0);  // reserved
+  w.u64v(payload.size());
+  w.u64v(fnv1a64(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+FrameAssembler::FrameAssembler(std::size_t max_payload)
+    : max_payload_(max_payload) {
+  header_.reserve(kWireHeaderBytes);
+}
+
+void FrameAssembler::poison(const std::string& reason) {
+  poisoned_ = true;
+  error_ = reason;
+  header_.clear();
+  payload_.clear();
+  payload_.shrink_to_fit();
+}
+
+void FrameAssembler::finish_header() {
+  ByteReader r(header_.data(), header_.size());
+  const std::uint32_t magic = r.u32();
+  if (magic != kWireMagic) {
+    poison("frame: bad magic");
+    return;
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kWireVersion) {
+    poison("frame: unsupported version");
+    return;
+  }
+  type_ = r.u32();
+  r.u32();  // reserved
+  const u64 declared = r.u64v();
+  payload_fnv_ = r.u64v();
+  // The critical streaming check: bound the declared length before a
+  // single payload byte is buffered, let alone allocated.
+  if (declared > max_payload_) {
+    poison("frame: declared payload length exceeds limit");
+    return;
+  }
+  payload_len_ = static_cast<std::size_t>(declared);
+  payload_.clear();
+  payload_.reserve(payload_len_);
+  in_payload_ = true;
+  header_.clear();
+}
+
+bool FrameAssembler::feed(const std::uint8_t* data, std::size_t n) {
+  if (poisoned_) return false;
+  std::size_t pos = 0;
+  for (;;) {
+    // Completion check runs before demanding more input: a zero-length
+    // payload (ping, stats request) is complete the instant its header
+    // is, with no payload byte ever arriving.
+    if (in_payload_ && payload_.size() == payload_len_) {
+      if (fnv1a64(payload_.data(), payload_.size()) != payload_fnv_) {
+        poison("frame: payload checksum mismatch");
+        return false;
+      }
+      WireFrame frame;
+      frame.type = type_;
+      frame.payload = std::move(payload_);
+      ready_.push_back(std::move(frame));
+      payload_ = {};
+      in_payload_ = false;
+    }
+    if (pos >= n) break;
+    if (!in_payload_) {
+      const std::size_t want = kWireHeaderBytes - header_.size();
+      const std::size_t take = std::min(want, n - pos);
+      header_.insert(header_.end(), data + pos, data + pos + take);
+      pos += take;
+      if (header_.size() == kWireHeaderBytes) {
+        finish_header();
+        if (poisoned_) return false;
+      }
+      continue;
+    }
+    const std::size_t want = payload_len_ - payload_.size();
+    const std::size_t take = std::min(want, n - pos);
+    payload_.insert(payload_.end(), data + pos, data + pos + take);
+    pos += take;
+  }
+  return true;
+}
+
+bool FrameAssembler::next(WireFrame& out) {
+  if (ready_.empty()) return false;
+  out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+std::size_t FrameAssembler::pending_bytes() const {
+  return header_.size() + payload_.size();
+}
+
+}  // namespace mrpf::io

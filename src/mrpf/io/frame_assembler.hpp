@@ -1,0 +1,103 @@
+// Length-prefixed wire framing for streaming transports (sockets).
+//
+// result_serde's plan frames assume the whole record is resident in one
+// buffer — fine for the on-disk cache store, wrong for a socket, where a
+// frame arrives in arbitrary partial chunks. This module adds the
+// transport-level frame (same magic+version+length+FNV shape as the
+// MRS1 plan frame) plus an *incremental* assembler that:
+//
+//   * parses the fixed 32-byte header first, before any payload
+//     allocation;
+//   * validates magic, version and the declared payload length against a
+//     hard bound *before* reserving memory, so a hostile or garbage
+//     length field can never drive an oversized allocation;
+//   * buffers payload bytes as they trickle in and releases a frame only
+//     once the whole payload arrived and its FNV-1a checksum matched;
+//   * poisons the stream on the first malformed header or checksum
+//     mismatch — framing is unrecoverable once desynchronized, so the
+//     connection must be dropped, never resynchronized by guesswork.
+//
+// Wire layout (little-endian), 32-byte header then payload:
+//
+//   u32 magic ("MRW1")  u32 version  u32 type  u32 reserved
+//   u64 payload_len     u64 payload_fnv1a
+//   payload...
+//
+// Frame `type` values are owned by the application layer
+// (serve/protocol.hpp for the synthesis service).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::io {
+
+inline constexpr std::uint32_t kWireMagic = 0x3157524Du;  // "MRW1"
+inline constexpr std::uint32_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderBytes = 32;
+
+/// Default per-frame payload bound. Generous for synthesis traffic (a
+/// request is a coefficient bank, a response one serialized plan), tight
+/// enough that a garbage length field cannot balloon a connection buffer.
+inline constexpr std::size_t kDefaultMaxFramePayload = std::size_t{16} << 20;
+
+/// One complete application frame.
+struct WireFrame {
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Appends one framed record (header + payload) to `out`.
+void append_wire_frame(std::uint32_t type,
+                       const std::vector<std::uint8_t>& payload,
+                       std::vector<std::uint8_t>& out);
+
+/// Incremental frame parser over a byte stream. Feed whatever chunk the
+/// transport produced — a byte, half a header, three frames and a partial
+/// fourth — then pop completed frames with next().
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_payload = kDefaultMaxFramePayload);
+
+  /// Consumes `n` bytes of stream. Returns false once the stream is
+  /// poisoned (bad magic/version, oversized declared length, checksum
+  /// mismatch) — the caller must drop the connection; feeding more data
+  /// keeps returning false and consumes nothing.
+  bool feed(const std::uint8_t* data, std::size_t n);
+
+  /// Pops the oldest fully assembled frame. False when none is complete.
+  bool next(WireFrame& out);
+
+  bool poisoned() const { return poisoned_; }
+  /// Human-readable reason once poisoned() is true.
+  const std::string& error() const { return error_; }
+
+  /// Bytes of the in-progress (incomplete) frame buffered so far.
+  std::size_t pending_bytes() const;
+
+ private:
+  void poison(const std::string& reason);
+  /// Validates the assembled 32-byte header; on success switches to
+  /// payload accumulation (allocating exactly the declared length).
+  void finish_header();
+
+  std::size_t max_payload_;
+  bool poisoned_ = false;
+  std::string error_;
+
+  std::vector<std::uint8_t> header_;   // partial header bytes
+  std::vector<std::uint8_t> payload_;  // partial payload bytes
+  bool in_payload_ = false;
+  std::uint32_t type_ = 0;
+  std::size_t payload_len_ = 0;
+  u64 payload_fnv_ = 0;
+
+  std::deque<WireFrame> ready_;
+};
+
+}  // namespace mrpf::io

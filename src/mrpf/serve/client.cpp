@@ -1,0 +1,175 @@
+#include "mrpf/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::serve {
+
+namespace {
+/// Per-read-frame ceiling. Far beyond any healthy solve; exists so a test
+/// against a wedged daemon fails loudly instead of hanging forever.
+constexpr int kReadTimeoutMillis = 120 * 1000;
+}  // namespace
+
+ServeClient::~ServeClient() { close(); }
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(other.fd_), assembler_(std::move(other.assembler_)) {
+  other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    assembler_ = std::move(other.assembler_);
+  }
+  return *this;
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void ServeClient::connect_fd(int fd) {
+  close();
+  fd_ = fd;
+  assembler_ = io::FrameAssembler(io::kDefaultMaxFramePayload);
+}
+
+void ServeClient::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  MRPF_CHECK(!path.empty() && path.size() < sizeof(addr.sun_path),
+             "client: bad unix socket path: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  MRPF_CHECK(fd >= 0, "client: socket() failed: " +
+                          std::string(std::strerror(errno)));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    MRPF_CHECK(false, "client: cannot connect to " + path + ": " + why);
+  }
+  connect_fd(fd);
+}
+
+void ServeClient::connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  MRPF_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+             "client: bad IPv4 address: " + host);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  MRPF_CHECK(fd >= 0, "client: socket() failed: " +
+                          std::string(std::strerror(errno)));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    MRPF_CHECK(false, "client: cannot connect to " + host + ":" +
+                          std::to_string(port) + ": " + why);
+  }
+  connect_fd(fd);
+}
+
+void ServeClient::send_raw(const std::vector<std::uint8_t>& bytes) {
+  MRPF_CHECK(connected(), "client: not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      MRPF_CHECK(false, "client: send failed: " +
+                            std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+io::WireFrame ServeClient::read_frame() {
+  MRPF_CHECK(connected(), "client: not connected");
+  std::vector<std::uint8_t> buf(std::size_t{16} << 10);
+  io::WireFrame frame;
+  int waited = 0;
+  for (;;) {
+    if (assembler_.next(frame)) return frame;
+    MRPF_CHECK(!assembler_.poisoned(),
+               "client: malformed frame from server: " + assembler_.error());
+
+    pollfd p{fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, 1000);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      MRPF_CHECK(false, "client: poll failed: " +
+                            std::string(std::strerror(errno)));
+    }
+    if (pr == 0) {
+      waited += 1000;
+      MRPF_CHECK(waited < kReadTimeoutMillis,
+                 "client: timed out waiting for a frame");
+      continue;
+    }
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    MRPF_CHECK(n != 0, "client: connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      MRPF_CHECK(false, "client: recv failed: " +
+                            std::string(std::strerror(errno)));
+    }
+    MRPF_CHECK(assembler_.feed(buf.data(), static_cast<std::size_t>(n)),
+               "client: malformed frame from server: " + assembler_.error());
+  }
+}
+
+io::WireFrame ServeClient::transact(MsgType type,
+                                    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> bytes;
+  io::append_wire_frame(static_cast<std::uint32_t>(type), payload, bytes);
+  send_raw(bytes);
+  return read_frame();
+}
+
+void ServeClient::ping() {
+  const io::WireFrame reply = transact(MsgType::kPing, {});
+  MRPF_CHECK(static_cast<MsgType>(reply.type) == MsgType::kPong,
+             "client: unexpected reply to ping: type " +
+                 std::to_string(reply.type));
+}
+
+SynthResponse ServeClient::synth(const SynthRequest& request) {
+  const io::WireFrame reply =
+      transact(MsgType::kSynthRequest, encode_synth_request(request));
+  if (static_cast<MsgType>(reply.type) == MsgType::kError) {
+    const ErrorFrame err = decode_error(reply.payload);
+    MRPF_CHECK(false, "server error (" +
+                          std::to_string(static_cast<unsigned>(err.code)) +
+                          "): " + err.message);
+  }
+  MRPF_CHECK(static_cast<MsgType>(reply.type) == MsgType::kSynthResponse,
+             "client: unexpected reply type " + std::to_string(reply.type));
+  return decode_synth_response(reply.payload);
+}
+
+StatsFrame ServeClient::stats() {
+  const io::WireFrame reply = transact(MsgType::kStatsRequest, {});
+  MRPF_CHECK(static_cast<MsgType>(reply.type) == MsgType::kStatsResponse,
+             "client: unexpected reply type " + std::to_string(reply.type));
+  return decode_stats(reply.payload);
+}
+
+}  // namespace mrpf::serve

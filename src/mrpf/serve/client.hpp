@@ -1,0 +1,66 @@
+// Blocking client for the synthesis daemon — the counterpart the tool's
+// --client mode, the serve bench and the tests all drive. One socket, one
+// outstanding request at a time (transact = send one frame, assemble one
+// frame back); concurrency comes from many clients, matching how the
+// server parallelizes (one worker per connection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mrpf/io/frame_assembler.hpp"
+#include "mrpf/serve/protocol.hpp"
+
+namespace mrpf::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+
+  /// Connects to a daemon's unix-domain socket. Throws mrpf::Error.
+  void connect_unix(const std::string& path);
+  /// Connects to a daemon's TCP listener (loopback addresses in practice).
+  void connect_tcp(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Round-trips a liveness probe. Throws unless the answer is kPong.
+  void ping();
+
+  /// Sends one synthesis request and blocks for the answer. An error
+  /// frame from the server is rethrown here as mrpf::Error ("server
+  /// error (<code>): <message>").
+  SynthResponse synth(const SynthRequest& request);
+
+  /// Fetches the daemon's aggregate counters.
+  StatsFrame stats();
+
+  /// Sends one application frame and blocks for the next frame back.
+  /// Exposed for tests that probe unusual type sequences.
+  io::WireFrame transact(MsgType type,
+                         const std::vector<std::uint8_t>& payload);
+
+  /// Writes raw bytes to the socket, bypassing framing entirely — the
+  /// test hook for feeding the server garbage.
+  void send_raw(const std::vector<std::uint8_t>& bytes);
+
+  /// Blocks until one full frame arrives (or throws on EOF, poisoned
+  /// framing, or timeout — generous, to keep a wedged test from hanging).
+  io::WireFrame read_frame();
+
+ private:
+  void connect_fd(int fd);  // adopts a connected socket
+
+  int fd_ = -1;
+  io::FrameAssembler assembler_{io::kDefaultMaxFramePayload};
+};
+
+}  // namespace mrpf::serve

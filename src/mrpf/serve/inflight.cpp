@@ -1,0 +1,67 @@
+#include "mrpf/serve/inflight.hpp"
+
+#include <utility>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::serve {
+
+InflightTable::Ticket InflightTable::acquire(u64 key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Ticket ticket;
+  auto it = live_.find(key);
+  if (it == live_.end()) {
+    ticket.leader = true;
+    ticket.slot = std::make_shared<Slot>();
+    live_.emplace(key, ticket.slot);
+  } else {
+    ticket.leader = false;
+    ticket.slot = it->second;
+  }
+  return ticket;
+}
+
+std::shared_ptr<InflightTable::Slot> InflightTable::take(u64 key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = live_.find(key);
+  MRPF_CHECK(it != live_.end(), "inflight: completing a key with no entry");
+  std::shared_ptr<Slot> slot = std::move(it->second);
+  live_.erase(it);
+  return slot;
+}
+
+void InflightTable::complete(u64 key) {
+  const std::shared_ptr<Slot> slot = take(key);
+  {
+    std::lock_guard<std::mutex> lk(slot->mu);
+    slot->done = true;
+  }
+  slot->cv.notify_all();
+}
+
+void InflightTable::fail(u64 key, std::exception_ptr error) {
+  const std::shared_ptr<Slot> slot = take(key);
+  {
+    std::lock_guard<std::mutex> lk(slot->mu);
+    slot->done = true;
+    slot->error = std::move(error);
+  }
+  slot->cv.notify_all();
+}
+
+void InflightTable::wait(const Ticket& ticket) {
+  MRPF_CHECK(!ticket.leader && ticket.slot != nullptr,
+             "inflight: wait() is for waiters");
+  std::unique_lock<std::mutex> lk(ticket.slot->mu);
+  ticket.slot->cv.wait(lk, [&] { return ticket.slot->done; });
+  if (ticket.slot->error != nullptr) {
+    std::rethrow_exception(ticket.slot->error);
+  }
+}
+
+std::size_t InflightTable::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_.size();
+}
+
+}  // namespace mrpf::serve

@@ -1,0 +1,70 @@
+// Cross-request in-flight solve coalescing for the synthesis daemon.
+//
+// A thundering herd of equivalent requests (same canonical solve key —
+// cache/fingerprint.hpp) costs one live solve: the first arrival becomes
+// the *leader* and runs the optimizer; every later arrival while the
+// leader is in flight becomes a *waiter*, blocks on the leader's slot,
+// and — once the leader has published its plan into the shared
+// SolveCache — rehydrates its own answer from the cache (which restores
+// per-bank back-references, so waiters answering for *different but
+// equivalent* banks still produce bit-identical-to-fresh results).
+//
+// Error semantics: a leader whose solve throws fails the slot; every
+// waiter observes the leader's exception (and answers its client with an
+// error frame), the table entry is reaped immediately, and the next
+// request for the key starts a fresh leader — one poisoned solve never
+// wedges a key.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::serve {
+
+class InflightTable {
+ public:
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;  // set iff the leader's solve threw
+  };
+
+  /// What acquire() hands back: leadership plus a shared handle on the
+  /// slot (waiters keep the slot alive past the leader's reap).
+  struct Ticket {
+    bool leader = false;
+    std::shared_ptr<Slot> slot;
+  };
+
+  /// Joins the in-flight solve for `key`, becoming the leader if no solve
+  /// is live. Leaders MUST call complete() or fail() exactly once.
+  Ticket acquire(u64 key);
+
+  /// Leader: publishes success, wakes every waiter, reaps the entry.
+  void complete(u64 key);
+
+  /// Leader: publishes the exception, wakes every waiter, reaps the entry.
+  void fail(u64 key, std::exception_ptr error);
+
+  /// Waiter: blocks until the leader completed or failed; rethrows the
+  /// leader's exception on failure.
+  static void wait(const Ticket& ticket);
+
+  /// Live (leader still solving) entries — observability.
+  std::size_t size() const;
+
+ private:
+  std::shared_ptr<Slot> take(u64 key);
+
+  mutable std::mutex mu_;
+  std::unordered_map<u64, std::shared_ptr<Slot>> live_;
+};
+
+}  // namespace mrpf::serve

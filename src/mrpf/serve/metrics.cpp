@@ -1,0 +1,52 @@
+#include "mrpf/serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrpf::serve {
+
+void ServeMetrics::record_latency_ns(double ns) {
+  std::lock_guard<std::mutex> lk(latency_mu_);
+  if (latency_ring_.size() < kWindow) {
+    latency_ring_.push_back(ns);
+  } else {
+    latency_ring_[static_cast<std::size_t>(latency_total_ % kWindow)] = ns;
+  }
+  ++latency_total_;
+}
+
+double latency_quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const std::size_t rank = std::min(
+      samples.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(samples.size() - 1) +
+                               0.5));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(rank),
+                   samples.end());
+  return samples[rank];
+}
+
+MetricsSnapshot ServeMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.connections = connections.load();
+  s.requests = requests.load();
+  s.synth_requests = synth_requests.load();
+  s.errors = errors.load();
+  s.cache_hits = cache_hits.load();
+  s.coalesced_joins = coalesced_joins.load();
+  s.fresh_solves = fresh_solves.load();
+  s.queue_high_water = queue_high_water.load();
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lk(latency_mu_);
+    window = latency_ring_;
+    s.latency_samples = latency_total_;
+  }
+  s.p50_ns = latency_quantile(window, 0.50);
+  s.p99_ns = latency_quantile(std::move(window), 0.99);
+  return s;
+}
+
+}  // namespace mrpf::serve

@@ -1,0 +1,64 @@
+// Daemon observability: cheap atomic counters plus a bounded latency
+// reservoir for p50/p99 service-time quantiles.
+//
+// Counters are monotonic and lock-free on the request path; the latency
+// recorder keeps the most recent 64 Ki samples in a mutex-guarded ring
+// (one short critical section per request — negligible next to a solve,
+// and bounded memory over an unbounded daemon lifetime). Quantiles are
+// exact over the retained window, computed on snapshot, never on the hot
+// path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::serve {
+
+/// Point-in-time counter snapshot (mirrors protocol StatsFrame fields).
+struct MetricsSnapshot {
+  u64 connections = 0;
+  u64 requests = 0;        // every decoded frame, any type
+  u64 synth_requests = 0;  // kSynthRequest frames
+  u64 errors = 0;          // error frames sent (malformed + failed solves)
+  u64 cache_hits = 0;      // synth responses served from the solve cache
+  u64 coalesced_joins = 0; // synth responses that waited on a leader
+  u64 fresh_solves = 0;    // synth responses that ran the optimizer live
+  u64 queue_high_water = 0;
+  u64 latency_samples = 0; // total recorded (window may be smaller)
+  double p50_ns = 0;
+  double p99_ns = 0;
+};
+
+class ServeMetrics {
+ public:
+  std::atomic<u64> connections{0};
+  std::atomic<u64> requests{0};
+  std::atomic<u64> synth_requests{0};
+  std::atomic<u64> errors{0};
+  std::atomic<u64> cache_hits{0};
+  std::atomic<u64> coalesced_joins{0};
+  std::atomic<u64> fresh_solves{0};
+  std::atomic<u64> queue_high_water{0};
+
+  /// Records one request's service wall time.
+  void record_latency_ns(double ns);
+
+  /// Counters plus exact p50/p99 over the retained latency window.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  static constexpr std::size_t kWindow = std::size_t{1} << 16;
+
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_ring_;
+  u64 latency_total_ = 0;
+};
+
+/// Exact quantile over a scratch copy (q in [0, 1]; empty → 0).
+double latency_quantile(std::vector<double> samples, double q);
+
+}  // namespace mrpf::serve

@@ -4,10 +4,12 @@
 // serde round-trips, and trust-nothing persistence.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mrpf/cache/fingerprint.hpp"
@@ -553,6 +555,92 @@ TEST(Flow, CachePathWiresWarmSolves) {
   ASSERT_TRUE(batch[0].plan.mrp.has_value());
   expect_same_mrp_result(*batch[0].plan.mrp,
                          core::mrp_optimize(kPaperExample, plain));
+  std::remove(path.c_str());
+}
+
+TEST(Persist, ConcurrentSaversNeverCorruptTheSurvivingStore) {
+  // Two writers racing save_solve_cache on ONE path. Each save stages
+  // into a writer-unique temp file (pid + counter) and renames atomically,
+  // so whichever rename lands last, the store at `path` is always one
+  // writer's complete, checksum-valid file. The old fixed `path + ".tmp"`
+  // staging name made the writers scribble into the same temp file and
+  // rename torn bytes into place — this test fails on that code.
+  const std::string path = temp_path("two_writers");
+
+  SolveCache a;
+  SolveCache b;
+  {
+    MrpOptions opts;
+    opts.cache = &a;
+    (void)core::mrp_optimize(kPaperExample, opts);
+    (void)core::mrp_optimize({3, 5, 19, 21}, opts);
+    // b is much larger than a: its longer write keeps the racy window
+    // (truncate-to-rename on a SHARED temp name) open long enough that
+    // the unfixed code tears within a few hundred rounds.
+    opts.cache = &b;
+    (void)core::mrp_optimize({23, 81, 5}, opts);
+    Rng rng(0xB0B);
+    for (int i = 0; i < 40; ++i) {
+      (void)core::mrp_optimize(random_bank(rng, 30, 8, 14), opts);
+    }
+  }
+  const u64 entries_a = a.stats().entries;
+  const u64 entries_b = b.stats().entries;
+  ASSERT_NE(entries_a, entries_b);  // so the loaded store is attributable
+
+  // Four writers hammer the path continuously (no lockstep — the whole
+  // save IS the racy window), while the main thread samples the store.
+  // Rename is atomic, so every save must succeed and every sampled load
+  // must see one writer's complete file. On the old fixed `path + ".tmp"`
+  // staging name this fails two ways, dozens of times per run: a writer's
+  // rename steals another's temp file (save returns false), and a rename
+  // publishes a temp the other writer was mid-write in (load rejects the
+  // torn store).
+  constexpr int kWriters = 4;
+  constexpr int kSaves = 1200;
+  std::atomic<int> ready{0};
+  std::atomic<int> finished{0};
+  std::atomic<int> save_failures{0};
+  auto racer = [&](const SolveCache& cache) {
+    ready.fetch_add(1);
+    while (ready.load() < kWriters) {
+    }
+    for (int i = 0; i < kSaves; ++i) {
+      if (!save_solve_cache(cache, path)) save_failures.fetch_add(1);
+    }
+    finished.fetch_add(1);
+  };
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back(racer, std::cref(w % 2 == 0 ? a : b));
+  }
+  while (ready.load() < kWriters) {
+  }
+  int sampled = 0;
+  int bad = 0;
+  while (finished.load() < kWriters) {
+    SolveCache loaded;
+    if (!load_solve_cache(loaded, path)) {
+      ++bad;
+    } else {
+      const u64 entries = loaded.stats().entries;
+      if (entries != entries_a && entries != entries_b) ++bad;
+    }
+    ++sampled;
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(save_failures.load(), 0)
+      << "a racing writer lost its temp file mid-save";
+  EXPECT_EQ(bad, 0) << bad << " of " << sampled
+                    << " concurrent loads saw a torn store";
+
+  // And the state left behind once the dust settles must load cleanly.
+  SolveCache loaded;
+  ASSERT_TRUE(load_solve_cache(loaded, path));
+  const u64 entries = loaded.stats().entries;
+  EXPECT_TRUE(entries == entries_a || entries == entries_b)
+      << "final store has " << entries << " entries, want " << entries_a
+      << " or " << entries_b;
   std::remove(path.c_str());
 }
 

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -335,6 +337,181 @@ TEST(ThreadPool, SharedPoolIsProcessWideAndReentrant) {
   });
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue: the accept/dispatch queue of the synthesis daemon.
+
+TEST(BoundedQueue, FifoWithinOneProducer) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_EQ(q.high_water(), 3u);
+}
+
+TEST(BoundedQueue, PushBlocksAtCapacityUntilAPopFreesASlot) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(3));  // blocks: queue full
+    third_pushed.store(true);
+  });
+  // The producer must be parked, not failing or spinning through.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_EQ(q.high_water(), q.capacity());
+}
+
+TEST(BoundedQueue, CloseDrainsThenReportsEmpty) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(7));
+  ASSERT_TRUE(q.push(8));
+  q.close();
+  EXPECT_FALSE(q.push(9));  // closed: producers are refused
+  // Consumers still drain what was accepted before the close...
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_EQ(q.pop().value(), 8);
+  // ...then see end-of-stream, immediately and repeatably.
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(2);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      EXPECT_FALSE(q.pop().has_value());  // blocks until close
+      woke.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(8);
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::optional<int> v = q.pop();
+        if (!v.has_value()) return;
+        sum.fetch_add(*v);
+        count.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.close();
+  for (std::thread& t : threads) t.join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  EXPECT_LE(q.high_water(), q.capacity());
+}
+
+// ---------------------------------------------------------------------------
+// One-shot environment snapshot: what the synthesis daemon reads at
+// startup instead of sprinkling getenv through its lifetime.
+
+TEST(EnvKnobs, CacheKnobSharesTheSessionGrammar) {
+  EXPECT_TRUE(env::parse_cache_knob("0").disabled);
+  EXPECT_TRUE(env::parse_cache_knob("off").disabled);
+  EXPECT_TRUE(env::parse_cache_knob("OFF").disabled);
+  EXPECT_EQ(env::parse_cache_knob("64").max_bytes, std::size_t{64} << 20);
+  EXPECT_EQ(env::parse_cache_knob("65536").max_bytes,
+            std::size_t{65536} << 20);
+  EXPECT_EQ(env::parse_cache_knob("70000").max_bytes,
+            std::size_t{65536} << 20);  // clamped
+  EXPECT_FALSE(env::parse_cache_knob("64MB").well_formed);
+  EXPECT_FALSE(env::parse_cache_knob("-1").well_formed);
+  // Unset and empty mean "no override": defaults, well-formed.
+  for (const char* absent : {static_cast<const char*>(nullptr), ""}) {
+    const env::ParsedCacheKnob unset = env::parse_cache_knob(absent);
+    EXPECT_TRUE(unset.well_formed);
+    EXPECT_FALSE(unset.disabled);
+    EXPECT_EQ(unset.max_bytes, 0u);
+  }
+}
+
+TEST(EnvKnobs, SnapshotReadsEveryKnobOnce) {
+  ::setenv("MRPF_THREADS", "3", 1);
+  ::setenv("MRPF_CACHE", "128", 1);
+  ::setenv("MRPF_EXEC", "vector:4", 1);
+  const env::KnobSnapshot snap = env::snapshot_knobs();
+  ::unsetenv("MRPF_THREADS");
+  ::unsetenv("MRPF_CACHE");
+  ::unsetenv("MRPF_EXEC");
+  EXPECT_EQ(snap.threads, 3);
+  EXPECT_FALSE(snap.cache_disabled);
+  EXPECT_EQ(snap.cache_max_bytes, std::size_t{128} << 20);
+  EXPECT_EQ(snap.exec_mode, 2);
+  EXPECT_EQ(snap.exec_lanes, 4);
+  // The snapshot is a value: clearing the environment cannot reach it,
+  // and a fresh snapshot sees the new (default) world.
+  const env::KnobSnapshot fresh = env::snapshot_knobs();
+  EXPECT_EQ(fresh.threads, 0);
+  EXPECT_EQ(fresh.cache_max_bytes, 0u);
+}
+
+TEST(EnvKnobs, ConcurrentFirstSnapshotsAgreeAndAreRaceFree) {
+  // A daemon snapshotting from several startup threads at once must get
+  // one consistent answer with no data race (TSan/ASan guard this test).
+  ::setenv("MRPF_THREADS", "5", 1);
+  ::setenv("MRPF_CACHE", "32", 1);
+  ::setenv("MRPF_EXEC", "interp", 1);
+  constexpr int kThreads = 8;
+  std::vector<env::KnobSnapshot> seen(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      seen[static_cast<std::size_t>(t)] = env::snapshot_knobs();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ::unsetenv("MRPF_THREADS");
+  ::unsetenv("MRPF_CACHE");
+  ::unsetenv("MRPF_EXEC");
+  for (const env::KnobSnapshot& s : seen) {
+    EXPECT_EQ(s.threads, 5);
+    EXPECT_FALSE(s.cache_disabled);
+    EXPECT_EQ(s.cache_max_bytes, std::size_t{32} << 20);
+    EXPECT_EQ(s.exec_mode, 1);
+    EXPECT_EQ(s.exec_lanes, 0);
   }
 }
 

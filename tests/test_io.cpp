@@ -8,6 +8,7 @@
 #include "mrpf/common/error.hpp"
 #include "mrpf/core/flow.hpp"
 #include "mrpf/io/coeff_file.hpp"
+#include "mrpf/io/frame_assembler.hpp"
 #include "mrpf/io/json_report.hpp"
 
 namespace mrpf::io {
@@ -137,6 +138,138 @@ TEST(JsonReport, NonMrpSchemesOmitTheMrpBlock) {
   const std::string json = to_json(r, 12);
   EXPECT_EQ(json.find("\"mrp\":"), std::string::npos);
   EXPECT_NE(json.find("\"scheme\":\"cse\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Wire framing: the incremental assembler streaming transports feed.
+
+std::vector<std::uint8_t> frame_bytes(std::uint32_t type,
+                                      const std::vector<std::uint8_t>& pay) {
+  std::vector<std::uint8_t> out;
+  append_wire_frame(type, pay, out);
+  return out;
+}
+
+TEST(FrameAssembler, RoundTripsWholeAndFragmentedFrames) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 250, 251, 252};
+  const std::vector<std::uint8_t> bytes = frame_bytes(7, payload);
+
+  // Whole-buffer feed.
+  FrameAssembler whole;
+  ASSERT_TRUE(whole.feed(bytes.data(), bytes.size()));
+  WireFrame frame;
+  ASSERT_TRUE(whole.next(frame));
+  EXPECT_EQ(frame.type, 7u);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_FALSE(whole.next(frame));
+  EXPECT_EQ(whole.pending_bytes(), 0u);
+
+  // One byte at a time — worst-case transport fragmentation.
+  FrameAssembler drip;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    ASSERT_TRUE(drip.feed(&bytes[i], 1));
+    if (i + 1 < bytes.size()) {
+      ASSERT_FALSE(drip.next(frame)) << "frame released early at byte " << i;
+    }
+  }
+  ASSERT_TRUE(drip.next(frame));
+  EXPECT_EQ(frame.type, 7u);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(FrameAssembler, ZeroLengthPayloadCompletesWithoutFurtherBytes) {
+  // Regression: a payload-free frame (ping) is complete the moment its
+  // header is — the assembler must not wait for a byte that never comes.
+  const std::vector<std::uint8_t> bytes = frame_bytes(1, {});
+  ASSERT_EQ(bytes.size(), kWireHeaderBytes);
+  FrameAssembler a;
+  ASSERT_TRUE(a.feed(bytes.data(), bytes.size()));
+  WireFrame frame;
+  ASSERT_TRUE(a.next(frame));
+  EXPECT_EQ(frame.type, 1u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameAssembler, CoalescedFramesInOneChunkAllRelease) {
+  std::vector<std::uint8_t> stream;
+  append_wire_frame(1, {9, 9}, stream);
+  append_wire_frame(2, {}, stream);
+  append_wire_frame(3, {5}, stream);
+  FrameAssembler a;
+  ASSERT_TRUE(a.feed(stream.data(), stream.size()));
+  WireFrame frame;
+  ASSERT_TRUE(a.next(frame));
+  EXPECT_EQ(frame.type, 1u);
+  ASSERT_TRUE(a.next(frame));
+  EXPECT_EQ(frame.type, 2u);
+  ASSERT_TRUE(a.next(frame));
+  EXPECT_EQ(frame.type, 3u);
+  EXPECT_FALSE(a.next(frame));
+}
+
+TEST(FrameAssembler, TruncatedFrameStaysPendingNeverReleases) {
+  const std::vector<std::uint8_t> bytes = frame_bytes(4, {1, 2, 3, 4});
+  FrameAssembler a;
+  ASSERT_TRUE(a.feed(bytes.data(), bytes.size() - 1));
+  WireFrame frame;
+  EXPECT_FALSE(a.next(frame));
+  EXPECT_FALSE(a.poisoned());
+  EXPECT_GT(a.pending_bytes(), 0u);
+}
+
+TEST(FrameAssembler, OversizedDeclaredLengthPoisonsBeforeAllocating) {
+  // A hostile header declaring a huge payload must be rejected from the
+  // header alone — with a tiny bound, nothing payload-sized is buffered.
+  std::vector<std::uint8_t> bytes =
+      frame_bytes(4, std::vector<std::uint8_t>(64, 0xAB));
+  FrameAssembler a(/*max_payload=*/16);
+  EXPECT_FALSE(a.feed(bytes.data(), bytes.size()));
+  EXPECT_TRUE(a.poisoned());
+  EXPECT_NE(a.error().find("length"), std::string::npos);
+  EXPECT_EQ(a.pending_bytes(), 0u);
+  // Poisoned is permanent: further valid data is refused.
+  const std::vector<std::uint8_t> good = frame_bytes(1, {});
+  EXPECT_FALSE(a.feed(good.data(), good.size()));
+}
+
+TEST(FrameAssembler, GarbageMagicVersionAndChecksumAllPoison) {
+  const std::vector<std::uint8_t> good = frame_bytes(4, {1, 2, 3});
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[0] ^= 0xFF;  // magic
+    FrameAssembler a;
+    EXPECT_FALSE(a.feed(bad.data(), bad.size()));
+    EXPECT_TRUE(a.poisoned());
+    EXPECT_NE(a.error().find("magic"), std::string::npos);
+  }
+  {
+    std::vector<std::uint8_t> bad = good;
+    bad[4] ^= 0xFF;  // version
+    FrameAssembler a;
+    EXPECT_FALSE(a.feed(bad.data(), bad.size()));
+    EXPECT_NE(a.error().find("version"), std::string::npos);
+  }
+  {
+    std::vector<std::uint8_t> bad = good;
+    ASSERT_EQ(bad.size(), kWireHeaderBytes + 3);
+    bad[kWireHeaderBytes + 2] ^= 0xFF;  // payload byte -> checksum mismatch
+    FrameAssembler a;
+    EXPECT_FALSE(a.feed(bad.data(), bad.size()));
+    EXPECT_NE(a.error().find("checksum"), std::string::npos);
+    // No torn frame is ever released.
+    WireFrame frame;
+    EXPECT_FALSE(a.next(frame));
+  }
+}
+
+TEST(FrameAssembler, PayloadAtTheBoundIsAccepted) {
+  const std::vector<std::uint8_t> payload(32, 0x5A);
+  const std::vector<std::uint8_t> bytes = frame_bytes(9, payload);
+  FrameAssembler a(/*max_payload=*/32);
+  ASSERT_TRUE(a.feed(bytes.data(), bytes.size()));
+  WireFrame frame;
+  ASSERT_TRUE(a.next(frame));
+  EXPECT_EQ(frame.payload, payload);
 }
 
 }  // namespace
