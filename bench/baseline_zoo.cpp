@@ -1,9 +1,10 @@
 // Baseline zoo: every implementation strategy in the repository on every
 // catalog filter (W=14, uniform) — the widest single view of where MRPF
 // sits among simple, DECOR [10], differential-MST [5], Hartley CSE [3],
-// MSD-CSE, RAG-n and MRPF(+CSE). Extends the paper's two-way comparisons.
+// MSD-CSE, RAG-n, MRPF(+CSE) and the exact branch-and-bound scheme.
+// Extends the paper's two-way comparisons.
 //
-// The six unified schemes (simple, cse, diff-mst, rag-n, mrpf, mrpf+cse)
+// The unified schemes (simple, cse, diff-mst, rag-n, mrpf, mrpf+cse, bnb)
 // run through core::optimize_bank_batch — one SchemeDriver pipeline with a
 // live solve cache per scheme, a cold pass and a warm pass — so the zoo
 // doubles as the per-scheme pipeline benchmark. DECOR and MSD-CSE are not
@@ -11,8 +12,8 @@
 // (per-scheme adders, optimize/lowering ns, cache hits/misses).
 //
 // `--ci` reduces the catalog and gates only on deterministic properties:
-// a 100% warm-pass hit rate per scheme and cross-checked simple/cse
-// columns.
+// a 100% warm-pass hit rate per scheme, cross-checked simple/cse columns,
+// and bnb never above its own greedy upper bound (the mrpf column).
 #include <array>
 #include <chrono>
 #include <cstdio>
@@ -115,26 +116,29 @@ int main(int argc, char** argv) {
         .multiplier_adders;
   };
 
-  std::printf("%-5s %7s %7s %7s %7s %7s %7s %7s %7s\n", "name", "simple",
-              "decor", "dmst", "cse", "msdcse", "rag-n", "mrpf", "mrp+c");
+  std::printf("%-5s %7s %7s %7s %7s %7s %7s %7s %7s %7s\n", "name", "simple",
+              "decor", "dmst", "cse", "msdcse", "rag-n", "mrpf", "mrp+c",
+              "bnb");
 
   bool columns_consistent = true;
-  double totals[8] = {0};
+  double totals[9] = {0};
   for (int i = 0; i < nf; ++i) {
     const auto& e = extra[static_cast<std::size_t>(i)];
-    const int row[8] = {scheme_adders(core::Scheme::kSimple, i), e[0],
+    const int row[9] = {scheme_adders(core::Scheme::kSimple, i), e[0],
                         scheme_adders(core::Scheme::kDiffMst, i), e[1],
                         e[2], scheme_adders(core::Scheme::kRagn, i),
                         scheme_adders(core::Scheme::kMrp, i),
-                        scheme_adders(core::Scheme::kMrpCse, i)};
-    // Cross-checks between the unified pipeline and the direct calls.
+                        scheme_adders(core::Scheme::kMrpCse, i),
+                        scheme_adders(core::Scheme::kBnb, i)};
+    // Cross-checks between the unified pipeline and the direct calls, plus
+    // the exact scheme's contract: never above its greedy upper bound.
     columns_consistent =
         columns_consistent &&
         row[0] == baseline::simple_adder_cost(
                       banks[static_cast<std::size_t>(i)], rep) &&
-        scheme_adders(core::Scheme::kCse, i) == e[1];
+        scheme_adders(core::Scheme::kCse, i) == e[1] && row[8] <= row[6];
     std::printf("%-5s", filter::catalog_spec(i).name.c_str());
-    for (int c = 0; c < 8; ++c) {
+    for (int c = 0; c < 9; ++c) {
       std::printf(" %7d", row[c]);
       totals[c] += row[c];
     }
@@ -142,7 +146,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%-5s", "total");
-  for (int c = 0; c < 8; ++c) std::printf(" %7.0f", totals[c]);
+  for (int c = 0; c < 9; ++c) std::printf(" %7.0f", totals[c]);
   std::printf("\n");
 
   bool warm_all_hits = true;
@@ -165,10 +169,11 @@ int main(int argc, char** argv) {
       "literature baselines added here.");
   std::printf(
       "MEASURED: normalized totals vs simple — decor %.2f, diff-mst %.2f, "
-      "cse %.2f, msd-cse %.2f, rag-n %.2f, mrpf %.2f, mrpf+cse %.2f\n",
+      "cse %.2f, msd-cse %.2f, rag-n %.2f, mrpf %.2f, mrpf+cse %.2f, "
+      "bnb %.2f\n",
       totals[1] / totals[0], totals[2] / totals[0], totals[3] / totals[0],
       totals[4] / totals[0], totals[5] / totals[0], totals[6] / totals[0],
-      totals[7] / totals[0]);
+      totals[7] / totals[0], totals[8] / totals[0]);
 
   const char* json_name =
       ci_mode ? "BENCH_schemes_ci.json" : "BENCH_schemes.json";

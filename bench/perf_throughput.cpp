@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
                 "scaling, mrpf scheme");
 
   // The workload rows: every catalog filter under the mrpf scheme, plus —
-  // in CI — all six schemes on filter 0 so the bit-identity gate covers
+  // in CI — every registered scheme on filter 0 so the bit-identity gate covers
   // every driver's lowered plan.
   std::vector<std::pair<int, core::Scheme>> work;
   for (int i = 0; i < catalog; ++i) work.emplace_back(i, core::Scheme::kMrp);

@@ -7,7 +7,10 @@
 namespace mrpf::cache {
 
 bool uses_mrp_canonical_form(core::Scheme scheme) {
-  return scheme == core::Scheme::kMrp || scheme == core::Scheme::kMrpCse;
+  // kBnb searches over the primary-vertex set, so it is invariant under the
+  // same group as MRP (drop zeros, odd part, sign, permutation, dedup).
+  return scheme == core::Scheme::kMrp || scheme == core::Scheme::kMrpCse ||
+         scheme == core::Scheme::kBnb;
 }
 
 CanonicalBank canonicalize(const std::vector<i64>& bank) {
@@ -41,6 +44,7 @@ u64 canonical_content_hash(const std::vector<i64>& canonical_values) {
 SolveOptionsTag options_tag(const core::MrpOptions& options) {
   SolveOptionsTag tag;
   tag.beta_bits = std::bit_cast<u64>(options.beta);
+  tag.opt_budget = static_cast<u64>(options.opt_budget);
   tag.l_max = options.l_max;
   tag.depth_limit = options.depth_limit;
   tag.rep = static_cast<std::uint8_t>(options.rep);
@@ -72,6 +76,7 @@ u64 solve_key(core::Scheme scheme, const std::vector<i64>& bank,
 
 u64 solve_key(u64 content_hash, const SolveOptionsTag& tag) {
   u64 h = fnv1a64_word(tag.beta_bits, content_hash);
+  h = fnv1a64_word(tag.opt_budget, h);
   h = fnv1a64_word((static_cast<u64>(static_cast<std::uint32_t>(tag.l_max))
                     << 32) |
                        static_cast<std::uint32_t>(tag.depth_limit),

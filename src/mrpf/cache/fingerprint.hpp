@@ -73,6 +73,9 @@ bool uses_mrp_canonical_form(core::Scheme scheme);
 /// so a lookup match is exact, not just hash-equal.
 struct SolveOptionsTag {
   u64 beta_bits = 0;  // bit pattern of MrpOptions::beta (exact compare)
+  /// Resolved kBnb search budget (0 for every other scheme — their drivers
+  /// reset the knob, so budget changes never fragment their namespaces).
+  u64 opt_budget = 0;
   std::int32_t l_max = 0;
   std::int32_t depth_limit = 0;
   std::uint8_t rep = 0;

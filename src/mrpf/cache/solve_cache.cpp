@@ -129,14 +129,19 @@ bool is_canonical_plan(const SolveOptionsTag& tag,
   if (plan.taps.size() != canonical.size()) return false;
   if (uses_mrp_canonical_form(scheme)) {
     if (!is_canonical_vector(canonical)) return false;
-    if (!plan.mrp.has_value() || plan.cse.has_value()) return false;
-    const core::MrpResult& mrp = *plan.mrp;
-    if (mrp.vertices != canonical || mrp.bank.primaries != canonical) {
-      return false;
-    }
-    if (mrp.bank.refs.size() != canonical.size() ||
-        !is_identity_refs(mrp.bank.refs)) {
-      return false;
+    if (plan.cse.has_value()) return false;
+    // kBnb carries MRP provenance only on its greedy-fallback path (an
+    // exact search win has none); every other MRP-form scheme always does.
+    if (scheme != core::Scheme::kBnb && !plan.mrp.has_value()) return false;
+    if (plan.mrp.has_value()) {
+      const core::MrpResult& mrp = *plan.mrp;
+      if (mrp.vertices != canonical || mrp.bank.primaries != canonical) {
+        return false;
+      }
+      if (mrp.bank.refs.size() != canonical.size() ||
+          !is_identity_refs(mrp.bank.refs)) {
+        return false;
+      }
     }
   } else {
     if (plan.mrp.has_value()) return false;
@@ -247,7 +252,9 @@ void SolveCache::put_plan(const std::vector<i64>& bank, core::Scheme scheme,
   MRPF_CHECK(plan.taps.size() == bank.size(),
              "solve cache: plan does not belong to this bank");
   if (uses_mrp_canonical_form(scheme)) {
-    MRPF_CHECK(plan.mrp.has_value() && plan.mrp->vertices == cb.values,
+    MRPF_CHECK(plan.mrp.has_value() || scheme == core::Scheme::kBnb,
+               "solve cache: MRP-form plan is missing its provenance");
+    MRPF_CHECK(!plan.mrp.has_value() || plan.mrp->vertices == cb.values,
                "solve cache: result does not belong to this bank");
   }
   const SolveOptionsTag tag = options_tag(scheme, options);

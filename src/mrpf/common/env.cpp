@@ -125,6 +125,19 @@ KnobSnapshot snapshot_knobs() {
                     "\" (expected \"off\", \"0\", or a capacity in MiB)");
     }
   }
+  if (const char* v = std::getenv("MRPF_OPT_BUDGET")) {
+    // Clamp mirrors core::kMaxOptBudget (common/ stays free of core types).
+    const ParsedInt p = parse_positive_int(v, 1'000'000'000'000);
+    if (p.well_formed) {
+      s.opt_budget = p.value;
+    } else {
+      warn_once("MRPF_OPT_BUDGET",
+                "mrpf: ignoring malformed MRPF_OPT_BUDGET=\"" +
+                    std::string(v) +
+                    "\" — expected a decimal integer >= 1; using the "
+                    "built-in search budget");
+    }
+  }
   if (const char* v = std::getenv("MRPF_EXEC")) {
     const ParsedExecMode m = parse_exec_mode(v);
     if (m.well_formed) {

@@ -65,9 +65,14 @@ struct KnobSnapshot {
   /// MRPF_EXEC: same numbering as ParsedExecMode (2 = vector default).
   int exec_mode = 2;
   int exec_lanes = 0;
+  /// MRPF_OPT_BUDGET when set and well-formed (strict digits-only grammar,
+  /// clamped to 10^12 steps); 0 = unset/malformed (resolve to
+  /// core::kDefaultOptBudget at the use site).
+  long long opt_budget = 0;
 };
 
-/// Reads MRPF_THREADS, MRPF_CACHE and MRPF_EXEC once each, applying the
+/// Reads MRPF_THREADS, MRPF_CACHE, MRPF_EXEC and MRPF_OPT_BUDGET once
+/// each, applying the
 /// shared strict grammars. Malformed values warn_once (same keys as the
 /// lazy per-call readers, so a process never warns twice for one knob)
 /// and leave the corresponding field at its default. Thread-safe:

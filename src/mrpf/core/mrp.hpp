@@ -39,6 +39,12 @@ struct MrpOptions {
   int recursive_levels = 0;
   /// Apply Hartley CSE (CSD) to the SEED network instead (§4, Fig. 8).
   bool cse_on_seed = false;
+  /// Deterministic search-step budget of the exact branch-and-bound scheme
+  /// (kBnb; see src/mrpf/opt). 0 means "unset": BnbDriver resolves it from
+  /// MRPF_OPT_BUDGET (shared env grammar) or kDefaultOptBudget, so the
+  /// value the solve actually ran with always lands in the cache tag.
+  /// Result-relevant for kBnb only; every other driver resets it to 0.
+  long long opt_budget = 0;
   /// Route stage A through the pre-optimization reference kernels
   /// (map-based color graph, full-rescan set cover and root selection).
   /// Differential testing and perf baselines only — the result is
@@ -68,6 +74,16 @@ struct MrpOptions {
   /// in-memory budget (see cache/session.hpp).
   std::string cache_path;
 };
+
+/// Default kBnb search-step budget when neither MrpOptions::opt_budget nor
+/// MRPF_OPT_BUDGET picks one. Calibrated so the 10-bit single-constant
+/// differential sweep and the Table-1 gap study both solve to proven
+/// optimality well inside a CI minute.
+inline constexpr long long kDefaultOptBudget = 2'000'000;
+
+/// Upper clamp of the MRPF_OPT_BUDGET grammar (absurd budgets are almost
+/// certainly typos; the clamp keeps the knob forgiving).
+inline constexpr long long kMaxOptBudget = 1'000'000'000'000;
 
 /// One committed computation-order edge: child = σ·(parent<<L) ± ξ.
 struct TreeEdge {

@@ -4,8 +4,8 @@ namespace mrpf::core {
 
 const std::array<Scheme, kNumSchemes>& all_schemes() {
   static const std::array<Scheme, kNumSchemes> schemes = {
-      Scheme::kSimple, Scheme::kCse, Scheme::kDiffMst,
-      Scheme::kRagn,   Scheme::kMrp, Scheme::kMrpCse,
+      Scheme::kSimple, Scheme::kCse,    Scheme::kDiffMst, Scheme::kRagn,
+      Scheme::kMrp,    Scheme::kMrpCse, Scheme::kBnb,
   };
   return schemes;
 }
@@ -24,6 +24,8 @@ std::string to_string(Scheme scheme) {
       return "mrpf";
     case Scheme::kMrpCse:
       return "mrpf+cse";
+    case Scheme::kBnb:
+      return "bnb";
   }
   return "unknown";
 }

@@ -17,10 +17,11 @@ enum class Scheme {
   kRagn,     ///< Reduced adder graph (RAG-n heuristic).
   kMrp,      ///< MRP color-class transformation (the paper's method).
   kMrpCse,   ///< MRP with CSE applied to the SEED network.
+  kBnb,      ///< Exact branch-and-bound search (src/mrpf/opt), MRP fallback.
 };
 
 /// Number of schemes in the registry; Scheme values are 0..kNumSchemes-1.
-inline constexpr int kNumSchemes = 6;
+inline constexpr int kNumSchemes = 7;
 
 /// All schemes in enum order — the canonical iteration order for
 /// registries, benches, and per-scheme counters.

@@ -2,11 +2,18 @@
 
 #include <utility>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "mrpf/baseline/diff_mst.hpp"
 #include "mrpf/baseline/ragn.hpp"
 #include "mrpf/baseline/simple.hpp"
+#include "mrpf/common/env.hpp"
 #include "mrpf/common/error.hpp"
+#include "mrpf/core/sidc.hpp"
 #include "mrpf/cse/build.hpp"
+#include "mrpf/opt/bnb.hpp"
+#include "mrpf/opt/emit.hpp"
 
 namespace mrpf::core {
 
@@ -20,7 +27,27 @@ MrpOptions baseline_options(const MrpOptions& options) {
   o.depth_limit = 0;
   o.recursive_levels = 0;
   o.cse_on_seed = false;
+  o.opt_budget = 0;
   return o;
+}
+
+/// Resolves the 0 = "unset" opt_budget convention: an explicit option wins,
+/// then MRPF_OPT_BUDGET (shared strict grammar, same warn_once key and
+/// message as env::snapshot_knobs, so a process never warns twice), then
+/// the built-in default. The daemon never reaches the getenv branch — it
+/// injects its startup snapshot into every request's options.
+long long resolve_opt_budget(long long requested) {
+  if (requested > 0) return std::min(requested, kMaxOptBudget);
+  if (const char* v = std::getenv("MRPF_OPT_BUDGET")) {
+    const env::ParsedInt p = env::parse_positive_int(v, kMaxOptBudget);
+    if (p.well_formed) return p.value;
+    env::warn_once("MRPF_OPT_BUDGET",
+                   "mrpf: ignoring malformed MRPF_OPT_BUDGET=\"" +
+                       std::string(v) +
+                       "\" — expected a decimal integer >= 1; using the "
+                       "built-in search budget");
+  }
+  return kDefaultOptBudget;
 }
 
 class SimpleDriver final : public SchemeDriver {
@@ -97,6 +124,7 @@ class MrpDriver final : public SchemeDriver {
   MrpOptions canonical_options(const MrpOptions& options) const override {
     MrpOptions o = options;
     o.cse_on_seed = cse_on_seed_;
+    o.opt_budget = 0;
     return o;
   }
   SynthPlan optimize(const std::vector<i64>& bank,
@@ -110,6 +138,80 @@ class MrpDriver final : public SchemeDriver {
   bool cse_on_seed_;
 };
 
+/// The exact scheme: branch-and-bound over shift-add fundamentals
+/// (src/mrpf/opt) seeded by the greedy MRP solve as its upper bound. The
+/// greedy sub-solve runs with opt_budget reset to 0, so it shares the
+/// plain-kMrp cache slot with direct kMrp solves. Four outcomes:
+///   - the search finds a strictly better chain  -> exact plan, tagged won
+///   - every shallower depth is exhausted        -> greedy plan, proven
+///   - budget runs out / bank too big / emission -> greedy plan, unproven
+/// All three fallbacks return the greedy plan retagged kBnb, so callers
+/// (cache, serde, daemon, fuzz) never see a scheme/plan mismatch.
+class BnbDriver final : public SchemeDriver {
+ public:
+  Scheme scheme() const override { return Scheme::kBnb; }
+  MrpOptions canonical_options(const MrpOptions& options) const override {
+    MrpOptions o = options;
+    o.cse_on_seed = false;
+    o.opt_budget = resolve_opt_budget(options.opt_budget);
+    return o;
+  }
+  SynthPlan optimize(const std::vector<i64>& bank,
+                     const MrpOptions& options) const override {
+    MrpOptions opts = canonical_options(options);
+
+    // Greedy upper bound (and fallback plan) via the plain MRP pipeline.
+    MrpOptions greedy_opts = opts;
+    greedy_opts.opt_budget = 0;
+    const MrpResult greedy = mrp_optimize(bank, greedy_opts);
+
+    const PrimaryBank primaries = extract_primaries(bank);
+    std::vector<i64> targets;
+    for (const i64 p : primaries.primaries) {
+      if (p > 1) targets.push_back(p);
+    }
+
+    opt::BnbOptions search_options;
+    search_options.step_budget = opts.opt_budget;
+    opt::BnbOutcome outcome;
+    StageSample search_sample;
+    {
+      StageStopwatch watch(search_sample);
+      outcome = opt::bnb_solve(targets, greedy.total_adders(), search_options);
+    }
+    search_sample.items = static_cast<std::uint64_t>(outcome.steps_explored);
+
+    if (outcome.status == opt::BnbStatus::kOptimal) {
+      try {
+        arch::MultiplierBlock block;
+        block.graph = opt::build_bnb_graph(outcome.steps);
+        block.constants = bank;
+        for (const i64 c : bank) {
+          const std::optional<arch::Tap> tap = block.graph.resolve(c);
+          MRPF_CHECK(tap.has_value(), "bnb: solved chain misses a constant");
+          block.taps.push_back(*tap);
+        }
+        block.verify({1, -1, 2, 9, -100, 2047});
+        SynthPlan plan = plan_from_block(Scheme::kBnb, outcome.adders, block);
+        plan.timers.bnb_search = search_sample;
+        plan.timers.bnb_fallback.items = 0;  // the exact plan won
+        return plan;
+      } catch (const Error&) {
+        // Residue re-alignment can overflow the 62-bit fundamental range
+        // on pathological chains; treat exactly like a budget miss.
+        outcome.status = opt::BnbStatus::kBudget;
+      }
+    }
+
+    SynthPlan plan = make_mrp_plan(bank, greedy, greedy_opts);
+    plan.scheme = Scheme::kBnb;
+    plan.timers.bnb_search = search_sample;
+    plan.timers.bnb_fallback.items =
+        outcome.status == opt::BnbStatus::kProvedExisting ? 1 : 2;
+    return plan;
+  }
+};
+
 }  // namespace
 
 const SchemeDriver& scheme_driver(Scheme scheme) {
@@ -119,6 +221,7 @@ const SchemeDriver& scheme_driver(Scheme scheme) {
   static const RagnDriver ragn;
   static const MrpDriver mrp(false);
   static const MrpDriver mrp_cse(true);
+  static const BnbDriver bnb;
   switch (scheme) {
     case Scheme::kSimple:
       return simple;
@@ -132,6 +235,8 @@ const SchemeDriver& scheme_driver(Scheme scheme) {
       return mrp;
     case Scheme::kMrpCse:
       return mrp_cse;
+    case Scheme::kBnb:
+      return bnb;
   }
   throw Error("scheme_driver: unknown scheme");
 }

@@ -37,6 +37,13 @@ struct StageTimers {
   StageSample lowering;        // plan -> verified block; items: plan ops
   StageSample exec_compile;    // plan -> ExecProgram; items: fused ops kept
   StageSample exec_run;        // compiled execution; items: samples pushed
+  StageSample bnb_search;      // kBnb only; items: search steps explored
+  /// kBnb provenance: which path produced the plan. items: 0 = the exact
+  /// branch-and-bound plan won, 1 = the greedy MRP plan was retained but
+  /// proven optimal (the search exhausted every depth below it), 2 = the
+  /// greedy plan was retained unproven (budget exhausted / bank skipped).
+  /// ns stays 0 — the sample is a tag, not a timer.
+  StageSample bnb_fallback;
   double total_ns = 0.0;       // whole mrp_optimize call
 };
 
@@ -58,6 +65,8 @@ inline void accumulate(StageTimers& into, const StageTimers& from) {
   add(into.lowering, from.lowering);
   add(into.exec_compile, from.exec_compile);
   add(into.exec_run, from.exec_run);
+  add(into.bnb_search, from.bnb_search);
+  add(into.bnb_fallback, from.bnb_fallback);
   into.total_ns += from.total_ns;
 }
 

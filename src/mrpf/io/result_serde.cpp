@@ -35,6 +35,8 @@ void write_timers(Writer& w, const core::StageTimers& t) {
   write_sample(w, t.lowering);
   write_sample(w, t.exec_compile);
   write_sample(w, t.exec_run);
+  write_sample(w, t.bnb_search);
+  write_sample(w, t.bnb_fallback);
   w.f64(t.total_ns);
 }
 
@@ -77,6 +79,8 @@ core::StageTimers read_timers(Reader& r) {
   t.lowering = read_sample(r);
   t.exec_compile = read_sample(r);
   t.exec_run = read_sample(r);
+  t.bnb_search = read_sample(r);
+  t.bnb_fallback = read_sample(r);
   t.total_ns = r.f64();
   return t;
 }

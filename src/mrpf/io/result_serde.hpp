@@ -13,8 +13,10 @@
 // deserialize(serialize(p)) compares field-for-field equal to p, doubles
 // bit-for-bit. Deserialization validates magic, version, length, checksum
 // and every internal count before allocating; anything malformed throws
-// mrpf::Error and is rejected, never trusted. Version 1 frames (PR-3's
-// MrpResult-only format) are rejected cleanly by the version check.
+// mrpf::Error and is rejected, never trusted. Stale frames are rejected
+// cleanly by the version check: version 1 (PR-3's MrpResult-only format),
+// version 2 (pre-exec timers) and version 3 (pre-bnb timers, six-scheme
+// range) all fail closed.
 #pragma once
 
 #include <cstddef>
@@ -26,7 +28,7 @@
 namespace mrpf::io {
 
 inline constexpr std::uint32_t kResultSerdeMagic = 0x3153524Du;  // "MRS1"
-inline constexpr std::uint32_t kResultSerdeVersion = 3;
+inline constexpr std::uint32_t kResultSerdeVersion = 4;
 
 /// Appends one framed plan record to `out`.
 void serialize_plan(const core::SynthPlan& plan,

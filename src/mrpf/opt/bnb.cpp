@@ -1,0 +1,234 @@
+#include "mrpf/opt/bnb.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/common/hash.hpp"
+#include "mrpf/opt/bounds.hpp"
+
+namespace mrpf::opt {
+
+namespace {
+
+/// Dominance-memo size cap: cleared (deterministically) when exceeded so
+/// a pathological bank cannot grow the memo without bound.
+constexpr std::size_t kMemoCap = std::size_t{1} << 20;
+
+struct Candidate {
+  i64 value = 0;
+  i64 a = 0;
+  i64 b = 0;
+  int shift = 0;
+  bool subtract = false;
+  bool is_target = false;
+};
+
+class Searcher {
+ public:
+  Searcher(const std::vector<i64>& targets, const BnbOptions& options,
+           int max_shift, i64 value_limit)
+      : options_(options), max_shift_(max_shift), value_limit_(value_limit) {
+    avail_.push_back(1);
+    in_avail_.insert(1);
+    for (const i64 t : targets) remaining_.insert(t);
+  }
+
+  /// Exhaustive DFS for a chain of exactly <= depth_cap adders. Returns
+  /// true when one is found (recorded in steps()); false when the space
+  /// is exhausted. aborted() reports a budget stop, which invalidates the
+  /// "exhausted" reading.
+  bool run(int depth_cap) {
+    depth_cap_ = depth_cap;
+    memo_.clear();
+    return dfs(0);
+  }
+
+  bool aborted() const { return aborted_; }
+  long long steps_explored() const { return steps_; }
+  const std::vector<BnbStep>& steps() const { return chain_; }
+
+ private:
+  bool charge(long long units) {
+    steps_ += units;
+    if (steps_ >= options_.step_budget) aborted_ = true;
+    return !aborted_;
+  }
+
+  /// Order-independent hash of the current available-value set.
+  u64 avail_hash() const {
+    std::vector<i64> sorted = avail_;
+    std::sort(sorted.begin(), sorted.end());
+    u64 h = kFnvOffset;
+    for (const i64 v : sorted) h = fnv1a64_word(static_cast<u64>(v), h);
+    return h;
+  }
+
+  void combine(i64 a, i64 b, std::vector<Candidate>& out) {
+    for (int k = 0; k <= max_shift_; ++k) {
+      const i128 shifted = static_cast<i128>(b) << k;
+      if (shifted > 2 * static_cast<i128>(value_limit_)) break;
+      for (const bool subtract : {false, true}) {
+        const i128 raw = subtract ? static_cast<i128>(a) - shifted
+                                  : static_cast<i128>(a) + shifted;
+        if (raw == 0) continue;
+        const i64 mag = static_cast<i64>(raw < 0 ? -raw : raw);
+        const i64 v = odd_part(mag);
+        if (v > value_limit_ || in_avail_.count(v) != 0) continue;
+        out.push_back(Candidate{v, a, b, k, subtract,
+                                remaining_.count(v) != 0});
+      }
+    }
+  }
+
+  bool dfs(int depth) {
+    if (remaining_.empty()) return true;
+    if (aborted_) return false;
+    const int needed = static_cast<int>(remaining_.size());
+    if (depth + needed > depth_cap_) return false;
+
+    // Dominance: the same available set at the same or a deeper depth
+    // spans a subset of an already-explored subtree.
+    const u64 h = avail_hash();
+    if (memo_.size() > kMemoCap) memo_.clear();
+    const auto [it, fresh] = memo_.try_emplace(h, depth);
+    if (!fresh) {
+      if (it->second <= depth) return false;
+      it->second = depth;
+    }
+
+    const bool targets_only = depth + needed == depth_cap_;
+    std::vector<Candidate> candidates;
+    for (std::size_t i = 0; i < avail_.size(); ++i) {
+      for (std::size_t j = i; j < avail_.size(); ++j) {
+        combine(avail_[i], avail_[j], candidates);
+        if (i != j) combine(avail_[j], avail_[i], candidates);
+      }
+    }
+    if (!charge(static_cast<long long>(candidates.size()) + 1)) return false;
+
+    if (targets_only) {
+      candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                      [](const Candidate& c) {
+                                        return !c.is_target;
+                                      }),
+                       candidates.end());
+    }
+    // One branch per distinct value (any derivation spans the same
+    // subtree); targets first — they shrink `remaining`, tightening the
+    // depth prune fastest. Ordering is value-based and thus deterministic.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& x, const Candidate& y) {
+                       if (x.is_target != y.is_target) return x.is_target;
+                       return x.value < y.value;
+                     });
+    candidates.erase(std::unique(candidates.begin(), candidates.end(),
+                                 [](const Candidate& x, const Candidate& y) {
+                                   return x.value == y.value;
+                                 }),
+                     candidates.end());
+
+    for (const Candidate& c : candidates) {
+      avail_.push_back(c.value);
+      in_avail_.insert(c.value);
+      if (c.is_target) remaining_.erase(c.value);
+      chain_.push_back(BnbStep{c.value, c.a, c.b, c.shift, c.subtract});
+
+      if (dfs(depth + 1)) return true;
+
+      chain_.pop_back();
+      if (c.is_target) remaining_.insert(c.value);
+      in_avail_.erase(c.value);
+      avail_.pop_back();
+      if (aborted_) return false;
+    }
+    return false;
+  }
+
+  const BnbOptions& options_;
+  int max_shift_;
+  i64 value_limit_;
+  int depth_cap_ = 0;
+
+  std::vector<i64> avail_;  // insertion order == chain order, starts at 1
+  std::unordered_set<i64> in_avail_;
+  std::unordered_set<i64> remaining_;
+  std::vector<BnbStep> chain_;
+  std::unordered_map<u64, int> memo_;  // avail-set hash -> min depth seen
+
+  long long steps_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+BnbOutcome bnb_solve(const std::vector<i64>& targets, int upper_bound,
+                     const BnbOptions& options) {
+  MRPF_CHECK(options.step_budget >= 1, "bnb_solve: step budget must be >= 1");
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    MRPF_CHECK(targets[i] > 1 && targets[i] % 2 == 1,
+               "bnb_solve: targets must be odd and > 1");
+    MRPF_CHECK(i == 0 || targets[i - 1] < targets[i],
+               "bnb_solve: targets must be sorted and unique");
+  }
+
+  BnbOutcome out;
+  out.adders = upper_bound;
+  if (targets.empty()) {
+    // Nothing to synthesize: zero adders, trivially optimal.
+    out.status = BnbStatus::kOptimal;
+    out.adders = 0;
+    return out;
+  }
+
+  int bmax = 0;
+  for (const i64 t : targets) bmax = std::max(bmax, bit_width_abs(t));
+  if (static_cast<int>(targets.size()) > options.max_targets ||
+      bmax > options.max_bits) {
+    out.status = BnbStatus::kSkipped;
+    out.lower_bound = static_cast<int>(targets.size());
+    return out;
+  }
+
+  // Root lower bound: every distinct odd target needs its own adder, and
+  // any solution contains a single-constant chain for each target.
+  int lb = static_cast<int>(targets.size());
+  for (const i64 t : targets) lb = std::max(lb, scm_lower_bound(t));
+  out.lower_bound = lb;
+
+  if (lb >= upper_bound) {
+    // The bound alone proves the greedy plan optimal; no search needed.
+    out.status = BnbStatus::kProvedExisting;
+    out.lower_bound = upper_bound;
+    return out;
+  }
+
+  const int max_shift = bmax + 2;
+  const i64 value_limit = i64{1} << (bmax + 2);
+  Searcher search(targets, options, max_shift, value_limit);
+
+  for (int depth_cap = lb; depth_cap < upper_bound; ++depth_cap) {
+    const bool found = search.run(depth_cap);
+    out.steps_explored = search.steps_explored();
+    if (found) {
+      out.status = BnbStatus::kOptimal;
+      out.adders = depth_cap;
+      out.lower_bound = depth_cap;
+      out.steps = search.steps();
+      return out;
+    }
+    if (search.aborted()) {
+      // Every depth below depth_cap was exhausted; this one was not.
+      out.status = BnbStatus::kBudget;
+      out.lower_bound = depth_cap;
+      return out;
+    }
+    out.lower_bound = depth_cap + 1;  // depth_cap exhausted: optimum is above
+  }
+  out.status = BnbStatus::kProvedExisting;
+  out.lower_bound = upper_bound;
+  return out;
+}
+
+}  // namespace mrpf::opt

@@ -1,0 +1,48 @@
+#include "mrpf/opt/bounds.hpp"
+
+#include "mrpf/arch/scm_exact.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/number/repr.hpp"
+
+namespace mrpf::opt {
+
+namespace {
+
+/// The shared exact table, built on first use (thread-safe magic static —
+/// concurrent first solves block on one construction, never two).
+const arch::ScmTable& shared_table() {
+  static const arch::ScmTable table(kBoundTableBits);
+  return table;
+}
+
+/// ceil(log2(nonzero CSD digits)): each adder at most doubles the digit
+/// count reachable from the single-digit input.
+int csd_doubling_bound(i64 odd) {
+  const int digits = number::nonzero_digits(odd, number::NumberRep::kCsd);
+  int bound = 0;
+  while ((1 << bound) < digits) ++bound;
+  return bound;
+}
+
+}  // namespace
+
+int scm_lower_bound(i64 odd) {
+  MRPF_CHECK(odd > 0 && odd % 2 == 1, "scm_lower_bound: value must be odd");
+  if (odd == 1) return 0;
+  if (odd < (i64{1} << kBoundTableBits)) {
+    // cost 0..3 is exact; the 4 sentinel means ">3", admissible as-is.
+    return shared_table().cost(odd);
+  }
+  return csd_doubling_bound(odd);
+}
+
+std::optional<int> scm_exact_cost(i64 odd) {
+  MRPF_CHECK(odd > 0 && odd % 2 == 1, "scm_exact_cost: value must be odd");
+  if (odd == 1) return 0;
+  if (odd >= (i64{1} << kBoundTableBits)) return std::nullopt;
+  const int cost = shared_table().cost(odd);
+  if (cost >= 4) return std::nullopt;  // ">3 adders" sentinel: not exact
+  return cost;
+}
+
+}  // namespace mrpf::opt

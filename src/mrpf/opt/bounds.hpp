@@ -1,0 +1,43 @@
+// Memoized admissible lower bounds for the branch-and-bound optimizer.
+//
+// Two bound families, combined per target:
+//
+//  - ScmTable seeding: any adder graph realizing t·x contains an adder
+//    chain from 1 to odd(t) (walk the defining ops backward from t's
+//    node), so the exact single-constant cost is a valid lower bound on
+//    any multi-constant solution containing t. Within the table range the
+//    bound is exact for costs 0..3; the cost-4 sentinel (">3 adders") is
+//    itself admissible as "at least 4".
+//
+//  - CSD doubling: one adder at most doubles the number of nonzero CSD
+//    digits a value can carry (x has one digit), so any t needs at least
+//    ceil(log2(nonzero_csd_digits(t))) adders. This covers targets wider
+//    than the table.
+//
+// The table is built lazily, once per process, and shared across every
+// solve (drivers run concurrently from the batch pools, so construction
+// hides behind a thread-safe function-local static).
+#pragma once
+
+#include <optional>
+
+#include "mrpf/common/bits.hpp"
+
+namespace mrpf::opt {
+
+/// Bit range of the shared single-constant table. 12 bits covers every
+/// Table-1 filter coefficient while keeping the one-time exhaustive
+/// enumeration cheap.
+inline constexpr int kBoundTableBits = 12;
+
+/// Provable lower bound on the adders any solution spends to make the odd
+/// value `odd` (> 0) available. Exact (0..3) within the table range when
+/// below the sentinel; admissible everywhere.
+int scm_lower_bound(i64 odd);
+
+/// The exact single-constant adder cost when the shared table proves it
+/// (cost 0..3 with odd(t) in table range); std::nullopt for the ">3"
+/// sentinel and for values beyond the table.
+std::optional<int> scm_exact_cost(i64 odd);
+
+}  // namespace mrpf::opt

@@ -1,0 +1,51 @@
+#include "mrpf/opt/emit.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "mrpf/common/error.hpp"
+
+namespace mrpf::opt {
+
+arch::AdderGraph build_bnb_graph(const std::vector<BnbStep>& steps) {
+  arch::AdderGraph graph;
+  // Odd value -> node realizing it (fundamental = value << residue).
+  std::unordered_map<i64, int> node_of;
+  node_of.emplace(1, arch::AdderGraph::kInputNode);
+
+  for (const BnbStep& step : steps) {
+    const auto ia = node_of.find(step.a);
+    const auto ib = node_of.find(step.b);
+    MRPF_CHECK(ia != node_of.end() && ib != node_of.end(),
+               "build_bnb_graph: step operand not yet available");
+    const int na = ia->second;
+    const int nb = ib->second;
+    const int ra = trailing_zeros(graph.fundamental(na));
+    const int rb = trailing_zeros(graph.fundamental(nb));
+
+    // Align both operands so each wiring shift stays non-negative:
+    //   new = (a << x) ± (b << (k + x)),  x = max(ra, rb - k, 0).
+    const int x = std::max({ra, rb - step.shift, 0});
+    const int sa = x - ra;
+    const int sb = step.shift + x - rb;
+
+    const i128 raw =
+        step.subtract
+            ? static_cast<i128>(step.a) -
+                  (static_cast<i128>(step.b) << step.shift)
+            : static_cast<i128>(step.a) +
+                  (static_cast<i128>(step.b) << step.shift);
+    MRPF_CHECK(raw != 0, "build_bnb_graph: step cancels to zero");
+    // A negative raw difference swaps operand order instead of negating,
+    // keeping every fundamental positive. add_op throws if the aligned
+    // fundamental overflows 62 bits; the caller falls back to greedy.
+    const int node = raw > 0 ? graph.add_op(na, sa, nb, sb, step.subtract)
+                             : graph.add_op(nb, sb, na, sa, true);
+    MRPF_CHECK(odd_part(graph.fundamental(node)) == step.value,
+               "build_bnb_graph: emitted fundamental mismatch");
+    node_of.emplace(step.value, node);
+  }
+  return graph;
+}
+
+}  // namespace mrpf::opt

@@ -1,0 +1,34 @@
+// Lowers a branch-and-bound step chain into an arch::AdderGraph.
+//
+// The solver works on odd-normalized values; the graph works on exact
+// fundamentals with non-negative wiring shifts only. Each emitted node
+// therefore carries its odd value times a residual power of two (the
+// even factor a strictly left-shift-only realization cannot drop), and
+// every combine re-aligns its operands' residues:
+//
+//   node(v) = v << r,  r >= 0
+//   v_new << t = a ± (b << k)   (t = trailing zeros of the raw sum)
+//   node(v_new) = (node(a) << (x - ra)) ± (node(b) << (k + x - rb)),
+//                 x = max(ra, rb - k, 0)
+//
+// Subtractions whose raw value is negative swap operand order instead of
+// negating, keeping every fundamental positive. Taps absorb the residues
+// for free — arch::Tap supports negative shifts (dropping always-zero
+// LSBs is wiring, not hardware). A pathological chain whose residues
+// overflow the 62-bit fundamental range makes add_op throw mrpf::Error;
+// the driver treats that like a budget miss and keeps the greedy plan.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/arch/adder_graph.hpp"
+#include "mrpf/opt/bnb.hpp"
+
+namespace mrpf::opt {
+
+/// Replays the chain into a graph: node 0 is the input, node i+1 realizes
+/// steps[i].value (times a power-of-two residue). One adder per step.
+/// Throws mrpf::Error on a malformed chain or fundamental overflow.
+arch::AdderGraph build_bnb_graph(const std::vector<BnbStep>& steps);
+
+}  // namespace mrpf::opt

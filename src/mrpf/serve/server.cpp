@@ -311,6 +311,11 @@ SynthResponse SynthServer::solve(const SynthRequest& request) {
   core::MrpOptions options = request.to_options();
   cache::SolveCache* cache_ptr = cache();
   options.cache = cache_ptr;
+  // The kBnb budget is server policy, not a wire knob: resolve it from the
+  // startup snapshot so the solve path never re-reads the environment.
+  options.opt_budget = config_.knobs.opt_budget != 0
+                           ? config_.knobs.opt_budget
+                           : core::kDefaultOptBudget;
 
   SynthResponse response;
   core::SolveInfo info;

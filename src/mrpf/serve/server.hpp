@@ -66,8 +66,8 @@ struct ServeConfig {
   /// in-memory only.
   std::string cache_path;
   /// The one-shot startup snapshot of MRPF_THREADS / MRPF_CACHE /
-  /// MRPF_EXEC. cache_disabled turns the solve cache (and with it
-  /// coalescing) off entirely.
+  /// MRPF_EXEC / MRPF_OPT_BUDGET. cache_disabled turns the solve cache
+  /// (and with it coalescing) off entirely.
   env::KnobSnapshot knobs;
 };
 

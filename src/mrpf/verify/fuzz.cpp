@@ -497,6 +497,14 @@ FuzzCase generate_case(std::uint64_t seed, std::size_t index,
   c.options.recursive_levels = rng.next_below(4) == 0 ? 1 : 0;
   c.options.rep = kReps[rng.next_below(3)];
   c.input_bits = static_cast<int>(rng.next_int(6, 12));
+  if (c.scheme == core::Scheme::kBnb) {
+    // Drawn LAST and only for kBnb, so every other scheme's case stream is
+    // byte-identical to the pre-bnb fuzzer and old replay lines stay valid.
+    // Small budgets keep the sweep fast and exercise the kBudget fallback;
+    // the large one lets small banks reach a proof.
+    static constexpr long long kBudgets[] = {20'000, 100'000, 500'000};
+    c.options.opt_budget = kBudgets[rng.next_below(3)];
+  }
   return c;
 }
 
@@ -810,6 +818,9 @@ std::string replay_command(const FuzzCase& c) {
     cmd += str_format(" --recursive %d", c.options.recursive_levels);
   }
   if (c.options.l_max != -1) cmd += str_format(" --l-max %d", c.options.l_max);
+  if (c.options.opt_budget != 0) {
+    cmd += str_format(" --opt-budget %lld", c.options.opt_budget);
+  }
   if (c.options.rep == number::NumberRep::kCsd) {
     cmd += " --rep csd";
   } else if (c.options.rep == number::NumberRep::kSignMagnitude) {

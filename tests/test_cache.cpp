@@ -145,6 +145,12 @@ TEST(Fingerprint, OptionsChangeTheSolveKey) {
   opts.recursive_levels = base.recursive_levels + 1;
   EXPECT_NE(cache::solve_key(cb, opts), key);
 
+  // The bnb step budget is result-relevant (a larger budget can turn a
+  // fallback into an exact win), so it is part of the fingerprint.
+  opts = base;
+  opts.opt_budget = 12345;
+  EXPECT_NE(cache::solve_key(cb, opts), key);
+
   // Execution-strategy knobs are excluded: they do not change the result.
   opts = base;
   opts.use_reference_engine = true;
@@ -232,6 +238,48 @@ TEST(SolveCacheTest, LruEvictsOldestUnderTinyBudget) {
   EXPECT_FALSE(cache.try_get({7, 66, 17}, MrpOptions{}, out));
 }
 
+TEST(SolveCacheTest, BnbPlansRoundTripBothWinAndFallbackShapes) {
+  SolveCache cache;
+  MrpOptions opts;
+  opts.cache = &cache;
+  opts.opt_budget = 200'000;
+
+  // Win shape: the exact search beats greedy, so the cached plan carries
+  // no MRP provenance — the cache must accept and rehydrate it anyway.
+  const std::vector<i64> winnable = {7, 23, 45, 105};
+  const core::SchemeResult cold =
+      core::optimize_bank(winnable, core::Scheme::kBnb, opts);
+  ASSERT_FALSE(cold.plan.mrp.has_value());
+  const core::SchemeResult warm =
+      core::optimize_bank(winnable, core::Scheme::kBnb, opts);
+  expect_same_plan(warm.plan, cold.plan);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Fallback shape: past max_targets the search skips and the greedy MRP
+  // plan — provenance intact — is cached under the bnb scheme.
+  const std::vector<i64> wide = {3,  5,  7,  9,  11, 13,
+                                 17, 19, 21, 23, 25, 27};
+  const core::SchemeResult cold_wide =
+      core::optimize_bank(wide, core::Scheme::kBnb, opts);
+  ASSERT_TRUE(cold_wide.plan.mrp.has_value());
+  const core::SchemeResult warm_wide =
+      core::optimize_bank(wide, core::Scheme::kBnb, opts);
+  expect_same_plan(warm_wide.plan, cold_wide.plan);
+
+  // A different budget is a different fingerprint: the plan is solved
+  // fresh, never served from the smaller-budget entry. (Total hit counts
+  // can still move — the driver's internal greedy upper-bound solve
+  // shares the cache under the plain-MRP slot, by design.)
+  MrpOptions bigger = opts;
+  bigger.opt_budget = 400'000;
+  core::SolveInfo info;
+  (void)core::optimize_bank(winnable, core::Scheme::kBnb, bigger, &info);
+  EXPECT_FALSE(info.cache_hit);
+  core::SolveInfo again;
+  (void)core::optimize_bank(winnable, core::Scheme::kBnb, bigger, &again);
+  EXPECT_TRUE(again.cache_hit);
+}
+
 TEST(SolveCacheTest, BatchDedupsEquivalentBanksToOneLiveSolve) {
   Rng rng(0xDEDU);
   const std::vector<i64> bank_a = kPaperExample;
@@ -309,18 +357,30 @@ void expect_same_timers(const core::StageTimers& a,
   EXPECT_TRUE(same(a.seed_synthesis, b.seed_synthesis));
   EXPECT_TRUE(same(a.optimize, b.optimize));
   EXPECT_TRUE(same(a.lowering, b.lowering));
+  EXPECT_TRUE(same(a.exec_compile, b.exec_compile));
+  EXPECT_TRUE(same(a.exec_run, b.exec_run));
+  EXPECT_TRUE(same(a.bnb_search, b.bnb_search));
+  EXPECT_TRUE(same(a.bnb_fallback, b.bnb_fallback));
   EXPECT_EQ(a.total_ns, b.total_ns);
 }
 
 TEST(ResultSerde, RoundTripIsExactForEveryPlanShape) {
   // One plan per optional-field shape: bare ops+taps (simple), plan.cse
-  // (Hartley CSE), and the rich MRP plan with recursive SEED provenance.
+  // (Hartley CSE), the rich MRP plan with recursive SEED provenance, and
+  // the bnb-exact shape (ops+taps under a non-simple scheme, no
+  // provenance at all, bnb timer samples populated).
   std::vector<core::SynthPlan> plans;
   plans.push_back(
       core::optimize_bank(kPaperExample, core::Scheme::kSimple).plan);
   plans.push_back(
       core::optimize_bank(kPaperExample, core::Scheme::kCse).plan);
   plans.push_back(rich_plan());
+  core::MrpOptions bnb_opts;
+  bnb_opts.opt_budget = 2'000'000;
+  plans.push_back(
+      core::optimize_bank({7, 23, 45, 105}, core::Scheme::kBnb, bnb_opts)
+          .plan);
+  ASSERT_FALSE(plans.back().mrp.has_value());  // the exact plan won
   for (const core::SynthPlan& original : plans) {
     std::vector<std::uint8_t> bytes;
     io::serialize_plan(original, bytes);
@@ -400,6 +460,37 @@ TEST(Persist, SaveLoadRoundTripServesHits) {
   std::remove(path.c_str());
 }
 
+TEST(Persist, BnbWinShapePlanSurvivesSaveLoad) {
+  // The provenance-free bnb plan shape must round-trip through the store
+  // and serve warm hits identical to a fresh exact solve.
+  const std::string path = temp_path("bnbshape");
+  MrpOptions opts;
+  opts.opt_budget = 200'000;
+  {
+    SolveCache cache;
+    opts.cache = &cache;
+    const core::SchemeResult cold =
+        core::optimize_bank({7, 23, 45, 105}, core::Scheme::kBnb, opts);
+    ASSERT_FALSE(cold.plan.mrp.has_value());
+    ASSERT_TRUE(save_solve_cache(cache, path));
+  }
+  SolveCache warm;
+  ASSERT_TRUE(load_solve_cache(warm, path));
+  // Two entries: the exact bnb plan plus the driver's internal greedy
+  // upper-bound solve, which shares the store under the plain-MRP slot.
+  EXPECT_EQ(warm.stats().entries, 2u);
+  opts.cache = &warm;
+  const core::SchemeResult cached =
+      core::optimize_bank({7, 23, 45, 105}, core::Scheme::kBnb, opts);
+  EXPECT_EQ(warm.stats().hits, 1u);
+  MrpOptions plain;
+  plain.opt_budget = 200'000;
+  expect_same_plan(
+      cached.plan,
+      core::optimize_bank({7, 23, 45, 105}, core::Scheme::kBnb, plain).plan);
+  std::remove(path.c_str());
+}
+
 TEST(Persist, RejectsCorruptFilesWholesale) {
   const std::string path = temp_path("corrupt");
   {
@@ -434,7 +525,7 @@ TEST(Persist, RejectsChecksumValidTruncations) {
   // A truncated store whose checksum is recomputed over the shorter file is
   // internally consistent, so rejection must come from the loader's bounds
   // checks alone. Sweep prefix lengths, pinning the options-tag boundary
-  // (header + 19 of the 20 tag bytes) that once underflowed
+  // (header + 27 of the 28 tag bytes) that once underflowed
   // ByteReader::need into out-of-bounds reads and an unbounded resize.
   const std::string path = temp_path("truncate");
   {
@@ -448,8 +539,8 @@ TEST(Persist, RejectsChecksumValidTruncations) {
   const std::vector<std::uint8_t> good = read_bytes(path);
   const std::size_t payload = good.size() - 8;  // sans trailing checksum
   const std::size_t header = 24;  // magic + version + reserved + count
-  std::vector<std::size_t> keeps = {header + 18, header + 19, header + 20,
-                                    header + 21};
+  std::vector<std::size_t> keeps = {header + 26, header + 27, header + 28,
+                                    header + 29};
   for (std::size_t keep = 0; keep < payload; keep += 1 + payload / 73) {
     keeps.push_back(keep);
   }

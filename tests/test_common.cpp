@@ -484,6 +484,35 @@ TEST(EnvKnobs, SnapshotReadsEveryKnobOnce) {
   EXPECT_EQ(fresh.cache_max_bytes, 0u);
 }
 
+TEST(EnvKnobs, OptBudgetSnapshotSharesTheSessionGrammar) {
+  // MRPF_OPT_BUDGET rides the same strict digits-only grammar as the
+  // other knobs: bare decimal >= 1, clamped to the search-budget maximum.
+  ::setenv("MRPF_OPT_BUDGET", "123456", 1);
+  EXPECT_EQ(env::snapshot_knobs().opt_budget, 123456);
+  ::setenv("MRPF_OPT_BUDGET", "99999999999999999999", 1);
+  EXPECT_EQ(env::snapshot_knobs().opt_budget, 1'000'000'000'000LL);
+
+  // Malformed values warn once and leave the knob unset (0), so the
+  // driver falls back to its built-in default budget.
+  const bool warned_before = env::warning_fired("MRPF_OPT_BUDGET");
+  ::testing::internal::CaptureStderr();
+  ::setenv("MRPF_OPT_BUDGET", "2M", 1);
+  const env::KnobSnapshot malformed = env::snapshot_knobs();
+  ::setenv("MRPF_OPT_BUDGET", "0", 1);
+  const env::KnobSnapshot zero = env::snapshot_knobs();
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  ::unsetenv("MRPF_OPT_BUDGET");
+  EXPECT_EQ(malformed.opt_budget, 0);
+  EXPECT_EQ(zero.opt_budget, 0);
+  if (!warned_before) {
+    EXPECT_NE(err.find("ignoring malformed MRPF_OPT_BUDGET"),
+              std::string::npos)
+        << err;
+  }
+  // Unset means unset.
+  EXPECT_EQ(env::snapshot_knobs().opt_budget, 0);
+}
+
 TEST(EnvKnobs, ConcurrentFirstSnapshotsAgreeAndAreRaceFree) {
   // A daemon snapshotting from several startup threads at once must get
   // one consistent answer with no data race (TSan/ASan guard this test).

@@ -211,6 +211,21 @@ TEST(Protocol, StrictDecodeRejectsOutOfRangeAndTrailingBytes) {
   (void)enc;
 }
 
+TEST(Protocol, SchemeByteBoundTracksTheRegistry) {
+  // The wire accepts exactly the registered schemes: the bound is derived
+  // from core::kNumSchemes, never hard-coded, so a newly registered
+  // scheme (bnb is the seventh) is accepted without protocol changes.
+  SynthRequest req;
+  req.bank = kPaperExample;
+  std::vector<std::uint8_t> enc = encode_synth_request(req);
+  // Byte 0 is the scheme tag: the highest registered value decodes...
+  enc[0] = static_cast<std::uint8_t>(core::kNumSchemes - 1);
+  EXPECT_EQ(decode_synth_request(enc).scheme, core::Scheme::kBnb);
+  // ...and one past it is a data error, not a trusted enum.
+  enc[0] = static_cast<std::uint8_t>(core::kNumSchemes);
+  EXPECT_THROW(decode_synth_request(enc), Error);
+}
+
 TEST(Protocol, ErrorAndStatsFramesRoundTrip) {
   const ErrorFrame err{ErrorCode::kSolveFailed, "it broke"};
   const ErrorFrame err_back = decode_error(encode_error(err));
@@ -513,17 +528,37 @@ TEST(Server, StatsCountersTrackTraffic) {
 TEST(Server, EnvKnobsAreSnapshottedOnceAtConfigTime) {
   ::setenv("MRPF_THREADS", "2", 1);
   ::setenv("MRPF_CACHE", "16", 1);
+  ::setenv("MRPF_OPT_BUDGET", "50000", 1);
   const ServeConfig config = serve_config_from_env();
-  ::setenv("MRPF_CACHE", "off", 1);  // too late: the snapshot is taken
+  ::setenv("MRPF_CACHE", "off", 1);    // too late: the snapshot is taken
+  ::setenv("MRPF_OPT_BUDGET", "7", 1);  // likewise
   ::unsetenv("MRPF_THREADS");
   EXPECT_EQ(config.knobs.threads, 2);
   EXPECT_FALSE(config.knobs.cache_disabled);
   EXPECT_EQ(config.knobs.cache_max_bytes, std::size_t{16} << 20);
+  EXPECT_EQ(config.knobs.opt_budget, 50000);
 
   ServerFixture fx(config, "snapshot");
   EXPECT_EQ(fx.server.workers(), 2);
   EXPECT_NE(fx.server.cache(), nullptr);  // MRPF_CACHE=off never seen
+
+  // A bnb solve through the daemon runs under the snapshotted budget —
+  // the solve path never re-reads the (since changed) environment — and
+  // is bit-identical to a direct solve with that budget made explicit.
+  {
+    ServeClient client = fx.client();
+    SynthRequest req;
+    req.bank = kPaperExample;
+    req.scheme = core::Scheme::kBnb;
+    const SynthResponse resp = client.synth(req);
+    core::MrpOptions direct;
+    direct.opt_budget = 50000;
+    const core::SchemeResult expect =
+        core::optimize_bank(kPaperExample, core::Scheme::kBnb, direct);
+    EXPECT_EQ(verify::plan_mismatch(resp.plan, expect.plan), std::nullopt);
+  }
   ::unsetenv("MRPF_CACHE");
+  ::unsetenv("MRPF_OPT_BUDGET");
 
   // And a snapshot that DID see the disable turns caching off entirely.
   ::setenv("MRPF_CACHE", "off", 1);

@@ -37,7 +37,7 @@ TEST(FuzzGenerate, DeterministicAndRoundRobinOverSchemes) {
     EXPECT_EQ(a.align, b.align);
     EXPECT_EQ(a.scheme, b.scheme);
     EXPECT_EQ(a.input_bits, b.input_bits);
-    // Round-robin: case i exercises scheme i mod 6.
+    // Round-robin: case i exercises scheme i mod kNumSchemes.
     EXPECT_EQ(a.scheme, core::all_schemes()[i % core::kNumSchemes]);
     ASSERT_FALSE(a.coefficients.empty());
     bool any_nonzero = false;
@@ -155,12 +155,12 @@ TEST(FuzzPlanMismatch, DetectsEveryCorruptionRunCaseRestsOn) {
 TEST(FuzzRun, ReportAccountingAndInjectedFailureDetail) {
   FuzzConfig config;
   config.seed = 5;
-  config.cases = 6;
+  config.cases = static_cast<std::size_t>(core::kNumSchemes);
   config.inject = FaultKind::kOpShift;
   const FuzzReport report = run_fuzz(config);
-  EXPECT_EQ(report.cases_run, 6u);
-  EXPECT_EQ(report.failures, 6u);
-  EXPECT_EQ(report.failure_detail.size(), 6u);
+  EXPECT_EQ(report.cases_run, config.cases);
+  EXPECT_EQ(report.failures, config.cases);
+  EXPECT_EQ(report.failure_detail.size(), config.cases);
   for (int s = 0; s < core::kNumSchemes; ++s) {
     EXPECT_EQ(report.per_scheme[static_cast<std::size_t>(s)].cases, 1u);
   }
@@ -169,7 +169,8 @@ TEST(FuzzRun, ReportAccountingAndInjectedFailureDetail) {
     EXPECT_LE(f.shrunk.coefficients.size(), f.original.coefficients.size());
   }
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"failures\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"failures\": " + std::to_string(config.cases)),
+            std::string::npos);
   EXPECT_NE(json.find("\"per_oracle\""), std::string::npos);
   EXPECT_NE(json.find("\"replay\""), std::string::npos);
 }

@@ -57,6 +57,7 @@ using namespace mrpf;
                "  --scheme NAME               scheme (default simple)\n"
                "  --input-bits N              data width (default 10)\n"
                "  --beta B --depth D --recursive N --l-max L\n"
+               "  --opt-budget N              bnb search-step budget\n"
                "  --rep spt|csd|sm            number representation\n"
                "ci mode:\n"
                "  --ci                        fixed-seed smoke gate\n");
@@ -127,7 +128,7 @@ bool write_json(const verify::FuzzReport& report, const std::string& path) {
 int run_ci(const std::string& json_path) {
   verify::FuzzConfig config;
   config.seed = 0xF022;
-  config.cases = 504;  // >= 500 and divisible by 6: even scheme coverage
+  config.cases = 504;  // >= 500 and divisible by 7: even scheme coverage
   std::printf("ci: honest pass (%zu cases, seed 0x%llX)\n", config.cases,
               static_cast<unsigned long long>(config.seed));
   const verify::FuzzReport report = verify::run_fuzz(config);
@@ -258,6 +259,8 @@ int main(int argc, char** argv) {
       replay.options.recursive_levels = std::atoi(value().c_str());
     } else if (arg == "--l-max") {
       replay.options.l_max = std::atoi(value().c_str());
+    } else if (arg == "--opt-budget") {
+      replay.options.opt_budget = std::atoll(value().c_str());
     } else if (arg == "--rep") {
       const std::string r = value();
       if (r == "spt") replay.options.rep = number::NumberRep::kSpt;
