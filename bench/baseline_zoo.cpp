@@ -6,14 +6,17 @@
 //
 // The unified schemes (simple, cse, diff-mst, rag-n, mrpf, mrpf+cse, bnb)
 // run through core::optimize_bank_batch — one SchemeDriver pipeline with a
-// live solve cache per scheme, a cold pass and a warm pass — so the zoo
-// doubles as the per-scheme pipeline benchmark. DECOR and MSD-CSE are not
-// flow schemes and keep their direct calls. Emits BENCH_schemes.json
-// (per-scheme adders, optimize/lowering ns, cache hits/misses).
+// live solve cache per scheme, a cold pass, a pass-on batch (the e-graph
+// rewrite pass in the same cache, exercising the disjoint key namespaces)
+// and a warm pass — so the zoo doubles as the per-scheme pipeline
+// benchmark. DECOR and MSD-CSE are not flow schemes and keep their direct
+// calls. Emits BENCH_schemes.json (per-scheme adders, pass-on adders,
+// optimize/lowering ns, cache hits/misses).
 //
 // `--ci` reduces the catalog and gates only on deterministic properties:
 // a 100% warm-pass hit rate per scheme, cross-checked simple/cse columns,
-// and bnb never above its own greedy upper bound (the mrpf column).
+// bnb never above its own greedy upper bound (the mrpf column), and the
+// e-graph pass never costing any scheme an adder on any filter.
 #include <array>
 #include <chrono>
 #include <cstdio>
@@ -24,6 +27,7 @@
 #include "mrpf/baseline/simple.hpp"
 #include "mrpf/cache/solve_cache.hpp"
 #include "mrpf/common/parallel.hpp"
+#include "mrpf/core/mrp.hpp"
 #include "mrpf/core/scheme.hpp"
 #include "mrpf/cse/msd_cse.hpp"
 
@@ -41,6 +45,7 @@ double now_ns() {
 
 struct SchemeRun {
   std::vector<core::SchemeResult> results;
+  std::vector<core::SchemeResult> xform_results;  // e-graph pass on
   double cold_ns = 0;
   double warm_ns = 0;
   double optimize_ns = 0;  // summed driver-optimize stage over the batch
@@ -48,6 +53,7 @@ struct SchemeRun {
   u64 warm_hits = 0;
   u64 warm_misses = 0;
   int total_adders = 0;
+  int xform_total_adders = 0;
 };
 
 }  // namespace
@@ -83,6 +89,17 @@ int main(int argc, char** argv) {
     const double cold_t0 = now_ns();
     run.results = core::optimize_bank_batch(banks, scheme, opts);
     run.cold_ns = now_ns() - cold_t0;
+    // Pass-on batch in the SAME cache: xform keys live in a disjoint
+    // namespace, so the pass-off warm replay below must still be pure
+    // hits. The budget is pinned so the zoo reproduces bit-exactly
+    // regardless of MRPF_XFORM_BUDGET in the environment.
+    core::MrpOptions xform_opts = opts;
+    xform_opts.passes.xform = true;
+    xform_opts.passes.xform_budget = core::kDefaultXformBudget;
+    run.xform_results = core::optimize_bank_batch(banks, scheme, xform_opts);
+    for (const core::SchemeResult& r : run.xform_results) {
+      run.xform_total_adders += r.multiplier_adders;
+    }
     const cache::CacheStats cold_stats = cache.stats();
     const double warm_t0 = now_ns();
     const std::vector<core::SchemeResult> warm =
@@ -150,16 +167,25 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   bool warm_all_hits = true;
+  bool xform_never_worse = true;
   std::printf("\nper-scheme pipeline (cold batch -> warm cache replay):\n");
   for (const core::Scheme scheme : core::all_schemes()) {
     const SchemeRun& run = runs[static_cast<std::size_t>(scheme)];
     warm_all_hits = warm_all_hits && run.warm_misses == 0;
+    // Never-worse-than-input is the pass's per-plan contract; check it on
+    // every filter, not just in aggregate.
+    for (std::size_t i = 0; i < run.results.size(); ++i) {
+      xform_never_worse =
+          xform_never_worse && run.xform_results[i].multiplier_adders <=
+                                   run.results[i].multiplier_adders;
+    }
     std::printf(
-        "  %-9s adders %5d  optimize %10.0f ns  lowering %9.0f ns  "
-        "cold %10.0f ns  warm %9.0f ns  warm hits/misses %llu/%llu\n",
-        core::to_string(scheme).c_str(), run.total_adders, run.optimize_ns,
-        run.lowering_ns, run.cold_ns, run.warm_ns,
-        static_cast<unsigned long long>(run.warm_hits),
+        "  %-9s adders %5d  +xform %5d  optimize %10.0f ns  "
+        "lowering %9.0f ns  cold %10.0f ns  warm %9.0f ns  "
+        "warm hits/misses %llu/%llu\n",
+        core::to_string(scheme).c_str(), run.total_adders,
+        run.xform_total_adders, run.optimize_ns, run.lowering_ns, run.cold_ns,
+        run.warm_ns, static_cast<unsigned long long>(run.warm_hits),
         static_cast<unsigned long long>(run.warm_misses));
   }
 
@@ -195,12 +221,14 @@ int main(int argc, char** argv) {
         core::all_schemes()[static_cast<std::size_t>(s)];
     const SchemeRun& run = runs[static_cast<std::size_t>(s)];
     std::fprintf(out,
-                 "    \"%s\": {\"adders\": %d, \"optimize_ns\": %.0f,"
+                 "    \"%s\": {\"adders\": %d, \"xform_adders\": %d,"
+                 " \"optimize_ns\": %.0f,"
                  " \"lowering_ns\": %.0f, \"cold_ns\": %.0f,"
                  " \"warm_ns\": %.0f, \"cache_hits\": %llu,"
                  " \"cache_misses\": %llu}%s\n",
                  core::to_string(scheme).c_str(), run.total_adders,
-                 run.optimize_ns, run.lowering_ns, run.cold_ns, run.warm_ns,
+                 run.xform_total_adders, run.optimize_ns, run.lowering_ns,
+                 run.cold_ns, run.warm_ns,
                  static_cast<unsigned long long>(run.warm_hits),
                  static_cast<unsigned long long>(run.warm_misses),
                  s + 1 < core::kNumSchemes ? "," : "");
@@ -208,10 +236,12 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "  },\n"
                "  \"columns_consistent\": %s,\n"
-               "  \"warm_pass_all_hits\": %s\n"
+               "  \"warm_pass_all_hits\": %s,\n"
+               "  \"xform_never_worse\": %s\n"
                "}\n",
                columns_consistent ? "true" : "false",
-               warm_all_hits ? "true" : "false");
+               warm_all_hits ? "true" : "false",
+               xform_never_worse ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", json_name);
 
@@ -223,6 +253,12 @@ int main(int argc, char** argv) {
   }
   if (!warm_all_hits) {
     std::fprintf(stderr, "gate: warm pass missed the cache\n");
+    return 1;
+  }
+  if (!xform_never_worse) {
+    std::fprintf(stderr,
+                 "gate: the e-graph pass cost a scheme adders on some "
+                 "filter\n");
     return 1;
   }
   return 0;

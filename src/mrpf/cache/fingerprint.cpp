@@ -45,11 +45,13 @@ SolveOptionsTag options_tag(const core::MrpOptions& options) {
   SolveOptionsTag tag;
   tag.beta_bits = std::bit_cast<u64>(options.beta);
   tag.opt_budget = static_cast<u64>(options.opt_budget);
+  tag.xform_budget = static_cast<u64>(options.passes.xform_budget);
   tag.l_max = options.l_max;
   tag.depth_limit = options.depth_limit;
   tag.rep = static_cast<std::uint8_t>(options.rep);
   tag.cse_on_seed = options.cse_on_seed ? 1 : 0;
   tag.recursive_levels = static_cast<std::uint8_t>(options.recursive_levels);
+  tag.xform = options.passes.xform ? 1 : 0;
   tag.scheme = static_cast<std::uint8_t>(
       options.cse_on_seed ? core::Scheme::kMrpCse : core::Scheme::kMrp);
   return tag;
@@ -77,11 +79,13 @@ u64 solve_key(core::Scheme scheme, const std::vector<i64>& bank,
 u64 solve_key(u64 content_hash, const SolveOptionsTag& tag) {
   u64 h = fnv1a64_word(tag.beta_bits, content_hash);
   h = fnv1a64_word(tag.opt_budget, h);
+  h = fnv1a64_word(tag.xform_budget, h);
   h = fnv1a64_word((static_cast<u64>(static_cast<std::uint32_t>(tag.l_max))
                     << 32) |
                        static_cast<std::uint32_t>(tag.depth_limit),
                    h);
-  h = fnv1a64_word((static_cast<u64>(tag.scheme) << 24) |
+  h = fnv1a64_word((static_cast<u64>(tag.xform) << 32) |
+                       (static_cast<u64>(tag.scheme) << 24) |
                        (static_cast<u64>(tag.rep) << 16) |
                        (static_cast<u64>(tag.cse_on_seed) << 8) |
                        tag.recursive_levels,

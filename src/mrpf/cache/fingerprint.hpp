@@ -76,12 +76,19 @@ struct SolveOptionsTag {
   /// Resolved kBnb search budget (0 for every other scheme — their drivers
   /// reset the knob, so budget changes never fragment their namespaces).
   u64 opt_budget = 0;
+  /// Resolved e-graph pass saturation budget (0 whenever the pass is off —
+  /// canonical_options pins it, so pass-off namespaces never fragment).
+  u64 xform_budget = 0;
   std::int32_t l_max = 0;
   std::int32_t depth_limit = 0;
   std::uint8_t rep = 0;
   std::uint8_t cse_on_seed = 0;
   std::uint8_t recursive_levels = 0;
   std::uint8_t scheme = 0;  // core::Scheme of the plan (cache namespace)
+  /// 1 when the e-graph pass ran over the stored plan. Pass-on and
+  /// pass-off entries are disjoint namespaces: a pass-off probe must never
+  /// rehydrate a rewritten plan, and vice versa.
+  std::uint8_t xform = 0;
 
   bool operator==(const SolveOptionsTag&) const = default;
 };

@@ -31,13 +31,15 @@ void append_u64(std::vector<std::uint8_t>& out, u64 v) {
 
 void append_tag(std::vector<std::uint8_t>& out, const SolveOptionsTag& tag) {
   append_u64(out, tag.beta_bits);
-  append_u64(out, tag.opt_budget);  // file version 3: tag grew to 28 bytes
+  append_u64(out, tag.opt_budget);   // file version 3: tag grew to 28 bytes
+  append_u64(out, tag.xform_budget); // file version 4: tag grew to 37 bytes
   append_u32(out, static_cast<std::uint32_t>(tag.l_max));
   append_u32(out, static_cast<std::uint32_t>(tag.depth_limit));
   out.push_back(tag.rep);
   out.push_back(tag.cse_on_seed);
   out.push_back(tag.recursive_levels);
   out.push_back(tag.scheme);
+  out.push_back(tag.xform);
 }
 
 struct ByteReader {
@@ -163,15 +165,17 @@ bool load_solve_cache(SolveCache& cache, const std::string& path) {
   try {
     for (u64 e = 0; e < count; ++e) {
       Staged s;
-      if (!r.need(28)) return false;  // tag: 2x u64 + 2x u32 + 4x u8
+      if (!r.need(37)) return false;  // tag: 3x u64 + 2x u32 + 5x u8
       s.tag.beta_bits = r.u64v();
       s.tag.opt_budget = r.u64v();
+      s.tag.xform_budget = r.u64v();
       s.tag.l_max = static_cast<std::int32_t>(r.u32());
       s.tag.depth_limit = static_cast<std::int32_t>(r.u32());
       s.tag.rep = r.u8();
       s.tag.cse_on_seed = r.u8();
       s.tag.recursive_levels = r.u8();
       s.tag.scheme = r.u8();
+      s.tag.xform = r.u8();
       if (!r.need(8)) return false;
       const u64 n = r.u64v();
       if (n > (r.size - r.pos) / 8) return false;

@@ -14,8 +14,9 @@
 // *whole file* — load_solve_cache returns false and the cache is left
 // untouched, so a corrupt or stale store silently degrades to a cold
 // cache, never to wrong data. Version 1 files (PR-3's MrpResult-only
-// format) and version 2 files (20-byte tag without opt_budget) fail the
-// version check and are rejected cleanly.
+// format), version 2 files (20-byte tag without opt_budget) and version 3
+// files (28-byte tag without the e-graph pass fields) fail the version
+// check and are rejected cleanly.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +27,7 @@
 namespace mrpf::cache {
 
 inline constexpr u64 kCacheFileMagic = 0x31485343'4650524DULL;  // "MRPFCSH1"
-inline constexpr std::uint32_t kCacheFileVersion = 3;
+inline constexpr std::uint32_t kCacheFileVersion = 4;
 
 /// Serializes every cache entry to `path` (atomically enough for the
 /// flow: written to a temp sibling, then renamed). Returns false on I/O

@@ -125,6 +125,14 @@ bool is_canonical_plan(const SolveOptionsTag& tag,
   if (tag.scheme >= static_cast<std::uint8_t>(core::kNumSchemes)) return false;
   const auto scheme = static_cast<core::Scheme>(tag.scheme);
   if (plan.scheme != scheme) return false;
+  // Pass-tag hygiene: pass-off entries carry neither a resolved budget nor
+  // xform provenance; pass-on tags always carry the resolved budget (the
+  // canonical options pin it to >= 1 whenever the pass is on).
+  if (tag.xform > 1) return false;
+  if (tag.xform == 0 && (tag.xform_budget != 0 || plan.xform.has_value())) {
+    return false;
+  }
+  if (tag.xform == 1 && tag.xform_budget == 0) return false;
   if (is_trivial_bank(canonical)) return false;  // never cached
   if (plan.taps.size() != canonical.size()) return false;
   if (uses_mrp_canonical_form(scheme)) {

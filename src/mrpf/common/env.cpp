@@ -138,6 +138,20 @@ KnobSnapshot snapshot_knobs() {
                     "built-in search budget");
     }
   }
+  if (const char* v = std::getenv("MRPF_XFORM_BUDGET")) {
+    // Clamp mirrors core::kMaxXformBudget (common/ stays free of core
+    // types).
+    const ParsedInt p = parse_positive_int(v, 1'000'000'000'000);
+    if (p.well_formed) {
+      s.xform_budget = p.value;
+    } else {
+      warn_once("MRPF_XFORM_BUDGET",
+                "mrpf: ignoring malformed MRPF_XFORM_BUDGET=\"" +
+                    std::string(v) +
+                    "\" — expected a decimal integer >= 1; using the "
+                    "built-in saturation budget");
+    }
+  }
   if (const char* v = std::getenv("MRPF_EXEC")) {
     const ParsedExecMode m = parse_exec_mode(v);
     if (m.well_formed) {

@@ -69,10 +69,14 @@ struct KnobSnapshot {
   /// clamped to 10^12 steps); 0 = unset/malformed (resolve to
   /// core::kDefaultOptBudget at the use site).
   long long opt_budget = 0;
+  /// MRPF_XFORM_BUDGET, same grammar and clamp as opt_budget; 0 =
+  /// unset/malformed (resolve to core::kDefaultXformBudget at the use
+  /// site). Only a budget: the knob never turns the e-graph pass on.
+  long long xform_budget = 0;
 };
 
-/// Reads MRPF_THREADS, MRPF_CACHE, MRPF_EXEC and MRPF_OPT_BUDGET once
-/// each, applying the
+/// Reads MRPF_THREADS, MRPF_CACHE, MRPF_EXEC, MRPF_OPT_BUDGET and
+/// MRPF_XFORM_BUDGET once each, applying the
 /// shared strict grammars. Malformed values warn_once (same keys as the
 /// lazy per-call readers, so a process never warns twice for one knob)
 /// and leave the corresponding field at its default. Thread-safe:

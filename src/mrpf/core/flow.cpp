@@ -8,6 +8,7 @@
 #include "mrpf/cache/session.hpp"
 #include "mrpf/common/error.hpp"
 #include "mrpf/common/parallel.hpp"
+#include "mrpf/core/pass_manager.hpp"
 #include "mrpf/core/scheme_driver.hpp"
 #include "mrpf/filter/symmetric.hpp"
 
@@ -31,10 +32,13 @@ std::optional<cache::SolveCacheSession> open_cache_session(MrpOptions& opts) {
 }
 
 /// One (bank, scheme, options) synthesis through the unified pipeline:
-/// cache probe → driver optimize (publishing the fresh plan) → the one
-/// shared lowering path. `options` must already be the driver's canonical
-/// options. On a hit the plan's optimize/stage timers travel from the
-/// original solve; the lowering sample is always from this call.
+/// cache probe → driver optimize (publishing the fresh plan) → plan
+/// passes (the e-graph rewriter, when enabled) → the one shared lowering
+/// path. `options` must already be the driver's canonical options. Passes
+/// run between optimize and the cache put, so cached plans are post-pass
+/// and a hit rehydrates the rewritten plan bit-identically. On a hit the
+/// plan's optimize/stage timers travel from the original solve; the
+/// lowering sample is always from this call.
 SchemeResult solve_and_lower(const std::vector<i64>& bank,
                              const SchemeDriver& driver,
                              const MrpOptions& options,
@@ -56,6 +60,7 @@ SchemeResult solve_and_lower(const std::vector<i64>& bank,
     }
     optimize.items = static_cast<std::uint64_t>(bank.size());
     plan.timers.optimize = optimize;
+    apply_plan_passes(bank, options, plan);
     if (options.cache != nullptr) {
       options.cache->put_plan(bank, scheme, options, plan);
     }

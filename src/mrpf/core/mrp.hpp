@@ -25,6 +25,27 @@ namespace mrpf::core {
 
 class SolveCacheHook;
 
+/// Plan-pass pipeline configuration (core/pass_manager.hpp): which passes
+/// run between the SchemeDriver and lower_plan. Carried in canonical
+/// options so the pass set a plan was produced with is part of the
+/// solve-cache fingerprint — pass-on and pass-off entries never mix.
+struct PassConfig {
+  /// Run the e-graph equality-saturation rewrite pass (src/mrpf/xform)
+  /// over the driver's plan before lowering. Off by default, and enabling
+  /// is always explicit (mrpf_synth --xform, mrpf_serve --xform, bench or
+  /// fuzz config) — MRPF_XFORM_BUDGET alone never turns the pass on.
+  bool xform = false;
+  /// Deterministic saturation-step budget of the e-graph pass. 0 means
+  /// "unset": when the pass is enabled, canonical_options resolves it from
+  /// MRPF_XFORM_BUDGET (same grammar as MRPF_OPT_BUDGET) or
+  /// kDefaultXformBudget, so the value the pass actually ran with always
+  /// lands in the cache tag. Pinned to 0 whenever the pass is off, so
+  /// pass-off fingerprints never fragment by budget.
+  long long xform_budget = 0;
+
+  bool operator==(const PassConfig&) const = default;
+};
+
 struct MrpOptions {
   number::NumberRep rep = number::NumberRep::kSpt;
   /// Benefit trade-off: f = β·frequency − (1−β)·cost (paper eq. 1).
@@ -45,6 +66,10 @@ struct MrpOptions {
   /// value the solve actually ran with always lands in the cache tag.
   /// Result-relevant for kBnb only; every other driver resets it to 0.
   long long opt_budget = 0;
+  /// Plan passes to run between the driver and lowering. Result-relevant
+  /// for every scheme (the e-graph pass can rewrite any plan), so every
+  /// driver's canonical_options resolves it instead of resetting it.
+  PassConfig passes;
   /// Route stage A through the pre-optimization reference kernels
   /// (map-based color graph, full-rescan set cover and root selection).
   /// Differential testing and perf baselines only — the result is
@@ -84,6 +109,16 @@ inline constexpr long long kDefaultOptBudget = 2'000'000;
 /// Upper clamp of the MRPF_OPT_BUDGET grammar (absurd budgets are almost
 /// certainly typos; the clamp keeps the knob forgiving).
 inline constexpr long long kMaxOptBudget = 1'000'000'000'000;
+
+/// Default e-graph saturation budget when the pass is enabled but neither
+/// PassConfig::xform_budget nor MRPF_XFORM_BUDGET picks one. Calibrated so
+/// the W=12 catalog saturates to a fixpoint on every bank while a fuzz
+/// case stays well under a millisecond.
+inline constexpr long long kDefaultXformBudget = 500'000;
+
+/// Upper clamp of the MRPF_XFORM_BUDGET grammar (same rationale as
+/// kMaxOptBudget).
+inline constexpr long long kMaxXformBudget = 1'000'000'000'000;
 
 /// One committed computation-order edge: child = σ·(parent<<L) ± ξ.
 struct TreeEdge {

@@ -1,0 +1,103 @@
+#include "mrpf/core/pass_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mrpf/common/bits.hpp"
+#include "mrpf/common/error.hpp"
+#include "mrpf/xform/egraph.hpp"
+
+namespace mrpf::core {
+
+namespace {
+
+/// Sorted unique odd parts of the bank's non-zero constants — the values
+/// the e-graph must realize. This depends only on the bank's odd-part set,
+/// which is identical across MRP-equivalent banks, so a cached pass-on
+/// plan rehydrates to exactly what a fresh pass-on solve produces.
+std::vector<i64> odd_targets(const std::vector<i64>& bank) {
+  std::vector<i64> targets;
+  targets.reserve(bank.size());
+  for (const i64 c : bank) {
+    if (c != 0) targets.push_back(odd_part(c));
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  return targets;
+}
+
+}  // namespace
+
+bool apply_plan_passes(const std::vector<i64>& bank, const MrpOptions& options,
+                       SynthPlan& plan) {
+  if (!options.passes.xform) return false;
+  const long long budget = options.passes.xform_budget > 0
+                               ? options.passes.xform_budget
+                               : kDefaultXformBudget;
+
+  long long steps = 0;
+  bool saturated = false;
+  xform::Extraction extraction;
+  try {
+    xform::EGraph egraph(plan.ops, odd_targets(bank));
+    {
+      StageStopwatch watch(plan.timers.xform_saturate);
+      steps = egraph.saturate(budget);
+    }
+    plan.timers.xform_saturate.items = static_cast<std::uint64_t>(steps);
+    saturated = egraph.saturated();
+    {
+      StageStopwatch watch(plan.timers.xform_extract);
+      extraction = egraph.extract();
+    }
+    plan.timers.xform_extract.items = extraction.ops.size();
+  } catch (const Error&) {
+    // Out-of-range targets or a lost construction: keep the driver's plan.
+    plan.timers.xform_fallback.items = 3;
+    return false;
+  }
+
+  if (extraction.adders() >= plan.analytic_adders) {
+    // Never worse by construction: the rewrite must strictly win to
+    // replace the plan (a tie keeps the driver's plan, whose provenance
+    // and structure downstream consumers already understand).
+    plan.timers.xform_fallback.items = saturated ? 1 : 2;
+    return false;
+  }
+
+  SynthPlan trial;
+  trial.scheme = plan.scheme;
+  trial.analytic_adders = extraction.adders();
+  trial.ops = std::move(extraction.ops);
+  trial.taps.reserve(bank.size());
+  for (const i64 c : bank) {
+    arch::Tap tap;
+    tap.constant = c;
+    if (c != 0) {
+      tap.node = extraction.node_of.at(odd_part(c));
+      tap.shift = trailing_zeros(c);
+      tap.negate = c < 0;
+    }
+    trial.taps.push_back(tap);
+  }
+  try {
+    (void)lower_plan(bank, trial);
+  } catch (const Error&) {
+    // Defensive: a rewrite that does not re-lower bit-exactly is discarded.
+    plan.timers.xform_fallback.items = 3;
+    return false;
+  }
+
+  XformInfo info;
+  info.original_adders = plan.analytic_adders;
+  info.steps = steps;
+  info.saturated = saturated;
+  plan.ops = std::move(trial.ops);
+  plan.taps = std::move(trial.taps);
+  plan.analytic_adders = trial.analytic_adders;
+  plan.xform = info;
+  plan.timers.xform_fallback.items = 0;
+  return true;
+}
+
+}  // namespace mrpf::core

@@ -1,0 +1,28 @@
+// The plan-pass pipeline: the layer between the SchemeDrivers and
+// lower_plan. A pass may rewrite a SynthPlan's ops/taps/cost in place but
+// must preserve what the plan computes (every tap still realizes its
+// constant) and must never make it worse — a pass keeps the incoming plan
+// whenever its rewrite does not strictly win. The flow layer runs the
+// passes between driver.optimize and the cache put, so cached plans are
+// post-pass plans and pass-on/pass-off cache entries stay disjoint (the
+// pass config is part of the solve fingerprint).
+//
+// The first (and so far only) pass is the e-graph equality-saturation
+// rewriter (src/mrpf/xform), enabled by MrpOptions::passes.xform.
+#pragma once
+
+#include <vector>
+
+#include "mrpf/core/synth_plan.hpp"
+
+namespace mrpf::core {
+
+/// Runs the enabled plan passes over `plan` in place. `options` must be
+/// canonical (the driver's canonical_options already resolved the pass
+/// budget). Returns true when a pass replaced the plan; on any internal
+/// pass failure the incoming plan is kept untouched (outcome recorded in
+/// plan.timers.xform_fallback — see stage_timers.hpp for the tag values).
+bool apply_plan_passes(const std::vector<i64>& bank, const MrpOptions& options,
+                       SynthPlan& plan);
+
+}  // namespace mrpf::core

@@ -1,0 +1,205 @@
+#include "mrpf/core/plan_equality.hpp"
+
+#include "mrpf/common/format.hpp"
+
+namespace mrpf::core {
+
+std::optional<std::string> cse_mismatch(const cse::CseResult& a,
+                                        const cse::CseResult& b) {
+  if (a.subexpressions.size() != b.subexpressions.size()) {
+    return std::string("cse subexpression count differs");
+  }
+  for (std::size_t i = 0; i < a.subexpressions.size(); ++i) {
+    const cse::Subexpression& x = a.subexpressions[i];
+    const cse::Subexpression& y = b.subexpressions[i];
+    if (x.pattern.sym_a != y.pattern.sym_a ||
+        x.pattern.sym_b != y.pattern.sym_b ||
+        x.pattern.rel_shift != y.pattern.rel_shift ||
+        x.pattern.rel_negate != y.pattern.rel_negate || x.value != y.value) {
+      return str_format("cse subexpression %zu differs", i);
+    }
+  }
+  if (a.expressions.size() != b.expressions.size()) {
+    return std::string("cse expression count differs");
+  }
+  for (std::size_t i = 0; i < a.expressions.size(); ++i) {
+    if (a.expressions[i].size() != b.expressions[i].size()) {
+      return str_format("cse expression %zu term count differs", i);
+    }
+    for (std::size_t t = 0; t < a.expressions[i].size(); ++t) {
+      const cse::Term& x = a.expressions[i][t];
+      const cse::Term& y = b.expressions[i][t];
+      if (x.symbol != y.symbol || x.shift != y.shift ||
+          x.negate != y.negate) {
+        return str_format("cse expression %zu term %zu differs", i, t);
+      }
+    }
+  }
+  if (a.constants != b.constants) return std::string("cse constants differ");
+  return std::nullopt;
+}
+
+std::optional<std::string> mrp_mismatch(const MrpResult& a,
+                                        const MrpResult& b) {
+  if (a.bank.primaries != b.bank.primaries) {
+    return std::string("mrp primaries differ");
+  }
+  if (a.bank.refs.size() != b.bank.refs.size()) {
+    return std::string("mrp bank ref count differs");
+  }
+  for (std::size_t i = 0; i < a.bank.refs.size(); ++i) {
+    const PrimaryBank::Ref& x = a.bank.refs[i];
+    const PrimaryBank::Ref& y = b.bank.refs[i];
+    if (x.vertex != y.vertex || x.shift != y.shift || x.negate != y.negate) {
+      return str_format("mrp bank ref %zu differs", i);
+    }
+  }
+  if (a.vertices != b.vertices) return std::string("mrp vertices differ");
+  if (a.solution_colors != b.solution_colors) {
+    return std::string("mrp solution colors differ");
+  }
+  if (a.roots != b.roots) return std::string("mrp roots differ");
+  if (a.root_is_free != b.root_is_free) {
+    return std::string("mrp root_is_free differs");
+  }
+  if (a.vertex_depth != b.vertex_depth) {
+    return std::string("mrp vertex depths differ");
+  }
+  if (a.tree_height != b.tree_height) {
+    return std::string("mrp tree height differs");
+  }
+  if (a.seed_values != b.seed_values) {
+    return std::string("mrp seed values differ");
+  }
+  if (a.seed_adders != b.seed_adders ||
+      a.overhead_adders != b.overhead_adders) {
+    return std::string("mrp adder counts differ");
+  }
+  if (a.tree_edges.size() != b.tree_edges.size()) {
+    return std::string("mrp tree edge count differs");
+  }
+  for (std::size_t i = 0; i < a.tree_edges.size(); ++i) {
+    const TreeEdge& x = a.tree_edges[i];
+    const TreeEdge& y = b.tree_edges[i];
+    if (x.depth != y.depth || x.edge.from != y.edge.from ||
+        x.edge.to != y.edge.to || x.edge.l != y.edge.l ||
+        x.edge.pred_negate != y.edge.pred_negate || x.edge.xi != y.edge.xi ||
+        x.edge.color != y.edge.color ||
+        x.edge.color_shift != y.edge.color_shift ||
+        x.edge.color_negate != y.edge.color_negate) {
+      return str_format("mrp tree edge %zu differs", i);
+    }
+  }
+  if (a.seed_cse.has_value() != b.seed_cse.has_value()) {
+    return std::string("mrp seed CSE presence differs");
+  }
+  if (a.seed_cse.has_value()) {
+    if (auto m = cse_mismatch(*a.seed_cse, *b.seed_cse)) {
+      return "seed " + *m;
+    }
+  }
+  if ((a.seed_recursive != nullptr) != (b.seed_recursive != nullptr)) {
+    return std::string("mrp recursive SEED presence differs");
+  }
+  if (a.seed_recursive != nullptr) {
+    if (auto m = mrp_mismatch(*a.seed_recursive, *b.seed_recursive)) {
+      return "recursive " + *m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> block_mismatch(const arch::MultiplierBlock& a,
+                                          const arch::MultiplierBlock& b) {
+  if (a.graph.num_nodes() != b.graph.num_nodes()) {
+    return std::string("re-lowered node count differs");
+  }
+  for (int node = 1; node < a.graph.num_nodes(); ++node) {
+    const arch::AdderOp& x = a.graph.op(node);
+    const arch::AdderOp& y = b.graph.op(node);
+    if (x.a != y.a || x.b != y.b || x.shift_a != y.shift_a ||
+        x.shift_b != y.shift_b || x.subtract != y.subtract) {
+      return str_format("re-lowered op for node %d differs", node);
+    }
+  }
+  if (a.taps.size() != b.taps.size()) {
+    return std::string("re-lowered tap count differs");
+  }
+  for (std::size_t i = 0; i < a.taps.size(); ++i) {
+    const arch::Tap& x = a.taps[i];
+    const arch::Tap& y = b.taps[i];
+    if (x.node != y.node || x.shift != y.shift || x.negate != y.negate ||
+        x.constant != y.constant) {
+      return str_format("re-lowered tap %zu differs", i);
+    }
+  }
+  if (a.constants != b.constants) {
+    return std::string("re-lowered constants differ");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> stream_mismatch(const std::vector<i64>& expect,
+                                           const std::vector<i64>& got,
+                                           const char* what) {
+  if (expect.size() != got.size()) {
+    return str_format("%s produced %zu samples, expected %zu", what,
+                      got.size(), expect.size());
+  }
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    if (expect[i] != got[i]) {
+      return str_format("%s diverges at sample %zu: %lld vs %lld", what, i,
+                        static_cast<long long>(got[i]),
+                        static_cast<long long>(expect[i]));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> plan_mismatch(const SynthPlan& a,
+                                         const SynthPlan& b) {
+  if (a.scheme != b.scheme) return std::string("scheme differs");
+  if (a.analytic_adders != b.analytic_adders) {
+    return str_format("analytic adders differ: %d vs %d", a.analytic_adders,
+                      b.analytic_adders);
+  }
+  if (a.ops.size() != b.ops.size()) return std::string("op count differs");
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    const arch::AdderOp& x = a.ops[i];
+    const arch::AdderOp& y = b.ops[i];
+    if (x.a != y.a || x.b != y.b || x.shift_a != y.shift_a ||
+        x.shift_b != y.shift_b || x.subtract != y.subtract) {
+      return str_format("op %zu differs", i);
+    }
+  }
+  if (a.taps.size() != b.taps.size()) return std::string("tap count differs");
+  for (std::size_t i = 0; i < a.taps.size(); ++i) {
+    const arch::Tap& x = a.taps[i];
+    const arch::Tap& y = b.taps[i];
+    if (x.node != y.node || x.shift != y.shift || x.negate != y.negate ||
+        x.constant != y.constant) {
+      return str_format("tap %zu differs", i);
+    }
+  }
+  if (a.mrp.has_value() != b.mrp.has_value()) {
+    return std::string("MRP provenance presence differs");
+  }
+  if (a.mrp.has_value()) {
+    if (auto m = mrp_mismatch(*a.mrp, *b.mrp)) return m;
+  }
+  if (a.cse.has_value() != b.cse.has_value()) {
+    return std::string("CSE provenance presence differs");
+  }
+  if (a.cse.has_value()) {
+    if (auto m = cse_mismatch(*a.cse, *b.cse)) return m;
+  }
+  if (a.xform.has_value() != b.xform.has_value()) {
+    return std::string("xform provenance presence differs");
+  }
+  if (a.xform.has_value() && !(*a.xform == *b.xform)) {
+    return std::string("xform provenance differs");
+  }
+  return std::nullopt;
+}
+
+}  // namespace mrpf::core

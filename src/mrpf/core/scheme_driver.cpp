@@ -19,7 +19,40 @@ namespace mrpf::core {
 
 namespace {
 
+/// Resolves the 0 = "unset" xform_budget convention, mirroring
+/// resolve_opt_budget below: an explicit budget wins, then
+/// MRPF_XFORM_BUDGET (same strict grammar and warn_once key as
+/// env::snapshot_knobs), then kDefaultXformBudget. Only consulted when the
+/// pass is on — a disabled pass pins the budget to 0 and never touches the
+/// environment, so pass-off cache tags stay stable and the daemon's
+/// env-hygiene (knobs snapshotted once at startup) is preserved.
+PassConfig canonical_passes(const PassConfig& requested) {
+  PassConfig p;
+  p.xform = requested.xform;
+  if (!p.xform) return p;
+  if (requested.xform_budget > 0) {
+    p.xform_budget = std::min(requested.xform_budget, kMaxXformBudget);
+    return p;
+  }
+  if (const char* v = std::getenv("MRPF_XFORM_BUDGET")) {
+    const env::ParsedInt parsed = env::parse_positive_int(v, kMaxXformBudget);
+    if (parsed.well_formed) {
+      p.xform_budget = parsed.value;
+      return p;
+    }
+    env::warn_once("MRPF_XFORM_BUDGET",
+                   "mrpf: ignoring malformed MRPF_XFORM_BUDGET=\"" +
+                       std::string(v) +
+                       "\" — expected a decimal integer >= 1; using the "
+                       "built-in saturation budget");
+  }
+  p.xform_budget = kDefaultXformBudget;
+  return p;
+}
+
 /// Resets every MRP-only knob; the baselines read at most options.rep.
+/// The pass config survives (resolved, not reset) — plan passes apply to
+/// every scheme's plan.
 MrpOptions baseline_options(const MrpOptions& options) {
   MrpOptions o = options;
   o.beta = 0.5;
@@ -28,6 +61,7 @@ MrpOptions baseline_options(const MrpOptions& options) {
   o.recursive_levels = 0;
   o.cse_on_seed = false;
   o.opt_budget = 0;
+  o.passes = canonical_passes(options.passes);
   return o;
 }
 
@@ -125,6 +159,7 @@ class MrpDriver final : public SchemeDriver {
     MrpOptions o = options;
     o.cse_on_seed = cse_on_seed_;
     o.opt_budget = 0;
+    o.passes = canonical_passes(options.passes);
     return o;
   }
   SynthPlan optimize(const std::vector<i64>& bank,
@@ -154,6 +189,7 @@ class BnbDriver final : public SchemeDriver {
     MrpOptions o = options;
     o.cse_on_seed = false;
     o.opt_budget = resolve_opt_budget(options.opt_budget);
+    o.passes = canonical_passes(options.passes);
     return o;
   }
   SynthPlan optimize(const std::vector<i64>& bank,

@@ -44,6 +44,15 @@ struct StageTimers {
   /// greedy plan was retained unproven (budget exhausted / bank skipped).
   /// ns stays 0 — the sample is a tag, not a timer.
   StageSample bnb_fallback;
+  StageSample xform_saturate;  // e-graph pass; items: saturation steps spent
+  StageSample xform_extract;   // e-graph pass; items: ops in extracted DAG
+  /// E-graph pass provenance: which plan survived. items: 0 = the rewritten
+  /// plan won (strictly fewer adders), 1 = the driver's plan was kept (no
+  /// improvement at a saturation fixpoint — tie or worse), 2 = the driver's
+  /// plan was kept with the budget exhausted before a fixpoint, 3 = the
+  /// rewritten plan failed re-lowering and was discarded (defensive; never
+  /// expected). ns stays 0 — the sample is a tag, not a timer.
+  StageSample xform_fallback;
   double total_ns = 0.0;       // whole mrp_optimize call
 };
 
@@ -67,6 +76,9 @@ inline void accumulate(StageTimers& into, const StageTimers& from) {
   add(into.exec_run, from.exec_run);
   add(into.bnb_search, from.bnb_search);
   add(into.bnb_fallback, from.bnb_fallback);
+  add(into.xform_saturate, from.xform_saturate);
+  add(into.xform_extract, from.xform_extract);
+  add(into.xform_fallback, from.xform_fallback);
   into.total_ns += from.total_ns;
 }
 

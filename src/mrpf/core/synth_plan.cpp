@@ -16,6 +16,17 @@ Scheme mrp_scheme_of(const MrpOptions& options) {
   return options.cse_on_seed ? Scheme::kMrpCse : Scheme::kMrp;
 }
 
+/// MrpResult-level cache traffic is pre-pass by definition: mrp_optimize's
+/// internal memoization (greedy kBnb sub-solves, recursive SEED solves)
+/// stores driver output the plan passes never saw. Pinning the pass config
+/// off here keeps those entries in the pass-off namespace, so a pass-on
+/// flow solve reuses the same internal entries a pass-off solve would.
+MrpOptions without_passes(const MrpOptions& options) {
+  MrpOptions o = options;
+  o.passes = PassConfig{};
+  return o;
+}
+
 }  // namespace
 
 SynthPlan SynthPlan::clone() const {
@@ -26,6 +37,7 @@ SynthPlan SynthPlan::clone() const {
   out.taps = taps;
   if (mrp.has_value()) out.mrp = mrp->clone();
   out.cse = cse;
+  out.xform = xform;
   out.timers = timers;
   return out;
 }
@@ -98,8 +110,9 @@ SynthPlan make_mrp_plan(const std::vector<i64>& bank, const MrpResult& result,
 
 bool SolveCacheHook::try_get(const std::vector<i64>& bank,
                              const MrpOptions& options, MrpResult& out) {
+  const MrpOptions o = without_passes(options);
   SynthPlan plan;
-  if (!try_get_plan(bank, mrp_scheme_of(options), options, plan)) return false;
+  if (!try_get_plan(bank, mrp_scheme_of(o), o, plan)) return false;
   if (!plan.mrp.has_value()) return false;
   out = std::move(*plan.mrp);
   return true;
@@ -107,13 +120,14 @@ bool SolveCacheHook::try_get(const std::vector<i64>& bank,
 
 void SolveCacheHook::put(const std::vector<i64>& bank,
                          const MrpOptions& options, const MrpResult& result) {
-  put_plan(bank, mrp_scheme_of(options), options,
-           make_mrp_plan(bank, result, options));
+  const MrpOptions o = without_passes(options);
+  put_plan(bank, mrp_scheme_of(o), o, make_mrp_plan(bank, result, o));
 }
 
 u64 SolveCacheHook::solve_key(const std::vector<i64>& bank,
                               const MrpOptions& options) const {
-  return plan_key(bank, mrp_scheme_of(options), options);
+  const MrpOptions o = without_passes(options);
+  return plan_key(bank, mrp_scheme_of(o), o);
 }
 
 }  // namespace mrpf::core

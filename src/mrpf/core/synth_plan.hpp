@@ -17,6 +17,22 @@
 
 namespace mrpf::core {
 
+/// E-graph pass provenance: recorded on a plan when the xform pass
+/// (core/pass_manager.hpp → src/mrpf/xform) replaced the driver's plan
+/// with a cheaper extraction. Absent on untouched plans, so a pass-off
+/// plan and a pass-on plan the pass left alone compare field-for-field
+/// equal to each other.
+struct XformInfo {
+  /// Driver plan cost before the rewrite (analytic adders).
+  int original_adders = 0;
+  /// Saturation steps the e-graph spent (<= the configured budget).
+  long long steps = 0;
+  /// True when saturation reached a fixpoint inside the budget.
+  bool saturated = false;
+
+  bool operator==(const XformInfo&) const = default;
+};
+
 /// Adder-graph-level plan for one coefficient bank (move-only: the MRP
 /// provenance owns its recursive SEED levels).
 struct SynthPlan {
@@ -42,6 +58,11 @@ struct SynthPlan {
   /// uniform pipeline.
   std::optional<MrpResult> mrp;
   std::optional<cse::CseResult> cse;
+
+  /// Present iff the e-graph rewrite pass replaced the driver's plan (the
+  /// mrp/cse provenance above still describes the original solve — the
+  /// pass rewrites ops/taps/cost only and keeps the solve provenance).
+  std::optional<XformInfo> xform;
 
   /// Unified per-solve timers: the MRP stage-A samples (zero for other
   /// schemes) plus the flow-level optimize/lowering samples every scheme

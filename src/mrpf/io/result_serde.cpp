@@ -37,6 +37,9 @@ void write_timers(Writer& w, const core::StageTimers& t) {
   write_sample(w, t.exec_run);
   write_sample(w, t.bnb_search);
   write_sample(w, t.bnb_fallback);
+  write_sample(w, t.xform_saturate);
+  write_sample(w, t.xform_extract);
+  write_sample(w, t.xform_fallback);
   w.f64(t.total_ns);
 }
 
@@ -81,6 +84,9 @@ core::StageTimers read_timers(Reader& r) {
   t.exec_run = read_sample(r);
   t.bnb_search = read_sample(r);
   t.bnb_fallback = read_sample(r);
+  t.xform_saturate = read_sample(r);
+  t.xform_extract = read_sample(r);
+  t.xform_fallback = read_sample(r);
   t.total_ns = r.f64();
   return t;
 }
@@ -224,6 +230,12 @@ void write_plan_payload(Writer& w, const core::SynthPlan& plan) {
   if (plan.mrp.has_value()) write_result_payload(w, *plan.mrp, 0);
   w.u8(plan.cse.has_value() ? 1 : 0);
   if (plan.cse.has_value()) write_cse_payload(w, *plan.cse);
+  w.u8(plan.xform.has_value() ? 1 : 0);
+  if (plan.xform.has_value()) {
+    w.i32(plan.xform->original_adders);
+    w.i64v(plan.xform->steps);
+    w.u8(plan.xform->saturated ? 1 : 0);
+  }
   write_timers(w, plan.timers);
 }
 
@@ -253,6 +265,13 @@ core::SynthPlan read_plan_payload(Reader& r) {
   }
   if (r.u8() != 0) plan.mrp = read_result_payload(r, 0);
   if (r.u8() != 0) plan.cse = read_cse_payload(r);
+  if (r.u8() != 0) {
+    core::XformInfo info;
+    info.original_adders = r.i32();
+    info.steps = r.i64v();
+    info.saturated = r.u8() != 0;
+    plan.xform = info;
+  }
   plan.timers = read_timers(r);
   return plan;
 }

@@ -8,15 +8,16 @@
 //
 // and the payload encodes every SynthPlan field — scheme, analytic adder
 // count, adder ops, taps, the optional MRP provenance (including nested
-// recursive SEED levels and seed CSE), the optional CSE provenance, and
-// the unified stage timers — so a round trip is *exact*:
-// deserialize(serialize(p)) compares field-for-field equal to p, doubles
-// bit-for-bit. Deserialization validates magic, version, length, checksum
-// and every internal count before allocating; anything malformed throws
-// mrpf::Error and is rejected, never trusted. Stale frames are rejected
-// cleanly by the version check: version 1 (PR-3's MrpResult-only format),
-// version 2 (pre-exec timers) and version 3 (pre-bnb timers, six-scheme
-// range) all fail closed.
+// recursive SEED levels and seed CSE), the optional CSE provenance, the
+// optional e-graph pass provenance, and the unified stage timers — so a
+// round trip is *exact*: deserialize(serialize(p)) compares
+// field-for-field equal to p, doubles bit-for-bit. Deserialization
+// validates magic, version, length, checksum and every internal count
+// before allocating; anything malformed throws mrpf::Error and is
+// rejected, never trusted. Stale frames are rejected cleanly by the
+// version check: version 1 (PR-3's MrpResult-only format), version 2
+// (pre-exec timers), version 3 (pre-bnb timers, six-scheme range) and
+// version 4 (pre-xform timers/provenance) all fail closed.
 #pragma once
 
 #include <cstddef>
@@ -28,7 +29,7 @@
 namespace mrpf::io {
 
 inline constexpr std::uint32_t kResultSerdeMagic = 0x3153524Du;  // "MRS1"
-inline constexpr std::uint32_t kResultSerdeVersion = 4;
+inline constexpr std::uint32_t kResultSerdeVersion = 5;
 
 /// Appends one framed plan record to `out`.
 void serialize_plan(const core::SynthPlan& plan,

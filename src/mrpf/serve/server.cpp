@@ -316,6 +316,15 @@ SynthResponse SynthServer::solve(const SynthRequest& request) {
   options.opt_budget = config_.knobs.opt_budget != 0
                            ? config_.knobs.opt_budget
                            : core::kDefaultOptBudget;
+  // Same for the e-graph pass: --xform enables it, the startup snapshot's
+  // MRPF_XFORM_BUDGET (or the built-in default) sizes it, and the resolved
+  // values are injected here so canonical_options never hits getenv.
+  options.passes.xform = config_.xform;
+  options.passes.xform_budget =
+      config_.xform ? (config_.knobs.xform_budget != 0
+                           ? config_.knobs.xform_budget
+                           : core::kDefaultXformBudget)
+                    : 0;
 
   SynthResponse response;
   core::SolveInfo info;

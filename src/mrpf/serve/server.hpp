@@ -65,9 +65,13 @@ struct ServeConfig {
   /// Persistent store: warmed at startup, written back on drain. Empty =
   /// in-memory only.
   std::string cache_path;
+  /// Run the e-graph rewrite pass over every solve (--xform). Server
+  /// policy, not a wire knob: requests never toggle it, so one daemon
+  /// serves one pass namespace and the cache never mixes the two.
+  bool xform = false;
   /// The one-shot startup snapshot of MRPF_THREADS / MRPF_CACHE /
-  /// MRPF_EXEC / MRPF_OPT_BUDGET. cache_disabled turns the solve cache
-  /// (and with it coalescing) off entirely.
+  /// MRPF_EXEC / MRPF_OPT_BUDGET / MRPF_XFORM_BUDGET. cache_disabled turns
+  /// the solve cache (and with it coalescing) off entirely.
   env::KnobSnapshot knobs;
 };
 

@@ -11,6 +11,7 @@
 #include "mrpf/common/error.hpp"
 #include "mrpf/common/format.hpp"
 #include "mrpf/common/rng.hpp"
+#include "mrpf/core/pass_manager.hpp"
 #include "mrpf/core/scheme_driver.hpp"
 #include "mrpf/exec/streaming.hpp"
 #include "mrpf/io/json_report.hpp"
@@ -32,6 +33,12 @@ std::uint64_t now_ns() {
 }
 
 std::size_t oracle_index(Oracle o) { return static_cast<std::size_t>(o); }
+
+/// Saturation budgets the generator draws for pass-on cases: small ones
+/// exercise the budget-exhausted fallback, the large one lets small banks
+/// saturate. Shared with the --xform forcing path so forced runs draw from
+/// the same distribution.
+constexpr long long kXformFuzzBudgets[] = {10'000, 60'000, 250'000};
 
 /// Deterministic per-case hash: seeds the oracle stimuli, so a replayed
 /// case (known only through its FuzzCase fields, not its run seed/index)
@@ -134,159 +141,9 @@ std::optional<std::string> recount_plan(const core::SynthPlan& plan,
   return std::nullopt;
 }
 
-std::optional<std::string> cse_mismatch(const cse::CseResult& a,
-                                        const cse::CseResult& b) {
-  if (a.subexpressions.size() != b.subexpressions.size()) {
-    return std::string("cse subexpression count differs");
-  }
-  for (std::size_t i = 0; i < a.subexpressions.size(); ++i) {
-    const cse::Subexpression& x = a.subexpressions[i];
-    const cse::Subexpression& y = b.subexpressions[i];
-    if (x.pattern.sym_a != y.pattern.sym_a ||
-        x.pattern.sym_b != y.pattern.sym_b ||
-        x.pattern.rel_shift != y.pattern.rel_shift ||
-        x.pattern.rel_negate != y.pattern.rel_negate || x.value != y.value) {
-      return str_format("cse subexpression %zu differs", i);
-    }
-  }
-  if (a.expressions.size() != b.expressions.size()) {
-    return std::string("cse expression count differs");
-  }
-  for (std::size_t i = 0; i < a.expressions.size(); ++i) {
-    if (a.expressions[i].size() != b.expressions[i].size()) {
-      return str_format("cse expression %zu term count differs", i);
-    }
-    for (std::size_t t = 0; t < a.expressions[i].size(); ++t) {
-      const cse::Term& x = a.expressions[i][t];
-      const cse::Term& y = b.expressions[i][t];
-      if (x.symbol != y.symbol || x.shift != y.shift ||
-          x.negate != y.negate) {
-        return str_format("cse expression %zu term %zu differs", i, t);
-      }
-    }
-  }
-  if (a.constants != b.constants) return std::string("cse constants differ");
-  return std::nullopt;
-}
-
-std::optional<std::string> mrp_mismatch(const core::MrpResult& a,
-                                        const core::MrpResult& b) {
-  if (a.bank.primaries != b.bank.primaries) {
-    return std::string("mrp primaries differ");
-  }
-  if (a.bank.refs.size() != b.bank.refs.size()) {
-    return std::string("mrp bank ref count differs");
-  }
-  for (std::size_t i = 0; i < a.bank.refs.size(); ++i) {
-    const core::PrimaryBank::Ref& x = a.bank.refs[i];
-    const core::PrimaryBank::Ref& y = b.bank.refs[i];
-    if (x.vertex != y.vertex || x.shift != y.shift || x.negate != y.negate) {
-      return str_format("mrp bank ref %zu differs", i);
-    }
-  }
-  if (a.vertices != b.vertices) return std::string("mrp vertices differ");
-  if (a.solution_colors != b.solution_colors) {
-    return std::string("mrp solution colors differ");
-  }
-  if (a.roots != b.roots) return std::string("mrp roots differ");
-  if (a.root_is_free != b.root_is_free) {
-    return std::string("mrp root_is_free differs");
-  }
-  if (a.vertex_depth != b.vertex_depth) {
-    return std::string("mrp vertex depths differ");
-  }
-  if (a.tree_height != b.tree_height) {
-    return std::string("mrp tree height differs");
-  }
-  if (a.seed_values != b.seed_values) {
-    return std::string("mrp seed values differ");
-  }
-  if (a.seed_adders != b.seed_adders ||
-      a.overhead_adders != b.overhead_adders) {
-    return std::string("mrp adder counts differ");
-  }
-  if (a.tree_edges.size() != b.tree_edges.size()) {
-    return std::string("mrp tree edge count differs");
-  }
-  for (std::size_t i = 0; i < a.tree_edges.size(); ++i) {
-    const core::TreeEdge& x = a.tree_edges[i];
-    const core::TreeEdge& y = b.tree_edges[i];
-    if (x.depth != y.depth || x.edge.from != y.edge.from ||
-        x.edge.to != y.edge.to || x.edge.l != y.edge.l ||
-        x.edge.pred_negate != y.edge.pred_negate || x.edge.xi != y.edge.xi ||
-        x.edge.color != y.edge.color ||
-        x.edge.color_shift != y.edge.color_shift ||
-        x.edge.color_negate != y.edge.color_negate) {
-      return str_format("mrp tree edge %zu differs", i);
-    }
-  }
-  if (a.seed_cse.has_value() != b.seed_cse.has_value()) {
-    return std::string("mrp seed CSE presence differs");
-  }
-  if (a.seed_cse.has_value()) {
-    if (auto m = cse_mismatch(*a.seed_cse, *b.seed_cse)) {
-      return "seed " + *m;
-    }
-  }
-  if ((a.seed_recursive != nullptr) != (b.seed_recursive != nullptr)) {
-    return std::string("mrp recursive SEED presence differs");
-  }
-  if (a.seed_recursive != nullptr) {
-    if (auto m = mrp_mismatch(*a.seed_recursive, *b.seed_recursive)) {
-      return "recursive " + *m;
-    }
-  }
-  return std::nullopt;
-}
-
-/// Block comparison for the serde oracle's re-lowered equivalence check.
-std::optional<std::string> block_mismatch(const arch::MultiplierBlock& a,
-                                          const arch::MultiplierBlock& b) {
-  if (a.graph.num_nodes() != b.graph.num_nodes()) {
-    return std::string("re-lowered node count differs");
-  }
-  for (int node = 1; node < a.graph.num_nodes(); ++node) {
-    const arch::AdderOp& x = a.graph.op(node);
-    const arch::AdderOp& y = b.graph.op(node);
-    if (x.a != y.a || x.b != y.b || x.shift_a != y.shift_a ||
-        x.shift_b != y.shift_b || x.subtract != y.subtract) {
-      return str_format("re-lowered op for node %d differs", node);
-    }
-  }
-  if (a.taps.size() != b.taps.size()) {
-    return std::string("re-lowered tap count differs");
-  }
-  for (std::size_t i = 0; i < a.taps.size(); ++i) {
-    const arch::Tap& x = a.taps[i];
-    const arch::Tap& y = b.taps[i];
-    if (x.node != y.node || x.shift != y.shift || x.negate != y.negate ||
-        x.constant != y.constant) {
-      return str_format("re-lowered tap %zu differs", i);
-    }
-  }
-  if (a.constants != b.constants) {
-    return std::string("re-lowered constants differ");
-  }
-  return std::nullopt;
-}
-
-/// First index where two equally-long streams differ; nullopt when equal.
-std::optional<std::string> stream_mismatch(const std::vector<i64>& expect,
-                                           const std::vector<i64>& got,
-                                           const char* what) {
-  if (expect.size() != got.size()) {
-    return str_format("%s produced %zu samples, expected %zu", what,
-                      got.size(), expect.size());
-  }
-  for (std::size_t i = 0; i < expect.size(); ++i) {
-    if (expect[i] != got[i]) {
-      return str_format("%s diverges at sample %zu: %lld vs %lld", what, i,
-                        static_cast<long long>(got[i]),
-                        static_cast<long long>(expect[i]));
-    }
-  }
-  return std::nullopt;
-}
+// The deep-equality helpers (cse/mrp/block/stream/plan mismatch) the
+// oracles lean on live in core/plan_equality — shared with the serve
+// bench and the gtest helpers, pulled in through fuzz.hpp.
 
 std::string join_i64(const std::vector<i64>& v) {
   std::string out;
@@ -320,7 +177,7 @@ std::string json_i64_array(const std::vector<i64>& v) {
 const std::array<Oracle, kNumOracles>& all_oracles() {
   static const std::array<Oracle, kNumOracles> oracles = {
       Oracle::kCost, Oracle::kSim, Oracle::kRtl, Oracle::kSerde,
-      Oracle::kExec};
+      Oracle::kExec, Oracle::kXform};
   return oracles;
 }
 
@@ -336,6 +193,8 @@ std::string to_string(Oracle oracle) {
       return "serde";
     case Oracle::kExec:
       return "exec";
+    case Oracle::kXform:
+      return "xform";
   }
   return "unknown";
 }
@@ -505,47 +364,16 @@ FuzzCase generate_case(std::uint64_t seed, std::size_t index,
     static constexpr long long kBudgets[] = {20'000, 100'000, 500'000};
     c.options.opt_budget = kBudgets[rng.next_below(3)];
   }
+  // The e-graph pass draws come dead last (after even the kBnb-only
+  // budget), so every pre-pass case stream stays byte-identical to the
+  // older fuzzer and historical replay lines keep reproducing. A quarter
+  // of cases run pass-on, with an explicit budget so replay does not
+  // depend on MRPF_XFORM_BUDGET in the environment.
+  if (rng.next_below(4) == 0) {
+    c.options.passes.xform = true;
+    c.options.passes.xform_budget = kXformFuzzBudgets[rng.next_below(3)];
+  }
   return c;
-}
-
-std::optional<std::string> plan_mismatch(const core::SynthPlan& a,
-                                         const core::SynthPlan& b) {
-  if (a.scheme != b.scheme) return std::string("scheme differs");
-  if (a.analytic_adders != b.analytic_adders) {
-    return str_format("analytic adders differ: %d vs %d", a.analytic_adders,
-                      b.analytic_adders);
-  }
-  if (a.ops.size() != b.ops.size()) return std::string("op count differs");
-  for (std::size_t i = 0; i < a.ops.size(); ++i) {
-    const arch::AdderOp& x = a.ops[i];
-    const arch::AdderOp& y = b.ops[i];
-    if (x.a != y.a || x.b != y.b || x.shift_a != y.shift_a ||
-        x.shift_b != y.shift_b || x.subtract != y.subtract) {
-      return str_format("op %zu differs", i);
-    }
-  }
-  if (a.taps.size() != b.taps.size()) return std::string("tap count differs");
-  for (std::size_t i = 0; i < a.taps.size(); ++i) {
-    const arch::Tap& x = a.taps[i];
-    const arch::Tap& y = b.taps[i];
-    if (x.node != y.node || x.shift != y.shift || x.negate != y.negate ||
-        x.constant != y.constant) {
-      return str_format("tap %zu differs", i);
-    }
-  }
-  if (a.mrp.has_value() != b.mrp.has_value()) {
-    return std::string("MRP provenance presence differs");
-  }
-  if (a.mrp.has_value()) {
-    if (auto m = mrp_mismatch(*a.mrp, *b.mrp)) return m;
-  }
-  if (a.cse.has_value() != b.cse.has_value()) {
-    return std::string("CSE provenance presence differs");
-  }
-  if (a.cse.has_value()) {
-    if (auto m = cse_mismatch(*a.cse, *b.cse)) return m;
-  }
-  return std::nullopt;
 }
 
 CaseResult run_case(const FuzzCase& c, const FuzzConfig& config) {
@@ -557,9 +385,17 @@ CaseResult run_case(const FuzzCase& c, const FuzzConfig& config) {
 
   const std::vector<i64> bank = core::optimization_bank(c.coefficients);
   core::SynthPlan plan;
+  core::SynthPlan pre_pass;  // the driver's plan before passes (xform oracle)
+  bool pass_on = false;
   try {
     const core::SchemeDriver& driver = core::scheme_driver(c.scheme);
-    plan = driver.optimize(bank, driver.canonical_options(c.options));
+    const core::MrpOptions canonical = driver.canonical_options(c.options);
+    plan = driver.optimize(bank, canonical);
+    pass_on = canonical.passes.xform;
+    if (pass_on) {
+      pre_pass = plan.clone();
+      core::apply_plan_passes(bank, canonical, plan);
+    }
   } catch (const Error& e) {
     // A driver must synthesize every valid bank; an optimize-time throw is
     // itself a finding, attributed to the structural (cost) oracle.
@@ -624,7 +460,7 @@ CaseResult run_case(const FuzzCase& c, const FuzzConfig& config) {
             fail(oracle, "serde frame did not consume its exact length");
             break;
           }
-          if (auto m = plan_mismatch(plan, round_trip)) {
+          if (auto m = core::plan_mismatch(plan, round_trip)) {
             fail(oracle, "serde round-trip: " + *m);
             break;
           }
@@ -633,7 +469,7 @@ CaseResult run_case(const FuzzCase& c, const FuzzConfig& config) {
           const arch::MultiplierBlock original = core::lower_plan(bank, plan);
           const arch::MultiplierBlock rehydrated =
               core::lower_plan(bank, round_trip);
-          if (auto m = block_mismatch(original, rehydrated)) {
+          if (auto m = core::block_mismatch(original, rehydrated)) {
             fail(oracle, "serde round-trip: " + *m);
           }
           break;
@@ -652,7 +488,7 @@ CaseResult run_case(const FuzzCase& c, const FuzzConfig& config) {
           exec::StreamingFilter sf(f, ec);
 
           // Whole-stream push on a fresh filter.
-          if (auto m = stream_mismatch(expect, sf.push(x), "exec push")) {
+          if (auto m = core::stream_mismatch(expect, sf.push(x), "exec push")) {
             fail(oracle, *m);
             break;
           }
@@ -673,8 +509,32 @@ CaseResult run_case(const FuzzCase& c, const FuzzConfig& config) {
             chunked.insert(chunked.end(), out.begin(), out.end());
             at += take;
           }
-          if (auto m =
-                  stream_mismatch(expect, chunked, "exec chunked push")) {
+          if (auto m = core::stream_mismatch(expect, chunked,
+                                             "exec chunked push")) {
+            fail(oracle, *m);
+          }
+          break;
+        }
+        case Oracle::kXform: {
+          // Pass-off-vs-pass-on equivalence: when the case ran the e-graph
+          // pass, the rewritten plan must not cost more adders than the
+          // driver's, and both must lower to stream-identical filters.
+          if (!pass_on) break;
+          if (plan.analytic_adders > pre_pass.analytic_adders) {
+            fail(oracle,
+                 str_format("pass made the plan worse: %d adders vs %d",
+                            plan.analytic_adders, pre_pass.analytic_adders));
+            break;
+          }
+          arch::MultiplierBlock pre_block = core::lower_plan(bank, pre_pass);
+          const arch::TdfFilter pre_filter = core::expand_block_to_tdf(
+              c.coefficients, c.align, std::move(pre_block));
+          Rng rng(stimulus_seed ^ 0x580A4F580A4F580AULL);
+          const std::vector<i64> x =
+              sim::uniform_stream(rng, config.sim_samples, c.input_bits);
+          if (auto m = core::stream_mismatch(pre_filter.run(x),
+                                             lowered_filter().run(x),
+                                             "pass-on vs pass-off")) {
             fail(oracle, *m);
           }
           break;
@@ -821,6 +681,12 @@ std::string replay_command(const FuzzCase& c) {
   if (c.options.opt_budget != 0) {
     cmd += str_format(" --opt-budget %lld", c.options.opt_budget);
   }
+  if (c.options.passes.xform) {
+    cmd += c.options.passes.xform_budget != 0
+               ? str_format(" --xform-budget %lld",
+                            c.options.passes.xform_budget)
+               : std::string(" --xform");
+  }
   if (c.options.rep == number::NumberRep::kCsd) {
     cmd += " --rep csd";
   } else if (c.options.rep == number::NumberRep::kSignMagnitude) {
@@ -847,6 +713,11 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
     }
     FuzzCase c = generate_case(config.seed, i, config.schemes);
     c.inject = config.inject;
+    if (config.force_xform && !c.options.passes.xform) {
+      c.options.passes.xform = true;
+      c.options.passes.xform_budget =
+          kXformFuzzBudgets[case_hash(c) % 3];
+    }
 
     const std::uint64_t t0 = now_ns();
     const CaseResult result = run_case(c, config);

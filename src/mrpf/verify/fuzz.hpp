@@ -5,10 +5,11 @@
 //
 // The harness generates randomized coefficient banks (varied wordlengths,
 // signs, zeros, duplicates, near-limit magnitudes, symmetric vectors,
-// alignment shifts) crossed with randomized result-relevant MrpOptions and
-// scheme choices, runs each resulting SynthPlan through five independent
-// oracles, and on any failure greedily shrinks the case to a minimal
-// reproducer with a printed replay command:
+// alignment shifts) crossed with randomized result-relevant MrpOptions
+// (including randomized e-graph pass budgets) and scheme choices, runs
+// each resulting SynthPlan through six independent oracles, and on any
+// failure greedily shrinks the case to a minimal reproducer with a printed
+// replay command:
 //
 //   cost   analytic adder cost vs. an independent integer recount of the
 //          replayed adder-graph ops (operand/shift bounds, fundamental
@@ -21,6 +22,10 @@
 //          re-lowered block equivalence
 //   exec   compiled exec::StreamingFilter (varied lane width, uneven push
 //          chunking, reset-replay) vs. TdfFilter::run, sample for sample
+//   xform  pass-off-vs-pass-on equivalence: when the case enables the
+//          e-graph rewrite pass, the pre-pass plan must lower cleanly and
+//          stream-match the post-pass plan, and the pass must never have
+//          made the plan cost more adders
 //
 // Every case is replayable in isolation (tools/mrpf_fuzz --bank ...), and
 // the MRPF_FUZZ_INJECT hook deliberately corrupts one plan op so CI can
@@ -35,19 +40,21 @@
 #include <vector>
 
 #include "mrpf/core/flow.hpp"
+#include "mrpf/core/plan_equality.hpp"
 #include "mrpf/core/scheme.hpp"
 
 namespace mrpf::verify {
 
-/// The five independent oracles, in execution order.
+/// The six independent oracles, in execution order.
 enum class Oracle {
   kCost,   ///< Analytic cost vs. independent op-replay recount.
   kSim,    ///< Lowered filter vs. exact convolution (three stimuli).
   kRtl,    ///< Emitted Verilog re-simulated vs. the C++ model.
   kSerde,  ///< Serde round-trip: field equality + re-lowered equivalence.
   kExec,   ///< Compiled streaming engine vs. the interpreted model.
+  kXform,  ///< Pass-off-vs-pass-on equivalence (no-op when the pass is off).
 };
-inline constexpr int kNumOracles = 5;
+inline constexpr int kNumOracles = 6;
 
 /// All oracles in enum order (canonical iteration order for counters).
 const std::array<Oracle, kNumOracles>& all_oracles();
@@ -117,7 +124,12 @@ struct FuzzConfig {
   /// a time budget); empty = all six.
   std::vector<core::Scheme> schemes;
   /// Enabled oracles, indexed by Oracle enum order.
-  std::array<bool, kNumOracles> oracles{true, true, true, true, true};
+  std::array<bool, kNumOracles> oracles{true, true, true, true, true, true};
+  /// Force the e-graph pass on for every generated case (budget drawn from
+  /// the case's deterministic hash). The generator already enables it on a
+  /// random quarter of cases; forcing is for dedicated pass-hammering runs
+  /// (tools/mrpf_fuzz --xform).
+  bool force_xform = false;
   /// Corrupt every generated plan with this fault (kNone = fuzz honestly).
   FaultKind inject = FaultKind::kNone;
   /// Samples per stimulus for the sim oracle and the RTL oracle.
@@ -194,10 +206,12 @@ std::string replay_command(const FuzzCase& c);
 FuzzReport run_fuzz(const FuzzConfig& config);
 
 /// Field-for-field SynthPlan comparison (timers excluded — they are
-/// observability, not part of the solution). Returns a one-line mismatch
-/// description, or nullopt when equal. Exposed for the serde oracle and
-/// its tests.
-std::optional<std::string> plan_mismatch(const core::SynthPlan& a,
-                                         const core::SynthPlan& b);
+/// observability, not part of the solution). The definition moved to the
+/// shared core/plan_equality.hpp; this alias keeps the historical
+/// verify-spelled call sites working.
+inline std::optional<std::string> plan_mismatch(const core::SynthPlan& a,
+                                                const core::SynthPlan& b) {
+  return core::plan_mismatch(a, b);
+}
 
 }  // namespace mrpf::verify

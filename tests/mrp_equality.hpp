@@ -109,7 +109,7 @@ inline void expect_same_block(const arch::MultiplierBlock& a,
 }
 
 /// Deep equality over a SynthPlan: scheme, analytic cost, the full op and
-/// tap lists, and the optional MRP/CSE provenance. Stage timers are
+/// tap lists, and the optional MRP/CSE/xform provenance. Stage timers are
 /// deliberately excluded — they are wall-clock measurements, so a cached
 /// plan carries the original solve's timings while a fresh solve records
 /// its own.
@@ -137,6 +137,12 @@ inline void expect_same_plan(const core::SynthPlan& a,
   if (a.mrp.has_value()) expect_same_mrp_result(*a.mrp, *b.mrp);
   ASSERT_EQ(a.cse.has_value(), b.cse.has_value());
   if (a.cse.has_value()) expect_same_cse_result(*a.cse, *b.cse);
+  ASSERT_EQ(a.xform.has_value(), b.xform.has_value());
+  if (a.xform.has_value()) {
+    EXPECT_EQ(a.xform->original_adders, b.xform->original_adders);
+    EXPECT_EQ(a.xform->steps, b.xform->steps);
+    EXPECT_EQ(a.xform->saturated, b.xform->saturated);
+  }
 }
 
 }  // namespace mrpf

@@ -425,7 +425,7 @@ TEST(ResultSerde, RejectsVersionBump) {
       core::optimize_bank(kPaperExample, core::Scheme::kMrp).plan;
   std::vector<std::uint8_t> bytes;
   io::serialize_plan(original, bytes);
-  bytes[4] ^= 0x01;  // version field, directly after the magic
+  bytes[4] ^= 0x10;  // version field, directly after the magic
   std::size_t pos = 0;
   EXPECT_THROW((void)io::deserialize_plan(bytes.data(), bytes.size(), pos),
                Error);
@@ -435,6 +435,42 @@ TEST(ResultSerde, RejectsVersionBump) {
   pos = 0;
   EXPECT_THROW((void)io::deserialize_plan(bytes.data(), bytes.size(), pos),
                Error);
+}
+
+TEST(ResultSerde, RejectsPreXformFrameVersion) {
+  // Version 4 frames predate the xform timers and provenance; a v5 reader
+  // must fail closed on them, never decode the old layout as the new one.
+  static_assert(io::kResultSerdeVersion == 5,
+                "update this regression when the serde version moves");
+  const core::SynthPlan original =
+      core::optimize_bank(kPaperExample, core::Scheme::kMrp).plan;
+  std::vector<std::uint8_t> bytes;
+  io::serialize_plan(original, bytes);
+  bytes[4] = 4;  // the pre-xform frame version, exactly
+  std::size_t pos = 0;
+  EXPECT_THROW((void)io::deserialize_plan(bytes.data(), bytes.size(), pos),
+               Error);
+}
+
+TEST(ResultSerde, XformProvenanceRoundTrips) {
+  core::MrpOptions opts;
+  opts.passes.xform = true;
+  opts.passes.xform_budget = 60'000;
+  const core::SynthPlan original =
+      core::optimize_bank(kPaperExample, core::Scheme::kSimple, opts).plan;
+  ASSERT_TRUE(original.xform.has_value());  // simple: 12 -> 8, a strict win
+  std::vector<std::uint8_t> bytes;
+  io::serialize_plan(original, bytes);
+  std::size_t pos = 0;
+  const core::SynthPlan round =
+      io::deserialize_plan(bytes.data(), bytes.size(), pos);
+  expect_same_plan(original, round);
+  // The new stage-timer samples ride along (timers are serialized even
+  // though plan comparisons exclude them).
+  EXPECT_EQ(round.timers.xform_saturate.items,
+            original.timers.xform_saturate.items);
+  EXPECT_EQ(round.timers.xform_fallback.items,
+            original.timers.xform_fallback.items);
 }
 
 TEST(Persist, SaveLoadRoundTripServesHits) {
@@ -525,8 +561,9 @@ TEST(Persist, RejectsChecksumValidTruncations) {
   // A truncated store whose checksum is recomputed over the shorter file is
   // internally consistent, so rejection must come from the loader's bounds
   // checks alone. Sweep prefix lengths, pinning the options-tag boundary
-  // (header + 27 of the 28 tag bytes) that once underflowed
-  // ByteReader::need into out-of-bounds reads and an unbounded resize.
+  // (header + 36 of the 37 tag bytes — 28 before the e-graph pass fields)
+  // that once underflowed ByteReader::need into out-of-bounds reads and an
+  // unbounded resize.
   const std::string path = temp_path("truncate");
   {
     SolveCache cache;
@@ -539,8 +576,8 @@ TEST(Persist, RejectsChecksumValidTruncations) {
   const std::vector<std::uint8_t> good = read_bytes(path);
   const std::size_t payload = good.size() - 8;  // sans trailing checksum
   const std::size_t header = 24;  // magic + version + reserved + count
-  std::vector<std::size_t> keeps = {header + 26, header + 27, header + 28,
-                                    header + 29};
+  std::vector<std::size_t> keeps = {header + 35, header + 36, header + 37,
+                                    header + 38};
   for (std::size_t keep = 0; keep < payload; keep += 1 + payload / 73) {
     keeps.push_back(keep);
   }
@@ -557,6 +594,79 @@ TEST(Persist, RejectsChecksumValidTruncations) {
     EXPECT_EQ(cache.stats().entries, 0u) << "kept " << keep;
   }
   std::remove(path.c_str());
+}
+
+TEST(Persist, RejectsPreXformFileVersion) {
+  // Version 3 stores carry 28-byte options tags without the e-graph pass
+  // fields; a version-4 loader must reject them wholesale (cold solve and
+  // re-save), never shift-decode the shorter tag.
+  static_assert(kCacheFileVersion == 4,
+                "update this regression when the file version moves");
+  const std::string path = temp_path("prexform");
+  {
+    SolveCache cache;
+    MrpOptions opts;
+    opts.cache = &cache;
+    (void)core::mrp_optimize(kPaperExample, opts);
+    ASSERT_TRUE(save_solve_cache(cache, path));
+  }
+  std::vector<std::uint8_t> bytes = read_bytes(path);
+  bytes[8] = 3;  // the pre-xform file version, exactly
+  const u64 checksum = fnv1a64(bytes.data(), bytes.size() - 8);
+  for (int b = 0; b < 8; ++b) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>(checksum >> (8 * b));
+  }
+  write_bytes(path, bytes);
+  SolveCache cache;
+  EXPECT_FALSE(load_solve_cache(cache, path));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Fingerprint, PassConfigSplitsTheKeySpace) {
+  const CanonicalBank cb = canonicalize(kPaperExample);
+  MrpOptions off;
+  MrpOptions on;
+  on.passes.xform = true;
+  on.passes.xform_budget = 60'000;
+  MrpOptions other_budget = on;
+  other_budget.passes.xform_budget = 250'000;
+  // Pass-on and pass-off solves must never share an entry, and the budget
+  // is part of the pass-on key (different budgets can extract different
+  // DAGs).
+  EXPECT_NE(solve_key(cb, off), solve_key(cb, on));
+  EXPECT_NE(solve_key(cb, on), solve_key(cb, other_budget));
+}
+
+TEST(SolveCache, PassNamespacesServeDisjointHits) {
+  SolveCache cache;
+  MrpOptions off;
+  off.cache = &cache;
+  MrpOptions on = off;
+  on.passes.xform = true;
+  on.passes.xform_budget = 60'000;
+
+  // simple on the paper bank: pass-off is 12 adders, pass-on is 8 — the
+  // two namespaces cache genuinely different plans.
+  const core::SchemeResult cold_off =
+      core::optimize_bank(kPaperExample, core::Scheme::kSimple, off);
+  const core::SchemeResult cold_on =
+      core::optimize_bank(kPaperExample, core::Scheme::kSimple, on);
+  EXPECT_LT(cold_on.plan.analytic_adders, cold_off.plan.analytic_adders);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Each warm replay hits its own namespace and rehydrates its own plan,
+  // including the post-pass ops/taps and xform provenance.
+  const core::SchemeResult warm_off =
+      core::optimize_bank(kPaperExample, core::Scheme::kSimple, off);
+  const core::SchemeResult warm_on =
+      core::optimize_bank(kPaperExample, core::Scheme::kSimple, on);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  expect_same_plan(cold_off.plan, warm_off.plan);
+  expect_same_plan(cold_on.plan, warm_on.plan);
+  ASSERT_TRUE(warm_on.plan.xform.has_value());
+  EXPECT_FALSE(warm_off.plan.xform.has_value());
 }
 
 TEST(Persist, RejectsVersionBumpEvenWithRecomputedChecksum) {

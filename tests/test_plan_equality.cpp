@@ -1,0 +1,188 @@
+// Unit tests for the shared deep-equality helpers (core/plan_equality):
+// every checker must return nullopt on identical values and a descriptive
+// one-line message on the first difference. The fuzz oracles, the serve
+// bench and the gtest helpers all compare through these, so a hole here
+// is a hole in every "cached == fresh" and "replayed == solved" check.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mrpf/core/flow.hpp"
+#include "mrpf/core/plan_equality.hpp"
+#include "mrpf/core/synth_plan.hpp"
+
+namespace mrpf {
+namespace {
+
+const std::vector<i64> kBank = {7, 66, 17, 9, 27, 41, 57, 11};
+
+core::SynthPlan make_plan(core::Scheme scheme,
+                          bool xform = false) {
+  core::MrpOptions opts;
+  if (xform) {
+    opts.passes.xform = true;
+    opts.passes.xform_budget = 50'000;
+  }
+  return std::move(core::optimize_bank(kBank, scheme, opts).plan);
+}
+
+TEST(StreamMismatch, IdenticalStreamsMatch) {
+  const std::vector<i64> a = {1, -2, 3, 0, 5};
+  EXPECT_FALSE(core::stream_mismatch(a, a, "self").has_value());
+}
+
+TEST(StreamMismatch, LengthDifferenceIsReported) {
+  const std::vector<i64> a = {1, 2, 3};
+  const std::vector<i64> b = {1, 2};
+  const auto m = core::stream_mismatch(a, b, "short");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->find("short"), std::string::npos);
+  EXPECT_NE(m->find("2 samples"), std::string::npos);
+}
+
+TEST(StreamMismatch, FirstDivergingSampleIsReported) {
+  const std::vector<i64> a = {4, 5, 6, 7};
+  std::vector<i64> b = a;
+  b[2] = -6;
+  const auto m = core::stream_mismatch(a, b, "sim");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->find("sample 2"), std::string::npos);
+}
+
+TEST(PlanMismatch, IdenticalPlansMatch) {
+  const core::SynthPlan a = make_plan(core::Scheme::kMrp);
+  const core::SynthPlan b = a.clone();
+  EXPECT_FALSE(core::plan_mismatch(a, b).has_value());
+}
+
+TEST(PlanMismatch, TimersAreExcluded) {
+  // A cached plan carries the original solve's wall-clock timings; the
+  // comparison must not care.
+  const core::SynthPlan a = make_plan(core::Scheme::kMrp);
+  core::SynthPlan b = a.clone();
+  b.timers.optimize.ns += 12345;
+  b.timers.total_ns += 12345;
+  EXPECT_FALSE(core::plan_mismatch(a, b).has_value());
+}
+
+TEST(PlanMismatch, AdderCountDifferenceIsReported) {
+  const core::SynthPlan a = make_plan(core::Scheme::kMrp);
+  core::SynthPlan b = a.clone();
+  b.analytic_adders += 1;
+  const auto m = core::plan_mismatch(a, b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->find("analytic adders"), std::string::npos);
+}
+
+TEST(PlanMismatch, OpFieldDifferenceIsReported) {
+  const core::SynthPlan a = make_plan(core::Scheme::kMrp);
+  core::SynthPlan b = a.clone();
+  ASSERT_FALSE(b.ops.empty());
+  b.ops[0].shift_a += 1;
+  const auto m = core::plan_mismatch(a, b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->find("op 0"), std::string::npos);
+}
+
+TEST(PlanMismatch, TapFieldDifferenceIsReported) {
+  const core::SynthPlan a = make_plan(core::Scheme::kMrp);
+  core::SynthPlan b = a.clone();
+  ASSERT_FALSE(b.taps.empty());
+  b.taps.back().negate = !b.taps.back().negate;
+  const auto m = core::plan_mismatch(a, b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->find("tap"), std::string::npos);
+}
+
+TEST(PlanMismatch, MrpProvenanceIsCompared) {
+  const core::SynthPlan a = make_plan(core::Scheme::kMrp);
+  core::SynthPlan b = a.clone();
+  ASSERT_TRUE(b.mrp.has_value());
+  b.mrp->tree_height += 1;
+  const auto m = core::plan_mismatch(a, b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->find("tree height"), std::string::npos);
+}
+
+TEST(PlanMismatch, MrpProvenancePresenceIsCompared) {
+  const core::SynthPlan a = make_plan(core::Scheme::kMrp);
+  core::SynthPlan b = a.clone();
+  b.mrp.reset();
+  const auto m = core::plan_mismatch(a, b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->find("MRP provenance"), std::string::npos);
+}
+
+TEST(PlanMismatch, CseProvenanceIsCompared) {
+  const core::SynthPlan a = make_plan(core::Scheme::kCse);
+  core::SynthPlan b = a.clone();
+  ASSERT_TRUE(b.cse.has_value());
+  b.cse->constants.push_back(999);
+  const auto m = core::plan_mismatch(a, b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->find("cse constants"), std::string::npos);
+}
+
+TEST(PlanMismatch, XformProvenancePresenceIsCompared) {
+  const core::SynthPlan a = make_plan(core::Scheme::kSimple, true);
+  ASSERT_TRUE(a.xform.has_value());
+  core::SynthPlan b = a.clone();
+  b.xform.reset();
+  const auto m = core::plan_mismatch(a, b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->find("xform provenance presence"), std::string::npos);
+}
+
+TEST(PlanMismatch, XformProvenanceContentIsCompared) {
+  const core::SynthPlan a = make_plan(core::Scheme::kSimple, true);
+  ASSERT_TRUE(a.xform.has_value());
+  core::SynthPlan b = a.clone();
+  b.xform->steps += 1;
+  const auto m = core::plan_mismatch(a, b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->find("xform provenance differs"), std::string::npos);
+}
+
+TEST(BlockMismatch, RelowerIsDeterministic) {
+  const core::SynthPlan plan = make_plan(core::Scheme::kMrpCse);
+  const arch::MultiplierBlock a = core::lower_plan(kBank, plan);
+  const arch::MultiplierBlock b = core::lower_plan(kBank, plan);
+  EXPECT_FALSE(core::block_mismatch(a, b).has_value());
+}
+
+TEST(BlockMismatch, DifferentArchitecturesAreReported) {
+  // simple vs mrpf lower to structurally different blocks on this bank.
+  const arch::MultiplierBlock a =
+      core::lower_plan(kBank, make_plan(core::Scheme::kSimple));
+  const arch::MultiplierBlock b =
+      core::lower_plan(kBank, make_plan(core::Scheme::kMrp));
+  EXPECT_TRUE(core::block_mismatch(a, b).has_value());
+}
+
+TEST(MrpMismatch, IdenticalResultsMatch) {
+  const core::SynthPlan a = make_plan(core::Scheme::kMrp);
+  const core::SynthPlan b = a.clone();
+  ASSERT_TRUE(a.mrp.has_value());
+  EXPECT_FALSE(core::mrp_mismatch(*a.mrp, *b.mrp).has_value());
+}
+
+TEST(MrpMismatch, SeedValueDifferenceIsReported) {
+  const core::SynthPlan a = make_plan(core::Scheme::kMrp);
+  core::SynthPlan b = a.clone();
+  ASSERT_TRUE(b.mrp.has_value());
+  ASSERT_FALSE(b.mrp->seed_values.empty());
+  b.mrp->seed_values[0] += 2;
+  const auto m = core::mrp_mismatch(*a.mrp, *b.mrp);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->find("seed values"), std::string::npos);
+}
+
+TEST(CseMismatch, IdenticalResultsMatch) {
+  const core::SynthPlan a = make_plan(core::Scheme::kCse);
+  const core::SynthPlan b = a.clone();
+  ASSERT_TRUE(a.cse.has_value());
+  EXPECT_FALSE(core::cse_mismatch(*a.cse, *b.cse).has_value());
+}
+
+}  // namespace
+}  // namespace mrpf

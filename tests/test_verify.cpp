@@ -126,30 +126,30 @@ TEST(FuzzPlanMismatch, DetectsEveryCorruptionRunCaseRestsOn) {
   const std::vector<i64> bank = {7, 66, 17, 9};
   const core::SynthPlan plan =
       driver.optimize(bank, driver.canonical_options({}));
-  EXPECT_EQ(plan_mismatch(plan, plan.clone()), std::nullopt);
+  EXPECT_EQ(core::plan_mismatch(plan, plan.clone()), std::nullopt);
 
   core::SynthPlan cost = plan.clone();
   cost.analytic_adders += 1;
-  EXPECT_TRUE(plan_mismatch(plan, cost).has_value());
+  EXPECT_TRUE(core::plan_mismatch(plan, cost).has_value());
 
   core::SynthPlan op = plan.clone();
   ASSERT_FALSE(op.ops.empty());
   op.ops[0].subtract = !op.ops[0].subtract;
-  EXPECT_TRUE(plan_mismatch(plan, op).has_value());
+  EXPECT_TRUE(core::plan_mismatch(plan, op).has_value());
 
   core::SynthPlan tap = plan.clone();
   tap.taps[0].shift += 1;
-  EXPECT_TRUE(plan_mismatch(plan, tap).has_value());
+  EXPECT_TRUE(core::plan_mismatch(plan, tap).has_value());
 
   core::SynthPlan prov = plan.clone();
   ASSERT_TRUE(prov.mrp.has_value());
   prov.mrp->seed_adders += 1;
-  EXPECT_TRUE(plan_mismatch(plan, prov).has_value());
+  EXPECT_TRUE(core::plan_mismatch(plan, prov).has_value());
 
   // Timers are observability, never part of equality.
   core::SynthPlan timed = plan.clone();
   timed.timers.optimize.ns += 12345;
-  EXPECT_EQ(plan_mismatch(plan, timed), std::nullopt);
+  EXPECT_EQ(core::plan_mismatch(plan, timed), std::nullopt);
 }
 
 TEST(FuzzRun, ReportAccountingAndInjectedFailureDetail) {

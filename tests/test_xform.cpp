@@ -1,0 +1,213 @@
+// The e-graph rewrite pass (src/mrpf/xform + core/pass_manager).
+//
+// Two layers of coverage:
+//  - EGraph units: deterministic saturation/extraction, known identities
+//    the rewriter must find, and the odd-fundamental admission rules.
+//  - The pass property, the contract everything downstream leans on:
+//    for every scheme, over seeded random banks, the pass-optimized plan
+//    re-lowers cleanly (every tap realizes its constant), streams
+//    bit-identically to the pass-off plan, and never costs more adders.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mrpf/arch/adder_graph.hpp"
+#include "mrpf/common/rng.hpp"
+#include "mrpf/core/flow.hpp"
+#include "mrpf/core/pass_manager.hpp"
+#include "mrpf/core/plan_equality.hpp"
+#include "mrpf/core/scheme.hpp"
+#include "mrpf/core/stage_timers.hpp"
+#include "mrpf/sim/workload.hpp"
+#include "mrpf/xform/egraph.hpp"
+
+namespace mrpf {
+namespace {
+
+std::vector<arch::AdderOp> extract_ops(const std::vector<i64>& targets,
+                                       long long budget) {
+  xform::EGraph graph({}, targets);
+  graph.saturate(budget);
+  return graph.extract().ops;
+}
+
+TEST(EGraph, SingleCsdCheapTargetCostsOneAdder) {
+  // 255 = 256 - 1: one subtractor, straight off the CSD seed chain.
+  EXPECT_EQ(extract_ops({255}, 10'000).size(), 1u);
+}
+
+TEST(EGraph, NeverExceedsTheCsdChainCost) {
+  // The CSD seed chain gives every odd target a baseline of
+  // (nonzero CSD digits - 1) adders; saturation and extraction may only
+  // improve on it. Sweep every odd value below 2^10.
+  for (i64 v = 3; v < 1024; v += 2) {
+    // Count nonzero digits of the non-adjacent form.
+    int nonzero = 0;
+    for (i64 r = v; r != 0;) {
+      if (r & 1) {
+        ++nonzero;
+        r -= ((r & 3) == 3) ? -1 : 1;  // digit -1 or +1
+      }
+      r >>= 1;
+    }
+    EXPECT_LE(extract_ops({v}, 5'000).size(),
+              static_cast<std::size_t>(nonzero - 1))
+        << "target " << v;
+  }
+}
+
+TEST(EGraph, SharedSubtermIsBuiltOnce) {
+  // 5 and 45 = 5 * 9 share the 5: the DAG extraction pays for it once.
+  EXPECT_EQ(extract_ops({5, 45}, 100'000).size(), 2u);
+}
+
+TEST(EGraph, ExtractionIsDeterministic) {
+  const std::vector<i64> targets = {7, 66, 17, 9, 27, 41, 57, 11};
+  std::vector<i64> odd;
+  for (i64 t : targets) odd.push_back(odd_part(t));
+  xform::EGraph a({}, odd);
+  xform::EGraph b({}, odd);
+  EXPECT_EQ(a.saturate(60'000), b.saturate(60'000));
+  EXPECT_EQ(a.saturated(), b.saturated());
+  EXPECT_EQ(a.num_classes(), b.num_classes());
+  const xform::Extraction ea = a.extract();
+  const xform::Extraction eb = b.extract();
+  ASSERT_EQ(ea.ops.size(), eb.ops.size());
+  for (std::size_t i = 0; i < ea.ops.size(); ++i) {
+    EXPECT_TRUE(ea.ops[i].a == eb.ops[i].a && ea.ops[i].b == eb.ops[i].b &&
+                ea.ops[i].shift_a == eb.ops[i].shift_a &&
+                ea.ops[i].shift_b == eb.ops[i].shift_b &&
+                ea.ops[i].subtract == eb.ops[i].subtract)
+        << "op " << i;
+  }
+}
+
+TEST(EGraph, ExtractionOpsReplayToTheirValues) {
+  const std::vector<i64> targets = {3, 11, 45, 105, 999};
+  xform::EGraph graph({}, targets);
+  graph.saturate(250'000);
+  const xform::Extraction ex = graph.extract();
+  // Replay the op list: node 0 carries 1, node k+1 carries ops[k].
+  std::vector<i64> value = {1};
+  for (const arch::AdderOp& op : ex.ops) {
+    const i64 a = value[static_cast<std::size_t>(op.a)] << op.shift_a;
+    const i64 b = value[static_cast<std::size_t>(op.b)] << op.shift_b;
+    value.push_back(op.subtract ? a - b : a + b);
+  }
+  for (const i64 t : targets) {
+    const auto it = ex.node_of.find(t);
+    ASSERT_NE(it, ex.node_of.end()) << "target " << t;
+    EXPECT_EQ(value[static_cast<std::size_t>(it->second)], t);
+  }
+}
+
+TEST(EGraph, BudgetZeroStillRealizesEveryTarget) {
+  // The CSD seed chains alone must cover the targets — saturation only
+  // improves on them.
+  const std::vector<i64> targets = {23, 171, 1001};
+  xform::EGraph graph({}, targets);
+  EXPECT_EQ(graph.saturate(0), 0);
+  EXPECT_FALSE(graph.saturated());
+  const xform::Extraction ex = graph.extract();
+  for (const i64 t : targets) {
+    EXPECT_TRUE(ex.node_of.count(t)) << "target " << t;
+  }
+}
+
+TEST(PassManager, NeverEnabledByEnvAlone) {
+  // passes.xform off means no pass runs no matter what the env says; the
+  // canonical options of every driver only resolve a budget once on.
+  core::MrpOptions opts;
+  core::SchemeResult r =
+      core::optimize_bank({7, 66, 17}, core::Scheme::kMrp, opts);
+  EXPECT_FALSE(r.plan.xform.has_value());
+  EXPECT_EQ(r.plan.timers.xform_saturate.items, 0u);
+  EXPECT_EQ(r.plan.timers.xform_saturate.ns, 0.0);
+}
+
+TEST(PassManager, RecordsProvenanceAndTimers) {
+  // simple on this bank is 12 adders, the rewriter reaches 8 — a strict
+  // win, so the pass replaces the plan and records its provenance.
+  core::MrpOptions opts;
+  opts.passes.xform = true;
+  opts.passes.xform_budget = 60'000;
+  core::SchemeResult r =
+      core::optimize_bank({7, 66, 17, 9, 27, 41, 57, 11},
+                          core::Scheme::kSimple, opts);
+  ASSERT_TRUE(r.plan.xform.has_value());
+  EXPECT_LT(r.plan.analytic_adders, r.plan.xform->original_adders);
+  EXPECT_GT(r.plan.xform->steps, 0);
+  EXPECT_EQ(r.plan.timers.xform_saturate.items,
+            static_cast<std::uint64_t>(r.plan.xform->steps));
+  EXPECT_EQ(r.plan.timers.xform_extract.items, r.plan.ops.size());
+  EXPECT_EQ(r.plan.timers.xform_fallback.items, 0u);
+}
+
+TEST(PassManager, KeepsTheDriversPlanOnATie) {
+  // mrpf already lands on 8 adders for this bank; the rewriter cannot
+  // strictly win, so the plan is kept untouched and no provenance is
+  // attached (fallback tag 1 = kept at fixpoint tie, 2 = budget ran out).
+  core::MrpOptions off;
+  core::MrpOptions on;
+  on.passes.xform = true;
+  on.passes.xform_budget = 60'000;
+  const std::vector<i64> bank = {7, 66, 17, 9, 27, 41, 57, 11};
+  core::SchemeResult plain = core::optimize_bank(bank, core::Scheme::kMrp, off);
+  core::SchemeResult passed = core::optimize_bank(bank, core::Scheme::kMrp, on);
+  EXPECT_FALSE(passed.plan.xform.has_value());
+  EXPECT_EQ(passed.plan.analytic_adders, plain.plan.analytic_adders);
+  const std::uint64_t tag = passed.plan.timers.xform_fallback.items;
+  EXPECT_TRUE(tag == 1u || tag == 2u) << "fallback tag " << tag;
+  EXPECT_FALSE(core::plan_mismatch(plain.plan, passed.plan).has_value());
+}
+
+// The pass contract, property-tested: every scheme x 3 seeds x random
+// banks. The pass-optimized plan must lower cleanly, stream-match the
+// pass-off plan on a shared stimulus, and never cost more adders.
+TEST(PassProperty, LowersCleanlyStreamsEquallyNeverWorse) {
+  for (const core::Scheme scheme : core::all_schemes()) {
+    for (const u64 seed : {0x11ULL, 0x22ULL, 0x33ULL}) {
+      Rng rng(seed ^ (static_cast<u64>(scheme) << 56));
+      const int n = static_cast<int>(rng.next_below(5)) + 2;
+      std::vector<i64> bank;
+      for (int i = 0; i < n; ++i) {
+        i64 v = rng.next_int(-2047, 2047);
+        if (v == 0) v = 45;
+        bank.push_back(v);
+      }
+
+      core::MrpOptions off;
+      off.opt_budget = 100'000;  // keep the kBnb rows fast
+      core::MrpOptions on = off;
+      on.passes.xform = true;
+      on.passes.xform_budget = 60'000;
+      core::SchemeResult plain = core::optimize_bank(bank, scheme, off);
+      core::SchemeResult passed = core::optimize_bank(bank, scheme, on);
+
+      // Never worse; provenance appears exactly when the pass strictly won.
+      EXPECT_LE(passed.plan.analytic_adders, plain.plan.analytic_adders)
+          << core::to_string(scheme) << " seed " << seed;
+      EXPECT_EQ(passed.plan.xform.has_value(),
+                passed.plan.analytic_adders < plain.plan.analytic_adders)
+          << core::to_string(scheme) << " seed " << seed;
+
+      // Lowering must succeed and every tap must realize its constant.
+      arch::MultiplierBlock block = core::lower_plan(bank, passed.plan);
+      ASSERT_NO_THROW(block.verify({1, -1, 3, 1005, -4096}));
+
+      // Stream equivalence against the pass-off plan.
+      arch::MultiplierBlock plain_block = core::lower_plan(bank, plain.plan);
+      const arch::TdfFilter on_tdf =
+          core::expand_block_to_tdf(bank, {}, std::move(block));
+      const arch::TdfFilter off_tdf =
+          core::expand_block_to_tdf(bank, {}, std::move(plain_block));
+      Rng srng(seed * 0x9E3779B97F4A7C15ULL + 1);
+      const std::vector<i64> x = sim::uniform_stream(srng, 256, 12);
+      EXPECT_EQ(on_tdf.run(x), off_tdf.run(x))
+          << core::to_string(scheme) << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrpf

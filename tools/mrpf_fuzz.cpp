@@ -1,20 +1,21 @@
 // mrpf_fuzz — differential fuzz-verification harness driver.
 //
-// Fuzz mode (default): randomized coefficient banks × schemes × options,
-// each plan checked by the five independent oracles (cost, sim, rtl,
-// serde, exec); failures are shrunk to minimal reproducers with replay
+// Fuzz mode (default): randomized coefficient banks × schemes × options
+// (including randomized e-graph pass budgets on a quarter of cases), each
+// plan checked by the six independent oracles (cost, sim, rtl, serde,
+// exec, xform); failures are shrunk to minimal reproducers with replay
 // commands:
 //
 //   mrpf_fuzz --seed 7 --cases 500 [--time-budget MS]
 //             [--schemes mrpf,cse] [--oracles cost,sim] [--json FILE]
-//             [--inject shift|subtract|tap|cost]
+//             [--inject shift|subtract|tap|cost] [--xform]
 //
 // Replay mode (--bank): run exactly one fully specified case — the command
 // the shrinker prints:
 //
 //   mrpf_fuzz --bank 7,-66,17 --scheme mrpf --input-bits 10 [--align ...]
 //             [--beta B] [--depth D] [--recursive N] [--rep spt|csd|sm]
-//             [--inject KIND]
+//             [--xform] [--xform-budget N] [--inject KIND]
 //
 // CI mode (--ci): fixed-seed smoke gate — every scheme × every oracle over
 // >= 500 cases must pass, then one deliberately injected fault must be
@@ -47,9 +48,11 @@ using namespace mrpf;
                "  --time-budget MS            stop after MS milliseconds\n"
                "  --schemes a,b,...           restrict schemes (default all)\n"
                "  --oracles a,b,...           restrict oracles "
-               "(cost,sim,rtl,serde,exec)\n"
+               "(cost,sim,rtl,serde,exec,xform)\n"
                "  --inject KIND               corrupt every plan "
                "(shift|subtract|tap|cost)\n"
+               "  --xform                     force the e-graph pass on "
+               "for every case\n"
                "  --json FILE                 write the run report to FILE\n"
                "replay mode (one exact case):\n"
                "  --bank c0,c1,...            coefficient bank\n"
@@ -58,6 +61,8 @@ using namespace mrpf;
                "  --input-bits N              data width (default 10)\n"
                "  --beta B --depth D --recursive N --l-max L\n"
                "  --opt-budget N              bnb search-step budget\n"
+               "  --xform-budget N            run the e-graph pass with "
+               "this saturation budget\n"
                "  --rep spt|csd|sm            number representation\n"
                "ci mode:\n"
                "  --ci                        fixed-seed smoke gate\n");
@@ -165,7 +170,7 @@ int run_ci(const std::string& json_path) {
   const verify::FuzzReport injected = verify::run_fuzz(inject_config);
   if (injected.failures == 0) {
     std::fprintf(stderr,
-                 "ci: FAIL — injected fault escaped all five oracles\n");
+                 "ci: FAIL — injected fault escaped all six oracles\n");
     return 1;
   }
   const verify::FuzzFailure& f = injected.failure_detail.front();
@@ -223,7 +228,7 @@ int main(int argc, char** argv) {
         config.schemes.push_back(*s);
       }
     } else if (arg == "--oracles") {
-      config.oracles = {false, false, false, false, false};
+      config.oracles = {false, false, false, false, false, false};
       std::stringstream ss(value());
       std::string item;
       while (std::getline(ss, item, ',')) {
@@ -261,6 +266,14 @@ int main(int argc, char** argv) {
       replay.options.l_max = std::atoi(value().c_str());
     } else if (arg == "--opt-budget") {
       replay.options.opt_budget = std::atoll(value().c_str());
+    } else if (arg == "--xform") {
+      // Fuzz mode: hammer the pass on every case. Replay mode: enable the
+      // pass with the default budget.
+      config.force_xform = true;
+      replay.options.passes.xform = true;
+    } else if (arg == "--xform-budget") {
+      replay.options.passes.xform = true;
+      replay.options.passes.xform_budget = std::atoll(value().c_str());
     } else if (arg == "--rep") {
       const std::string r = value();
       if (r == "spt") replay.options.rep = number::NumberRep::kSpt;

@@ -6,7 +6,7 @@
 // persist the solve cache on the way out:
 //
 //   mrpf_serve --unix /tmp/mrpf.sock [--tcp PORT] [--workers N]
-//              [--cache FILE] [--queue-depth N] [--no-coalesce]
+//              [--cache FILE] [--queue-depth N] [--no-coalesce] [--xform]
 //
 // Client mode (--client): connect, run one request, print the answer —
 // the smoke-test and scripting front door:
@@ -16,9 +16,9 @@
 //   mrpf_serve --client --tcp PORT --stats
 //   mrpf_serve --client --unix /tmp/mrpf.sock --ping
 //
-// Environment knobs (MRPF_THREADS / MRPF_CACHE / MRPF_EXEC) are read
-// exactly once at daemon startup into the config; nothing re-reads the
-// environment mid-run.
+// Environment knobs (MRPF_THREADS / MRPF_CACHE / MRPF_EXEC /
+// MRPF_XFORM_BUDGET) are read exactly once at daemon startup into the
+// config; nothing re-reads the environment mid-run.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +45,9 @@ using namespace mrpf;
                "  --queue-depth N       accept queue bound (default 64)\n"
                "  --cache FILE          persistent solve-cache store\n"
                "  --no-coalesce         solve duplicates independently\n"
+               "  --xform               run the e-graph rewrite pass on\n"
+               "                        every solve (MRPF_XFORM_BUDGET at\n"
+               "                        startup sizes it)\n"
                "client mode:\n"
                "  --client              one-shot client (needs --unix/--tcp)\n"
                "  --coeffs c0,c1,...    bank to optimize\n"
@@ -154,6 +157,8 @@ int main(int argc, char** argv) {
       config.cache_path = value();
     } else if (arg == "--no-coalesce") {
       config.coalesce = false;
+    } else if (arg == "--xform") {
+      config.xform = true;
     } else if (arg == "--client") {
       client_mode = true;
     } else if (arg == "--stats") {

@@ -57,6 +57,10 @@ using namespace mrpf;
                "  --list-schemes              print scheme names and exit\n"
                "  --beta B --depth D          MRP options\n"
                "  --rep spt|sm                MRP number representation\n"
+               "  --xform                     run the e-graph rewrite pass\n"
+               "                              (MRPF_XFORM_BUDGET sizes it)\n"
+               "  --xform-budget N            pass saturation budget\n"
+               "                              (implies --xform)\n"
                "  --coeffs c0,c1,...          skip design, optimize bank\n"
                "  --coeffs-file FILE          read an integer bank from FILE\n"
                "  --cache FILE                persistent solve cache store\n"
@@ -154,6 +158,11 @@ int main(int argc, char** argv) {
       if (r == "spt") mrp_opts.rep = number::NumberRep::kSpt;
       else if (r == "sm") mrp_opts.rep = number::NumberRep::kSignMagnitude;
       else usage("unknown representation");
+    } else if (arg == "--xform") {
+      mrp_opts.passes.xform = true;
+    } else if (arg == "--xform-budget") {
+      mrp_opts.passes.xform = true;
+      mrp_opts.passes.xform_budget = std::atoll(value().c_str());
     } else if (arg == "--coeffs") {
       explicit_coeffs = parse_ints(value());
     } else if (arg == "--coeffs-file") {
@@ -199,6 +208,12 @@ int main(int argc, char** argv) {
     const std::vector<i64> bank = core::optimization_bank(coefficients);
     const core::SchemeResult opt = core::optimize_bank(bank, scheme, mrp_opts);
     std::printf("%s\n", core::describe(opt, input_bits).c_str());
+    if (opt.plan.xform.has_value()) {
+      std::printf("xform pass  : %d -> %d adders (%lld steps%s)\n",
+                  opt.plan.xform->original_adders, opt.plan.analytic_adders,
+                  opt.plan.xform->steps,
+                  opt.plan.xform->saturated ? ", saturated" : "");
+    }
     if (opt.plan.mrp.has_value()) {
       std::fputs(core::describe(*opt.plan.mrp).c_str(), stdout);
     }
