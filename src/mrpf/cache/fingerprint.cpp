@@ -1,5 +1,6 @@
 #include "mrpf/cache/fingerprint.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "mrpf/core/scheme_driver.hpp"
@@ -23,6 +24,19 @@ CanonicalBank canonicalize(const std::vector<i64>& bank) {
   cb.refs = std::move(pb.refs);
   cb.content_hash = canonical_content_hash(cb.values);
   return cb;
+}
+
+std::vector<i64> shared_union_bank(
+    const std::vector<std::vector<i64>>& branch_banks) {
+  std::vector<i64> u;
+  for (const std::vector<i64>& bank : branch_banks) {
+    for (const i64 c : bank) {
+      if (c != 0) u.push_back(c);
+    }
+  }
+  std::sort(u.begin(), u.end());
+  u.erase(std::unique(u.begin(), u.end()), u.end());
+  return u;
 }
 
 CanonicalBank canonicalize(core::Scheme scheme, const std::vector<i64>& bank) {

@@ -57,6 +57,18 @@ struct CanonicalBank {
 /// MRP-group canonicalization (kMrp/kMrpCse).
 CanonicalBank canonicalize(const std::vector<i64>& bank);
 
+/// Deterministic union bank of a shared-bank (multi-branch) solve: the
+/// distinct non-zero coefficient values across every branch, sorted
+/// ascending. This is the bank core::SharedBankGroup feeds through the
+/// ordinary solve pipeline, so the shared-bank solve key is just the key
+/// of this vector — invariant under branch order and under how the union
+/// is partitioned into branches (two different polyphase factorizations of
+/// the same tap multiset share one cache entry), and cache / serde / the
+/// daemon need no shared-bank awareness at all. May be empty (every
+/// branch all-zero); the group layer handles that without a solve.
+std::vector<i64> shared_union_bank(
+    const std::vector<std::vector<i64>>& branch_banks);
+
 /// Scheme-dispatching canonicalization: the MRP group for kMrp/kMrpCse,
 /// the identity group (bank verbatim, no refs) for every other scheme.
 CanonicalBank canonicalize(core::Scheme scheme, const std::vector<i64>& bank);

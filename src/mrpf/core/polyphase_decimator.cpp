@@ -1,25 +1,46 @@
 #include "mrpf/core/polyphase_decimator.hpp"
 
 #include <limits>
+#include <utility>
 
 #include "mrpf/common/error.hpp"
+#include "mrpf/core/shared_bank.hpp"
 #include "mrpf/filter/polyphase.hpp"
 
 namespace mrpf::core {
 
 PolyphaseDecimator::PolyphaseDecimator(std::vector<i64> coefficients,
                                        int factor, Scheme scheme,
-                                       const MrpOptions& options)
-    : coefficients_(std::move(coefficients)), factor_(factor) {
+                                       const MrpOptions& options,
+                                       BankSharing sharing)
+    : coefficients_(std::move(coefficients)),
+      factor_(factor),
+      sharing_(sharing) {
   MRPF_CHECK(factor_ >= 1, "PolyphaseDecimator: factor must be positive");
   MRPF_CHECK(!coefficients_.empty(), "PolyphaseDecimator: empty filter");
 
   std::vector<std::vector<i64>> phases =
       filter::polyphase_decompose(coefficients_, factor_);
-  branches_.reserve(phases.size());
   for (std::vector<i64>& bank : phases) {
     if (bank.empty()) bank.push_back(0);  // short filters: inert branch
+  }
+  branches_.reserve(phases.size());
+
+  if (sharing_ == BankSharing::kShared) {
+    const SharedBankGroup group(phases);
+    const SharedBankResult shared = group.solve(scheme, options);
+    analytic_adders_ = shared.solve.plan.analytic_adders;
+    shared_graph_adders_ = shared.solve.block.graph.num_adders();
+    for (std::size_t k = 0; k < group.num_branches(); ++k) {
+      branches_.emplace_back(group.branch_banks()[k], std::vector<int>{},
+                             shared.branch_block(k));
+    }
+    return;
+  }
+
+  for (std::vector<i64>& bank : phases) {
     SchemeResult opt = optimize_bank(bank, scheme, options);
+    analytic_adders_ += opt.multiplier_adders;
     branch_adders_.push_back(opt.multiplier_adders);
     branches_.emplace_back(bank, std::vector<int>{}, std::move(opt.block));
   }
@@ -32,9 +53,10 @@ std::vector<i64> PolyphaseDecimator::run(const std::vector<i64>& x) const {
       static_cast<std::size_t>(factor_);
 
   std::vector<i64> y(m_out, 0);
+  std::vector<i64>& s = phase_scratch_;  // hoisted: reused across calls
   for (int k = 0; k < factor_; ++k) {
     // Phase stream s_k[m] = x[mM − k] (zero before the stream starts).
-    std::vector<i64> s(m_out, 0);
+    s.assign(m_out, 0);
     for (std::size_t m = 0; m < m_out; ++m) {
       const i64 index = static_cast<i64>(m) * factor_ - k;
       if (index >= 0 && index < static_cast<i64>(x.size())) {
@@ -55,6 +77,10 @@ std::vector<i64> PolyphaseDecimator::run(const std::vector<i64>& x) const {
 }
 
 int PolyphaseDecimator::multiplier_adders() const {
+  if (sharing_ == BankSharing::kShared) {
+    // Every branch block views the SAME graph; count the hardware once.
+    return shared_graph_adders_;
+  }
   int total = 0;
   for (const arch::TdfFilter& b : branches_) {
     total += b.metrics().multiplier_adders;

@@ -1,7 +1,17 @@
-// Optimized polyphase decimator: one multiplier block per phase branch,
-// each synthesized by any Scheme, combined at the low rate. Demonstrates
-// MRP on a multirate structure (each branch is a vector scaling) and that
-// sharing stops at branch boundaries (different multiplicands).
+// Optimized polyphase decimator: multiplier blocks per phase branch, each
+// synthesized by any Scheme, combined at the low rate. Demonstrates MRP on
+// a multirate structure (each branch is a vector scaling). Two bank
+// modes:
+//
+//  - kPerBranch: one independent solve and block per branch — sharing
+//    stops at branch boundaries (different multiplicands at the same
+//    instant).
+//  - kShared: branches run at fs/M, so one multiplier block clocked at fs
+//    can be time-multiplexed across all M branches. One SharedBankGroup
+//    solve covers the union of the branch banks and every branch taps its
+//    products off the shared graph (see core/shared_bank.hpp).
+//
+// Both modes are bit-identical to filter::decimate_exact.
 #pragma once
 
 #include <vector>
@@ -11,27 +21,50 @@
 
 namespace mrpf::core {
 
+/// How branch banks are synthesized: independently, or as one shared
+/// union solve time-multiplexed across branches.
+enum class BankSharing {
+  kPerBranch,
+  kShared,
+};
+
 class PolyphaseDecimator {
  public:
-  /// Splits `coefficients` into `factor` phases and optimizes each branch
-  /// bank with `scheme`. Empty/all-zero branches cost nothing.
+  /// Splits `coefficients` into `factor` phases and optimizes the branch
+  /// banks with `scheme` under the selected sharing mode. Empty/all-zero
+  /// branches cost nothing in either mode.
   PolyphaseDecimator(std::vector<i64> coefficients, int factor,
-                     Scheme scheme, const MrpOptions& options = {});
+                     Scheme scheme, const MrpOptions& options = {},
+                     BankSharing sharing = BankSharing::kPerBranch);
 
   /// Exact decimated output: equals filter::decimate_exact bit for bit.
+  /// Reuses internal scratch buffers across calls (streaming callers no
+  /// longer churn the allocator), so concurrent run() calls on the SAME
+  /// object must be externally serialized; distinct objects stay
+  /// independent.
   std::vector<i64> run(const std::vector<i64>& x) const;
 
   int factor() const { return factor_; }
-  /// Σ multiplier adders over all branch blocks (physical graph counts).
+  BankSharing sharing() const { return sharing_; }
+  /// Physical multiplier adders: Σ branch graphs under kPerBranch, the
+  /// one shared graph (counted once) under kShared.
   int multiplier_adders() const;
-  /// Analytic per-branch costs in phase order.
+  /// Analytic adder cost: Σ per-branch plan costs under kPerBranch, the
+  /// union plan's cost under kShared.
+  int analytic_adders() const { return analytic_adders_; }
+  /// Analytic per-branch costs in phase order (kPerBranch mode only;
+  /// empty under kShared, where branch costs are not separable).
   const std::vector<int>& branch_adders() const { return branch_adders_; }
 
  private:
   std::vector<i64> coefficients_;
   int factor_;
+  BankSharing sharing_;
+  int analytic_adders_ = 0;
+  int shared_graph_adders_ = 0;            // kShared: the one block, once
   std::vector<arch::TdfFilter> branches_;  // one low-rate TDF per phase
   std::vector<int> branch_adders_;
+  mutable std::vector<i64> phase_scratch_;  // run() phase-stream buffer
 };
 
 /// Optimized polyphase interpolator. Unlike the decimator, every branch

@@ -53,6 +53,13 @@ struct StageTimers {
   /// rewritten plan failed re-lowering and was discarded (defensive; never
   /// expected). ns stays 0 — the sample is a tag, not a timer.
   StageSample xform_fallback;
+  /// Shared-bank provenance: set by core::SharedBankGroup *after* the
+  /// cache/serde path (like `lowering`, it always describes this call, so
+  /// it is deliberately not serialized and never fragments cache entries).
+  /// items: number of polyphase branches covered by the one union solve
+  /// (0 = ordinary per-bank solve); ns: union canonicalization plus
+  /// per-branch tap-view mapping time.
+  StageSample shared_bank;
   double total_ns = 0.0;       // whole mrp_optimize call
 };
 
@@ -79,6 +86,7 @@ inline void accumulate(StageTimers& into, const StageTimers& from) {
   add(into.xform_saturate, from.xform_saturate);
   add(into.xform_extract, from.xform_extract);
   add(into.xform_fallback, from.xform_fallback);
+  add(into.shared_bank, from.shared_bank);
   into.total_ns += from.total_ns;
 }
 

@@ -1,5 +1,6 @@
 #include "mrpf/dsp/freq_response.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "mrpf/common/error.hpp"
@@ -36,19 +37,60 @@ std::vector<double> magnitude_response_db(const std::vector<double>& h,
   return mag;
 }
 
+namespace {
+
+/// Linear phase up to floating-point noise: h[k] == ±h[N-1-k] for all k,
+/// with one consistent sign (type I-IV FIR). Tolerance is relative to the
+/// largest tap so scaled copies of a symmetric filter stay symmetric.
+bool is_linear_phase(const std::vector<double>& h) {
+  double peak = 0.0;
+  for (const double v : h) peak = std::max(peak, std::abs(v));
+  const double tol = 1e-12 * std::max(1.0, peak);
+  const std::size_t n = h.size();
+  bool symmetric = true;
+  bool antisymmetric = true;
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double a = h[k];
+    const double b = h[n - 1 - k];
+    symmetric = symmetric && std::abs(a - b) <= tol;
+    antisymmetric = antisymmetric && std::abs(a + b) <= tol;
+  }
+  if (n % 2 == 1) {
+    antisymmetric = antisymmetric && std::abs(h[n / 2]) <= tol;
+  }
+  return symmetric || antisymmetric;
+}
+
+}  // namespace
+
 double group_delay_at(const std::vector<double>& h, double f) {
   MRPF_CHECK(!h.empty(), "group_delay_at: empty filter");
   const double w = M_PI * f;
   std::complex<double> num{0.0, 0.0};
   std::complex<double> den{0.0, 0.0};
+  double scale = 0.0;  // Σ|h|: the natural magnitude of den's terms
   for (std::size_t k = 0; k < h.size(); ++k) {
     const double ang = -w * static_cast<double>(k);
     const std::complex<double> e(std::cos(ang), std::sin(ang));
     num += static_cast<double>(k) * h[k] * e;
     den += h[k] * e;
+    scale += std::abs(h[k]);
   }
-  MRPF_CHECK(std::abs(den) > 1e-12,
-             "group_delay_at: response magnitude too small");
+  // At a response null the ratio num/den is 0/0-shaped and would emit
+  // NaN/Inf that silently poisons downstream spec checks — every
+  // half-band filter nulls exactly at f = 1, so this is a hot path, not a
+  // corner. Linear-phase filters have constant group delay (N−1)/2
+  // everywhere the response is nonzero; return that value AT the null
+  // too (it is the analytic limit). Non-linear-phase filters have no
+  // defined limit, so the precondition failure stays loud.
+  if (std::abs(den) <= 1e-9 * std::max(scale, 1e-300)) {
+    if (is_linear_phase(h)) {
+      return static_cast<double>(h.size() - 1) / 2.0;
+    }
+    MRPF_CHECK(false,
+               "group_delay_at: response null and not linear phase — group "
+               "delay undefined here");
+  }
   return (num / den).real();
 }
 

@@ -26,7 +26,12 @@ double amplitude_response_at(const std::vector<double>& h, double f);
 
 /// Group delay −dφ/dω in samples at normalized frequency f, computed from
 /// the exact FIR identity τ(ω) = Re{ (Σ k·h[k] e^{-jωk}) / (Σ h[k] e^{-jωk}) }.
-/// Linear-phase filters return (N−1)/2 wherever |H| is nonzero.
+/// Linear-phase filters return (N−1)/2 wherever |H| is nonzero — and AT
+/// response nulls too (|H| ≈ 0 relative to Σ|h|; every half-band filter
+/// nulls at f = 1): the constant (N−1)/2 is the analytic limit there, so
+/// the result is always finite and NaN-free for linear-phase inputs. A
+/// null on a non-linear-phase filter has no defined limit and throws
+/// mrpf::Error instead of returning NaN/Inf.
 double group_delay_at(const std::vector<double>& h, double f);
 
 }  // namespace mrpf::dsp

@@ -1,0 +1,70 @@
+#include "mrpf/filter/nyquist.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "mrpf/common/error.hpp"
+#include "mrpf/dsp/window.hpp"
+
+namespace mrpf::filter {
+
+NyquistDesign design_nyquist(int factor, int span, double atten_db) {
+  MRPF_CHECK(factor >= 2, "design_nyquist: factor must be at least 2");
+  MRPF_CHECK(span >= 1, "design_nyquist: span must be at least 1");
+  MRPF_CHECK(std::isfinite(atten_db) && atten_db > 0.0,
+             "design_nyquist: attenuation must be finite and positive");
+
+  const int m = span * factor;  // centre index; length 2m + 1
+  const int num_taps = 2 * m + 1;
+  const std::vector<double> w =
+      dsp::window_kaiser(num_taps, dsp::kaiser_beta_for_attenuation(atten_db));
+
+  NyquistDesign d;
+  d.factor = factor;
+  d.analysis.assign(static_cast<std::size_t>(num_taps), 0.0);
+  for (int n = 0; n < num_taps; ++n) {
+    const int q = n - m;
+    if (q == 0) {
+      d.analysis[static_cast<std::size_t>(n)] =
+          1.0 / static_cast<double>(factor);
+    } else if (q % factor != 0) {
+      // Ideal fc = 1/M lowpass: h(q) = sin(πq/M)/(πq); the q ≡ 0 (mod M)
+      // taps sit exactly on the sinc's zero crossings and stay
+      // structurally zero.
+      const double x = static_cast<double>(q);
+      d.analysis[static_cast<std::size_t>(n)] =
+          std::sin(M_PI * x / static_cast<double>(factor)) / (M_PI * x) *
+          w[static_cast<std::size_t>(n)];
+    }
+  }
+
+  d.synthesis = d.analysis;
+  for (double& v : d.synthesis) v *= static_cast<double>(factor);
+  return d;
+}
+
+bool is_nyquist(const std::vector<double>& h, int factor) {
+  if (factor < 2) return false;
+  // Strip matched zero padding, mirroring is_halfband: padded branches
+  // from polyphase utilities must not change the verdict.
+  std::size_t lo = 0;
+  std::size_t hi = h.size();
+  while (hi - lo > 2 && h[lo] == 0.0 && h[hi - 1] == 0.0) {
+    ++lo;
+    --hi;
+  }
+  const std::size_t n = hi - lo;
+  if (n < 3 || n % 2 == 0) return false;
+  const int m = static_cast<int>(n - 1) / 2;
+  if (h[lo + static_cast<std::size_t>(m)] == 0.0) return false;
+  for (int k = 0; k < static_cast<int>(n); ++k) {
+    const std::size_t a = lo + static_cast<std::size_t>(k);
+    const std::size_t b = hi - 1 - static_cast<std::size_t>(k);
+    const int q = k - m;
+    if (q != 0 && q % factor == 0 && h[a] != 0.0) return false;
+    if (h[a] != h[b]) return false;
+  }
+  return true;
+}
+
+}  // namespace mrpf::filter

@@ -1,0 +1,37 @@
+// Nyquist(M) — a.k.a. M-th band — FIR prototypes for M-channel filter
+// banks. A Nyquist(M) lowpass h has h[centre] = 1/M and h[centre ± qM] = 0
+// for q ≠ 0: exactly one polyphase branch is a pure (scaled) delay, and
+// the branch impulse responses sum to a unit impulse. That structure
+// gives intersymbol-interference-free interpolation and, paired with the
+// synthesis prototype g = M·h, a perfect-DC analysis/synthesis chain —
+// the M-channel generalization of the half-band filter (M = 2 recovers
+// it). The structural zeros are set exactly, never left to floating
+// point, so polyphase splitting and multiplierless synthesis see clean
+// zero taps.
+#pragma once
+
+#include <vector>
+
+namespace mrpf::filter {
+
+/// An analysis/synthesis prototype pair for an M-channel Nyquist bank.
+struct NyquistDesign {
+  int factor = 0;                  ///< M, the band count / rate factor
+  std::vector<double> analysis;    ///< h: Nyquist(M) lowpass, gain 1 at DC
+  std::vector<double> synthesis;   ///< g = M·h: interpolation prototype
+};
+
+/// Kaiser-windowed Nyquist(M) lowpass spanning `span` zero crossings per
+/// side: length 2·span·factor + 1, taps h[centre ± q] =
+/// sin(πq/M)/(πq)·w[q] with the q ≡ 0 (mod M) taps exactly zero and the
+/// centre exactly 1/M. Requires factor ≥ 2, span ≥ 1, and a finite
+/// positive `atten_db`. factor == 2 yields a half-band analysis filter
+/// at half gain (2·h passes is_halfband).
+NyquistDesign design_nyquist(int factor, int span, double atten_db);
+
+/// True when h is Nyquist(M): odd length, symmetric, centre tap nonzero,
+/// and every tap at offset ±qM (q ≠ 0) exactly zero. Matched zero padding
+/// at both ends is ignored, mirroring filter::is_halfband.
+bool is_nyquist(const std::vector<double>& h, int factor);
+
+}  // namespace mrpf::filter

@@ -156,6 +156,31 @@ TEST(FreqResponse, GroupDelayOfLinearPhaseIsConstant) {
   EXPECT_THROW(group_delay_at({}, 0.1), Error);
 }
 
+TEST(FreqResponse, GroupDelayAtNullReturnsLinearPhaseDelay) {
+  // {0.25, 0.5, 0.25} nulls exactly at Nyquist (every half-band filter
+  // does); the 0/0 ratio used to emit NaN. Linear phase → the analytic
+  // limit (N−1)/2 must come back instead.
+  EXPECT_DOUBLE_EQ(group_delay_at({0.25, 0.5, 0.25}, 1.0), 1.0);
+  // Antisymmetric (type III/IV) filters null at DC.
+  EXPECT_DOUBLE_EQ(group_delay_at({1.0, 0.0, -1.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(group_delay_at({1.0, -1.0}, 0.0), 0.5);
+  // A null on a non-linear-phase filter has no limit: loud error, never
+  // NaN. (1 + 0.5z⁻¹)(1 + z⁻²) zeroes f = 0.5 with an asymmetric h.
+  EXPECT_THROW(group_delay_at({1.0, 0.5, 1.0, 0.5}, 0.5), Error);
+}
+
+TEST(FreqResponse, GroupDelayNanFreeOverDesignGrid) {
+  // A half-band-structured filter swept across the full design grid,
+  // nulls included, must stay finite everywhere.
+  const std::vector<double> h = {-0.04, 0.0, 0.29, 0.5, 0.29, 0.0, -0.04};
+  for (int i = 0; i <= 64; ++i) {
+    const double f = static_cast<double>(i) / 64.0;
+    const double tau = group_delay_at(h, f);
+    EXPECT_TRUE(std::isfinite(tau)) << f;
+    EXPECT_NEAR(tau, 3.0, 1e-6) << f;
+  }
+}
+
 TEST(Windows, BasicShapeProperties) {
   for (const int n : {5, 16, 33}) {
     for (const auto& w : {window_hamming(n), window_hann(n),

@@ -14,8 +14,11 @@
 #include "mrpf/filter/kaiser.hpp"
 #include "mrpf/filter/least_squares.hpp"
 #include "mrpf/filter/measure.hpp"
+#include "mrpf/filter/nyquist.hpp"
+#include "mrpf/filter/polyphase.hpp"
 #include "mrpf/filter/remez.hpp"
 #include "mrpf/filter/symmetric.hpp"
+#include "mrpf/number/quantize.hpp"
 
 namespace mrpf::filter {
 namespace {
@@ -277,7 +280,143 @@ TEST(Halfband, ZerosHalveTheMultiplierBank) {
   // (N−3)/2 even-offset zeros for a canonical half-band.
   EXPECT_EQ(zero_taps, (43 - 3) / 2);
   EXPECT_THROW(design_halfband(21, 50.0), Error);  // 21 % 4 != 3
-  EXPECT_FALSE(is_halfband({1.0, 2.0, 1.0}));
+  // Length 3 is the degenerate half-band: no even offsets exist besides
+  // the centre, so any symmetric 3-tap filter has the structure.
+  EXPECT_TRUE(is_halfband({1.0, 2.0, 1.0}));
+  EXPECT_FALSE(is_halfband({1.0, 2.0, 3.0}));
+}
+
+TEST(Halfband, DesignPreconditionsAreChecked) {
+  // The full N % 4 == 3 family is accepted down to the minimum length 3…
+  const auto tiny = design_halfband(3, 60.0);
+  EXPECT_TRUE(is_halfband(tiny));
+  EXPECT_DOUBLE_EQ(tiny[1], 0.5);
+  // …and everything outside it is rejected loudly, not mis-designed.
+  EXPECT_THROW(design_halfband(1, 60.0), Error);
+  EXPECT_THROW(design_halfband(-3, 60.0), Error);
+  EXPECT_THROW(design_halfband(5, 60.0), Error);
+  EXPECT_THROW(design_halfband(4, 60.0), Error);
+  EXPECT_THROW(design_halfband(7, 0.0), Error);
+  EXPECT_THROW(design_halfband(7, -40.0), Error);
+  EXPECT_THROW(design_halfband(7, std::nan("")), Error);
+  EXPECT_THROW(design_halfband(7, INFINITY), Error);
+}
+
+TEST(Halfband, IsHalfbandIgnoresMatchedZeroPadding) {
+  std::vector<double> h = design_halfband(11, 50.0);
+  // Polyphase utilities pad short filters with zeros when the factor
+  // exceeds the tap count; matched padding must not change the verdict.
+  for (int pairs = 0; pairs < 3; ++pairs) {
+    EXPECT_TRUE(is_halfband(h)) << "pad pairs: " << pairs;
+    h.insert(h.begin(), 0.0);
+    h.push_back(0.0);
+  }
+  // Unmatched padding shifts the centre and must fail.
+  h.push_back(0.0);
+  EXPECT_FALSE(is_halfband(h));
+}
+
+TEST(Halfband, ComposeWithIdentityPrototypeReturnsSubfilter) {
+  // P(x) = x gives H = 0.5 + 0.5·F2 = G exactly — all scalings are
+  // powers of two, so the identity holds bit for bit.
+  const auto g = design_halfband(19, 55.0);
+  EXPECT_EQ(compose_halfband({1.0}, g), g);
+  EXPECT_THROW(compose_halfband({}, g), Error);
+  EXPECT_THROW(compose_halfband({1.0}, {1.0, 2.0, 3.0}), Error);
+}
+
+TEST(Halfband, ComposedCascadeIsStructurallyHalfband) {
+  const auto g = design_halfband(11, 45.0);
+  const std::vector<double> f1 = {1.5, -0.5};  // order-2 sharpening
+  const auto h = compose_halfband(f1, g);
+  EXPECT_EQ(h.size(), 3u * 10u + 1u);  // (2·2−1)(11−1)+1
+  EXPECT_TRUE(is_halfband(h));
+  const std::size_t centre = (h.size() - 1) / 2;
+  EXPECT_DOUBLE_EQ(h[centre], 0.5);
+  // Even offsets are exactly zero — structural, not floating-point luck —
+  // so maximal quantization keeps them as explicit {0, 0} taps.
+  const auto q = number::quantize_maximal(h, 12);
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    if (h[k] == 0.0) {
+      EXPECT_EQ(q.coeffs[k].value, 0);
+    }
+  }
+}
+
+TEST(Halfband, CascadeDesignerMeetsSpec) {
+  const HalfbandCascadeDesign d = design_halfband_cascade(0.4, 1e-3);
+  EXPECT_GE(d.n1, 1);
+  EXPECT_LE(d.n1, 4);
+  EXPECT_TRUE(is_halfband(d.subfilter));
+  EXPECT_TRUE(is_halfband(d.h));
+  EXPECT_LE(d.passband_deviation, 1e-3);
+  EXPECT_LE(d.stopband_deviation, 1e-3);
+  // The designer verifies on a grid; spot-check the spec independently.
+  for (double f = 0.0; f <= 0.4; f += 0.04) {
+    EXPECT_NEAR(dsp::amplitude_response_at(d.h, f), 1.0, 1.5e-3) << f;
+    EXPECT_NEAR(dsp::amplitude_response_at(d.h, 1.0 - f), 0.0, 1.5e-3) << f;
+  }
+  EXPECT_THROW(design_halfband_cascade(0.0, 1e-3), Error);
+  EXPECT_THROW(design_halfband_cascade(0.5, 1e-3), Error);
+  EXPECT_THROW(design_halfband_cascade(0.4, 0.0), Error);
+  EXPECT_THROW(design_halfband_cascade(0.4, std::nan("")), Error);
+  // Unreachable spec on the sweep grid: fail loudly, never return a
+  // filter that silently misses.
+  EXPECT_THROW(design_halfband_cascade(0.49, 1e-9), Error);
+}
+
+TEST(Nyquist, StructuralZerosAndScaling) {
+  const NyquistDesign d = design_nyquist(4, 3, 60.0);
+  EXPECT_EQ(d.factor, 4);
+  ASSERT_EQ(d.analysis.size(), 25u);  // 2·span·M + 1
+  EXPECT_TRUE(is_nyquist(d.analysis, 4));
+  const int m = 12;
+  EXPECT_DOUBLE_EQ(d.analysis[static_cast<std::size_t>(m)], 0.25);
+  for (int q = 4; q <= m; q += 4) {
+    EXPECT_EQ(d.analysis[static_cast<std::size_t>(m + q)], 0.0);
+    EXPECT_EQ(d.analysis[static_cast<std::size_t>(m - q)], 0.0);
+  }
+  // Synthesis prototype is exactly M·analysis.
+  ASSERT_EQ(d.synthesis.size(), d.analysis.size());
+  for (std::size_t k = 0; k < d.analysis.size(); ++k) {
+    EXPECT_DOUBLE_EQ(d.synthesis[k], 4.0 * d.analysis[k]);
+  }
+  // The Nyquist property in polyphase terms: the centre branch of the
+  // synthesis prototype is a pure unit tap — zero intersymbol
+  // interference when interpolating.
+  const auto branches = polyphase_decompose(d.synthesis, 4);
+  int pure_delay_branches = 0;
+  for (const auto& b : branches) {
+    int nonzero = 0;
+    for (const double v : b) nonzero += (v != 0.0);
+    if (nonzero == 1) ++pure_delay_branches;
+  }
+  EXPECT_EQ(pure_delay_branches, 1);
+}
+
+TEST(Nyquist, FactorTwoIsHalfband) {
+  // Nyquist(2) and the half-band designer share the same ideal kernel;
+  // the M = 2 analysis prototype must carry the half-band structure
+  // (its endpoints are structural zeros, which the padding-robust
+  // is_halfband strips).
+  const NyquistDesign d = design_nyquist(2, 4, 60.0);
+  EXPECT_TRUE(is_halfband(d.analysis));
+  EXPECT_TRUE(is_nyquist(d.analysis, 2));
+}
+
+TEST(Nyquist, PreconditionsAndNegativeCases) {
+  EXPECT_THROW(design_nyquist(1, 3, 60.0), Error);
+  EXPECT_THROW(design_nyquist(4, 0, 60.0), Error);
+  EXPECT_THROW(design_nyquist(4, 3, 0.0), Error);
+  EXPECT_THROW(design_nyquist(4, 3, std::nan("")), Error);
+  EXPECT_THROW(design_nyquist(4, 3, INFINITY), Error);
+  EXPECT_FALSE(is_nyquist({1.0, 2.0, 3.0}, 2));        // asymmetric
+  EXPECT_FALSE(is_nyquist({}, 2));                     // empty
+  EXPECT_FALSE(is_nyquist({0.1, 0.2, 0.1}, 1));        // factor < 2
+  // Offset ±3 taps must be zero for M = 3.
+  std::vector<double> bad(9, 0.1);
+  bad[4] = 0.5;
+  EXPECT_FALSE(is_nyquist(bad, 3));
 }
 
 TEST(Symmetric, FoldAndCheck) {

@@ -1,6 +1,7 @@
 // Polyphase decomposition and the optimized decimator: structural
 // properties, bit-exactness against the reference decimator across
-// factors and schemes, and branch cost accounting.
+// factors 1–8 and every scheme, shared-bank vs per-branch equivalence,
+// branch cost accounting, and the streaming-scratch regression.
 #include <gtest/gtest.h>
 
 #include "mrpf/common/error.hpp"
@@ -12,6 +13,23 @@
 
 namespace mrpf {
 namespace {
+
+/// Options that keep the exact scheme affordable inside the full
+/// factor × scheme sweep (kBnb falls back to its greedy upper bound when
+/// the budget runs out, so correctness is unaffected).
+core::MrpOptions sweep_options(core::Scheme scheme) {
+  core::MrpOptions opts;
+  if (scheme == core::Scheme::kBnb) opts.opt_budget = 10'000;
+  return opts;
+}
+
+std::string sanitized_param_name(const std::string& raw) {
+  std::string s = raw;
+  for (char& ch : s) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  }
+  return s;
+}
 
 TEST(Polyphase, DecompositionInterleavesExactly) {
   const std::vector<i64> h = {1, 2, 3, 4, 5, 6, 7};
@@ -38,32 +56,113 @@ class PolyphaseSweep
 
 TEST_P(PolyphaseSweep, DecimatorMatchesReferenceBitExact) {
   const auto [factor, scheme] = GetParam();
-  Rng rng(0x50 + factor);
+  Rng rng(0x50 + factor + 16 * static_cast<int>(scheme));
   std::vector<i64> c;
   const int taps = static_cast<int>(rng.next_int(5, 31));
   for (int t = 0; t < taps; ++t) c.push_back(rng.next_int(-1023, 1023));
 
-  const core::PolyphaseDecimator decimator(c, factor, scheme);
+  const core::MrpOptions opts = sweep_options(scheme);
+  const core::PolyphaseDecimator decimator(c, factor, scheme, opts);
   std::vector<i64> x;
   for (int i = 0; i < 200; ++i) x.push_back(rng.next_int(-255, 255));
   EXPECT_EQ(decimator.run(x), filter::decimate_exact(c, factor, x));
 }
 
+TEST_P(PolyphaseSweep, SharedBankModeMatchesPerBranchBitExact) {
+  const auto [factor, scheme] = GetParam();
+  Rng rng(0xA7 + factor + 16 * static_cast<int>(scheme));
+  std::vector<i64> c;
+  const int taps = static_cast<int>(rng.next_int(3, 40));
+  for (int t = 0; t < taps; ++t) c.push_back(rng.next_int(-2047, 2047));
+
+  const core::MrpOptions opts = sweep_options(scheme);
+  const core::PolyphaseDecimator per_branch(
+      c, factor, scheme, opts, core::BankSharing::kPerBranch);
+  const core::PolyphaseDecimator shared(c, factor, scheme, opts,
+                                        core::BankSharing::kShared);
+  EXPECT_EQ(per_branch.sharing(), core::BankSharing::kPerBranch);
+  EXPECT_EQ(shared.sharing(), core::BankSharing::kShared);
+  EXPECT_TRUE(shared.branch_adders().empty())
+      << "shared mode has no separable per-branch costs";
+
+  std::vector<i64> x;
+  for (int i = 0; i < 150; ++i) x.push_back(rng.next_int(-511, 511));
+  const std::vector<i64> want = filter::decimate_exact(c, factor, x);
+  EXPECT_EQ(per_branch.run(x), want);
+  EXPECT_EQ(shared.run(x), want)
+      << "the shared union block is the same filter, not an approximation";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     FactorsAndSchemes, PolyphaseSweep,
-    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
-                       ::testing::Values(core::Scheme::kSimple,
-                                         core::Scheme::kCse,
-                                         core::Scheme::kMrp)),
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::ValuesIn(core::all_schemes())),
     [](const auto& info) {
-      std::string s =
+      return sanitized_param_name(
           "M" + std::to_string(std::get<0>(info.param)) + "_" +
-          core::to_string(std::get<1>(info.param));
-      for (char& ch : s) {
-        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
-      }
-      return s;
+          core::to_string(std::get<1>(info.param)));
     });
+
+TEST(Polyphase, AllZeroPhasesAreInertInBothSharingModes) {
+  // Residues 1..3 of this filter are all-zero: only indices 0 and 4 are
+  // populated, so three of the four phase banks decompose to nothing and
+  // must synthesize to silent branches.
+  const std::vector<i64> c = {7, 0, 0, 0, -9};
+  Rng rng(0xBEEF);
+  std::vector<i64> x;
+  for (int i = 0; i < 64; ++i) x.push_back(rng.next_int(-100, 100));
+  const std::vector<i64> want = filter::decimate_exact(c, 4, x);
+  for (const core::BankSharing sharing :
+       {core::BankSharing::kPerBranch, core::BankSharing::kShared}) {
+    const core::PolyphaseDecimator d(c, 4, core::Scheme::kMrp, {}, sharing);
+    EXPECT_EQ(d.run(x), want);
+  }
+}
+
+TEST(Polyphase, AllZeroFilterSynthesizesAndOutputsZeros) {
+  const std::vector<i64> c = {0, 0, 0, 0, 0, 0};
+  for (const core::BankSharing sharing :
+       {core::BankSharing::kPerBranch, core::BankSharing::kShared}) {
+    const core::PolyphaseDecimator d(c, 3, core::Scheme::kCse, {}, sharing);
+    EXPECT_EQ(d.multiplier_adders(), 0);
+    EXPECT_EQ(d.run({1, 2, 3, 4, 5, 6}), (std::vector<i64>{0, 0}));
+  }
+}
+
+TEST(Polyphase, CombinerOverflowThrowsInsteadOfWrapping) {
+  // Each branch product stays inside i64 (2^40 · 2^22 = 2^62), but the
+  // three branch outputs sum to 3·2^62: the cross-branch combiner is the
+  // first place the value leaves the representable range, and it must
+  // refuse loudly instead of wrapping.
+  const i64 big = i64{1} << 40;
+  const std::vector<i64> c = {big, big, big};
+  const std::vector<i64> x(6, i64{1} << 22);
+  for (const core::BankSharing sharing :
+       {core::BankSharing::kPerBranch, core::BankSharing::kShared}) {
+    const core::PolyphaseDecimator d(c, 3, core::Scheme::kSimple, {},
+                                     sharing);
+    EXPECT_THROW(d.run(x), Error);
+  }
+}
+
+TEST(Polyphase, RunReusesScratchBitIdentically) {
+  // run() hoists its phase-stream buffer into the object; repeated and
+  // interleaved calls (different lengths resize the scratch) must be
+  // bit-identical to a fresh decimator's answer.
+  Rng rng(0x5C);
+  std::vector<i64> c;
+  for (int t = 0; t < 23; ++t) c.push_back(rng.next_int(-1023, 1023));
+  std::vector<i64> xa, xb;
+  for (int i = 0; i < 200; ++i) xa.push_back(rng.next_int(-255, 255));
+  for (int i = 0; i < 37; ++i) xb.push_back(rng.next_int(-255, 255));
+
+  const core::PolyphaseDecimator reused(c, 4, core::Scheme::kMrp);
+  const std::vector<i64> first = reused.run(xa);
+  EXPECT_EQ(reused.run(xb), filter::decimate_exact(c, 4, xb));
+  EXPECT_EQ(reused.run(xa), first);
+  const core::PolyphaseDecimator fresh(c, 4, core::Scheme::kMrp);
+  EXPECT_EQ(fresh.run(xa), first);
+}
 
 TEST(Polyphase, BranchCostsSumAndMrpHelpsPerBranch) {
   const auto& h = filter::catalog_coefficients(7);  // 61-tap PM LP
@@ -80,6 +179,24 @@ TEST(Polyphase, BranchCostsSumAndMrpHelpsPerBranch) {
   EXPECT_LE(mrp_sum, simple_sum);
   EXPECT_LE(mrp.multiplier_adders(), mrp_sum)
       << "physical graphs never exceed analytic counts";
+  EXPECT_EQ(mrp.analytic_adders(), mrp_sum);
+}
+
+TEST(Polyphase, SharedBankNeverCostsMoreThanPerBranchOnCatalog) {
+  // The union solve sees every per-branch value (deduplicated), so on
+  // the catalog workloads the shared mode must not lose adders — and the
+  // bench additionally demands a strict win on at least one of them.
+  const auto& h = filter::catalog_coefficients(7);
+  const auto q = number::quantize_uniform(h, 12);
+  const std::vector<i64> c = q.values();
+  for (const int m : {2, 4}) {
+    const core::PolyphaseDecimator per(c, m, core::Scheme::kMrp);
+    const core::PolyphaseDecimator shared(c, m, core::Scheme::kMrp, {},
+                                          core::BankSharing::kShared);
+    EXPECT_LE(shared.analytic_adders(), per.analytic_adders())
+        << "factor " << m;
+    EXPECT_LE(shared.multiplier_adders(), shared.analytic_adders());
+  }
 }
 
 TEST(Polyphase, ReferenceInterpolatorZeroStuffs) {
@@ -96,12 +213,13 @@ class InterpolatorSweep
 
 TEST_P(InterpolatorSweep, MatchesReferenceBitExact) {
   const auto [factor, scheme] = GetParam();
-  Rng rng(0x1A + factor);
+  Rng rng(0x1A + factor + 16 * static_cast<int>(scheme));
   std::vector<i64> c;
   const int taps = static_cast<int>(rng.next_int(4, 29));
   for (int t = 0; t < taps; ++t) c.push_back(rng.next_int(-1023, 1023));
 
-  const core::PolyphaseInterpolator interp(c, factor, scheme);
+  const core::PolyphaseInterpolator interp(c, factor, scheme,
+                                           sweep_options(scheme));
   std::vector<i64> x;
   for (int i = 0; i < 120; ++i) x.push_back(rng.next_int(-255, 255));
   EXPECT_EQ(interp.run(x), filter::interpolate_exact(c, factor, x));
@@ -109,18 +227,20 @@ TEST_P(InterpolatorSweep, MatchesReferenceBitExact) {
 
 INSTANTIATE_TEST_SUITE_P(
     FactorsAndSchemes, InterpolatorSweep,
-    ::testing::Combine(::testing::Values(1, 2, 3, 5),
-                       ::testing::Values(core::Scheme::kSimple,
-                                         core::Scheme::kMrpCse)),
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::ValuesIn(core::all_schemes())),
     [](const auto& info) {
-      std::string s =
+      return sanitized_param_name(
           "L" + std::to_string(std::get<0>(info.param)) + "_" +
-          core::to_string(std::get<1>(info.param));
-      for (char& ch : s) {
-        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
-      }
-      return s;
+          core::to_string(std::get<1>(info.param)));
     });
+
+TEST(Polyphase, InterpolatorFactorLargerThanFilter) {
+  const std::vector<i64> c = {5, -3};
+  const core::PolyphaseInterpolator interp(c, 7, core::Scheme::kMrp);
+  const std::vector<i64> x = {1, -2, 3};
+  EXPECT_EQ(interp.run(x), filter::interpolate_exact(c, 7, x));
+}
 
 TEST(Polyphase, InterpolatorSharesAcrossBranchesDecimatorCannot) {
   // Same coefficients, same factor: the interpolator's single shared bank
@@ -135,9 +255,14 @@ TEST(Polyphase, InterpolatorSharesAcrossBranchesDecimatorCannot) {
 
 TEST(Polyphase, FactorLargerThanFilterStillWorks) {
   const std::vector<i64> c = {5, -3};
-  const core::PolyphaseDecimator decimator(c, 6, core::Scheme::kSimple);
   const std::vector<i64> x = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
-  EXPECT_EQ(decimator.run(x), filter::decimate_exact(c, 6, x));
+  const std::vector<i64> want = filter::decimate_exact(c, 6, x);
+  for (const core::BankSharing sharing :
+       {core::BankSharing::kPerBranch, core::BankSharing::kShared}) {
+    const core::PolyphaseDecimator d(c, 6, core::Scheme::kSimple, {},
+                                     sharing);
+    EXPECT_EQ(d.run(x), want);
+  }
 }
 
 }  // namespace

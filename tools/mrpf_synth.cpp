@@ -27,7 +27,9 @@
 #include "mrpf/common/error.hpp"
 #include "mrpf/common/rng.hpp"
 #include "mrpf/core/flow.hpp"
+#include "mrpf/core/polyphase_decimator.hpp"
 #include "mrpf/core/report.hpp"
+#include "mrpf/filter/polyphase.hpp"
 #include "mrpf/exec/compile.hpp"
 #include "mrpf/exec/streaming.hpp"
 #include "mrpf/filter/design.hpp"
@@ -61,6 +63,11 @@ using namespace mrpf;
                "                              (MRPF_XFORM_BUDGET sizes it)\n"
                "  --xform-budget N            pass saturation budget\n"
                "                              (implies --xform)\n"
+               "  --decimate M                synthesize a polyphase\n"
+               "                              decimate-by-M structure\n"
+               "  --shared-bank               share one multiplier block\n"
+               "                              across the polyphase branches\n"
+               "                              (requires --decimate)\n"
                "  --coeffs c0,c1,...          skip design, optimize bank\n"
                "  --coeffs-file FILE          read an integer bank from FILE\n"
                "  --cache FILE                persistent solve cache store\n"
@@ -104,6 +111,8 @@ int main(int argc, char** argv) {
   std::string verilog_path;
   std::string json_path;
   bool exec_bench = false;
+  int decimate_factor = 0;
+  bool shared_bank = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -163,6 +172,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--xform-budget") {
       mrp_opts.passes.xform = true;
       mrp_opts.passes.xform_budget = std::atoll(value().c_str());
+    } else if (arg == "--decimate") {
+      decimate_factor = std::atoi(value().c_str());
+      if (decimate_factor < 1) usage("--decimate needs a factor >= 1");
+    } else if (arg == "--shared-bank") {
+      shared_bank = true;
     } else if (arg == "--coeffs") {
       explicit_coeffs = parse_ints(value());
     } else if (arg == "--coeffs-file") {
@@ -180,6 +194,9 @@ int main(int argc, char** argv) {
     } else {
       usage(("unknown option " + arg).c_str());
     }
+  }
+  if (shared_bank && decimate_factor == 0) {
+    usage("--shared-bank requires --decimate");
   }
 
   try {
@@ -203,6 +220,35 @@ int main(int argc, char** argv) {
                   maximal ? "maximal" : "uniform", q.max_abs_error(h));
       coefficients = q.values();
       align = core::alignment_of(q);
+    }
+
+    if (decimate_factor > 0) {
+      // Multirate flow: synthesize the polyphase structure in both bank
+      // modes so the report shows what sharing buys, then verify the
+      // requested one bit-exactly against the reference decimator.
+      const core::PolyphaseDecimator per_branch(
+          coefficients, decimate_factor, scheme, mrp_opts,
+          core::BankSharing::kPerBranch);
+      const core::PolyphaseDecimator shared(
+          coefficients, decimate_factor, scheme, mrp_opts,
+          core::BankSharing::kShared);
+      std::printf(
+          "polyphase M=%d: per-branch %d adders, shared bank %d adders "
+          "(synthesizing %s)\n",
+          decimate_factor, per_branch.analytic_adders(),
+          shared.analytic_adders(),
+          shared_bank ? "shared" : "per-branch");
+      const core::PolyphaseDecimator& dec = shared_bank ? shared : per_branch;
+      Rng rng(0xDEC1);
+      std::vector<i64> x;
+      const i64 range = (i64{1} << (input_bits - 1)) - 1;
+      for (int n = 0; n < 4096; ++n) x.push_back(rng.next_int(-range, range));
+      const bool same =
+          dec.run(x) == filter::decimate_exact(coefficients,
+                                               decimate_factor, x);
+      std::printf("verification: decimator %s over %zu samples\n",
+                  same ? "bit-exact" : "MISMATCH", x.size());
+      return same ? 0 : 1;
     }
 
     const std::vector<i64> bank = core::optimization_bank(coefficients);
